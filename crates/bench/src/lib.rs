@@ -1,0 +1,77 @@
+//! Experiment harness utilities shared by the per-figure binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index) and prints both a
+//! human-readable table and, with `--json`, a machine-readable dump used
+//! to populate EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// Prints the standard experiment header with the Table 2 configuration.
+pub fn header(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id} — {title}");
+    println!("config: DDR5-4400, 1ch/1rank, 8+1 chips, 32 banks, 1kB rows,");
+    println!("        1024 rows/subarray (paper Table 2)");
+    println!("================================================================");
+}
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let s: f64 = values.iter().map(|v| v.ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// Dumps a serialisable result as pretty JSON when `--json` was passed.
+pub fn maybe_json<T: Serialize>(value: &T) {
+    if std::env::args().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(value).expect("serialisable result")
+        );
+    }
+}
+
+/// Formats a float with engineering-friendly precision.
+#[must_use]
+pub fn eng(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[8.0]) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eng_formatting() {
+        assert_eq!(eng(0.0), "0");
+        assert_eq!(eng(123.4), "123");
+        assert_eq!(eng(1.5), "1.50");
+        assert_eq!(eng(0.00123), "1.23e-3");
+    }
+}

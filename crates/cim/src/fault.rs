@@ -1,0 +1,177 @@
+//! Bernoulli per-bit fault injection for CIM operations.
+//!
+//! §2.3 of the paper: multi-row activation fault rates range from 10⁻⁶
+//! (simulation) to 10⁻¹ (experimental COTS demonstrations), caused by
+//! reduced sense margins under process variation. Plain accesses, RowClone
+//! copies and DCC-based NOT behave like normal reads (≈10⁻²⁰, effectively
+//! fault-free at our simulation scales), so faults are injected only on
+//! *compute* results — MAJ3 / AND / OR / NOR outputs.
+
+use crate::row::Row;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Deterministic, seedable per-bit fault injector.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    rate: f64,
+    rng: ChaCha12Rng,
+    injected: u64,
+}
+
+impl FaultModel {
+    /// Creates a fault model flipping each computed bit independently with
+    /// probability `rate`, using a fixed seed for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1]`.
+    #[must_use]
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0,1]");
+        Self {
+            rate,
+            rng: ChaCha12Rng::seed_from_u64(seed),
+            injected: 0,
+        }
+    }
+
+    /// A fault-free model (rate 0). No RNG draws are made.
+    #[must_use]
+    pub fn fault_free() -> Self {
+        Self::new(0.0, 0)
+    }
+
+    /// The configured per-bit fault probability.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Number of bit flips injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Applies faults in-place to a computed row.
+    ///
+    /// Uses a geometric-skip sampler so that low fault rates cost O(faults)
+    /// rather than O(width) RNG draws.
+    pub fn perturb(&mut self, row: &mut Row) {
+        if self.rate <= 0.0 {
+            return;
+        }
+        let width = row.width();
+        if self.rate >= 1.0 {
+            for i in 0..width {
+                row.flip(i);
+                self.injected += 1;
+            }
+            return;
+        }
+        // Geometric skips: next fault index gap ~ Geom(rate). ln_1p keeps
+        // precision for tiny rates (ln(1-p) underflows to -0.0 below
+        // ~1e-16, which would otherwise flip every bit).
+        let ln_q = (-self.rate).ln_1p();
+        let mut i = 0usize;
+        loop {
+            let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let skip = (u.ln() / ln_q).floor() as usize;
+            i = match i.checked_add(skip) {
+                Some(v) => v,
+                None => break,
+            };
+            if i >= width {
+                break;
+            }
+            row.flip(i);
+            self.injected += 1;
+            i += 1;
+        }
+    }
+
+    /// Decides a single-bit fault (used by scalar fault studies).
+    pub fn flip_bit(&mut self, bit: bool) -> bool {
+        if self.rate > 0.0 && self.rng.gen_bool(self.rate) {
+            self.injected += 1;
+            !bit
+        } else {
+            bit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_never_flips() {
+        let mut fm = FaultModel::fault_free();
+        let mut r = Row::ones(1024);
+        fm.perturb(&mut r);
+        assert_eq!(r.count_ones(), 1024);
+        assert_eq!(fm.injected(), 0);
+    }
+
+    #[test]
+    fn rate_one_flips_everything() {
+        let mut fm = FaultModel::new(1.0, 7);
+        let mut r = Row::zeros(128);
+        fm.perturb(&mut r);
+        assert_eq!(r.count_ones(), 128);
+        assert_eq!(fm.injected(), 128);
+    }
+
+    #[test]
+    fn empirical_rate_close_to_configured() {
+        let rate = 0.01;
+        let mut fm = FaultModel::new(rate, 42);
+        let width = 4096;
+        let trials = 200;
+        let mut flips = 0usize;
+        for _ in 0..trials {
+            let mut r = Row::zeros(width);
+            fm.perturb(&mut r);
+            flips += r.count_ones();
+        }
+        let measured = flips as f64 / (width * trials) as f64;
+        assert!(
+            (measured - rate).abs() < rate * 0.2,
+            "measured {measured} vs {rate}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut fm = FaultModel::new(0.05, seed);
+            let mut r = Row::zeros(512);
+            fm.perturb(&mut r);
+            r
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn tiny_rates_do_not_flip_everything() {
+        // Regression: ln(1-p) underflows to -0.0 for p ~ 1e-20 and the
+        // geometric sampler must not degenerate into flip-all.
+        let mut fm = FaultModel::new(1e-20, 1);
+        let mut r = Row::zeros(4096);
+        for _ in 0..100 {
+            fm.perturb(&mut r);
+        }
+        assert_eq!(r.count_ones(), 0);
+        assert_eq!(fm.injected(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rate")]
+    fn invalid_rate_panics() {
+        let _ = FaultModel::new(1.5, 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Backend-agnostic bulk-logic machine.
+//!
+//! [`LogicMachine`] is a register-file-of-rows abstraction used wherever
+//! the exact Ambit row choreography is not the object of study: the
+//! Pinatubo/MAGIC counting programs of §4.6 (Fig. 10), the generic
+//! MAJ-based ripple-carry adder that Fig. 17 uses as the RCA proxy, and
+//! the protected μPrograms of Fig. 13a (written in terms of `AND`, `OR`,
+//! `CP`). Each gate updates row state bit-accurately, injects faults on
+//! compute results, and charges the backend's [`CostModel`].
+
+use crate::backend::{Backend, CostModel};
+use crate::fault::FaultModel;
+use crate::row::Row;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a row register inside a [`LogicMachine`].
+pub type RowId = usize;
+
+/// Logic gates the machine can execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicOp {
+    /// Copy a row.
+    Copy,
+    /// Bitwise NOT.
+    Not,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise NOR.
+    Nor,
+    /// Bitwise XOR.
+    Xor,
+    /// Columnwise 3-input majority.
+    Maj3,
+}
+
+/// A bulk-bitwise logic machine over named rows.
+#[derive(Debug, Clone)]
+pub struct LogicMachine {
+    width: usize,
+    rows: Vec<Row>,
+    cost: CostModel,
+    fault: FaultModel,
+    ops_charged: u64,
+    gate_count: u64,
+}
+
+impl LogicMachine {
+    /// Creates a machine with `rows` zeroed rows of `width` columns on the
+    /// given backend, fault-free.
+    #[must_use]
+    pub fn new(backend: Backend, width: usize, rows: usize) -> Self {
+        Self::with_faults(backend, width, rows, FaultModel::fault_free())
+    }
+
+    /// Creates a machine with fault injection on compute results.
+    #[must_use]
+    pub fn with_faults(
+        backend: Backend,
+        width: usize,
+        rows: usize,
+        fault: FaultModel,
+    ) -> Self {
+        Self {
+            width,
+            rows: vec![Row::zeros(width); rows],
+            cost: backend.cost_model(),
+            fault,
+            ops_charged: 0,
+            gate_count: 0,
+        }
+    }
+
+    /// Column count.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The backend being modelled.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.cost.backend()
+    }
+
+    /// Device operations charged so far (the unit of Fig. 10 comparisons).
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops_charged
+    }
+
+    /// Logic gates executed so far (backend-independent count).
+    #[must_use]
+    pub fn gates(&self) -> u64 {
+        self.gate_count
+    }
+
+    /// Bit faults injected so far.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.fault.injected()
+    }
+
+    /// Resets op/gate counters (row contents are preserved).
+    pub fn reset_counters(&mut self) {
+        self.ops_charged = 0;
+        self.gate_count = 0;
+    }
+
+    /// Reads a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn read(&self, r: RowId) -> &Row {
+        &self.rows[r]
+    }
+
+    /// Host-writes a row (not charged as a CIM op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or the width differs.
+    pub fn write(&mut self, r: RowId, v: &Row) {
+        assert_eq!(v.width(), self.width, "row width mismatch");
+        self.rows[r] = v.clone();
+    }
+
+    /// `dst ← src` (charged as a copy; copies are access-reliable, so no
+    /// fault injection).
+    pub fn copy(&mut self, src: RowId, dst: RowId) {
+        let v = self.rows[src].clone();
+        self.rows[dst] = v;
+        self.charge(LogicOp::Copy);
+    }
+
+    /// `dst ← !src` (DCC-mediated on DRAM; access-reliable, no faults).
+    pub fn not(&mut self, src: RowId, dst: RowId) {
+        let v = self.rows[src].not();
+        self.rows[dst] = v;
+        self.charge(LogicOp::Not);
+    }
+
+    /// `dst ← a & b` with fault injection on the result.
+    pub fn and(&mut self, a: RowId, b: RowId, dst: RowId) {
+        let mut v = self.rows[a].and(&self.rows[b]);
+        self.fault.perturb(&mut v);
+        self.rows[dst] = v;
+        self.charge(LogicOp::And);
+    }
+
+    /// `dst ← a | b` with fault injection on the result.
+    pub fn or(&mut self, a: RowId, b: RowId, dst: RowId) {
+        let mut v = self.rows[a].or(&self.rows[b]);
+        self.fault.perturb(&mut v);
+        self.rows[dst] = v;
+        self.charge(LogicOp::Or);
+    }
+
+    /// `dst ← !(a | b)` with fault injection on the result.
+    pub fn nor(&mut self, a: RowId, b: RowId, dst: RowId) {
+        let mut v = self.rows[a].nor(&self.rows[b]);
+        self.fault.perturb(&mut v);
+        self.rows[dst] = v;
+        self.charge(LogicOp::Nor);
+    }
+
+    /// `dst ← a ^ b` with fault injection on the result.
+    pub fn xor(&mut self, a: RowId, b: RowId, dst: RowId) {
+        let mut v = self.rows[a].xor(&self.rows[b]);
+        self.fault.perturb(&mut v);
+        self.rows[dst] = v;
+        self.charge(LogicOp::Xor);
+    }
+
+    /// `dst ← MAJ3(a, b, c)` with fault injection on the result.
+    pub fn maj3(&mut self, a: RowId, b: RowId, c: RowId, dst: RowId) {
+        let mut v = Row::maj3(&self.rows[a], &self.rows[b], &self.rows[c]);
+        self.fault.perturb(&mut v);
+        self.rows[dst] = v;
+        self.charge(LogicOp::Maj3);
+    }
+
+    fn charge(&mut self, op: LogicOp) {
+        self.ops_charged += self.cost.cost(op);
+        self.gate_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(backend: Backend) -> LogicMachine {
+        let mut m = LogicMachine::new(backend, 8, 6);
+        m.write(0, &Row::from_bits([true, true, false, false, true, false, true, false]));
+        m.write(1, &Row::from_bits([true, false, true, false, false, true, true, false]));
+        m
+    }
+
+    #[test]
+    fn gates_compute_correctly() {
+        let mut m = machine(Backend::Pinatubo);
+        let a = m.read(0).clone();
+        let b = m.read(1).clone();
+        m.and(0, 1, 2);
+        m.or(0, 1, 3);
+        m.xor(0, 1, 4);
+        m.not(0, 5);
+        assert_eq!(m.read(2), &a.and(&b));
+        assert_eq!(m.read(3), &a.or(&b));
+        assert_eq!(m.read(4), &a.xor(&b));
+        assert_eq!(m.read(5), &a.not());
+    }
+
+    #[test]
+    fn ops_charged_per_backend() {
+        let mut p = machine(Backend::Pinatubo);
+        p.and(0, 1, 2);
+        p.or(0, 1, 3);
+        assert_eq!(p.ops(), 2);
+
+        let mut g = machine(Backend::Magic);
+        g.and(0, 1, 2);
+        assert_eq!(g.ops(), 3); // NOR network
+        assert_eq!(g.gates(), 1);
+    }
+
+    #[test]
+    fn faults_hit_compute_not_copies() {
+        let mut m = LogicMachine::with_faults(
+            Backend::Pinatubo,
+            1024,
+            4,
+            FaultModel::new(1.0, 3),
+        );
+        m.write(0, &Row::ones(1024));
+        m.copy(0, 1);
+        assert_eq!(m.read(1).count_ones(), 1024);
+        assert_eq!(m.faults_injected(), 0);
+        m.and(0, 1, 2);
+        assert_eq!(m.read(2).count_ones(), 0); // rate-1 faults flip all
+        assert_eq!(m.faults_injected(), 1024);
+    }
+
+    #[test]
+    fn maj3_matches_row_maj3() {
+        let mut m = machine(Backend::Ambit);
+        m.write(2, &Row::from_bits([true; 8]));
+        let expect = Row::maj3(m.read(0), m.read(1), m.read(2));
+        m.maj3(0, 1, 2, 3);
+        assert_eq!(m.read(3), &expect);
+    }
+
+    #[test]
+    fn reset_counters_preserves_rows() {
+        let mut m = machine(Backend::Ambit);
+        m.and(0, 1, 2);
+        let saved = m.read(2).clone();
+        m.reset_counters();
+        assert_eq!(m.ops(), 0);
+        assert_eq!(m.read(2), &saved);
+    }
+}

@@ -1,0 +1,239 @@
+//! Canonical counting programs for non-DRAM technologies (§4.6, Fig. 10).
+//!
+//! The paper shows the masked unit-increment + overflow-check μPrograms
+//! for Pinatubo-class non-stateful logic (Fig. 10a) and MAGIC's NOR-only
+//! logic (Fig. 10b). This module provides both as reusable, bit-accurate
+//! routines over a [`LogicMachine`], with the op counts the paper quotes:
+//! `3n + 4` (+3 overflow) for Pinatubo-style and `6n + 4` for the
+//! specialised MAGIC schedule.
+
+use crate::machine::{LogicMachine, RowId};
+
+/// Row-register layout shared by the counting programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountingLayout {
+    /// Counter bit rows, LSB first (length n).
+    pub bits: Vec<RowId>,
+    /// Mask row m.
+    pub mask: RowId,
+    /// Pre-computed complement row `!m` (staged once per mask load, not
+    /// charged to the per-increment cost — Fig. 10a's `!m` operand).
+    pub not_mask: RowId,
+    /// Pending-overflow row `O_next`.
+    pub onext: RowId,
+    /// Scratch rows (need at least 4).
+    pub scratch: Vec<RowId>,
+}
+
+impl CountingLayout {
+    /// Dense layout starting at row `base` for an n-bit counter.
+    #[must_use]
+    pub fn dense(n: usize, base: usize) -> Self {
+        Self {
+            bits: (base..base + n).collect(),
+            mask: base + n,
+            not_mask: base + n + 1,
+            onext: base + n + 2,
+            scratch: (base + n + 3..base + n + 7).collect(),
+        }
+    }
+
+    /// Rows needed beyond `base`.
+    #[must_use]
+    pub fn rows_needed(n: usize) -> usize {
+        n + 7
+    }
+}
+
+/// Fig. 10a — Pinatubo-style masked unit increment with overflow check.
+///
+/// Per forward-shift bit: `b_j = (m ∧ b_i) ∨ (!m ∧ b_j)` — two ANDs and
+/// an OR, each a single sense-amplifier operation; the inverted feedback
+/// reuses the saved `!b_n`; overflow adds NOT + AND + OR. Total device
+/// ops (on the Pinatubo cost model): `3n + 4` for counting plus 3 for
+/// overflow.
+///
+/// # Panics
+///
+/// Panics if the machine's backend prices gates differently than 1 op
+/// (use [`crate::backend::Backend::Pinatubo`]) only when op-count
+/// assertions are enabled by the caller; the routine itself runs on any
+/// backend.
+pub fn pinatubo_unit_increment(m: &mut LogicMachine, lay: &CountingLayout) {
+    let n = lay.bits.len();
+    let [t0, t1, o1, o2] = [lay.scratch[0], lay.scratch[1], lay.scratch[2], lay.scratch[3]];
+    // LD bn, t0 ; t1 <- !bn   (setup: save MSB and its complement).
+    m.copy(lay.bits[n - 1], t0);
+    m.not(lay.bits[n - 1], t1);
+    // Forward shifts, MSB-1 down to LSB+1.
+    for i in (1..n).rev() {
+        m.and(lay.mask, lay.bits[i - 1], o1);
+        m.and(lay.not_mask, lay.bits[i], o2);
+        m.or(o1, o2, lay.bits[i]);
+    }
+    // Inverted feedback into the LSB.
+    m.and(lay.not_mask, lay.bits[0], o1);
+    m.and(lay.mask, t1, o2);
+    m.or(o1, o2, lay.bits[0]);
+    // Overflow checking: O <- O | (old_msb & !new_msb).
+    m.not(lay.bits[n - 1], t1);
+    m.and(t0, t1, o1);
+    // Restrict to masked columns (unmasked columns keep old = new, so
+    // the AND with t1 already nulls them; the OR folds into O_next).
+    m.or(lay.onext, o1, lay.onext);
+}
+
+/// Fig. 10b — MAGIC (NOR-only) masked unit increment with overflow.
+///
+/// Every gate is synthesised from NOR: `x AND y = NOR(!x, !y)`,
+/// `x OR y = !NOR(x, y)`. The specialised schedule reuses complement
+/// rows so the whole increment needs ~`6n + 4` NOR pulses (the generic
+/// gate network would take ~10n).
+pub fn magic_unit_increment(m: &mut LogicMachine, lay: &CountingLayout) {
+    let n = lay.bits.len();
+    let [t0, t1, o1, o2] = [lay.scratch[0], lay.scratch[1], lay.scratch[2], lay.scratch[3]];
+    // Save !bn (one NOR) and bn (!(!bn): one more).
+    m.nor(lay.bits[n - 1], lay.bits[n - 1], t1); // t1 = !bn
+    m.nor(t1, t1, t0); //                           t0 = bn
+    for i in (1..n).rev() {
+        // o1 = !( m & b_{i-1} ) = NOR(!m, !b_{i-1}): build !b_{i-1} in o2.
+        m.nor(lay.bits[i - 1], lay.bits[i - 1], o2);
+        m.nor(lay.not_mask, o2, o1); //  o1 = m & b_{i-1}
+        // o2 = !m & b_i = NOR(m, !b_i).
+        m.nor(lay.bits[i], lay.bits[i], o2);
+        m.nor(lay.mask, o2, o2); //      o2 = !m & b_i ... NOR(m, !b_i)
+        // b_i = o1 | o2 = !NOR(o1, o2).
+        m.nor(o1, o2, lay.bits[i]);
+        m.nor(lay.bits[i], lay.bits[i], lay.bits[i]);
+    }
+    // Inverted feedback: b_0 = (!m & b_0) | (m & !bn_old).
+    m.nor(lay.bits[0], lay.bits[0], o2);
+    m.nor(lay.mask, o2, o1); //          o1 = !m & b_0
+    m.nor(lay.not_mask, t0, o2); //      o2 = m & !bn_old   (NOR(!m, bn))
+    m.nor(o1, o2, lay.bits[0]);
+    m.nor(lay.bits[0], lay.bits[0], lay.bits[0]);
+    // Overflow: O |= old_msb & !new_msb = O | NOR(!old, new) — 4 NORs.
+    m.nor(t0, t0, o1); //                 o1 = !old_msb
+    m.nor(o1, lay.bits[n - 1], o2); //    o2 = old & !new (the flag)
+    m.nor(lay.onext, o2, o1); //          o1 = !(O | flag)
+    m.nor(o1, o1, lay.onext); //          O  = O | flag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use crate::row::Row;
+
+    /// Loads a machine with JC states (one column per value) and a mask.
+    fn setup(backend: Backend, n: usize) -> (LogicMachine, CountingLayout) {
+        let radix = 2 * n;
+        let width = 2 * radix; // masked + unmasked column per value
+        let lay = CountingLayout::dense(n, 0);
+        let mut m = LogicMachine::new(backend, width, CountingLayout::rows_needed(n));
+        // Johnson encoding: value v has bits i < v (for v <= n) etc. —
+        // delegate to the same convention as c2m-jc via direct bit math.
+        let bit = |v: usize, i: usize| -> bool {
+            if v == 0 {
+                false
+            } else if v <= n {
+                i < v
+            } else {
+                i >= v - n
+            }
+        };
+        for i in 0..n {
+            let mut row = Row::zeros(width);
+            for v in 0..radix {
+                row.set(2 * v, bit(v, i));
+                row.set(2 * v + 1, bit(v, i));
+            }
+            m.write(lay.bits[i], &row);
+        }
+        let mut mask = Row::zeros(width);
+        for v in 0..radix {
+            mask.set(2 * v, true);
+        }
+        m.write(lay.mask, &mask.clone());
+        m.write(lay.not_mask, &mask.not());
+        (m, lay)
+    }
+
+    fn check_increment(
+        backend: Backend,
+        n: usize,
+        run: fn(&mut LogicMachine, &CountingLayout),
+    ) -> u64 {
+        let radix = 2 * n;
+        let (mut m, lay) = setup(backend, n);
+        run(&mut m, &lay);
+        let bit = |v: usize, i: usize| -> bool {
+            if v == 0 {
+                false
+            } else if v <= n {
+                i < v
+            } else {
+                i >= v - n
+            }
+        };
+        for v in 0..radix {
+            let next = (v + 1) % radix;
+            for i in 0..n {
+                assert_eq!(
+                    m.read(lay.bits[i]).get(2 * v),
+                    bit(next, i),
+                    "masked v={v} bit={i}"
+                );
+                assert_eq!(
+                    m.read(lay.bits[i]).get(2 * v + 1),
+                    bit(v, i),
+                    "unmasked v={v} bit={i}"
+                );
+            }
+            assert_eq!(
+                m.read(lay.onext).get(2 * v),
+                v + 1 == radix,
+                "overflow v={v}"
+            );
+        }
+        m.ops()
+    }
+
+    #[test]
+    fn pinatubo_program_is_correct_and_3n_plus_7_ops() {
+        for n in [2usize, 4, 5, 8] {
+            let ops = check_increment(Backend::Pinatubo, n, pinatubo_unit_increment);
+            // Setup (LD + NOT) + 3 per bit + 3 overflow = 3n + 5 gates
+            // on the Pinatubo cost model — within one op of the paper's
+            // "3n + 4 counting, +3 overflow" accounting.
+            assert_eq!(ops, 3 * n as u64 + 5, "n={n}");
+        }
+    }
+
+    #[test]
+    fn magic_program_is_correct() {
+        for n in [2usize, 5, 8] {
+            let ops = check_increment(Backend::Magic, n, magic_unit_increment);
+            // NOR pulses: 6 per bit step + constant. The paper's
+            // specialised 6n+4 is approached; ours is 6n + ~12.
+            assert!(
+                ops <= 6 * n as u64 + 14,
+                "n={n}: MAGIC program took {ops} NOR pulses"
+            );
+        }
+    }
+
+    #[test]
+    fn programs_agree_across_backends() {
+        // The same routine yields the same row state regardless of the
+        // backend pricing.
+        let (mut a, lay_a) = setup(Backend::Pinatubo, 5);
+        let (mut b, lay_b) = setup(Backend::Fcdram, 5);
+        pinatubo_unit_increment(&mut a, &lay_a);
+        pinatubo_unit_increment(&mut b, &lay_b);
+        for i in 0..5 {
+            assert_eq!(a.read(lay_a.bits[i]), b.read(lay_b.bits[i]));
+        }
+        assert!(b.ops() > a.ops(), "FCDRAM gates cost more device ops");
+    }
+}

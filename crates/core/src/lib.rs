@@ -1,0 +1,34 @@
+//! The Count2Multiply architecture (§5 of the paper).
+//!
+//! Count2Multiply executes tensor kernels as *broadcast-and-accumulate*:
+//! output accumulators are multi-digit Johnson counters stored column-wise
+//! in CIM subarrays, the binary/ternary/bit-sliced weight matrix is stored
+//! as per-row masks, and the host converts each input element into k-ary
+//! increment μPrograms that the memory controller broadcasts (Fig. 11).
+//!
+//! * [`csd`] — canonical-signed-digit recoding for integer-integer
+//!   matrices via bit-slicing (§5.2.3).
+//! * [`matrix`] — binary, ternary and integer mask-matrix types.
+//! * [`kernels`] — bit-accurate functional kernels on
+//!   [`c2m_jc::CounterBank`]: integer×binary GEMV/GEMM, ternary GEMV,
+//!   integer×integer GEMV via CSD slices (used for correctness tests,
+//!   examples and the fault-accuracy studies).
+//! * [`engine`] — the analytic performance engine: IARM-planned command
+//!   counts → `tRRD`/`tFAW`-scheduled latency, energy and area reports
+//!   for the paper-scale shapes of Table 3 (§7.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cosim;
+pub mod csd;
+pub mod engine;
+pub mod kernels;
+pub mod matrix;
+pub mod nn;
+pub mod placement;
+
+pub use engine::{C2mEngine, EngineConfig};
+pub use matrix::{BinaryMatrix, TernaryMatrix};
+pub use nn::{AttentionShape, ConvShape};
+pub use placement::{CounterSpec, KernelShape, MaskEncoding, PlacementPlan};

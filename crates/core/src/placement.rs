@@ -1,0 +1,320 @@
+//! Mapping counters, masks and bit-slices onto DRAM geometry.
+//!
+//! The paper's Fig. 1b divides a subarray's D-group between the output
+//! counters (Y, column-wise Johnson digits), the mask rows (Z, one row
+//! per reduction index — more when Z is bit-sliced for integer
+//! weights), and the scratch rows the μPrograms need. How many output
+//! columns fit per subarray, and how many subarrays a given GEMV shape
+//! occupies, determines the achievable parallelism of §7.2.1 and the
+//! storage-overhead story of Fig. 19 / §7.3.3.
+//!
+//! [`PlacementPlan`] computes that budget for a kernel shape against a
+//! [`DramConfig`]:
+//!
+//! * counter rows: `D · (n + 1)` for `D` digits of `n`-bit Johnson
+//!   code, plus an `O_sign` row for signed kernels;
+//! * mask rows: `K` for binary Z, `2K` for ternary, `K · slices` for
+//!   CSD bit-sliced integer weights;
+//! * scratch: the θ rows of the k-ary lowering (`n + 1`) plus the
+//!   protection scheme's IR/FR rows when ECC is on.
+
+use c2m_dram::DramConfig;
+use c2m_ecc::protect::ProtectionKind;
+use c2m_jc::codec::JohnsonCode;
+use c2m_jc::cost::digits_for_capacity;
+use serde::{Deserialize, Serialize};
+
+/// How the in-memory operand matrix Z is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaskEncoding {
+    /// One binary mask row per reduction index (integer × binary).
+    Binary,
+    /// A +1 plane and a −1 plane (ternary weights).
+    Ternary,
+    /// CSD bit-slicing with this many ±2^e planes (integer weights of
+    /// `p` bits need at most `2(p − 1)` planes, §5.2.3).
+    BitSliced(usize),
+}
+
+impl MaskEncoding {
+    /// Mask rows required per reduction index.
+    #[must_use]
+    pub fn rows_per_index(self) -> usize {
+        match self {
+            MaskEncoding::Binary => 1,
+            MaskEncoding::Ternary => 2,
+            MaskEncoding::BitSliced(planes) => planes,
+        }
+    }
+
+    /// The §5.2.3 plane count for signed `p`-bit integer weights.
+    #[must_use]
+    pub fn csd_for_precision(p: u32) -> Self {
+        MaskEncoding::BitSliced(2 * (p as usize - 1))
+    }
+}
+
+/// A kernel shape to place: reduction depth `k`, output width `n_out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelShape {
+    /// Reduction dimension (rows of Z).
+    pub k: usize,
+    /// Output elements (columns of Z / counters).
+    pub n_out: usize,
+    /// Mask encoding of Z.
+    pub encoding: MaskEncoding,
+}
+
+/// Counter configuration to place.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterSpec {
+    /// Johnson radix (2n states for n-bit digits).
+    pub radix: usize,
+    /// Binary capacity each counter must meet or exceed.
+    pub capacity_bits: u32,
+    /// Whether kernels need the `O_sign` row (signed accumulation).
+    pub signed: bool,
+    /// Fault-tolerance scheme (ECC needs IR/FR scratch rows).
+    pub protection: ProtectionKind,
+}
+
+impl CounterSpec {
+    /// The paper's evaluation configuration (radix 4, 64-bit, signed).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            radix: 4,
+            capacity_bits: 64,
+            signed: true,
+            protection: ProtectionKind::None,
+        }
+    }
+
+    /// Bits per Johnson digit.
+    #[must_use]
+    pub fn digit_bits(&self) -> usize {
+        JohnsonCode::for_radix(self.radix).bits()
+    }
+
+    /// Digits needed for the capacity.
+    #[must_use]
+    pub fn digits(&self) -> usize {
+        digits_for_capacity(self.radix, self.capacity_bits)
+    }
+
+    /// D-group rows per counter column: `D · (n + 1)` (+1 for O_sign).
+    #[must_use]
+    pub fn counter_rows(&self) -> usize {
+        let n = self.digit_bits();
+        let base = self.digits() * (n + 1);
+        if self.signed {
+            base + 1
+        } else {
+            base
+        }
+    }
+
+    /// Scratch rows a μProgram needs next to the counters: θ saves
+    /// (`n + 1`) plus the protection scheme's IR1/IR2/FR/T rows.
+    #[must_use]
+    pub fn scratch_rows(&self) -> usize {
+        let n = self.digit_bits();
+        let theta = n + 1;
+        let protect = match self.protection {
+            ProtectionKind::None => 0,
+            ProtectionKind::Tmr => 2 * self.counter_rows(), // two replicas
+            ProtectionKind::Ecc { .. } => 4,                // IR1, IR2, FR, temp
+        };
+        theta + protect
+    }
+}
+
+/// The computed placement of one kernel on one DRAM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// D-group rows consumed per subarray (counters + masks + scratch).
+    pub rows_used: usize,
+    /// D-group rows available per subarray (total minus B/C groups).
+    pub rows_available: usize,
+    /// Output counters per subarray (bounded by the rank-wide row width).
+    pub columns_per_subarray: usize,
+    /// Subarrays needed to hold all `n_out` outputs.
+    pub subarrays_needed: usize,
+    /// Of which this many can compute concurrently (one per bank).
+    pub parallel_subarrays: usize,
+}
+
+impl PlacementPlan {
+    /// Fraction of the D-group the kernel occupies (storage overhead,
+    /// the Fig. 19 axis).
+    #[must_use]
+    pub fn row_utilisation(&self) -> f64 {
+        self.rows_used as f64 / self.rows_available as f64
+    }
+
+    /// True if the kernel fits a single subarray's row budget.
+    #[must_use]
+    pub fn fits(&self) -> bool {
+        self.rows_used <= self.rows_available
+    }
+}
+
+/// Plans the placement of `shape` with `spec` counters on `cfg`.
+///
+/// # Examples
+///
+/// ```
+/// use c2m_core::placement::{plan, CounterSpec, KernelShape, MaskEncoding};
+/// use c2m_dram::DramConfig;
+///
+/// let cfg = DramConfig::ddr5_4400();
+/// let spec = CounterSpec::paper_default();
+/// let shape = KernelShape { k: 256, n_out: 8192, encoding: MaskEncoding::Ternary };
+/// let plan = plan(&cfg, &spec, &shape).expect("fits one subarray");
+/// assert!(plan.fits());
+/// ```
+///
+/// # Errors
+///
+/// Returns `Err` with the row deficit if the masks + counters exceed
+/// the subarray's D-group (the kernel must then be split along K).
+pub fn plan(
+    cfg: &DramConfig,
+    spec: &CounterSpec,
+    shape: &KernelShape,
+) -> Result<PlacementPlan, usize> {
+    // Fig. 1b: 8 B-group + 2 C-group rows are reserved per subarray.
+    let rows_available = cfg.rows_per_subarray.saturating_sub(10);
+    let mask_rows = shape.k * shape.encoding.rows_per_index();
+    let rows_used = spec.counter_rows() + spec.scratch_rows() + mask_rows;
+    if rows_used > rows_available {
+        return Err(rows_used - rows_available);
+    }
+    let columns_per_subarray = cfg.row_bits_per_rank().min(shape.n_out.max(1));
+    let subarrays_needed = shape.n_out.div_ceil(cfg.row_bits_per_rank().max(1)).max(1);
+    let parallel_subarrays = subarrays_needed.min(cfg.banks * cfg.ranks * cfg.channels);
+    Ok(PlacementPlan {
+        rows_used,
+        rows_available,
+        columns_per_subarray,
+        subarrays_needed,
+        parallel_subarrays,
+    })
+}
+
+/// Maximum reduction depth K that fits one subarray for the given
+/// counter spec and encoding (the split granularity for §5.2.2 GEMM).
+#[must_use]
+pub fn max_k_per_subarray(
+    cfg: &DramConfig,
+    spec: &CounterSpec,
+    encoding: MaskEncoding,
+) -> usize {
+    let rows_available = cfg.rows_per_subarray.saturating_sub(10);
+    let fixed = spec.counter_rows() + spec.scratch_rows();
+    rows_available.saturating_sub(fixed) / encoding.rows_per_index()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig::ddr5_4400()
+    }
+
+    #[test]
+    fn paper_default_counter_rows() {
+        // Radix 4 -> 2-bit digits; 64-bit capacity -> 32 digits;
+        // 32 * 3 + O_sign = 97 rows.
+        let spec = CounterSpec::paper_default();
+        assert_eq!(spec.digit_bits(), 2);
+        assert_eq!(spec.digits(), 32);
+        assert_eq!(spec.counter_rows(), 97);
+    }
+
+    #[test]
+    fn binary_gemv_fits_table2_subarray() {
+        let spec = CounterSpec::paper_default();
+        let shape = KernelShape {
+            k: 512,
+            n_out: 8192,
+            encoding: MaskEncoding::Binary,
+        };
+        let plan = plan(&cfg(), &spec, &shape).expect("must fit");
+        assert!(plan.fits());
+        assert!(plan.rows_used > 512);
+        assert!(plan.subarrays_needed >= 1);
+        assert!(plan.parallel_subarrays <= 32);
+    }
+
+    #[test]
+    fn ternary_doubles_mask_rows() {
+        let spec = CounterSpec::paper_default();
+        let bin = KernelShape { k: 100, n_out: 64, encoding: MaskEncoding::Binary };
+        let ter = KernelShape { k: 100, n_out: 64, encoding: MaskEncoding::Ternary };
+        let pb = plan(&cfg(), &spec, &bin).unwrap();
+        let pt = plan(&cfg(), &spec, &ter).unwrap();
+        assert_eq!(pt.rows_used - pb.rows_used, 100);
+    }
+
+    #[test]
+    fn oversized_k_reports_deficit() {
+        let spec = CounterSpec::paper_default();
+        let shape = KernelShape {
+            k: 5000,
+            n_out: 64,
+            encoding: MaskEncoding::Binary,
+        };
+        let err = plan(&cfg(), &spec, &shape).unwrap_err();
+        assert!(err > 0);
+        // The deficit plus the budget must reconstruct the request.
+        let max_k = max_k_per_subarray(&cfg(), &spec, MaskEncoding::Binary);
+        assert!(max_k < 5000);
+        let ok = KernelShape { k: max_k, n_out: 64, encoding: MaskEncoding::Binary };
+        assert!(plan(&cfg(), &spec, &ok).is_ok());
+    }
+
+    #[test]
+    fn csd_planes_match_precision_rule() {
+        assert_eq!(
+            MaskEncoding::csd_for_precision(8).rows_per_index(),
+            14 // 2(p-1)
+        );
+    }
+
+    #[test]
+    fn higher_radix_uses_fewer_digits_but_wider_rows() {
+        // Fig. 19: radix-4 packs like binary; radix-10 needs 5-bit
+        // digits and pays storage for speed.
+        let r4 = CounterSpec { radix: 4, ..CounterSpec::paper_default() };
+        let r10 = CounterSpec { radix: 10, ..CounterSpec::paper_default() };
+        assert!(r10.digits() < r4.digits());
+        let bits_r4 = r4.digits() * r4.digit_bits();
+        let bits_r10 = r10.digits() * r10.digit_bits();
+        assert!(bits_r10 >= bits_r4, "radix 10 stores more raw bits");
+    }
+
+    #[test]
+    fn tmr_costs_two_extra_replicas() {
+        let plain = CounterSpec::paper_default();
+        let tmr = CounterSpec { protection: ProtectionKind::Tmr, ..plain };
+        assert_eq!(
+            tmr.scratch_rows() - plain.scratch_rows(),
+            2 * plain.counter_rows()
+        );
+    }
+
+    #[test]
+    fn wide_outputs_split_over_subarrays() {
+        let spec = CounterSpec::paper_default();
+        let width = cfg().row_bits_per_rank();
+        let shape = KernelShape {
+            k: 16,
+            n_out: width * 3 + 1,
+            encoding: MaskEncoding::Binary,
+        };
+        let plan = plan(&cfg(), &spec, &shape).unwrap();
+        assert_eq!(plan.subarrays_needed, 4);
+    }
+}

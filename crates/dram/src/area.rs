@@ -1,0 +1,67 @@
+//! Silicon area model for GOPS/mm² comparisons.
+//!
+//! Reported numbers in the paper normalise throughput by accelerator area
+//! (Fig. 14, Fig. 18). The GPU baseline uses the published RTX 3090 Ti die
+//! area (628 mm²); the DRAM designs use the module's die area with a small
+//! additive overhead for the CIM row decoder extensions (Ambit reports
+//! <1 % area overhead; we budget it explicitly).
+
+use crate::config::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// Area model constants (mm²).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Die area of one DRAM chip (mm²). A 4 Gb DDR5 die is ≈ 30 mm² in a
+    /// 1α-class process.
+    pub chip_area_mm2: f64,
+    /// Fractional area overhead for CIM support (extended row decoder,
+    /// DCC rows). Ambit reports < 1 %.
+    pub cim_overhead_frac: f64,
+}
+
+impl AreaModel {
+    /// Defaults for the Table 2 module.
+    #[must_use]
+    pub fn ddr5_4400() -> Self {
+        Self {
+            chip_area_mm2: 30.0,
+            cim_overhead_frac: 0.01,
+        }
+    }
+
+    /// Total silicon area of the rank, including ECC chips and CIM
+    /// overhead (mm²).
+    #[must_use]
+    pub fn rank_area_mm2(&self, cfg: &DramConfig) -> f64 {
+        let chips = (cfg.chips + cfg.ecc_chips) as f64;
+        chips * self.chip_area_mm2 * (1.0 + self.cim_overhead_frac)
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::ddr5_4400()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_area_counts_ecc_chip() {
+        let a = AreaModel::ddr5_4400();
+        let cfg = DramConfig::ddr5_4400();
+        let area = a.rank_area_mm2(&cfg);
+        // 9 chips x 30 mm² x 1.01
+        assert!((area - 9.0 * 30.0 * 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_module_is_much_smaller_than_gpu() {
+        let a = AreaModel::ddr5_4400();
+        let cfg = DramConfig::ddr5_4400();
+        assert!(a.rank_area_mm2(&cfg) < 628.0);
+    }
+}

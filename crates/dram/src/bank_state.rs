@@ -1,0 +1,173 @@
+//! Per-bank row-buffer state machine for the host access path.
+//!
+//! The Count2Multiply execution model (§5.1) has the host CPU *reading*
+//! the input matrix X from DRAM through the normal access path while the
+//! memory controller interleaves CIM command sequences. Normal accesses
+//! see the classic open-row behaviour: a request to the currently open
+//! row costs only a column access; a different row pays precharge +
+//! activate + column; an idle (precharged) bank pays activate + column.
+//!
+//! [`BankState`] tracks this per bank and reports the latency class of
+//! each access, feeding the FR-FCFS queue in [`crate::request`].
+
+use crate::timing::TimingParams;
+use serde::{Deserialize, Serialize};
+
+/// Row-buffer outcome for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// The requested row was already open: column access only.
+    RowHit,
+    /// A different row was open: precharge + activate + column.
+    RowConflict,
+    /// The bank was precharged: activate + column.
+    RowMiss,
+}
+
+impl AccessKind {
+    /// Latency of this access class under `timing`, in ns.
+    #[must_use]
+    pub fn latency_ns(self, timing: &TimingParams) -> f64 {
+        match self {
+            AccessKind::RowHit => timing.t_ccd + timing.t_burst,
+            AccessKind::RowMiss => timing.t_rcd + timing.t_burst,
+            AccessKind::RowConflict => timing.t_rp + timing.t_rcd + timing.t_burst,
+        }
+    }
+}
+
+/// Row-buffer statistics for one bank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankStats {
+    /// Accesses that hit the open row.
+    pub hits: u64,
+    /// Accesses that had to close another row first.
+    pub conflicts: u64,
+    /// Accesses to a precharged bank.
+    pub misses: u64,
+}
+
+impl BankStats {
+    /// Total accesses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.conflicts + self.misses
+    }
+
+    /// Row-buffer hit rate in [0, 1] (zero when no accesses occurred).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// One bank's row-buffer state under an open-row policy.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankState {
+    open_row: Option<usize>,
+    stats: BankStats,
+}
+
+impl BankState {
+    /// A precharged (idle) bank.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The currently open row, if any.
+    #[must_use]
+    pub fn open_row(&self) -> Option<usize> {
+        self.open_row
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &BankStats {
+        &self.stats
+    }
+
+    /// True if an access to `row` would hit the open row.
+    #[must_use]
+    pub fn would_hit(&self, row: usize) -> bool {
+        self.open_row == Some(row)
+    }
+
+    /// Performs an access to `row`, updating the open row and stats,
+    /// and returns its latency class.
+    pub fn access(&mut self, row: usize) -> AccessKind {
+        let kind = match self.open_row {
+            Some(open) if open == row => AccessKind::RowHit,
+            Some(_) => AccessKind::RowConflict,
+            None => AccessKind::RowMiss,
+        };
+        match kind {
+            AccessKind::RowHit => self.stats.hits += 1,
+            AccessKind::RowConflict => self.stats.conflicts += 1,
+            AccessKind::RowMiss => self.stats.misses += 1,
+        }
+        self.open_row = Some(row);
+        kind
+    }
+
+    /// Precharges the bank (e.g. after a CIM macro op, which is
+    /// destructive and always ends precharged).
+    pub fn precharge(&mut self) {
+        self.open_row = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_access_is_miss_then_hits() {
+        let mut b = BankState::new();
+        assert_eq!(b.access(7), AccessKind::RowMiss);
+        assert_eq!(b.access(7), AccessKind::RowHit);
+        assert_eq!(b.access(7), AccessKind::RowHit);
+        assert_eq!(b.stats().hits, 2);
+        assert_eq!(b.stats().misses, 1);
+    }
+
+    #[test]
+    fn switching_rows_is_a_conflict() {
+        let mut b = BankState::new();
+        b.access(1);
+        assert_eq!(b.access(2), AccessKind::RowConflict);
+        assert_eq!(b.open_row(), Some(2));
+        assert_eq!(b.stats().conflicts, 1);
+    }
+
+    #[test]
+    fn precharge_resets_open_row() {
+        let mut b = BankState::new();
+        b.access(3);
+        b.precharge();
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.access(3), AccessKind::RowMiss);
+    }
+
+    #[test]
+    fn latency_ordering_hit_lt_miss_lt_conflict() {
+        let t = TimingParams::ddr5_4400();
+        assert!(AccessKind::RowHit.latency_ns(&t) < AccessKind::RowMiss.latency_ns(&t));
+        assert!(AccessKind::RowMiss.latency_ns(&t) < AccessKind::RowConflict.latency_ns(&t));
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let mut b = BankState::new();
+        b.access(0);
+        b.access(0);
+        b.access(1);
+        b.access(1);
+        // miss, hit, conflict, hit -> 2/4.
+        assert!((b.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! DRAM command vocabulary shared by the CIM substrate and the scheduler.
+
+use serde::{Deserialize, Serialize};
+
+/// Kinds of commands the memory controller can issue.
+///
+/// `Aap` and `Ap` are the two macro-command sequences from the in-DRAM CIM
+/// literature (§2.2): `AAP` = activate–activate–precharge (RowClone copy,
+/// possibly through the B-group), `AP` = activate(-multi-row)–precharge
+/// (triple-row activation computing MAJ3 in place). `Apa` is FCDRAM's
+/// activate–precharge–activate sequence across neighbouring subarrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Single row activation.
+    Act,
+    /// Precharge.
+    Pre,
+    /// Activate–activate–precharge macro command (copy / B-group move).
+    Aap,
+    /// (Multi-row) activate–precharge macro command (MAJ3 compute).
+    Ap,
+    /// Activate–precharge–activate (FCDRAM cross-subarray logic).
+    Apa,
+    /// Column read (one burst).
+    Rd,
+    /// Column write (one burst).
+    Wr,
+}
+
+impl CommandKind {
+    /// Number of row activations this command contributes to the
+    /// `tRRD`/`tFAW` activation budget.
+    #[must_use]
+    pub fn activations(self) -> u32 {
+        match self {
+            CommandKind::Act => 1,
+            CommandKind::Pre | CommandKind::Rd | CommandKind::Wr => 0,
+            // The back-to-back activations of AAP/APA ride inside one
+            // restore window; schedulers in the literature budget them as a
+            // single activation against tFAW (Ambit §7; FCDRAM §5).
+            CommandKind::Aap | CommandKind::Ap | CommandKind::Apa => 1,
+        }
+    }
+
+    /// True for the CIM macro commands that occupy a bank for `tAAP`.
+    #[must_use]
+    pub fn is_macro(self) -> bool {
+        matches!(
+            self,
+            CommandKind::Aap | CommandKind::Ap | CommandKind::Apa
+        )
+    }
+}
+
+/// A command addressed to a specific bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramCommand {
+    /// Which bank the command targets.
+    pub bank: usize,
+    /// The command kind.
+    pub kind: CommandKind,
+}
+
+impl DramCommand {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(bank: usize, kind: CommandKind) -> Self {
+        Self { bank, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_budget() {
+        assert_eq!(CommandKind::Aap.activations(), 1);
+        assert_eq!(CommandKind::Ap.activations(), 1);
+        assert_eq!(CommandKind::Act.activations(), 1);
+        assert_eq!(CommandKind::Pre.activations(), 0);
+        assert_eq!(CommandKind::Rd.activations(), 0);
+    }
+
+    #[test]
+    fn macro_commands() {
+        assert!(CommandKind::Aap.is_macro());
+        assert!(CommandKind::Apa.is_macro());
+        assert!(!CommandKind::Act.is_macro());
+    }
+}

@@ -1,0 +1,57 @@
+//! Command-level DRAM substrate for the Count2Multiply reproduction.
+//!
+//! The paper evaluates Count2Multiply on a cycle-level extension of
+//! NVMain/RTSim. This crate is the equivalent substrate for the pure-Rust
+//! reproduction: it models a DDR5 memory system at the *command* level —
+//! geometry ([`DramConfig`], Table 2 of the paper), timing parameters
+//! ([`TimingParams`]), a multi-bank activation scheduler ([`scheduler`])
+//! honouring `tRRD`/`tFAW`/`tAAP` exactly as §7.2.1 of the paper analyses,
+//! and per-command energy ([`energy`]) and area ([`area`]) models. The
+//! host access path of §5.1 is covered by per-bank row-buffer state
+//! machines ([`bank_state`]) behind an FR-FCFS request queue
+//! ([`request`], Table 2's scheduling policy), and refresh overhead is
+//! accounted by [`refresh`].
+//!
+//! Every compute-in-memory primitive in the higher-level crates lowers to
+//! [`DramCommand`]s; feeding those commands through a
+//! [`scheduler::ChannelScheduler`] yields the latency/energy/area figures
+//! that the experiment harness (`c2m-bench`) reports.
+//!
+//! # Quick example
+//!
+//! ```
+//! use c2m_dram::{DramConfig, TimingParams, scheduler::ChannelScheduler};
+//!
+//! let cfg = DramConfig::ddr5_4400(); // Table 2 configuration
+//! let mut sched = ChannelScheduler::new(TimingParams::ddr5_4400(), cfg.banks);
+//! // Issue 64 AAP macro-commands round-robin over 16 banks:
+//! for i in 0..64 {
+//!     sched.issue_aap(i % 16);
+//! }
+//! assert!(sched.elapsed_ns() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod bank_state;
+pub mod command;
+pub mod config;
+pub mod energy;
+pub mod refresh;
+pub mod request;
+pub mod scheduler;
+pub mod stats;
+pub mod timing;
+
+pub use area::AreaModel;
+pub use command::{CommandKind, DramCommand};
+pub use config::DramConfig;
+pub use bank_state::{AccessKind, BankState};
+pub use energy::EnergyModel;
+pub use refresh::RefreshModel;
+pub use request::{MemoryRequest, RequestQueue, ScheduleReport};
+pub use scheduler::ChannelScheduler;
+pub use stats::{CommandStats, ExecutionReport};
+pub use timing::TimingParams;

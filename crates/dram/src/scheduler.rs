@@ -1,0 +1,281 @@
+//! Multi-bank command scheduler enforcing `tRRD`/`tFAW`/`tAAP`.
+//!
+//! Reproduces the bank-level parallelism analysis of §7.2.1:
+//!
+//! * **1 bank** — one AAP every `tAAP + tRRD` (the second activation of the
+//!   AAP sequence pushes the next issue out by `tRRD` past the bank's
+//!   `tAAP` occupancy).
+//! * **4 banks** — four AAPs overlap, separated by `tRRD`; the fifth can
+//!   only start once the first finishes, so the first→fifth delay is still
+//!   `tAAP + tRRD`.
+//! * **16 banks** — issue rate is bounded by the four-activation window:
+//!   the first→fifth delay becomes `tFAW`, which is *shorter* than `tAAP`.
+
+use crate::command::{CommandKind, DramCommand};
+use crate::stats::CommandStats;
+use crate::timing::TimingParams;
+
+/// Event-driven scheduler for one DRAM channel.
+///
+/// Commands are issued in program order; the scheduler advances a virtual
+/// clock to the earliest time each command may legally issue and records
+/// aggregate statistics. All times are in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct ChannelScheduler {
+    timing: TimingParams,
+    /// Earliest time each bank can accept its next macro command.
+    bank_ready: Vec<f64>,
+    /// Issue time of the most recent activation on the channel.
+    last_act: f64,
+    /// Ring buffer of the last four activation issue times (for tFAW).
+    act_window: [f64; 4],
+    act_window_pos: usize,
+    now: f64,
+    stats: CommandStats,
+}
+
+impl ChannelScheduler {
+    /// Creates a scheduler for a channel with `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    #[must_use]
+    pub fn new(timing: TimingParams, banks: usize) -> Self {
+        assert!(banks > 0, "a channel must have at least one bank");
+        Self {
+            timing,
+            bank_ready: vec![0.0; banks],
+            last_act: f64::NEG_INFINITY,
+            act_window: [f64::NEG_INFINITY; 4],
+            act_window_pos: 0,
+            now: 0.0,
+            stats: CommandStats::default(),
+        }
+    }
+
+    /// The timing parameters this scheduler enforces.
+    #[must_use]
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Number of banks on the channel.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.bank_ready.len()
+    }
+
+    /// Total elapsed simulated time (ns) — completion time of the latest
+    /// command issued so far.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> f64 {
+        self.bank_ready
+            .iter()
+            .fold(self.now, |acc, &t| acc.max(t))
+    }
+
+    /// Aggregate command statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CommandStats {
+        &self.stats
+    }
+
+    /// Issues a command, advancing the virtual clock. Returns the command's
+    /// issue time in ns.
+    pub fn issue(&mut self, cmd: DramCommand) -> f64 {
+        assert!(
+            cmd.bank < self.bank_ready.len(),
+            "bank {} out of range ({} banks)",
+            cmd.bank,
+            self.bank_ready.len()
+        );
+        let t = self.earliest_issue(cmd);
+        self.commit(cmd, t);
+        t
+    }
+
+    /// Issues an AAP macro command to `bank` (convenience wrapper).
+    pub fn issue_aap(&mut self, bank: usize) -> f64 {
+        self.issue(DramCommand::new(bank, CommandKind::Aap))
+    }
+
+    /// Issues an AP macro command to `bank` (convenience wrapper).
+    pub fn issue_ap(&mut self, bank: usize) -> f64 {
+        self.issue(DramCommand::new(bank, CommandKind::Ap))
+    }
+
+    /// Issues the same macro command to every bank in `banks` (broadcast),
+    /// as the memory controller does when replicating a μProgram step over
+    /// several CIM subarrays. Returns the issue time of the last copy.
+    pub fn broadcast(&mut self, kind: CommandKind, banks: &[usize]) -> f64 {
+        let mut last = self.now;
+        for &b in banks {
+            last = self.issue(DramCommand::new(b, kind));
+        }
+        last
+    }
+
+    fn earliest_issue(&self, cmd: DramCommand) -> f64 {
+        let mut t = self.now;
+        if cmd.kind.activations() > 0 {
+            // Inter-activation spacing.
+            t = t.max(self.last_act + self.timing.t_rrd);
+            // Four-activation window: the 4th-previous ACT gates us.
+            let oldest = self.act_window[self.act_window_pos];
+            t = t.max(oldest + self.timing.t_faw);
+        }
+        if cmd.kind.is_macro() || cmd.kind == CommandKind::Act {
+            t = t.max(self.bank_ready[cmd.bank]);
+        }
+        t
+    }
+
+    fn commit(&mut self, cmd: DramCommand, t: f64) {
+        self.now = t;
+        if cmd.kind.activations() > 0 {
+            self.last_act = t;
+            self.act_window[self.act_window_pos] = t;
+            self.act_window_pos = (self.act_window_pos + 1) % 4;
+        }
+        let occupancy = match cmd.kind {
+            CommandKind::Aap => self.timing.t_aap() + self.timing.t_rrd,
+            CommandKind::Ap | CommandKind::Apa => {
+                self.timing.t_ap() + self.timing.t_rrd
+            }
+            CommandKind::Act => self.timing.t_ras,
+            CommandKind::Pre => self.timing.t_rp,
+            CommandKind::Rd | CommandKind::Wr => self.timing.t_burst,
+        };
+        self.bank_ready[cmd.bank] = t + occupancy;
+        self.stats.record(cmd.kind);
+    }
+
+    /// Resets the clock and statistics, keeping timing and bank count.
+    pub fn reset(&mut self) {
+        self.bank_ready.iter_mut().for_each(|t| *t = 0.0);
+        self.last_act = f64::NEG_INFINITY;
+        self.act_window = [f64::NEG_INFINITY; 4];
+        self.act_window_pos = 0;
+        self.now = 0.0;
+        self.stats = CommandStats::default();
+    }
+}
+
+/// Closed-form steady-state AAP issue interval for `banks` banks issuing
+/// round-robin, in ns — useful for analytical sanity checks against the
+/// event-driven scheduler.
+#[must_use]
+pub fn steady_state_aap_interval(timing: &TimingParams, banks: usize) -> f64 {
+    let per_bank = timing.t_aap() + timing.t_rrd;
+    let rrd_bound = timing.t_rrd;
+    let faw_bound = timing.t_faw / 4.0;
+    (per_bank / banks as f64).max(rrd_bound).max(faw_bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(banks: usize) -> ChannelScheduler {
+        ChannelScheduler::new(TimingParams::ddr5_4400(), banks)
+    }
+
+    #[test]
+    fn single_bank_rate_is_aap_plus_rrd() {
+        let mut s = sched(1);
+        let t0 = s.issue_aap(0);
+        let t1 = s.issue_aap(0);
+        let t = TimingParams::ddr5_4400();
+        assert!((t1 - t0 - (t.t_aap() + t.t_rrd)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_banks_overlap_separated_by_rrd() {
+        let mut s = sched(4);
+        let times: Vec<f64> = (0..4).map(|b| s.issue_aap(b)).collect();
+        let t = TimingParams::ddr5_4400();
+        for w in times.windows(2) {
+            assert!((w[1] - w[0] - t.t_rrd).abs() < 1e-9);
+        }
+        // Fifth command (bank 0 again) waits for the first to finish.
+        let t4 = s.issue_aap(0);
+        assert!((t4 - times[0] - (t.t_aap() + t.t_rrd)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sixteen_banks_bounded_by_faw() {
+        let mut s = sched(16);
+        let mut times = Vec::new();
+        for i in 0..16 {
+            times.push(s.issue_aap(i));
+        }
+        let t = TimingParams::ddr5_4400();
+        // First -> fifth activation delay equals tFAW (< tAAP).
+        assert!((times[4] - times[0] - t.t_faw).abs() < 1e-9);
+        assert!(t.t_faw < t.t_aap());
+    }
+
+    #[test]
+    fn event_driven_matches_closed_form_steady_state() {
+        let t = TimingParams::ddr5_4400();
+        for &banks in &[1usize, 2, 4, 8, 16] {
+            let mut s = ChannelScheduler::new(t, banks);
+            let n = 400;
+            let mut first = 0.0;
+            let mut last = 0.0;
+            for i in 0..n {
+                let ti = s.issue_aap(i % banks);
+                if i == 0 {
+                    first = ti;
+                }
+                last = ti;
+            }
+            let measured = (last - first) / (n - 1) as f64;
+            let analytic = steady_state_aap_interval(&t, banks);
+            assert!(
+                (measured - analytic).abs() / analytic < 0.02,
+                "banks={banks}: measured {measured} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_banks_never_slower() {
+        let t = TimingParams::ddr5_4400();
+        let mut prev = f64::INFINITY;
+        for &banks in &[1usize, 2, 4, 8, 16, 32] {
+            let interval = steady_state_aap_interval(&t, banks);
+            assert!(interval <= prev + 1e-12);
+            prev = interval;
+        }
+    }
+
+    #[test]
+    fn stats_count_commands() {
+        let mut s = sched(4);
+        for i in 0..10 {
+            s.issue_aap(i % 4);
+        }
+        s.issue_ap(0);
+        assert_eq!(s.stats().count(CommandKind::Aap), 10);
+        assert_eq!(s.stats().count(CommandKind::Ap), 1);
+        assert_eq!(s.stats().total(), 11);
+    }
+
+    #[test]
+    fn reset_clears_clock() {
+        let mut s = sched(2);
+        s.issue_aap(0);
+        s.reset();
+        assert_eq!(s.elapsed_ns(), 0.0);
+        assert_eq!(s.stats().total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn issue_to_missing_bank_panics() {
+        let mut s = sched(2);
+        s.issue_aap(5);
+    }
+}

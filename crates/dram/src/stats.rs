@@ -1,0 +1,223 @@
+//! Command counting and execution reports.
+
+use crate::area::AreaModel;
+use crate::command::CommandKind;
+use crate::config::DramConfig;
+use crate::energy::EnergyModel;
+use serde::{Deserialize, Serialize};
+
+/// Running tally of issued commands by kind.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandStats {
+    act: u64,
+    pre: u64,
+    aap: u64,
+    ap: u64,
+    apa: u64,
+    rd: u64,
+    wr: u64,
+}
+
+impl CommandStats {
+    /// Records one command of `kind`.
+    pub fn record(&mut self, kind: CommandKind) {
+        self.record_n(kind, 1);
+    }
+
+    /// Records `n` commands of `kind`.
+    pub fn record_n(&mut self, kind: CommandKind, n: u64) {
+        match kind {
+            CommandKind::Act => self.act += n,
+            CommandKind::Pre => self.pre += n,
+            CommandKind::Aap => self.aap += n,
+            CommandKind::Ap => self.ap += n,
+            CommandKind::Apa => self.apa += n,
+            CommandKind::Rd => self.rd += n,
+            CommandKind::Wr => self.wr += n,
+        }
+    }
+
+    /// Count of commands of a given kind.
+    #[must_use]
+    pub fn count(&self, kind: CommandKind) -> u64 {
+        match kind {
+            CommandKind::Act => self.act,
+            CommandKind::Pre => self.pre,
+            CommandKind::Aap => self.aap,
+            CommandKind::Ap => self.ap,
+            CommandKind::Apa => self.apa,
+            CommandKind::Rd => self.rd,
+            CommandKind::Wr => self.wr,
+        }
+    }
+
+    /// Total number of commands.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.act + self.pre + self.aap + self.ap + self.apa + self.rd + self.wr
+    }
+
+    /// Number of CIM macro operations (AAP + AP + APA) — the unit the paper
+    /// plots on most op-count figures (e.g. Fig. 8 "AAP operations").
+    #[must_use]
+    pub fn macro_ops(&self) -> u64 {
+        self.aap + self.ap + self.apa
+    }
+
+    /// Iterates over `(kind, count)` pairs with non-zero counts included.
+    pub fn iter(&self) -> impl Iterator<Item = (CommandKind, u64)> + '_ {
+        [
+            (CommandKind::Act, self.act),
+            (CommandKind::Pre, self.pre),
+            (CommandKind::Aap, self.aap),
+            (CommandKind::Ap, self.ap),
+            (CommandKind::Apa, self.apa),
+            (CommandKind::Rd, self.rd),
+            (CommandKind::Wr, self.wr),
+        ]
+        .into_iter()
+    }
+
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: &CommandStats) {
+        self.act += other.act;
+        self.pre += other.pre;
+        self.aap += other.aap;
+        self.ap += other.ap;
+        self.apa += other.apa;
+        self.rd += other.rd;
+        self.wr += other.wr;
+    }
+}
+
+/// A complete execution report: time, commands, energy, derived metrics.
+///
+/// Produced by the higher-level engines after running a kernel through the
+/// scheduler; consumed by the benchmark harness to print the paper's
+/// tables/figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Kernel wall-clock in the simulated memory system (ns).
+    pub elapsed_ns: f64,
+    /// Commands issued.
+    pub stats: CommandStats,
+    /// Total energy (nJ), dynamic + background.
+    pub energy_nj: f64,
+    /// Useful arithmetic operations performed (for GOPS metrics): one
+    /// multiply-accumulate counts as two operations, following the paper's
+    /// GOPS convention.
+    pub useful_ops: u64,
+    /// Accelerator silicon area used (mm²).
+    pub area_mm2: f64,
+}
+
+impl ExecutionReport {
+    /// Builds a report from scheduler outputs and model constants.
+    #[must_use]
+    pub fn from_run(
+        elapsed_ns: f64,
+        stats: CommandStats,
+        useful_ops: u64,
+        energy: &EnergyModel,
+        area: &AreaModel,
+        cfg: &DramConfig,
+    ) -> Self {
+        let energy_nj = energy.total_energy_nj(&stats, elapsed_ns);
+        Self {
+            elapsed_ns,
+            stats,
+            energy_nj,
+            useful_ops,
+            area_mm2: area.rank_area_mm2(cfg),
+        }
+    }
+
+    /// Throughput in giga-operations per second.
+    #[must_use]
+    pub fn gops(&self) -> f64 {
+        if self.elapsed_ns <= 0.0 {
+            return 0.0;
+        }
+        self.useful_ops as f64 / self.elapsed_ns
+    }
+
+    /// Average power in watts.
+    #[must_use]
+    pub fn power_w(&self) -> f64 {
+        if self.elapsed_ns <= 0.0 {
+            return 0.0;
+        }
+        self.energy_nj / self.elapsed_ns
+    }
+
+    /// GOPS per watt.
+    #[must_use]
+    pub fn gops_per_watt(&self) -> f64 {
+        let p = self.power_w();
+        if p <= 0.0 {
+            return 0.0;
+        }
+        self.gops() / p
+    }
+
+    /// GOPS per mm² of silicon.
+    #[must_use]
+    pub fn gops_per_mm2(&self) -> f64 {
+        if self.area_mm2 <= 0.0 {
+            return 0.0;
+        }
+        self.gops() / self.area_mm2
+    }
+
+    /// Execution time in milliseconds.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_ns / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = CommandStats::default();
+        a.record_n(CommandKind::Aap, 5);
+        let mut b = CommandStats::default();
+        b.record_n(CommandKind::Aap, 3);
+        b.record(CommandKind::Ap);
+        a.merge(&b);
+        assert_eq!(a.count(CommandKind::Aap), 8);
+        assert_eq!(a.macro_ops(), 9);
+    }
+
+    #[test]
+    fn gops_definition() {
+        let r = ExecutionReport {
+            elapsed_ns: 1000.0,
+            stats: CommandStats::default(),
+            energy_nj: 500.0,
+            useful_ops: 2000,
+            area_mm2: 100.0,
+        };
+        assert!((r.gops() - 2.0).abs() < 1e-12); // 2000 ops / 1000 ns = 2 GOPS
+        assert!((r.power_w() - 0.5).abs() < 1e-12);
+        assert!((r.gops_per_watt() - 4.0).abs() < 1e-12);
+        assert!((r.gops_per_mm2() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_yields_zero_metrics() {
+        let r = ExecutionReport {
+            elapsed_ns: 0.0,
+            stats: CommandStats::default(),
+            energy_nj: 0.0,
+            useful_ops: 10,
+            area_mm2: 0.0,
+        };
+        assert_eq!(r.gops(), 0.0);
+        assert_eq!(r.power_w(), 0.0);
+        assert_eq!(r.gops_per_mm2(), 0.0);
+    }
+}

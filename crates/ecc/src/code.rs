@@ -1,0 +1,84 @@
+//! The linear block-code abstraction shared by all ECCs in this crate.
+
+/// A binary linear block code.
+///
+/// Implementations guarantee linearity over GF(2): for any data words `a`
+/// and `b`, `encode(a) ⊕ encode(b) = encode(a ⊕ b)`. This is precisely the
+/// XOR-homomorphism Count2Multiply's protection scheme relies on (§6.1):
+/// the check bits of an in-memory XOR result can be predicted by XOR-ing
+/// the operands' stored check bits, so ordinary syndrome hardware can
+/// validate a CIM-computed XOR.
+pub trait LinearCode {
+    /// Number of data bits per codeword.
+    fn data_bits(&self) -> usize;
+
+    /// Number of check (parity) bits per codeword.
+    fn check_bits(&self) -> usize;
+
+    /// Computes the check bits for `data` (LSB-first bit vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.data_bits()`.
+    fn checks(&self, data: &[bool]) -> Vec<bool>;
+
+    /// Computes the syndrome of a received `(data, checks)` pair. An
+    /// all-zero syndrome means "consistent".
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths don't match the code parameters.
+    fn syndrome(&self, data: &[bool], checks: &[bool]) -> Vec<bool>;
+
+    /// Attempts to correct errors in place. Returns the number of bit
+    /// positions corrected, or `None` if the error pattern exceeds the
+    /// code's correction capability (detected-but-uncorrectable).
+    fn correct(&self, data: &mut [bool], checks: &mut [bool]) -> Option<usize>;
+
+    /// Number of bit errors this code can correct per codeword.
+    fn correct_capability(&self) -> usize;
+
+    /// True if the received word passes the syndrome check.
+    fn is_consistent(&self, data: &[bool], checks: &[bool]) -> bool {
+        self.syndrome(data, checks).iter().all(|&s| !s)
+    }
+
+    /// Total codeword length.
+    fn codeword_bits(&self) -> usize {
+        self.data_bits() + self.check_bits()
+    }
+
+    /// Storage overhead of the code (check bits / data bits).
+    fn overhead(&self) -> f64 {
+        self.check_bits() as f64 / self.data_bits() as f64
+    }
+}
+
+/// XOR of two equal-length bit slices (helper shared by codes and tests).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn xor_bits(a: &[bool], b: &[bool]) -> Vec<bool> {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x ^ y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_bits_works() {
+        let a = [true, false, true];
+        let b = [true, true, false];
+        assert_eq!(xor_bits(&a, &b), vec![false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_bits_length_mismatch() {
+        let _ = xor_bits(&[true], &[true, false]);
+    }
+}

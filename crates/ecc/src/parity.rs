@@ -1,0 +1,93 @@
+//! Single-parity check code (the minimal XOR-homomorphic code).
+
+use crate::code::LinearCode;
+
+/// Even-parity code over `data_bits` bits: one check bit equal to the XOR
+/// of all data bits. Detects any odd number of bit errors; corrects none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParityCode {
+    data_bits: usize,
+}
+
+impl ParityCode {
+    /// Creates a parity code over `data_bits` data bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bits` is zero.
+    #[must_use]
+    pub fn new(data_bits: usize) -> Self {
+        assert!(data_bits > 0, "data_bits must be positive");
+        Self { data_bits }
+    }
+}
+
+impl LinearCode for ParityCode {
+    fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    fn check_bits(&self) -> usize {
+        1
+    }
+
+    fn checks(&self, data: &[bool]) -> Vec<bool> {
+        assert_eq!(data.len(), self.data_bits, "data length mismatch");
+        vec![data.iter().fold(false, |acc, &b| acc ^ b)]
+    }
+
+    fn syndrome(&self, data: &[bool], checks: &[bool]) -> Vec<bool> {
+        assert_eq!(checks.len(), 1, "checks length mismatch");
+        vec![self.checks(data)[0] ^ checks[0]]
+    }
+
+    fn correct(&self, data: &mut [bool], checks: &mut [bool]) -> Option<usize> {
+        if self.is_consistent(data, checks) {
+            Some(0)
+        } else {
+            None // parity detects but cannot locate
+        }
+    }
+
+    fn correct_capability(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_single_error() {
+        let c = ParityCode::new(8);
+        let data = vec![true, false, true, true, false, false, true, false];
+        let checks = c.checks(&data);
+        assert!(c.is_consistent(&data, &checks));
+        let mut bad = data.clone();
+        bad[3] = !bad[3];
+        assert!(!c.is_consistent(&bad, &checks));
+    }
+
+    #[test]
+    fn misses_double_error() {
+        let c = ParityCode::new(8);
+        let data = vec![false; 8];
+        let checks = c.checks(&data);
+        let mut bad = data.clone();
+        bad[0] = true;
+        bad[1] = true;
+        assert!(c.is_consistent(&bad, &checks)); // even # of flips hidden
+    }
+
+    #[test]
+    fn xor_homomorphism() {
+        let c = ParityCode::new(16);
+        let a: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+        let b: Vec<bool> = (0..16).map(|i| i % 5 == 0).collect();
+        let ab = crate::code::xor_bits(&a, &b);
+        let lhs = c.checks(&ab);
+        let rhs = crate::code::xor_bits(&c.checks(&a), &c.checks(&b));
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,123 @@
+//! Storage-capacity analysis (§7.3.3, Fig. 19).
+//!
+//! A D-digit radix-2n counter stores `(2n)^D` states in `D·n` bit rows
+//! (plus one `O_next` row per digit). Binary (and radix-4, since
+//! `4 = 2²`) achieve the information-theoretic bit count; higher radices
+//! pay a moderate density premium in exchange for the §4.5 performance
+//! gains.
+
+/// Bits required to reach at least `capacity` distinct states with
+/// radix-`radix` Johnson digits (`radix` even). Radix 2 degenerates to
+/// plain binary density.
+///
+/// # Panics
+///
+/// Panics if `radix` is odd or < 2, or `capacity` is zero.
+#[must_use]
+pub fn bits_required(radix: usize, capacity: u128) -> usize {
+    assert!(radix >= 2 && radix.is_multiple_of(2), "radix must be even");
+    assert!(capacity > 0, "capacity must be positive");
+    let n = radix / 2;
+    let mut digits = 0usize;
+    let mut cap = 1u128;
+    while cap < capacity {
+        cap = cap.saturating_mul(radix as u128);
+        digits += 1;
+    }
+    digits * n
+}
+
+/// Bits required by a plain binary counter (the Fig. 19 reference line).
+#[must_use]
+pub fn binary_bits_required(capacity: u128) -> usize {
+    assert!(capacity > 0, "capacity must be positive");
+    let mut bits = 0usize;
+    let mut cap = 1u128;
+    while cap < capacity {
+        cap = cap.saturating_mul(2);
+        bits += 1;
+    }
+    bits
+}
+
+/// Total memory rows per counter including the per-digit `O_next` rows:
+/// `D · (n + 1)` (§4.4).
+#[must_use]
+pub fn rows_required(radix: usize, capacity: u128) -> usize {
+    let n = radix / 2;
+    let bits = bits_required(radix, capacity);
+    let digits = bits / n.max(1);
+    digits * (n + 1)
+}
+
+/// Capacity requirements of the paper's real-world tasks (Fig. 19
+/// annotation lines).
+pub mod requirements {
+    /// DNA short-read filtering: accumulates up to ~100 per counter.
+    pub const DNA_FILTER: u128 = 100;
+    /// BERT projection layers: 64 ternary-weight × int-activation
+    /// products.
+    pub const BERT_PROJECTION: u128 = 64;
+    /// BERT attention: 792 accumulated products.
+    pub const BERT_ATTENTION: u128 = 792;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        // §7.3.3: capacity 100 needs 10 bits in radix 10, 7 bits binary.
+        assert_eq!(bits_required(10, requirements::DNA_FILTER), 10);
+        assert_eq!(binary_bits_required(requirements::DNA_FILTER), 7);
+    }
+
+    #[test]
+    fn radix4_matches_binary_density_at_power_of_four() {
+        // §7.3.3: radix-4 counters have the same density as binary.
+        for bits in [4u32, 8, 16, 24, 32] {
+            let cap = 1u128 << bits;
+            assert_eq!(
+                bits_required(4, cap),
+                binary_bits_required(cap).next_multiple_of(2),
+                "capacity 2^{bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn radix2_is_binary() {
+        for cap in [2u128, 100, 65536, 1 << 32] {
+            assert_eq!(bits_required(2, cap), binary_bits_required(cap));
+        }
+    }
+
+    #[test]
+    fn higher_radix_overhead_is_moderate() {
+        // Fig. 19: radix-10 pays < 2.2x over binary for large capacities.
+        for bits in [16u32, 24, 32] {
+            let cap = 1u128 << bits;
+            let jc = bits_required(10, cap) as f64;
+            let bin = binary_bits_required(cap) as f64;
+            assert!(jc / bin < 2.2, "2^{bits}: {jc} vs {bin}");
+            assert!(jc >= bin);
+        }
+    }
+
+    #[test]
+    fn rows_include_onext() {
+        // radix 10, capacity 100: 2 digits x (5+1) rows = 12.
+        assert_eq!(rows_required(10, 100), 12);
+    }
+
+    #[test]
+    fn monotone_in_capacity() {
+        let mut prev = 0;
+        for bits in 1..=32u32 {
+            let b = bits_required(6, 1u128 << bits);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+}

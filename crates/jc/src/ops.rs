@@ -1,0 +1,190 @@
+//! Counter-to-counter tensor operations (§5.2.4).
+//!
+//! * [`add_assign`] — Algorithm 2: adds counter bank `src` into `dst` by
+//!   deriving unit-increment masks from `src`'s own bit rows. A
+//!   descending pass over the source bits applies prefix-OR masks, an
+//!   ascending pass refines with AND-of-complements masks; together a
+//!   column receives exactly `value(src)` unit increments.
+//! * [`shift_left`] — `c << i` by adding the counter to itself `i` times
+//!   (doubling per round).
+//! * [`relu`] — zeroes counters whose sign flag is set, via `O_sign`.
+
+use crate::bank::CounterBank;
+use c2m_cim::Row;
+
+/// Algorithm 2: `dst ← dst + src`, digit-aligned, using `src`'s bit rows
+/// as unit-increment masks. Carries latched in `dst` are fully resolved.
+///
+/// # Panics
+///
+/// Panics if the two banks have different geometry.
+pub fn add_assign(dst: &mut CounterBank, src: &CounterBank) {
+    assert_eq!(dst.code(), src.code(), "digit radix mismatch");
+    assert_eq!(dst.digits(), src.digits(), "digit count mismatch");
+    assert_eq!(dst.width(), src.width(), "width mismatch");
+    let n = dst.code().bits();
+    for d in 0..dst.digits() {
+        // Descending pass: prefix-OR masks from the MSB down (Alg. 2
+        // lines 2–5).
+        let mut theta = src.bit_row(d, n - 1).clone();
+        for i in (0..n).rev() {
+            let mask = src.bit_row(d, i).or(&theta);
+            dst.increment_digit(d, 1, &mask);
+            theta = mask;
+        }
+        // Ascending pass: AND-of-complement masks from the LSB up
+        // (lines 6–8); theta keeps chaining.
+        for i in 0..n {
+            let mask = src.bit_row(d, i).not().and(&theta);
+            dst.increment_digit(d, 1, &mask);
+            theta = mask;
+        }
+        // Resolve this digit's carries before the next digit is added.
+        let mut dd = d;
+        while dd < dst.digits() && dst.has_pending(dd) {
+            dst.resolve_carry(dd);
+            dd += 1;
+        }
+    }
+}
+
+/// `bank ← bank << shift` (multiply by 2^shift): each round adds the
+/// counter to a snapshot of itself (Algorithm 2), doubling the value.
+pub fn shift_left(bank: &mut CounterBank, shift: u32) {
+    for _ in 0..shift {
+        let snapshot = bank.clone();
+        add_assign(bank, &snapshot);
+    }
+}
+
+/// ReLU (§5.2.4): zeroes every counter column whose bit is set in
+/// `sign_row` (the `O_sign` row latching "went negative"), leaving other
+/// columns untouched.
+///
+/// # Panics
+///
+/// Panics if `sign_row` width differs from the bank width.
+pub fn relu(bank: &mut CounterBank, sign_row: &Row) -> CounterBank {
+    assert_eq!(sign_row.width(), bank.width(), "sign row width mismatch");
+    // Rebuild the bank with negative columns cleared. In memory this is
+    // one AND with !O_sign per counter row; we mirror that here.
+    let keep = sign_row.not();
+    let mut out = bank.clone();
+    for col in 0..bank.width() {
+        if !keep.get(col) {
+            out.set(col, 0);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank_with(radix: usize, digits: usize, vals: &[u128]) -> CounterBank {
+        let mut b = CounterBank::new(radix, digits, vals.len());
+        for (c, &v) in vals.iter().enumerate() {
+            b.set(c, v);
+        }
+        b
+    }
+
+    #[test]
+    fn algorithm2_single_digit_all_value_pairs() {
+        // Exhaustive over one radix-10 digit: every (a, b) pair.
+        for a in 0..10u128 {
+            for b in 0..10u128 {
+                let mut dst = bank_with(10, 1, &[a]);
+                let src = bank_with(10, 1, &[b]);
+                add_assign(&mut dst, &src);
+                assert_eq!(dst.get(0), Some((a + b) % 10), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm2_multi_digit_with_carries() {
+        let cases = [
+            (37u128, 45u128),
+            (99, 1),
+            (123, 877),
+            (0, 456),
+            (999, 999),
+        ];
+        for (a, b) in cases {
+            let mut dst = bank_with(10, 3, &[a]);
+            let src = bank_with(10, 3, &[b]);
+            add_assign(&mut dst, &src);
+            assert_eq!(dst.get(0), Some((a + b) % 1000), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn algorithm2_is_columnwise_parallel() {
+        let a = [5u128, 99, 0, 250];
+        let b = [17u128, 99, 33, 250];
+        let mut dst = bank_with(8, 3, &a);
+        let src = bank_with(8, 3, &b);
+        add_assign(&mut dst, &src);
+        for c in 0..4 {
+            assert_eq!(dst.get(c), Some((a[c] + b[c]) % 512), "col {c}");
+        }
+    }
+
+    #[test]
+    fn algorithm2_cost_is_2n_unit_increments_per_digit() {
+        let mut dst = bank_with(10, 1, &[3]);
+        let src = bank_with(10, 1, &[4]);
+        let before = dst.stats().increments;
+        add_assign(&mut dst, &src);
+        // 2n = 10 unit increments for one radix-10 digit (plus any
+        // resolves; a single digit bank has none).
+        assert_eq!(dst.stats().increments - before, 10);
+    }
+
+    #[test]
+    fn algorithm2_works_across_radices() {
+        for radix in [4usize, 6, 8, 16] {
+            let cap = (radix * radix * radix) as u128;
+            for (a, b) in [(0u128, 1u128), (7, 9), (100, 55)] {
+                let a = a % cap;
+                let b = b % cap;
+                let mut dst = bank_with(radix, 3, &[a]);
+                let src = bank_with(radix, 3, &[b]);
+                add_assign(&mut dst, &src);
+                assert_eq!(dst.get(0), Some((a + b) % cap), "radix {radix} {a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_left_doubles() {
+        let mut b = bank_with(10, 3, &[12, 3, 0, 111]);
+        shift_left(&mut b, 3); // x8
+        assert_eq!(b.get(0), Some(96));
+        assert_eq!(b.get(1), Some(24));
+        assert_eq!(b.get(2), Some(0));
+        assert_eq!(b.get(3), Some(888));
+    }
+
+    #[test]
+    fn relu_zeroes_flagged_columns() {
+        let b = bank_with(10, 2, &[5, 17, 42, 99]);
+        let sign = Row::from_bits([false, true, false, true]);
+        let mut bank = b;
+        let out = relu(&mut bank, &sign);
+        assert_eq!(out.get(0), Some(5));
+        assert_eq!(out.get(1), Some(0));
+        assert_eq!(out.get(2), Some(42));
+        assert_eq!(out.get(3), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn add_assign_rejects_mismatched_banks() {
+        let mut dst = bank_with(10, 2, &[1, 2]);
+        let src = bank_with(10, 2, &[1, 2, 3]);
+        add_assign(&mut dst, &src);
+    }
+}

@@ -1,0 +1,515 @@
+//! Scheduling a MIG onto Ambit compute rows (§4.2, §5.1).
+//!
+//! The memory controller cannot evaluate a MIG directly: every majority
+//! node must become a triple-row activation (TRA) over B-group rows,
+//! every edge a RowClone (`AAP`), and every inverter a pass through a
+//! dual-contact cell. [`Lowerer`] performs that translation:
+//!
+//! * nodes are emitted in topological order;
+//! * a node with **no complemented operands** loads T0–T2 and fires
+//!   `AP B12` (4 commands + 1 store);
+//! * **one complemented operand** rides the `AAP src, B8` trick from
+//!   Fig. 6b — the pair address leaves `!src` in DCC0 — and fires
+//!   `AP B14` over {T1, T2, DCC0} (same command count as the positive
+//!   case, which is why the paper's μProgram gets `NOT` "for free");
+//! * **two complemented operands** route the second inverter through
+//!   DCC1's negated wordline (one extra command);
+//! * three complemented operands cannot occur (the Ψ axiom strips them
+//!   at construction).
+//!
+//! Intermediate results live in D-group scratch rows managed by a
+//! ref-counting allocator, so the lowering also reports the *peak row
+//! pressure* — the quantity that determines how many counters fit next
+//! to the logic in a real subarray.
+//!
+//! The generic schedule costs 5–6 commands per majority node. The
+//! paper's hand-tuned Fig. 6b template reaches 7 commands for a whole
+//! 3-node bit step by keeping operands resident across gates; the gap
+//! between the two is exactly what `c2m-bench --bin mig` measures.
+
+use crate::graph::{Mig, Node, Signal};
+use c2m_cim::ambit::{AmbitAddr, AmbitSubarray, MicroProgram};
+use c2m_cim::Row;
+use std::collections::HashMap;
+
+/// Where primary inputs live and where scratch space begins, in D-group
+/// row indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinMap {
+    pi_rows: Vec<usize>,
+    scratch_base: usize,
+}
+
+impl PinMap {
+    /// Inputs at rows `0..num_pis`, scratch starting at `scratch_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch region would overlap the inputs.
+    #[must_use]
+    pub fn dense(num_pis: usize, scratch_base: usize) -> Self {
+        assert!(scratch_base >= num_pis, "scratch overlaps inputs");
+        Self {
+            pi_rows: (0..num_pis).collect(),
+            scratch_base,
+        }
+    }
+
+    /// Explicit placement of each input row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input row is at or above `scratch_base`.
+    #[must_use]
+    pub fn explicit(pi_rows: Vec<usize>, scratch_base: usize) -> Self {
+        assert!(
+            pi_rows.iter().all(|&r| r < scratch_base),
+            "input rows must lie below the scratch region"
+        );
+        Self {
+            pi_rows,
+            scratch_base,
+        }
+    }
+
+    /// D-group row of primary input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn pi_row(&self, i: usize) -> usize {
+        self.pi_rows[i]
+    }
+
+    /// First scratch row.
+    #[must_use]
+    pub fn scratch_base(&self) -> usize {
+        self.scratch_base
+    }
+}
+
+/// A lowered μProgram plus placement and cost metadata.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The command sequence.
+    pub program: MicroProgram,
+    /// D-group row where each requested output was stored.
+    pub out_rows: Vec<usize>,
+    /// Peak number of scratch rows alive at once.
+    pub peak_scratch_rows: usize,
+    /// Total D-group rows the program touches (inputs + scratch).
+    pub rows_needed: usize,
+}
+
+impl Lowered {
+    /// Number of macro commands (AAP + AP) — the paper's cost unit.
+    #[must_use]
+    pub fn command_count(&self) -> usize {
+        self.program.len()
+    }
+
+    /// Executes the program on a fresh fault-free subarray whose input
+    /// rows are initialised from `pi_rows`, returning the output rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_rows` does not provide one row per primary input
+    /// or rows have differing widths.
+    #[must_use]
+    pub fn execute(&self, pins: &PinMap, pi_rows: &[Row]) -> Vec<Row> {
+        assert_eq!(
+            pi_rows.len(),
+            pins.pi_rows.len(),
+            "one row per primary input required"
+        );
+        let width = pi_rows[0].width();
+        let mut sub = AmbitSubarray::new(width, self.rows_needed);
+        for (i, r) in pi_rows.iter().enumerate() {
+            sub.write_data(pins.pi_row(i), r);
+        }
+        sub.execute(&self.program);
+        self.out_rows
+            .iter()
+            .map(|&r| sub.read_data(r).clone())
+            .collect()
+    }
+}
+
+/// Ref-counting scratch-row allocator over the D-group.
+#[derive(Debug)]
+struct RowAlloc {
+    base: usize,
+    free: Vec<usize>,
+    next: usize,
+    peak: usize,
+    live: usize,
+}
+
+impl RowAlloc {
+    fn new(base: usize) -> Self {
+        Self {
+            base,
+            free: Vec::new(),
+            next: base,
+            peak: 0,
+            live: 0,
+        }
+    }
+
+    fn alloc(&mut self) -> usize {
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        if let Some(r) = self.free.pop() {
+            r
+        } else {
+            let r = self.next;
+            self.next += 1;
+            r
+        }
+    }
+
+    fn release(&mut self, row: usize) {
+        debug_assert!(row >= self.base);
+        self.live -= 1;
+        self.free.push(row);
+    }
+
+    fn high_water(&self) -> usize {
+        self.next
+    }
+}
+
+/// Lowers a [`Mig`] to an Ambit [`MicroProgram`].
+#[derive(Debug)]
+pub struct Lowerer<'a> {
+    mig: &'a Mig,
+    pins: &'a PinMap,
+}
+
+impl<'a> Lowerer<'a> {
+    /// Creates a lowerer for `mig` with inputs placed per `pins`.
+    #[must_use]
+    pub fn new(mig: &'a Mig, pins: &'a PinMap) -> Self {
+        Self { mig, pins }
+    }
+
+    /// Emits the command sequence computing every signal in `outputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin map covers fewer inputs than the graph has.
+    #[must_use]
+    pub fn lower(&self, outputs: &[Signal]) -> Lowered {
+        assert!(
+            self.pins.pi_rows.len() >= self.mig.num_pis(),
+            "pin map covers {} inputs, graph has {}",
+            self.pins.pi_rows.len(),
+            self.mig.num_pis()
+        );
+        let needed = self.reachable(outputs);
+        let refcounts = self.refcounts(outputs, &needed);
+
+        let mut prog = MicroProgram::new();
+        let mut alloc = RowAlloc::new(self.pins.scratch_base);
+        // Node id -> scratch row holding its (uncomplemented) value.
+        let mut placed: HashMap<u32, usize> = HashMap::new();
+        let mut refs = refcounts;
+
+        for (id, node) in self.mig.iter() {
+            if !needed[id as usize] {
+                continue;
+            }
+            let Node::Maj(kids) = node else { continue };
+            let out_row = alloc.alloc();
+            self.emit_maj(*kids, out_row, &placed, &mut prog);
+            placed.insert(id, out_row);
+            // Release operand rows whose last consumer this was.
+            for k in kids {
+                if let Node::Maj(_) = self.mig.node(*k) {
+                    let kid = k.node();
+                    let r = refs.get_mut(&kid).expect("refcounted");
+                    *r -= 1;
+                    if *r == 0 {
+                        alloc.release(placed[&kid]);
+                    }
+                }
+            }
+        }
+
+        // Materialise outputs (copying / complementing into fresh rows
+        // so callers get stable, disjoint result rows).
+        let mut out_rows = Vec::with_capacity(outputs.len());
+        for &sig in outputs {
+            let row = alloc.alloc();
+            self.emit_output(sig, row, &placed, &mut prog);
+            out_rows.push(row);
+        }
+
+        Lowered {
+            program: prog,
+            out_rows,
+            peak_scratch_rows: alloc.peak,
+            rows_needed: alloc.high_water(),
+        }
+    }
+
+    /// Source address for an operand signal, plus whether the inverter
+    /// still needs handling (constants fold their complement into the
+    /// choice of control row).
+    fn operand(&self, sig: Signal, placed: &HashMap<u32, usize>) -> (AmbitAddr, bool) {
+        match self.mig.node(sig) {
+            Node::Zero => {
+                if sig.is_complemented() {
+                    (AmbitAddr::C1, false)
+                } else {
+                    (AmbitAddr::C0, false)
+                }
+            }
+            Node::Input(i) => (
+                AmbitAddr::Data(self.pins.pi_row(i as usize)),
+                sig.is_complemented(),
+            ),
+            Node::Maj(_) => (
+                AmbitAddr::Data(placed[&sig.node()]),
+                sig.is_complemented(),
+            ),
+        }
+    }
+
+    fn emit_maj(
+        &self,
+        kids: [Signal; 3],
+        out_row: usize,
+        placed: &HashMap<u32, usize>,
+        prog: &mut MicroProgram,
+    ) {
+        let ops: Vec<(AmbitAddr, bool)> = kids.iter().map(|&k| self.operand(k, placed)).collect();
+        let negs: Vec<usize> = (0..3).filter(|&i| ops[i].1).collect();
+        match negs.len() {
+            0 => {
+                prog.aap(ops[0].0, AmbitAddr::T(0));
+                prog.aap(ops[1].0, AmbitAddr::T(1));
+                prog.aap(ops[2].0, AmbitAddr::T(2));
+                prog.ap(AmbitAddr::TripleT0T1T2);
+                prog.aap(AmbitAddr::T(0), AmbitAddr::Data(out_row));
+            }
+            1 => {
+                // Fig. 6b trick: AAP src, B8 leaves !src in DCC0.
+                let pos: Vec<usize> = (0..3).filter(|&i| !ops[i].1).collect();
+                prog.aap(ops[negs[0]].0, AmbitAddr::PairT0Dcc0);
+                prog.aap(ops[pos[0]].0, AmbitAddr::T(1));
+                prog.aap(ops[pos[1]].0, AmbitAddr::T(2));
+                prog.ap(AmbitAddr::TripleT1T2Dcc0);
+                prog.aap(AmbitAddr::T(1), AmbitAddr::Data(out_row));
+            }
+            2 => {
+                // First inverter via B8 (DCC0), second via DCC1's
+                // negated wordline, then copy into T1.
+                let pos = (0..3).find(|&i| !ops[i].1).expect("one positive");
+                prog.aap(ops[negs[0]].0, AmbitAddr::PairT0Dcc0);
+                prog.aap(ops[negs[1]].0, AmbitAddr::DccNeg(1));
+                prog.aap(AmbitAddr::Dcc(1), AmbitAddr::T(1));
+                prog.aap(ops[pos].0, AmbitAddr::T(2));
+                prog.ap(AmbitAddr::TripleT1T2Dcc0);
+                prog.aap(AmbitAddr::T(1), AmbitAddr::Data(out_row));
+            }
+            _ => unreachable!("Ψ canonicalisation forbids 3 complemented operands"),
+        }
+    }
+
+    fn emit_output(
+        &self,
+        sig: Signal,
+        row: usize,
+        placed: &HashMap<u32, usize>,
+        prog: &mut MicroProgram,
+    ) {
+        let (src, complemented) = self.operand(sig, placed);
+        if complemented {
+            // Pass through DCC0: store !src in the cell, read it back.
+            prog.aap(src, AmbitAddr::DccNeg(0));
+            prog.aap(AmbitAddr::Dcc(0), AmbitAddr::Data(row));
+        } else {
+            prog.aap(src, AmbitAddr::Data(row));
+        }
+    }
+
+    fn reachable(&self, outputs: &[Signal]) -> Vec<bool> {
+        let mut seen = vec![false; self.mig.len()];
+        let mut stack: Vec<u32> = outputs.iter().map(|s| s.node()).collect();
+        while let Some(id) = stack.pop() {
+            if seen[id as usize] {
+                continue;
+            }
+            seen[id as usize] = true;
+            if let Node::Maj(kids) = self.mig.node_at(id) {
+                for k in kids {
+                    stack.push(k.node());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Consumer counts for every needed majority node (outputs count as
+    /// one extra consumer so their rows are never recycled early).
+    fn refcounts(&self, outputs: &[Signal], needed: &[bool]) -> HashMap<u32, u64> {
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for (id, node) in self.mig.iter() {
+            if !needed[id as usize] {
+                continue;
+            }
+            if let Node::Maj(kids) = node {
+                for k in kids {
+                    if matches!(self.mig.node(*k), Node::Maj(_)) {
+                        *counts.entry(k.node()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        for s in outputs {
+            if matches!(self.mig.node(*s), Node::Maj(_)) {
+                *counts.entry(s.node()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rows(n: usize, width: usize, rng: &mut StdRng) -> Vec<Row> {
+        (0..n)
+            .map(|_| Row::from_bits((0..width).map(|_| rng.gen_bool(0.5))))
+            .collect()
+    }
+
+    fn check_lowering(mig: &Mig, outputs: &[Signal], seed: u64) {
+        let pins = PinMap::dense(mig.num_pis(), mig.num_pis() + 2);
+        let lowered = Lowerer::new(mig, &pins).lower(outputs);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pi_rows = random_rows(mig.num_pis(), 64, &mut rng);
+        let got = lowered.execute(&pins, &pi_rows);
+        for (i, (&sig, out)) in outputs.iter().zip(&got).enumerate() {
+            let expect = mig.eval_rows(sig, &pi_rows);
+            assert_eq!(out, &expect, "output {i} mismatch");
+        }
+    }
+
+    #[test]
+    fn lowers_single_and_gate() {
+        let mut mig = Mig::new();
+        let a = mig.pi();
+        let b = mig.pi();
+        let f = mig.and(a, b);
+        check_lowering(&mig, &[f], 7);
+    }
+
+    #[test]
+    fn lowers_gate_with_one_inverter() {
+        let mut mig = Mig::new();
+        let a = mig.pi();
+        let b = mig.pi();
+        let f = mig.and(a, !b);
+        check_lowering(&mig, &[f], 8);
+    }
+
+    #[test]
+    fn lowers_gate_with_two_inverters() {
+        let mut mig = Mig::new();
+        let a = mig.pi();
+        let b = mig.pi();
+        let c = mig.pi();
+        let f = mig.maj(!a, !b, c);
+        check_lowering(&mig, &[f], 9);
+    }
+
+    #[test]
+    fn lowers_complemented_output() {
+        let mut mig = Mig::new();
+        let a = mig.pi();
+        let b = mig.pi();
+        let f = mig.and(a, b);
+        check_lowering(&mig, &[!f], 10);
+    }
+
+    #[test]
+    fn lowers_forward_shift_bit() {
+        // b' = (b AND !m) OR (s AND m) — the §4.2 masked update.
+        let mut mig = Mig::new();
+        let m = mig.pi();
+        let b = mig.pi();
+        let s = mig.pi();
+        let keep = mig.and(b, !m);
+        let take = mig.and(s, m);
+        let f = mig.or(keep, take);
+        check_lowering(&mig, &[f], 11);
+    }
+
+    #[test]
+    fn lowers_multi_output_with_sharing() {
+        let mut mig = Mig::new();
+        let a = mig.pi();
+        let b = mig.pi();
+        let c = mig.pi();
+        let shared = mig.and(a, b);
+        let f = mig.or(shared, c);
+        let g = mig.and(shared, !c);
+        check_lowering(&mig, &[f, g], 12);
+    }
+
+    #[test]
+    fn one_inverter_costs_no_extra_commands() {
+        let mut pos = Mig::new();
+        let a = pos.pi();
+        let b = pos.pi();
+        let f = pos.and(a, b);
+        let pins = PinMap::dense(2, 4);
+        let plain = Lowerer::new(&pos, &pins).lower(&[f]);
+
+        let mut neg = Mig::new();
+        let a = neg.pi();
+        let b = neg.pi();
+        let g = neg.and(a, !b);
+        let inv = Lowerer::new(&neg, &pins).lower(&[g]);
+        assert_eq!(plain.command_count(), inv.command_count());
+    }
+
+    #[test]
+    fn scratch_rows_are_recycled() {
+        // A long AND chain only ever needs two live scratch rows.
+        let mut mig = Mig::new();
+        let pis: Vec<Signal> = (0..6).map(|_| mig.pi()).collect();
+        let mut acc = pis[0];
+        for &p in &pis[1..] {
+            acc = mig.and(acc, p);
+        }
+        let pins = PinMap::dense(6, 8);
+        let lowered = Lowerer::new(&mig, &pins).lower(&[acc]);
+        assert!(
+            lowered.peak_scratch_rows <= 3,
+            "peak {} too high",
+            lowered.peak_scratch_rows
+        );
+        check_lowering(&mig, &[acc], 13);
+    }
+
+    #[test]
+    fn pinmap_validation() {
+        let pins = PinMap::explicit(vec![3, 5], 8);
+        assert_eq!(pins.pi_row(0), 3);
+        assert_eq!(pins.pi_row(1), 5);
+        assert_eq!(pins.scratch_base(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch overlaps inputs")]
+    fn dense_pinmap_rejects_overlap() {
+        let _ = PinMap::dense(4, 2);
+    }
+}

@@ -1,0 +1,329 @@
+//! Algebraic MIG optimisation (the Ω axioms of Amarù et al., DAC'14).
+//!
+//! The paper's §4.2 relies on "MIG-based optimizations" to shrink the
+//! masked-increment circuits before scheduling them onto Ambit rows.
+//! This module provides the two passes Count2Multiply needs:
+//!
+//! * [`optimize_size`] — rebuilds the graph bottom-up (re-applying the
+//!   creation-time Ω.M/Ψ rules, structural hashing away duplicates and
+//!   dropping dead nodes) and applies the *distributivity* axiom
+//!   right-to-left where it strictly reduces the node count:
+//!
+//!   `MAJ(MAJ(x, y, u), MAJ(x, y, v), z)  →  MAJ(x, y, MAJ(u, v, z))`
+//!
+//! * [`optimize_depth`] — additionally applies the *associativity*
+//!   axiom to move late-arriving operands closer to the output:
+//!
+//!   `MAJ(x, u, MAJ(y, u, z))  =  MAJ(z, u, MAJ(y, u, x))`
+//!
+//!   choosing whichever orientation yields the smaller level count.
+//!
+//! Both passes preserve the function of every output signal; the tests
+//! (and the crate's property tests) check truth-table equivalence on
+//! every rewrite.
+
+use crate::graph::{Mig, Node, Signal};
+use std::collections::HashMap;
+
+/// Result of an optimisation pass: the rebuilt graph and the images of
+/// the requested output signals.
+#[derive(Debug, Clone)]
+pub struct Rewritten {
+    /// The optimised graph.
+    pub mig: Mig,
+    /// Output signals in the new graph, in the order they were given.
+    pub outputs: Vec<Signal>,
+}
+
+/// Rebuilds `outputs` into a fresh graph, applying only the
+/// creation-time rules (Ω.M, Ψ, structural hashing). This alone removes
+/// dead and duplicate nodes.
+#[must_use]
+pub fn rebuild(mig: &Mig, outputs: &[Signal]) -> Rewritten {
+    run(mig, outputs, Mode::Plain)
+}
+
+/// Size-oriented optimisation: rebuild + distributivity (R→L).
+#[must_use]
+pub fn optimize_size(mig: &Mig, outputs: &[Signal]) -> Rewritten {
+    let plain = run(mig, outputs, Mode::Plain);
+    let dist = run(mig, outputs, Mode::Size);
+    let better = if dist.mig.node_count(&dist.outputs) <= plain.mig.node_count(&plain.outputs) {
+        dist
+    } else {
+        plain
+    };
+    // One more rebuild sweeps nodes orphaned by the rewrites.
+    rebuild(&better.mig, &better.outputs)
+}
+
+/// Depth-oriented optimisation: rebuild + distributivity + associativity.
+///
+/// Distributivity trades depth for size (the leftover operand moves one
+/// level *down*), so the pass evaluates three candidates — the plain
+/// rebuild, the size-optimised graph, and the associativity rewrite on
+/// top of it — and keeps whichever has the smallest depth (ties broken
+/// by node count). The result is never deeper than a plain rebuild.
+#[must_use]
+pub fn optimize_depth(mig: &Mig, outputs: &[Signal]) -> Rewritten {
+    let plain = rebuild(mig, outputs);
+    let size = optimize_size(mig, outputs);
+    let assoc = {
+        let r = run(&size.mig, &size.outputs, Mode::Depth);
+        rebuild(&r.mig, &r.outputs)
+    };
+    [plain, size, assoc]
+        .into_iter()
+        .min_by_key(|r| {
+            (
+                max_depth(&r.mig, &r.outputs),
+                r.mig.node_count(&r.outputs),
+            )
+        })
+        .expect("three candidates")
+}
+
+fn max_depth(mig: &Mig, outputs: &[Signal]) -> usize {
+    outputs.iter().map(|&s| mig.depth(s)).max().unwrap_or(0)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Plain,
+    Size,
+    Depth,
+}
+
+fn run(mig: &Mig, outputs: &[Signal], mode: Mode) -> Rewritten {
+    let mut out = Mig::new();
+    // Old node id -> new signal. Inputs must be recreated in order so
+    // PI indices survive the rebuild.
+    let mut map: HashMap<u32, Signal> = HashMap::new();
+    map.insert(0, Signal::FALSE);
+    for (id, node) in mig.iter() {
+        if matches!(node, Node::Input(_)) {
+            let s = out.pi();
+            map.insert(id, s);
+        }
+    }
+    for (id, node) in mig.iter() {
+        if let Node::Maj(kids) = node {
+            let k: Vec<Signal> = kids.iter().map(|&s| translate(&map, s)).collect();
+            let s = build_maj(&mut out, k[0], k[1], k[2], mode);
+            map.insert(id, s);
+        }
+    }
+    let outputs = outputs.iter().map(|&s| translate(&map, s)).collect();
+    Rewritten { mig: out, outputs }
+}
+
+fn translate(map: &HashMap<u32, Signal>, s: Signal) -> Signal {
+    let base = map[&s.node()];
+    if s.is_complemented() {
+        !base
+    } else {
+        base
+    }
+}
+
+fn build_maj(mig: &mut Mig, a: Signal, b: Signal, c: Signal, mode: Mode) -> Signal {
+    if mode != Mode::Plain {
+        if let Some(s) = try_distributivity(mig, a, b, c) {
+            return s;
+        }
+    }
+    if mode == Mode::Depth {
+        if let Some(s) = try_associativity(mig, a, b, c) {
+            return s;
+        }
+    }
+    mig.maj(a, b, c)
+}
+
+/// `MAJ(MAJ(x, y, u), MAJ(x, y, v), z) → MAJ(x, y, MAJ(u, v, z))`.
+///
+/// Fires only on uncomplemented majority children sharing exactly two
+/// operands; the rewrite replaces two inner nodes with one, so it never
+/// increases size.
+fn try_distributivity(mig: &mut Mig, a: Signal, b: Signal, c: Signal) -> Option<Signal> {
+    let arrangements = [(a, b, c), (a, c, b), (b, c, a)];
+    for (p, q, z) in arrangements {
+        if p.is_complemented() || q.is_complemented() {
+            continue;
+        }
+        let (Node::Maj(pk), Node::Maj(qk)) = (mig.node(p), mig.node(q)) else {
+            continue;
+        };
+        // Find a shared pair {x, y} and the leftover operands u, v.
+        let shared: Vec<Signal> = pk.iter().copied().filter(|s| qk.contains(s)).collect();
+        if shared.len() != 2 {
+            continue;
+        }
+        let u = *pk.iter().find(|s| !shared.contains(s))?;
+        let v = *qk.iter().find(|s| !shared.contains(s))?;
+        let inner = mig.maj(u, v, z);
+        return Some(mig.maj(shared[0], shared[1], inner));
+    }
+    None
+}
+
+/// `MAJ(x, u, MAJ(y, u, z)) = MAJ(z, u, MAJ(y, u, x))` — swap `x` and
+/// `z` when the grandchild `z` is deeper than the sibling `x`, pulling
+/// the critical path one level up.
+fn try_associativity(mig: &mut Mig, a: Signal, b: Signal, c: Signal) -> Option<Signal> {
+    let arrangements = [(a, b, c), (b, c, a), (c, a, b)];
+    for (x, u, m) in arrangements {
+        if m.is_complemented() {
+            continue;
+        }
+        let Node::Maj(mk) = mig.node(m) else {
+            continue;
+        };
+        if !mk.contains(&u) {
+            continue;
+        }
+        let rest: Vec<Signal> = mk.iter().copied().filter(|&s| s != u).collect();
+        if rest.len() != 2 {
+            continue;
+        }
+        for (y, z) in [(rest[0], rest[1]), (rest[1], rest[0])] {
+            if mig.depth(z) > mig.depth(x) {
+                let inner = mig.maj(y, u, x);
+                return Some(mig.maj(z, u, inner));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tt::TruthTable;
+
+    fn check_equiv(before: &Mig, outs_before: &[Signal], after: &Rewritten) {
+        for (i, (&ob, &oa)) in outs_before.iter().zip(&after.outputs).enumerate() {
+            assert_eq!(
+                before.tt(ob),
+                after.mig.tt(oa),
+                "output {i} changed function"
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_drops_dead_nodes() {
+        let mut mig = Mig::new();
+        let a = mig.pi();
+        let b = mig.pi();
+        let keep = mig.and(a, b);
+        let _dead = mig.or(a, b);
+        let r = rebuild(&mig, &[keep]);
+        assert_eq!(r.mig.node_count(&r.outputs), 1);
+        check_equiv(&mig, &[keep], &r);
+    }
+
+    #[test]
+    fn rebuild_preserves_input_order() {
+        let mut mig = Mig::new();
+        let a = mig.pi();
+        let b = mig.pi();
+        let f = mig.and(a, !b);
+        let r = rebuild(&mig, &[f]);
+        assert_eq!(r.mig.num_pis(), 2);
+        check_equiv(&mig, &[f], &r);
+    }
+
+    #[test]
+    fn distributivity_merges_shared_pair() {
+        // MAJ(MAJ(x,y,u), MAJ(x,y,v), z) has 3 nodes; the rewrite gives 2.
+        let mut mig = Mig::new();
+        let x = mig.pi();
+        let y = mig.pi();
+        let u = mig.pi();
+        let v = mig.pi();
+        let z = mig.pi();
+        let p = mig.maj(x, y, u);
+        let q = mig.maj(x, y, v);
+        let f = mig.maj(p, q, z);
+        assert_eq!(mig.node_count(&[f]), 3);
+        let r = optimize_size(&mig, &[f]);
+        assert_eq!(r.mig.node_count(&r.outputs), 2);
+        check_equiv(&mig, &[f], &r);
+    }
+
+    #[test]
+    fn optimize_size_never_grows() {
+        let mut mig = Mig::new();
+        let pis: Vec<Signal> = (0..5).map(|_| mig.pi()).collect();
+        let mut acc = pis[0];
+        for w in pis.windows(2) {
+            let t = mig.maj(acc, w[0], w[1]);
+            acc = mig.or(t, !w[1]);
+        }
+        let before = mig.node_count(&[acc]);
+        let r = optimize_size(&mig, &[acc]);
+        assert!(r.mig.node_count(&r.outputs) <= before);
+        check_equiv(&mig, &[acc], &r);
+    }
+
+    #[test]
+    fn associativity_reduces_depth_of_late_operand() {
+        // Build a chain where the deepest operand sits at the bottom:
+        // f = MAJ(x, u, MAJ(y, u, deep)) with depth(deep) = 3.
+        let mut mig = Mig::new();
+        let x = mig.pi();
+        let u = mig.pi();
+        let y = mig.pi();
+        let p = mig.pi();
+        let q = mig.pi();
+        let deep = {
+            let t1 = mig.and(p, q);
+            let t2 = mig.or(t1, p);
+            mig.and(t2, q)
+        };
+        let inner = mig.maj(y, u, deep);
+        let f = mig.maj(x, u, inner);
+        let before = mig.depth(f);
+        let r = optimize_depth(&mig, &[f]);
+        let after = r.mig.depth(r.outputs[0]);
+        assert!(after <= before, "depth grew: {before} -> {after}");
+        check_equiv(&mig, &[f], &r);
+    }
+
+    #[test]
+    fn optimizing_counting_expression_preserves_function() {
+        // The masked forward-shift bit update of §4.2.
+        let mut mig = Mig::new();
+        let m = mig.pi();
+        let bi = mig.pi();
+        let bj = mig.pi();
+        let keep = mig.and(bi, !m);
+        let shift = mig.and(bj, m);
+        let f = mig.or(keep, shift);
+        let r = optimize_size(&mig, &[f]);
+        check_equiv(&mig, &[f], &r);
+        // Expected function: m ? bj : bi.
+        let expect = {
+            let a = TruthTable::var(0, 3); // m
+            let b = TruthTable::var(1, 3); // bi
+            let c = TruthTable::var(2, 3); // bj
+            b.and(!a).or(c.and(a))
+        };
+        assert_eq!(r.mig.tt(r.outputs[0]), expect);
+    }
+
+    #[test]
+    fn multiple_outputs_share_structure() {
+        let mut mig = Mig::new();
+        let a = mig.pi();
+        let b = mig.pi();
+        let c = mig.pi();
+        let shared = mig.and(a, b);
+        let f = mig.or(shared, c);
+        let g = mig.xor(shared, c);
+        let r = optimize_size(&mig, &[f, g]);
+        check_equiv(&mig, &[f, g], &r);
+        assert!(r.mig.node_count(&r.outputs) <= mig.node_count(&[f, g]));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the MIG pipeline: every optimisation pass
+//! must preserve the function of every output, and the Ambit lowering
+//! must execute to exactly the function the graph describes.
+
+use c2m_cim::Row;
+use c2m_mig::graph::{Mig, Signal};
+use c2m_mig::lower::{Lowerer, PinMap};
+use c2m_mig::rewrite::{optimize_depth, optimize_size, rebuild};
+use proptest::prelude::*;
+
+/// A recipe for one random majority node: three operand picks (index
+/// into the signals built so far, modulo) and three complement flags.
+type NodeRecipe = (usize, bool, usize, bool, usize, bool);
+
+fn build(num_pis: usize, recipe: &[NodeRecipe]) -> (Mig, Vec<Signal>) {
+    let mut mig = Mig::new();
+    let mut sigs: Vec<Signal> = vec![Signal::FALSE, Signal::TRUE];
+    for _ in 0..num_pis {
+        sigs.push(mig.pi());
+    }
+    for &(ai, ac, bi, bc, ci, cc) in recipe {
+        let pick = |i: usize, c: bool, sigs: &[Signal]| {
+            let s = sigs[i % sigs.len()];
+            if c {
+                !s
+            } else {
+                s
+            }
+        };
+        let a = pick(ai, ac, &sigs);
+        let b = pick(bi, bc, &sigs);
+        let c = pick(ci, cc, &sigs);
+        let s = mig.maj(a, b, c);
+        sigs.push(s);
+    }
+    // Outputs: the last few signals built (covers constants collapses).
+    let outs = sigs[sigs.len().saturating_sub(3)..].to_vec();
+    (mig, outs)
+}
+
+fn recipe_strategy() -> impl Strategy<Value = (usize, Vec<NodeRecipe>)> {
+    (2usize..=5, prop::collection::vec(any::<NodeRecipe>(), 1..20))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rebuild_preserves_function((num_pis, recipe) in recipe_strategy()) {
+        let (mig, outs) = build(num_pis, &recipe);
+        let r = rebuild(&mig, &outs);
+        for (&before, &after) in outs.iter().zip(&r.outputs) {
+            prop_assert_eq!(mig.tt(before), r.mig.tt(after));
+        }
+    }
+
+    #[test]
+    fn optimize_size_preserves_function_and_never_grows(
+        (num_pis, recipe) in recipe_strategy()
+    ) {
+        let (mig, outs) = build(num_pis, &recipe);
+        let r = optimize_size(&mig, &outs);
+        for (&before, &after) in outs.iter().zip(&r.outputs) {
+            prop_assert_eq!(mig.tt(before), r.mig.tt(after));
+        }
+        prop_assert!(r.mig.node_count(&r.outputs) <= mig.node_count(&outs));
+    }
+
+    #[test]
+    fn optimize_depth_preserves_function_and_never_deepens(
+        (num_pis, recipe) in recipe_strategy()
+    ) {
+        let (mig, outs) = build(num_pis, &recipe);
+        let r = optimize_depth(&mig, &outs);
+        for (&before, &after) in outs.iter().zip(&r.outputs) {
+            prop_assert_eq!(mig.tt(before), r.mig.tt(after));
+        }
+        let before = outs.iter().map(|&s| mig.depth(s)).max().unwrap_or(0);
+        let after = r.outputs.iter().map(|&s| r.mig.depth(s)).max().unwrap_or(0);
+        prop_assert!(after <= before, "depth grew {before} -> {after}");
+    }
+
+    #[test]
+    fn lowering_executes_the_graph(
+        (num_pis, recipe) in recipe_strategy(),
+        seed in any::<u64>()
+    ) {
+        let (mig, outs) = build(num_pis, &recipe);
+        let pins = PinMap::dense(mig.num_pis(), mig.num_pis() + 2);
+        let lowered = Lowerer::new(&mig, &pins).lower(&outs);
+        // Random 64-column input rows derived from the seed.
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let pi_rows: Vec<Row> = (0..mig.num_pis())
+            .map(|_| {
+                let w = next();
+                Row::from_bits((0..64).map(|i| (w >> i) & 1 == 1))
+            })
+            .collect();
+        let got = lowered.execute(&pins, &pi_rows);
+        for (i, (&sig, out)) in outs.iter().zip(&got).enumerate() {
+            let expect = mig.eval_rows(sig, &pi_rows);
+            prop_assert_eq!(out, &expect, "output {} diverged", i);
+        }
+    }
+
+    #[test]
+    fn structural_hashing_is_idempotent((num_pis, recipe) in recipe_strategy()) {
+        let (mig, outs) = build(num_pis, &recipe);
+        // Rebuilding twice must give identical node counts.
+        let r1 = rebuild(&mig, &outs);
+        let r2 = rebuild(&r1.mig, &r1.outputs);
+        prop_assert_eq!(
+            r1.mig.node_count(&r1.outputs),
+            r2.mig.node_count(&r2.outputs)
+        );
+    }
+}

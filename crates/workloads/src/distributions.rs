@@ -1,0 +1,153 @@
+//! Input-value distributions of Fig. 3.
+//!
+//! The §3 motivation: accumulated values in real workloads are *narrow*
+//! (4–8 bits), which is what makes high-radix counting beat worst-case
+//! ripple-carry addition. Fig. 3a shows k-mer repetition counts in DNA
+//! short reads (geometric-tailed, almost all mass below 18); Fig. 3b
+//! shows 8-bit quantised BERT embeddings (zero-centred bell).
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A histogram over integer values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Smallest bin value.
+    pub min: i64,
+    /// Per-value counts, index 0 = `min`.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` over their full range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn build(values: &[i64]) -> Self {
+        assert!(!values.is_empty(), "cannot histogram nothing");
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        let mut counts = vec![0u64; (max - min + 1) as usize];
+        for &v in values {
+            counts[(v - min) as usize] += 1;
+        }
+        Self { min, counts }
+    }
+
+    /// Count of a specific value (0 if outside range).
+    #[must_use]
+    pub fn count(&self, v: i64) -> u64 {
+        let idx = v - self.min;
+        if idx < 0 || idx as usize >= self.counts.len() {
+            0
+        } else {
+            self.counts[idx as usize]
+        }
+    }
+
+    /// Fraction of mass with |value| representable in `bits` bits.
+    #[must_use]
+    pub fn mass_within_bits(&self, bits: u32) -> f64 {
+        let limit = 1i64 << bits;
+        let total: u64 = self.counts.iter().sum();
+        let inside: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let v = self.min + *i as i64;
+                v.abs() < limit
+            })
+            .map(|(_, &c)| c)
+            .sum();
+        inside as f64 / total as f64
+    }
+}
+
+/// Samples Fig. 3a-style k-mer repetition counts: geometric with the
+/// bulk at 1 and a tail reaching ~18 (matching short-read token
+/// statistics).
+#[must_use]
+pub fn token_repetitions(samples: usize, seed: u64) -> Vec<i64> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    (0..samples)
+        .map(|_| {
+            let mut v = 1i64;
+            while rng.gen_bool(0.45) && v < 18 {
+                v += 1;
+            }
+            v
+        })
+        .collect()
+}
+
+/// Samples Fig. 3b-style 8-bit embedding values: discretised
+/// zero-centred Gaussian mixture clipped to i8 range.
+#[must_use]
+pub fn int8_embeddings(samples: usize, seed: u64) -> Vec<i64> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    (0..samples)
+        .map(|_| {
+            // Box-Muller-free approximate normal: sum of uniforms (CLT).
+            let s: f64 = (0..12).map(|_| rng.gen_range(-0.5..0.5)).sum();
+            let v = (s * 14.0).round() as i64;
+            v.clamp(-128, 127)
+        })
+        .collect()
+}
+
+/// Uniform unsigned 8-bit inputs (the Fig. 8 sweep distribution).
+#[must_use]
+pub fn uniform_u8(samples: usize, seed: u64) -> Vec<i64> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    (0..samples).map(|_| rng.gen_range(0i64..256)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_repetitions_are_narrow() {
+        // Fig. 3a: values in 1..=18, monotone-decreasing frequency.
+        let v = token_repetitions(200_000, 1);
+        let h = Histogram::build(&v);
+        assert!(h.min >= 1);
+        assert!(v.iter().all(|&x| (1..=18).contains(&x)));
+        assert!(h.count(1) > h.count(5));
+        assert!(h.count(5) > h.count(12));
+        // §3: representable in 4-8 bits.
+        assert_eq!(h.mass_within_bits(5), 1.0);
+    }
+
+    #[test]
+    fn embeddings_are_zero_centred_and_8bit() {
+        let v = int8_embeddings(100_000, 2);
+        let h = Histogram::build(&v);
+        let mean: f64 = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 1.0, "mean {mean}");
+        assert!(h.count(0) > h.count(40));
+        // Fig. 3b / §3: circa 4-8 bit values.
+        assert!(h.mass_within_bits(8) >= 1.0 - 1e-9);
+        assert!(h.mass_within_bits(6) > 0.95);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let h = Histogram::build(&[1, 1, 2, 5]);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count(7), 0);
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let v = uniform_u8(50_000, 3);
+        assert!(v.iter().any(|&x| x < 16));
+        assert!(v.iter().any(|&x| x > 240));
+    }
+}

@@ -1,0 +1,388 @@
+//! DNA pre-alignment filtering (GRIM-Filter style, §7.1).
+//!
+//! The reference genome is divided into bins; each bin stores a bitvector
+//! of which k-mers occur in it. A read is screened by accumulating, for
+//! every k-mer it contains (weighted by its repetition count — the
+//! integer inputs of Fig. 3a), the bins whose bitvector contains that
+//! k-mer. Bins whose count clears a threshold are candidate locations;
+//! a read with no candidate bin is filtered out before expensive
+//! alignment.
+//!
+//! The accumulation maps directly onto Count2Multiply: bins are counter
+//! columns, k-mer presence bitvectors are the mask rows, and repetition
+//! counts are the broadcast inputs. The backend is abstracted behind
+//! [`MaskedAccumulator`] so the JC counter bank and the RCA baseline can
+//! run the *same* filter under fault injection (Figs. 4b and 17a).
+//!
+//! The paper uses a human genome; we generate a seeded synthetic genome
+//! and plant ground truth (positive reads sampled from the genome with
+//! mutations, negative reads random), which preserves the quantity under
+//! study — how the filter's F1 degrades as CIM faults corrupt counts.
+
+use c2m_cim::{FaultModel, Row};
+use c2m_baselines::rca::RcaAccumulator;
+use c2m_ecc::protect::ProtectionKind;
+use c2m_jc::bank::CounterBank;
+use c2m_jc::cost::digits_for_capacity;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Row-parallel masked accumulation backend (JC counters or RCA).
+pub trait MaskedAccumulator {
+    /// Number of parallel lanes (bins).
+    fn lanes(&self) -> usize;
+    /// Adds `value` to every lane selected by `mask`.
+    fn accumulate(&mut self, value: u64, mask: &Row);
+    /// Reads lane `l` (tolerantly, as a downstream consumer would).
+    fn read(&self, l: usize) -> u128;
+    /// Resets all lanes to zero.
+    fn reset(&mut self);
+}
+
+/// Johnson-counter backend.
+#[derive(Debug, Clone)]
+pub struct JcBackend {
+    bank: CounterBank,
+    radix: usize,
+    digits: usize,
+    width: usize,
+    fault_rate: f64,
+    protection: ProtectionKind,
+    seed: u64,
+}
+
+impl JcBackend {
+    /// Radix-10 counters sized for the filter's ~100 capacity (§7.3.3),
+    /// with the given fault rate and protection.
+    #[must_use]
+    pub fn new(width: usize, fault_rate: f64, protection: ProtectionKind, seed: u64) -> Self {
+        let radix = 10;
+        let digits = digits_for_capacity(radix, 10); // capacity 1000
+        let bank = CounterBank::with_faults(
+            radix,
+            digits,
+            width,
+            FaultModel::new(fault_rate, seed),
+            protection,
+        );
+        Self { bank, radix, digits, width, fault_rate, protection, seed }
+    }
+}
+
+impl MaskedAccumulator for JcBackend {
+    fn lanes(&self) -> usize {
+        self.width
+    }
+
+    fn accumulate(&mut self, value: u64, mask: &Row) {
+        self.bank.accumulate_ripple(u128::from(value), mask);
+    }
+
+    fn read(&self, l: usize) -> u128 {
+        self.bank.get_nearest(l)
+    }
+
+    fn reset(&mut self) {
+        self.seed = self.seed.wrapping_add(1);
+        self.bank = CounterBank::with_faults(
+            self.radix,
+            self.digits,
+            self.width,
+            FaultModel::new(self.fault_rate, self.seed),
+            self.protection,
+        );
+    }
+}
+
+/// Ripple-carry (SIMDRAM-style) backend.
+#[derive(Debug, Clone)]
+pub struct RcaBackend {
+    acc: RcaAccumulator,
+    width_bits: usize,
+    lanes: usize,
+    fault_rate: f64,
+    protection: ProtectionKind,
+    seed: u64,
+}
+
+impl RcaBackend {
+    /// 32-bit binary accumulators (the "larger accumulated total" whose
+    /// carry chains §3 blames), with fault injection. Protection scales
+    /// the effective fault rate like the counter bank does.
+    #[must_use]
+    pub fn new(lanes: usize, fault_rate: f64, protection: ProtectionKind, seed: u64) -> Self {
+        let effective = effective_rate(fault_rate, protection);
+        Self {
+            acc: RcaAccumulator::with_faults(32, lanes, FaultModel::new(effective, seed)),
+            width_bits: 32,
+            lanes,
+            fault_rate,
+            protection,
+            seed,
+        }
+    }
+}
+
+/// Residual per-op fault rate under a protection scheme (shared with the
+/// counter bank's accounting).
+#[must_use]
+pub fn effective_rate(raw: f64, protection: ProtectionKind) -> f64 {
+    match protection {
+        ProtectionKind::None => raw,
+        ProtectionKind::Tmr => c2m_ecc::TmrVoter::effective_per_op_rate(raw),
+        ProtectionKind::Ecc { fr_checks, .. } => {
+            c2m_ecc::protect::ProtectionAnalysis { fault_rate: raw, fr_checks }
+                .undetected_error_rate()
+                .min(1.0)
+        }
+    }
+}
+
+impl MaskedAccumulator for RcaBackend {
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn accumulate(&mut self, value: u64, mask: &Row) {
+        self.acc.add_masked(u128::from(value), mask);
+    }
+
+    fn read(&self, l: usize) -> u128 {
+        self.acc.get(l)
+    }
+
+    fn reset(&mut self) {
+        self.seed = self.seed.wrapping_add(1);
+        let effective = effective_rate(self.fault_rate, self.protection);
+        self.acc = RcaAccumulator::with_faults(
+            self.width_bits,
+            self.lanes,
+            FaultModel::new(effective, self.seed),
+        );
+    }
+}
+
+/// Filter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FilterConfig {
+    /// Genome length in bases.
+    pub genome_len: usize,
+    /// Bin size in bases.
+    pub bin_len: usize,
+    /// k-mer length.
+    pub k: usize,
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Per-base substitution rate for positive reads.
+    pub mutation_rate: f64,
+    /// Acceptance threshold (matching k-mer count).
+    pub threshold: u128,
+}
+
+impl FilterConfig {
+    /// A laptop-scale configuration preserving GRIM-Filter's structure.
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            genome_len: 20_000,
+            bin_len: 200,
+            k: 5,
+            read_len: 100,
+            mutation_rate: 0.03,
+            threshold: 60,
+        }
+    }
+}
+
+/// The pre-alignment filter: per-bin k-mer presence bitvectors plus the
+/// screening logic.
+pub struct DnaFilter {
+    cfg: FilterConfig,
+    genome: Vec<u8>,
+    /// masks[kmer_id] = bins containing that k-mer.
+    masks: Vec<Row>,
+    bins: usize,
+}
+
+impl DnaFilter {
+    /// Builds the reference index from a seeded synthetic genome.
+    #[must_use]
+    pub fn build(cfg: FilterConfig, seed: u64) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let genome: Vec<u8> = (0..cfg.genome_len).map(|_| rng.gen_range(0u8..4)).collect();
+        let bins = cfg.genome_len / cfg.bin_len;
+        let kmer_space = 4usize.pow(cfg.k as u32);
+        let mut masks = vec![Row::zeros(bins); kmer_space];
+        for b in 0..bins {
+            let start = b * cfg.bin_len;
+            let end = (start + cfg.bin_len + cfg.k - 1).min(cfg.genome_len);
+            for w in genome[start..end].windows(cfg.k) {
+                masks[kmer_id(w)].set(b, true);
+            }
+        }
+        Self { cfg, genome, masks, bins }
+    }
+
+    /// Number of bins (accumulator lanes needed).
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// The filter configuration.
+    #[must_use]
+    pub fn config(&self) -> &FilterConfig {
+        &self.cfg
+    }
+
+    /// Samples a positive read (from the genome, with substitutions).
+    pub fn positive_read(&self, rng: &mut impl Rng) -> Vec<u8> {
+        let start = rng.gen_range(0..self.genome.len() - self.cfg.read_len);
+        self.genome[start..start + self.cfg.read_len]
+            .iter()
+            .map(|&b| {
+                if rng.gen_bool(self.cfg.mutation_rate) {
+                    (b + rng.gen_range(1u8..4)) % 4
+                } else {
+                    b
+                }
+            })
+            .collect()
+    }
+
+    /// Samples a negative read (unrelated random sequence).
+    pub fn negative_read(&self, rng: &mut impl Rng) -> Vec<u8> {
+        (0..self.cfg.read_len).map(|_| rng.gen_range(0u8..4)).collect()
+    }
+
+    /// Screens one read through the given accumulation backend: returns
+    /// true if any bin's matching-k-mer count clears the threshold.
+    pub fn screen(&self, read: &[u8], acc: &mut dyn MaskedAccumulator) -> bool {
+        acc.reset();
+        // k-mer repetition counts: the Fig. 3a integer inputs.
+        let mut reps: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        for w in read.windows(self.cfg.k) {
+            *reps.entry(kmer_id(w)).or_insert(0) += 1;
+        }
+        for (kmer, count) in reps {
+            acc.accumulate(count, &self.masks[kmer]);
+        }
+        (0..acc.lanes()).any(|b| acc.read(b) >= self.cfg.threshold)
+    }
+
+    /// Runs a labelled read set and reports the F1 score of the filter's
+    /// accept decision. One read in five is a true location (positives
+    /// are the minority in pre-alignment filtering — most candidate
+    /// locations are false, which is why a fault-corrupted accept-all
+    /// filter scores poorly).
+    pub fn f1_score(
+        &self,
+        acc: &mut dyn MaskedAccumulator,
+        reads: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let (mut tp, mut fp, mut fnn) = (0u32, 0u32, 0u32);
+        for i in 0..reads {
+            let positive = i % 5 == 0;
+            let read = if positive {
+                self.positive_read(&mut rng)
+            } else {
+                self.negative_read(&mut rng)
+            };
+            let accepted = self.screen(&read, acc);
+            match (positive, accepted) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fnn += 1,
+                (false, false) => {}
+            }
+        }
+        if tp == 0 {
+            return 0.0;
+        }
+        let precision = f64::from(tp) / f64::from(tp + fp);
+        let recall = f64::from(tp) / f64::from(tp + fnn);
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Packs a k-mer window (bases 0..4) into an integer id.
+fn kmer_id(w: &[u8]) -> usize {
+    w.iter().fold(0usize, |acc, &b| acc * 4 + b as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter() -> DnaFilter {
+        DnaFilter::build(FilterConfig::small(), 42)
+    }
+
+    #[test]
+    fn fault_free_filter_is_accurate() {
+        let f = filter();
+        let mut acc = JcBackend::new(f.bins(), 0.0, ProtectionKind::None, 7);
+        let f1 = f.f1_score(&mut acc, 50, 1);
+        assert!(f1 > 0.85, "fault-free F1 {f1}");
+    }
+
+    #[test]
+    fn rca_backend_agrees_when_fault_free() {
+        let f = filter();
+        let mut jc = JcBackend::new(f.bins(), 0.0, ProtectionKind::None, 7);
+        let mut rca = RcaBackend::new(f.bins(), 0.0, ProtectionKind::None, 7);
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        for _ in 0..6 {
+            let read = f.positive_read(&mut rng);
+            assert_eq!(f.screen(&read, &mut jc), f.screen(&read, &mut rca));
+        }
+    }
+
+    #[test]
+    fn positives_score_higher_than_negatives() {
+        let f = filter();
+        let mut acc = JcBackend::new(f.bins(), 0.0, ProtectionKind::None, 9);
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let pos = f.positive_read(&mut rng);
+        let neg = f.negative_read(&mut rng);
+        assert!(f.screen(&pos, &mut acc));
+        assert!(!f.screen(&neg, &mut acc));
+    }
+
+    #[test]
+    fn jc_tolerates_higher_fault_rates_than_rca() {
+        // The §3 motivation (Fig. 4b): at a fault rate where RCA's filter
+        // quality collapses, the JC filter holds up.
+        let f = filter();
+        let rate = 3e-3;
+        let mut jc = JcBackend::new(f.bins(), rate, ProtectionKind::None, 11);
+        let mut rca = RcaBackend::new(f.bins(), rate, ProtectionKind::None, 11);
+        let f1_jc = f.f1_score(&mut jc, 50, 2);
+        let f1_rca = f.f1_score(&mut rca, 50, 2);
+        assert!(
+            f1_jc >= f1_rca,
+            "JC F1 {f1_jc} should be >= RCA F1 {f1_rca} at rate {rate}"
+        );
+    }
+
+    #[test]
+    fn kmer_id_is_injective_on_window() {
+        assert_eq!(kmer_id(&[0, 0, 0]), 0);
+        assert_eq!(kmer_id(&[0, 0, 1]), 1);
+        assert_eq!(kmer_id(&[1, 0, 0]), 16);
+        assert_eq!(kmer_id(&[3, 3, 3]), 63);
+    }
+
+    #[test]
+    fn effective_rate_orders_protections() {
+        let raw = 1e-3;
+        let none = effective_rate(raw, ProtectionKind::None);
+        let tmr = effective_rate(raw, ProtectionKind::Tmr);
+        let ecc = effective_rate(raw, ProtectionKind::ecc_default());
+        assert!(ecc < tmr, "ECC {ecc} must beat TMR {tmr}");
+        assert!(tmr < none + 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+//! Ternary-weight convolution through in-memory counting (§5.2, Fig. 18's
+//! LeNet/VGG workloads): a LeNet-style conv layer runs bit-accurately on
+//! the simulated substrate via im2col, and the same layer is projected at
+//! full LeNet/VGG scale on the Table 2 DRAM module.
+//!
+//! ```text
+//! cargo run --example conv_twn
+//! ```
+
+use count2multiply::arch::kernels::KernelConfig;
+use count2multiply::arch::matrix::TernaryMatrix;
+use count2multiply::arch::nn::{conv2d_ternary, reference_conv2d, ConvShape, Image};
+use count2multiply::workloads::twn;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+fn main() {
+    let mut rng = ChaCha12Rng::seed_from_u64(7);
+
+    // 1. A LeNet-conv1-like layer at test scale: 1 -> 6 channels, 5x5
+    //    kernel, on a 12x12 synthetic "digit" with 4-bit pixels.
+    let shape = ConvShape {
+        in_channels: 1,
+        out_channels: 6,
+        kernel: 5,
+        in_h: 12,
+        in_w: 12,
+        stride: 1,
+        padding: 2,
+    };
+    let image: Image = vec![(0..shape.in_h)
+        .map(|y| {
+            (0..shape.in_w)
+                .map(|x| {
+                    // A bright diagonal stroke on a noisy background.
+                    if (y as i64 - x as i64).abs() <= 1 {
+                        12 + rng.gen_range(0..4)
+                    } else {
+                        rng.gen_range(0..3)
+                    }
+                })
+                .collect()
+        })
+        .collect()];
+    let weights = TernaryMatrix::random(shape.gemm_k(), shape.out_channels, 0.6, &mut rng);
+
+    // 2. Run the convolution entirely through the counting path: im2col
+    //    rows become broadcast inputs, ternary filters become ±masks.
+    let cfg = KernelConfig::compact();
+    let result = conv2d_ternary(&cfg, &image, &weights, &shape);
+    assert_eq!(result.output, reference_conv2d(&image, &weights, &shape));
+
+    println!(
+        "conv {}x{}x{} * {} filters ({}x{}) -> {}x{}x{}",
+        shape.in_channels, shape.in_h, shape.in_w,
+        shape.out_channels, shape.kernel, shape.kernel,
+        shape.out_channels, shape.out_h(), shape.out_w(),
+    );
+    println!(
+        "bit-accurate: {} increments, {} Ambit commands ({} MACs)",
+        result.stats.increments,
+        result.stats.ambit_ops,
+        shape.macs(),
+    );
+
+    // 3. Channel activation energy: sum of each output map (a cheap
+    //    feature the DNA/GCN workloads use as filter scores).
+    for (c, map) in result.output.iter().enumerate() {
+        let sum: i128 = map.iter().flatten().sum();
+        println!("  filter {c}: activation sum {sum}");
+    }
+
+    // 4. The real model zoo: the paper's Fig. 18 conv workloads as
+    //    im2col GEMM shapes.
+    println!("\nfull-scale conv layers (im2col GEMM M x K x N):");
+    for (model, layers) in [
+        ("LeNet", twn::lenet()),
+        ("VGG-13", twn::vgg13()),
+        ("VGG-16", twn::vgg16()),
+    ] {
+        let macs: u64 = layers
+            .iter()
+            .map(|l| {
+                let g = l.gemm();
+                (g.m * g.k * g.n) as u64
+            })
+            .sum();
+        println!("  {model}: {} conv layers, {:.2} GMAC/image", layers.len(), macs as f64 / 1e9);
+    }
+}

@@ -1,0 +1,76 @@
+//! GCN neighbourhood aggregation as sparse in-memory counting.
+//!
+//! Builds a synthetic power-law citation graph at PubMed-like sparsity
+//! and aggregates integer node features (`Y = A · X`) through the
+//! Count2Multiply kernel: adjacency bits are the (mostly zero, hence
+//! mostly skipped) inputs, feature columns are the counters.
+//!
+//! ```text
+//! cargo run --release --example gcn_aggregation
+//! ```
+
+use count2multiply::arch::kernels::{int_binary_gemv, KernelConfig};
+use count2multiply::arch::matrix::BinaryMatrix;
+use count2multiply::workloads::gcn::SyntheticGraph;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+fn main() {
+    let nodes = 300;
+    let features = 24;
+    let graph = SyntheticGraph::power_law(nodes, 1200, 7);
+    println!(
+        "graph: {} nodes, {} edges, {:.2}% adjacency sparsity",
+        graph.nodes(),
+        graph.edges(),
+        graph.sparsity() * 100.0
+    );
+
+    // Integer node features.
+    let mut rng = ChaCha12Rng::seed_from_u64(3);
+    let x: Vec<Vec<i64>> = (0..nodes)
+        .map(|_| (0..features).map(|_| rng.gen_range(0..16)).collect())
+        .collect();
+
+    // In-memory view: for node v, inputs are the adjacency row bits of v
+    // (value 1 for each neighbour, 0 otherwise) and Z is the feature
+    // matrix X as binary planes per feature bit; here we use the
+    // integer-binary kernel per node with X^T as the mask matrix.
+    // Z[k][f] = bit: does node k light feature column f? We instead
+    // accumulate neighbour features by treating each neighbour's feature
+    // vector as the masked addend: mask = features' columns, value = X.
+    let reference = graph.aggregate(&x);
+
+    // Execute node 0..4 through the CIM kernel: inputs = adjacency row
+    // (0/1), masks = per-node "this node contributes" rows sliced by
+    // feature plane. Equivalent formulation: y_v = sum_k A[v][k] * X[k],
+    // i.e. an integer-binary GEMV per feature with Z = X bit-planes; for
+    // the demo we run the direct integer-binary form with Z[k] = rows of
+    // an indicator and values = feature entries.
+    let cfg = KernelConfig::compact();
+    let mut checked = 0;
+    for v in 0..5 {
+        // Build the K x N problem for node v: K = neighbours, N = features.
+        let neigh = &graph.adj[v];
+        if neigh.is_empty() {
+            continue;
+        }
+        // Inputs: one per (neighbour, feature) — use the feature value as
+        // the input and an all-ones single-column mask per feature.
+        // Simplest exact mapping: K = neighbours, Z[k][f] = 1 iff we add
+        // X[k][f]... since values differ per feature, run per-feature.
+        let mut y = vec![0i128; features];
+        for f in 0..features {
+            let vals: Vec<i64> = neigh.iter().map(|&u| x[u as usize][f]).collect();
+            let z = BinaryMatrix::from_rows(&vec![vec![true]; vals.len()]);
+            let r = int_binary_gemv(&cfg, &vals, &z);
+            y[f] = r.y[0];
+        }
+        for f in 0..features {
+            assert_eq!(y[f], i128::from(reference[v][f]), "node {v} feature {f}");
+        }
+        checked += 1;
+        println!("node {v}: aggregated {} neighbours -> {:?}…", neigh.len(), &y[..4]);
+    }
+    println!("verified {checked} nodes against the host reference");
+}

@@ -1,0 +1,72 @@
+//! From boolean equation to DRAM commands (§4.2's synthesis pipeline):
+//! build the masked forward-shift circuit as a Majority-Inverter Graph,
+//! optimise it, lower it to Ambit AAP/AP commands, and execute those
+//! commands bit-accurately on a simulated subarray.
+//!
+//! ```text
+//! cargo run --example mig_synthesis
+//! ```
+
+use count2multiply::cim::ambit::MicroOp;
+use count2multiply::cim::Row;
+use count2multiply::mig::counting;
+use count2multiply::mig::lower::{Lowerer, PinMap};
+use count2multiply::mig::rewrite::optimize_size;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+fn main() {
+    // 1. The §4.2 bit-update equation b' = (b ∧ !m) ∨ (s ∧ m) as a MIG.
+    let circuit = counting::forward_shift();
+    println!(
+        "forward shift: {} majority nodes, depth {}",
+        circuit.size(),
+        circuit.depth()
+    );
+
+    // 2. Algebraic optimisation (Ω axioms) — preserves the function.
+    let opt = optimize_size(&circuit.mig, &circuit.outputs);
+    println!(
+        "after MIG optimisation: {} nodes",
+        opt.mig.node_count(&opt.outputs)
+    );
+
+    // 3. Schedule onto Ambit's B-group rows: inputs in D-group rows
+    //    0..3, scratch from row 4.
+    let pins = PinMap::dense(3, 4);
+    let lowered = Lowerer::new(&opt.mig, &pins).lower(&opt.outputs);
+    println!(
+        "lowered to {} macro commands ({} scratch rows peak):",
+        lowered.command_count(),
+        lowered.peak_scratch_rows
+    );
+    for (i, op) in lowered.program.ops().iter().enumerate() {
+        match op {
+            MicroOp::Aap(src, dst) => println!("  {i:2}: AAP {src:?} -> {dst:?}"),
+            MicroOp::Ap(addr) => println!("  {i:2}: AP  {addr:?} (TRA)"),
+        }
+    }
+
+    // 4. Execute on a simulated subarray and cross-check every column
+    //    against direct evaluation of the graph.
+    let mut rng = ChaCha12Rng::seed_from_u64(3);
+    let width = 32;
+    let pi_rows: Vec<Row> = (0..3)
+        .map(|_| Row::from_bits((0..width).map(|_| rng.gen_bool(0.5))))
+        .collect();
+    let got = lowered.execute(&pins, &pi_rows);
+    let expect = opt.mig.eval_rows(opt.outputs[0], &pi_rows);
+    assert_eq!(got[0], expect);
+    println!("\nexecuted on a {width}-column subarray: all columns match ✓");
+
+    // 5. The gap to the paper's hand-tuned template: a whole n=5 unit
+    //    increment costs 7n+7 = 42 commands in Fig. 6b's schedule.
+    let unit = counting::unit_increment(5);
+    let pins5 = PinMap::dense(6, 8);
+    let generic = Lowerer::new(&unit.mig, &pins5).lower(&unit.outputs);
+    println!(
+        "unit increment (n=5): generic lowering {} cmds vs hand-tuned 42 \
+         — the paper's template keeps operands resident in B-group rows",
+        generic.command_count()
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: multiply an integer vector by a ternary matrix entirely
+//! through simulated in-memory counting.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use count2multiply::arch::kernels::{ternary_gemv, KernelConfig};
+use count2multiply::arch::matrix::TernaryMatrix;
+use count2multiply::arch::engine::{C2mEngine, EngineConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+fn main() {
+    // 1. A ternary weight matrix Z [K x N] stored as +1/-1 mask planes.
+    let mut rng = ChaCha12Rng::seed_from_u64(1);
+    let k = 64;
+    let n = 16;
+    let z = TernaryMatrix::random(k, n, 0.7, &mut rng);
+
+    // 2. An int8 input vector X.
+    let x: Vec<i64> = (0..k).map(|_| rng.gen_range(-128i64..128)).collect();
+
+    // 3. Bit-accurate in-memory execution: every mask row, every k-ary
+    //    Johnson-counter increment is simulated.
+    let cfg = KernelConfig::compact();
+    let result = ternary_gemv(&cfg, &x, &z);
+
+    // 4. Check against a plain host-side matmul.
+    let reference = z.reference_gemv(&x);
+    for (col, (got, want)) in result.y.iter().zip(&reference).enumerate() {
+        assert_eq!(*got, i128::from(*want), "column {col}");
+    }
+    println!("y = x · Z  ->  {:?}", &result.y[..8.min(n)]);
+    println!(
+        "executed {} k-ary increment sequences = {} Ambit AAP/AP commands",
+        result.stats.increments, result.stats.ambit_ops
+    );
+
+    // 5. Project the same kernel at LLaMA scale on the Table 2 module.
+    let engine = C2mEngine::new(EngineConfig::c2m(16));
+    let big_x: Vec<i64> = (0..8192).map(|_| rng.gen_range(-128i64..128)).collect();
+    let report = engine.ternary_gemv(&big_x, 22016);
+    println!(
+        "LLaMA V0 (1x22016x8192) on C2M:16 -> {:.2} ms, {:.0} GOPS, {:.1} GOPS/W",
+        report.elapsed_ms(),
+        report.gops(),
+        report.gops_per_watt()
+    );
+}

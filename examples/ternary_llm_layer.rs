@@ -1,0 +1,42 @@
+//! Projecting a ternary LLaMA projection layer (Table 3) across the
+//! three accelerators the paper compares: C2M, SIMDRAM, and a GPU.
+//!
+//! ```text
+//! cargo run --example ternary_llm_layer
+//! ```
+
+use count2multiply::arch::engine::{C2mEngine, EngineConfig};
+use count2multiply::baselines::{GpuModel, SimdramEngine};
+use count2multiply::workloads::distributions::int8_embeddings;
+use count2multiply::workloads::llama::GEMV_SHAPES;
+use count2multiply::workloads::sparsity::sparse_int8_stream;
+
+fn main() {
+    let shape = GEMV_SHAPES[0]; // V0: 1 x 22016 x 8192
+    println!(
+        "workload {}: y[1x{}] = x[1x{}] . Z (ternary)",
+        shape.id, shape.n, shape.k
+    );
+
+    let gpu = GpuModel::rtx_3090_ti();
+    let simdram = SimdramEngine::x(16);
+    let c2m = C2mEngine::new(EngineConfig::c2m(16));
+
+    let x = int8_embeddings(shape.k, 99);
+    let g = gpu.gemv(shape.n, shape.k);
+    let s = simdram.ternary_gemv(shape.n, shape.k);
+    let c = c2m.ternary_gemv(&x, shape.n);
+
+    println!("\ndense activations:");
+    println!("  GPU     : {:>9.3} ms end-to-end, {:>7.0} GOPS kernel", g.total_ns / 1e6, g.gops());
+    println!("  SIMDRAM : {:>9.3} ms,           {:>7.2} GOPS", s.elapsed_ms(), s.gops());
+    println!("  C2M     : {:>9.3} ms,           {:>7.2} GOPS  ({:.1}x over SIMDRAM)",
+        c.elapsed_ms(), c.gops(), s.elapsed_ns / c.elapsed_ns);
+
+    println!("\nC2M latency falls with activation sparsity (zeros cost nothing):");
+    for sp in [0.0, 0.5, 0.9, 0.99] {
+        let xs = sparse_int8_stream(shape.k, sp, 123);
+        let r = c2m.ternary_gemv(&xs, shape.n);
+        println!("  {:>5.1}% sparse -> {:>8.3} ms", sp * 100.0, r.elapsed_ms());
+    }
+}

@@ -1,0 +1,277 @@
+//! `c2m` — command-line front end to the Count2Multiply simulator.
+//!
+//! ```text
+//! c2m plan   [--radix R] [--capacity BITS] [--k K] [--n N] [--encoding binary|ternary|csd8]
+//! c2m gemv   [--k K] [--n N] [--sparsity S] [--radix R] [--seed SEED]
+//! c2m radix-sweep [--max-radix R]
+//! c2m experiments
+//! ```
+//!
+//! `plan` sizes a kernel against the Table 2 DRAM geometry, `gemv` runs
+//! a bit-accurate ternary GEMV and reports command counts and projected
+//! latency, `radix-sweep` reproduces the Fig. 8 cost curves at small
+//! scale, and `experiments` lists the paper-artefact bench binaries.
+
+use count2multiply::arch::engine::{C2mEngine, EngineConfig};
+use count2multiply::arch::kernels::{ternary_gemv, KernelConfig};
+use count2multiply::arch::matrix::TernaryMatrix;
+use count2multiply::arch::placement::{self, CounterSpec, KernelShape, MaskEncoding};
+use count2multiply::dram::DramConfig;
+use count2multiply::jc::cost;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse `{v}`")),
+    }
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let radix: usize = get(flags, "radix", 4)?;
+    let capacity: u32 = get(flags, "capacity", 64)?;
+    let k: usize = get(flags, "k", 512)?;
+    let n: usize = get(flags, "n", 8192)?;
+    let encoding = match flags.get("encoding").map(String::as_str) {
+        None | Some("ternary") => MaskEncoding::Ternary,
+        Some("binary") => MaskEncoding::Binary,
+        Some("csd8") => MaskEncoding::csd_for_precision(8),
+        Some(other) => return Err(format!("unknown encoding `{other}`")),
+    };
+    let cfg = DramConfig::ddr5_4400();
+    let spec = CounterSpec {
+        radix,
+        capacity_bits: capacity,
+        ..CounterSpec::paper_default()
+    };
+    let shape = KernelShape { k, n_out: n, encoding };
+    println!("placement for K={k}, N={n}, radix {radix}, {capacity}-bit capacity:");
+    match placement::plan(&cfg, &spec, &shape) {
+        Ok(p) => {
+            println!("  counter rows / column : {}", spec.counter_rows());
+            println!("  scratch rows          : {}", spec.scratch_rows());
+            println!("  D-group rows used     : {} / {}", p.rows_used, p.rows_available);
+            println!("  row utilisation       : {:.1}%", p.row_utilisation() * 100.0);
+            println!("  columns per subarray  : {}", p.columns_per_subarray);
+            println!("  subarrays needed      : {}", p.subarrays_needed);
+            println!("  concurrent subarrays  : {}", p.parallel_subarrays);
+        }
+        Err(deficit) => {
+            let max_k = placement::max_k_per_subarray(&cfg, &spec, encoding);
+            println!("  DOES NOT FIT: {deficit} rows over budget");
+            println!("  split K: at most {max_k} reduction rows per subarray");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gemv(flags: &HashMap<String, String>) -> Result<(), String> {
+    let k: usize = get(flags, "k", 128)?;
+    let n: usize = get(flags, "n", 64)?;
+    let sparsity: f64 = get(flags, "sparsity", 0.0)?;
+    let radix: usize = get(flags, "radix", 4)?;
+    let seed: u64 = get(flags, "seed", 42)?;
+    if !(0.0..=1.0).contains(&sparsity) {
+        return Err("--sparsity must be in [0, 1]".into());
+    }
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let z = TernaryMatrix::random(k, n, 0.7, &mut rng);
+    let x: Vec<i64> = (0..k)
+        .map(|_| {
+            if rng.gen_bool(sparsity) {
+                0
+            } else {
+                rng.gen_range(-128i64..128)
+            }
+        })
+        .collect();
+    let cfg = KernelConfig {
+        radix,
+        ..KernelConfig::compact()
+    };
+    let result = ternary_gemv(&cfg, &x, &z);
+    let reference = z.reference_gemv(&x);
+    let exact = result
+        .y
+        .iter()
+        .zip(&reference)
+        .all(|(g, w)| *g == i128::from(*w));
+    println!("ternary GEMV K={k} N={n} radix {radix} sparsity {sparsity:.2}:");
+    println!("  bit-exact vs reference : {exact}");
+    println!("  increment sequences    : {}", result.stats.increments);
+    println!("  Ambit macro commands   : {}", result.stats.ambit_ops);
+
+    // Project at module scale: 16 banks, one subarray each.
+    let engine = C2mEngine::new(EngineConfig::c2m(16));
+    let report = engine.ternary_gemv(&x, n);
+    println!(
+        "  projected on Table 2   : {:.3} ms, {:.1} GOPS, {:.2} GOPS/W",
+        report.elapsed_ms(),
+        report.gops(),
+        report.gops_per_watt()
+    );
+    Ok(())
+}
+
+fn cmd_radix_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    let max_radix: usize = get(flags, "max-radix", 20)?;
+    println!("average AAP commands to accumulate one uniform 8-bit input");
+    println!("(64-bit capacity, k-ary increments + full rippling — Fig. 8a):\n");
+    println!("{:>6} | {:>10}", "radix", "AAP/input");
+    for radix in (2..=max_radix).step_by(2) {
+        let digits = cost::digits_for_capacity(radix, 64);
+        let ops = cost::average_over_uniform_u8(|v| {
+            cost::kary_full_ripple_ops(v, radix, digits)
+        });
+        println!("{radix:>6} | {ops:>10.1}");
+    }
+    println!(
+        "\nRCA reference: {} AAP/input (64-bit)",
+        cost::rca_add_ops(64)
+    );
+    Ok(())
+}
+
+fn cmd_experiments() {
+    println!("paper-artefact bench binaries (cargo run -p c2m-bench --bin <id>):\n");
+    for (id, what) in [
+        ("fig3", "input value distributions (DNA, BERT embeddings)"),
+        ("fig4", "fault-rate motivation: RMSE + DNA filter F1"),
+        ("fig8", "unit vs k-ary vs IARM AAP cost curves"),
+        ("table1", "FR-check error/detect rates + op counts"),
+        ("fig14", "GEMV/GEMM throughput vs GPU (Tab. 3 shapes)"),
+        ("fig15", "bank scaling: SIMDRAM vs C2M, 1/4/16 banks"),
+        ("fig16", "sparsity sweep on V0/M0"),
+        ("fig17", "accuracy under CIM faults (DNA, BERT proxy)"),
+        ("fig18", "full workloads incl. protection overhead"),
+        ("fig19", "counter storage capacity vs radix"),
+        ("backends", "counting cost per CIM technology (§4.6)"),
+        ("mig", "MIG synthesis sizes and lowering costs (§4.2)"),
+        ("hostpath", "FR-FCFS host read path vs CIM issue rate (§5.1)"),
+    ] {
+        println!("  {id:<9} {what}");
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: c2m <plan|gemv|radix-sweep|experiments> [--flag value]...\n\
+     try `c2m experiments` for the paper-artefact harness"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_flags_accepts_pairs() {
+        let args: Vec<String> = ["--k", "64", "--sparsity", "0.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f["k"], "64");
+        assert_eq!(f["sparsity"], "0.5");
+    }
+
+    #[test]
+    fn parse_flags_rejects_bare_values() {
+        let args = vec!["64".to_string()];
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn parse_flags_rejects_missing_value() {
+        let args = vec!["--k".to_string()];
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn get_applies_defaults_and_parses() {
+        let f = flags(&[("k", "12")]);
+        assert_eq!(get(&f, "k", 5usize).unwrap(), 12);
+        assert_eq!(get(&f, "n", 7usize).unwrap(), 7);
+        assert!(get(&f, "k", 0.0f64).is_ok());
+    }
+
+    #[test]
+    fn get_reports_parse_failures() {
+        let f = flags(&[("k", "banana")]);
+        assert!(get(&f, "k", 5usize).is_err());
+    }
+
+    #[test]
+    fn gemv_rejects_bad_sparsity() {
+        let f = flags(&[("sparsity", "1.5")]);
+        assert!(cmd_gemv(&f).is_err());
+    }
+
+    #[test]
+    fn plan_and_sweep_run_on_defaults() {
+        assert!(cmd_plan(&flags(&[("k", "64"), ("n", "128")])).is_ok());
+        assert!(cmd_radix_sweep(&flags(&[("max-radix", "6")])).is_ok());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "plan" => cmd_plan(&flags),
+        "gemv" => cmd_gemv(&flags),
+        "radix-sweep" => cmd_radix_sweep(&flags),
+        "experiments" => {
+            cmd_experiments();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Cross-crate integration tests: the same computation expressed through
+//! different substrates must agree.
+//!
+//! * The MIG-synthesised unit-increment μProgram and the Johnson
+//!   counter bank advance state identically.
+//! * The command-accurate SIMDRAM adder ([`AmbitRca`]) and the analytic
+//!   [`RcaAccumulator`] compute the same sums.
+//! * A Reed–Solomon-protected row survives symbol bursts that defeat
+//!   SECDED, and its XOR homomorphism holds through an in-memory XOR.
+//! * Convolution through the counting path equals attention-style GEMM
+//!   decomposition of the same tensor contraction.
+
+use count2multiply::arch::kernels::{int_binary_gemv, KernelConfig};
+use count2multiply::arch::matrix::BinaryMatrix;
+use count2multiply::arch::nn::{conv2d_ternary, im2col, ConvShape, Image};
+use count2multiply::arch::matrix::TernaryMatrix;
+use count2multiply::baselines::ambit_rca::AmbitRca;
+use count2multiply::baselines::rca::RcaAccumulator;
+use count2multiply::cim::Row;
+use count2multiply::ecc::{LinearCode, ReedSolomon, RsLinear, Secded};
+use count2multiply::jc::bank::CounterBank;
+use count2multiply::jc::JohnsonCode;
+use count2multiply::mig::counting;
+use count2multiply::mig::lower::{Lowerer, PinMap};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+#[test]
+fn mig_unit_increment_agrees_with_counter_bank() {
+    let n = 5;
+    let width = 24;
+    // Counter bank path: one masked unit increment.
+    let mut bank = CounterBank::new(2 * n, 1, width);
+    for col in 0..width {
+        bank.set(col, (col % (2 * n)) as u128);
+    }
+    let mask = Row::from_bits((0..width).map(|c| c % 3 != 0));
+    bank.increment_digit(0, 1, &mask);
+
+    // MIG path: lower the synthesised circuit and run it on a fresh
+    // subarray seeded with the same Johnson states.
+    let circuit = counting::unit_increment(n);
+    let pins = PinMap::dense(n + 1, n + 3);
+    let lowered = Lowerer::new(&circuit.mig, &pins).lower(&circuit.outputs);
+    let code = JohnsonCode::new(n);
+    let mut pi_rows = vec![Row::zeros(width); n + 1];
+    pi_rows[0] = mask.clone();
+    for col in 0..width {
+        for i in 0..n {
+            pi_rows[i + 1].set(col, code.bit(col % (2 * n), i));
+        }
+    }
+    let outs = lowered.execute(&pins, &pi_rows);
+
+    for col in 0..width {
+        let bank_value = bank.get(col).expect("bank state must stay valid");
+        let mut mig_bits = 0u64;
+        for (i, row) in outs.iter().enumerate() {
+            if row.get(col) {
+                mig_bits |= 1 << i;
+            }
+        }
+        let mig_value = code.decode(mig_bits).expect("valid Johnson state") as u128;
+        assert_eq!(bank_value, mig_value, "column {col}");
+    }
+}
+
+#[test]
+fn command_accurate_and_analytic_simdram_agree() {
+    let mut rng = ChaCha12Rng::seed_from_u64(11);
+    let lanes = 32;
+    let mut exact = AmbitRca::new(32, lanes);
+    let mut analytic = RcaAccumulator::new(32, lanes);
+    for _ in 0..15 {
+        let v = rng.gen_range(0..100_000u128);
+        let mask = Row::from_bits((0..lanes).map(|_| rng.gen_bool(0.7)));
+        exact.add_masked(v, &mask);
+        analytic.add_masked(v, &mask);
+    }
+    for l in 0..lanes {
+        assert_eq!(exact.get(l), analytic.get(l), "lane {l}");
+    }
+}
+
+#[test]
+fn reed_solomon_survives_bursts_that_defeat_secded() {
+    let mut rng = ChaCha12Rng::seed_from_u64(13);
+    let data: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.5)).collect();
+
+    let secded = Secded::new(64);
+    let rs = RsLinear::new(8, 1);
+    let sc = secded.checks(&data);
+    let rc = rs.checks(&data);
+
+    // A 4-bit burst inside one byte: one RS symbol, four SECDED bits.
+    let mut d1 = data.clone();
+    let mut c1 = sc.clone();
+    for i in 8..12 {
+        d1[i] = !d1[i];
+    }
+    assert!(
+        secded.correct(&mut d1, &mut c1).is_none(),
+        "SECDED must fail on a 4-bit burst"
+    );
+
+    let mut d2 = data.clone();
+    let mut c2 = rc.clone();
+    for i in 8..12 {
+        d2[i] = !d2[i];
+    }
+    assert_eq!(rs.correct(&mut d2, &mut c2), Some(1));
+    assert_eq!(d2, data);
+}
+
+#[test]
+fn rs_homomorphism_validates_in_memory_xor() {
+    // §6.1: the check symbols of an in-memory XOR can be predicted by
+    // XOR-ing the operands' stored checks — no re-encode needed.
+    let mut rng = ChaCha12Rng::seed_from_u64(17);
+    let rs = ReedSolomon::new(16, 2);
+    let a: Vec<u8> = (0..16).map(|_| rng.gen()).collect();
+    let b: Vec<u8> = (0..16).map(|_| rng.gen()).collect();
+    let pa = rs.parity(&a);
+    let pb = rs.parity(&b);
+
+    // In-memory XOR of the data rows (the FR of the protection scheme).
+    let xor: Vec<u8> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
+    let predicted: Vec<u8> = pa.iter().zip(&pb).map(|(&x, &y)| x ^ y).collect();
+
+    let mut cw = xor.clone();
+    cw.extend(predicted.clone());
+    assert!(rs.syndromes(&cw).iter().all(|&s| s == 0));
+
+    // A CIM fault in the XOR row invalidates the predicted parity.
+    let mut faulty = xor;
+    faulty[3] ^= 0x10;
+    let mut cw2 = faulty;
+    cw2.extend(predicted);
+    assert!(cw2.len() == rs.n());
+    assert!(rs.syndromes(&cw2).iter().any(|&s| s != 0));
+}
+
+#[test]
+fn convolution_is_the_same_contraction_as_masked_gemv() {
+    // conv2d via the counting path == per-filter masked GEMV over the
+    // im2col rows (the §5.2 reading of convolution).
+    let mut rng = ChaCha12Rng::seed_from_u64(19);
+    let shape = ConvShape {
+        in_channels: 2,
+        out_channels: 3,
+        kernel: 3,
+        in_h: 5,
+        in_w: 5,
+        stride: 1,
+        padding: 0,
+    };
+    let image: Image = (0..shape.in_channels)
+        .map(|_| {
+            (0..shape.in_h)
+                .map(|_| (0..shape.in_w).map(|_| rng.gen_range(0..10)).collect())
+                .collect()
+        })
+        .collect();
+    let w = TernaryMatrix::random(shape.gemm_k(), shape.out_channels, 0.7, &mut rng);
+    let cfg = KernelConfig::compact();
+    let conv = conv2d_ternary(&cfg, &image, &w, &shape);
+
+    // Re-express with two binary planes and int_binary_gemv per patch.
+    let x = im2col(&image, &shape);
+    for (pos, patch) in x.iter().enumerate() {
+        let plus = int_binary_gemv(&cfg, patch, &w.plus);
+        let minus = int_binary_gemv(&cfg, patch, &w.minus);
+        let (oy, ox) = (pos / shape.out_w(), pos % shape.out_w());
+        for c in 0..shape.out_channels {
+            assert_eq!(
+                conv.output[c][oy][ox],
+                plus.y[c] - minus.y[c],
+                "pos {pos} channel {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn binary_matrix_gemv_via_rs_protected_rows_roundtrip() {
+    // Store every mask row with RS checks, flip a burst in one row,
+    // correct it, and verify the GEMV still matches the reference.
+    let mut rng = ChaCha12Rng::seed_from_u64(23);
+    let k = 8;
+    let n = 64; // 8 RS symbols per mask row
+    let z = BinaryMatrix::random(k, n, 0.5, &mut rng);
+    let code = RsLinear::new(8, 2);
+
+    let mut stored: Vec<(Vec<bool>, Vec<bool>)> = (0..k)
+        .map(|i| {
+            let bits: Vec<bool> = (0..n).map(|c| z.get(i, c)).collect();
+            let checks = code.checks(&bits);
+            (bits, checks)
+        })
+        .collect();
+
+    // Corrupt a 2-symbol burst in row 3.
+    for bit in 16..32 {
+        stored[3].0[bit] = !stored[3].0[bit];
+    }
+    let (bits3, checks3) = &mut stored[3];
+    let fixed = code.correct(bits3, checks3);
+    assert_eq!(fixed, Some(2));
+
+    // Rebuild the matrix from the corrected rows and run the kernel.
+    let rows: Vec<Vec<bool>> = stored.into_iter().map(|(bits, _)| bits).collect();
+    let recovered = BinaryMatrix::from_rows(&rows);
+    let x: Vec<i64> = (0..k).map(|_| rng.gen_range(0..100)).collect();
+    let got = int_binary_gemv(&KernelConfig::compact(), &x, &recovered);
+    let want = z.reference_gemv(&x);
+    for (g, w) in got.y.iter().zip(&want) {
+        assert_eq!(*g, i128::from(*w));
+    }
+}

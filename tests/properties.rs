@@ -1,0 +1,123 @@
+//! Cross-crate property-based tests on the core invariants.
+
+use count2multiply::arch::kernels::{int_binary_gemv, KernelConfig};
+use count2multiply::arch::matrix::BinaryMatrix;
+use count2multiply::cim::Row;
+use count2multiply::jc::bank::CounterBank;
+use count2multiply::jc::iarm::{apply_plan, IarmPlanner};
+use count2multiply::jc::JohnsonCode;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any sequence of masked accumulations matches plain arithmetic.
+    #[test]
+    fn bank_accumulation_is_exact(
+        radix_half in 1usize..=8,
+        values in prop::collection::vec(0u32..10_000, 1..12),
+        mask_bits in prop::collection::vec(any::<bool>(), 16),
+    ) {
+        let radix = 2 * radix_half;
+        let digits = 6;
+        let mut bank = CounterBank::new(radix, digits, 16);
+        let mask = Row::from_bits(mask_bits.iter().copied());
+        let capacity = bank.capacity();
+        let mut expect = 0u128;
+        for &v in &values {
+            bank.accumulate_ripple(u128::from(v) % capacity, &mask);
+            expect = (expect + u128::from(v) % capacity) % capacity;
+        }
+        for c in 0..16 {
+            let want = if mask.get(c) { expect } else { 0 };
+            prop_assert_eq!(bank.get(c), Some(want));
+        }
+    }
+
+    /// IARM and full rippling produce identical results; IARM never
+    /// issues more command sequences.
+    #[test]
+    fn iarm_equals_ripple_and_is_cheaper(
+        values in prop::collection::vec(1u32..100_000, 2..16),
+    ) {
+        let radix = 10;
+        let digits = 8;
+        let mask = Row::ones(4);
+
+        let mut ripple = CounterBank::new(radix, digits, 4);
+        for &v in &values {
+            ripple.accumulate_ripple(u128::from(v), &mask);
+        }
+
+        let mut iarm = CounterBank::new(radix, digits, 4);
+        let mut planner = IarmPlanner::new(radix, digits);
+        planner.assume_zero();
+        for &v in &values {
+            let plan = planner.plan_add(u128::from(v));
+            apply_plan(&mut iarm, &plan, &mask);
+        }
+        apply_plan(&mut iarm, &planner.flush(), &mask);
+
+        prop_assert_eq!(iarm.get(0), ripple.get(0));
+        // The cost claim (§4.5.2) is against the *data-oblivious*
+        // controller, which cannot observe O_next and must ripple every
+        // increment through all higher digits. IARM must never exceed
+        // that budget. (The in-simulator `accumulate_ripple` peeks at
+        // O_next, so it is not the fair baseline for cost.)
+        let oblivious: u64 = values
+            .iter()
+            .map(|&v| {
+                let mut v = u128::from(v);
+                let mut d = 0u64;
+                let mut seqs = 0u64;
+                while v != 0 {
+                    if v % radix as u128 != 0 {
+                        seqs += 1 + (digits as u64 - 1 - d);
+                    }
+                    v /= radix as u128;
+                    d += 1;
+                }
+                seqs
+            })
+            .sum();
+        prop_assert!(iarm.stats().increments <= oblivious);
+    }
+
+    /// Johnson encode/decode round-trips through arbitrary k-ary walks.
+    #[test]
+    fn jc_walks_stay_consistent(
+        n in 1usize..=10,
+        steps in prop::collection::vec(1usize..19, 1..30),
+    ) {
+        use count2multiply::jc::kary::TransitionPattern;
+        let code = JohnsonCode::new(n);
+        let radix = 2 * n;
+        let mut bits = code.encode(0);
+        let mut value = 0usize;
+        for &s in &steps {
+            let k = 1 + s % (radix - 1).max(1);
+            let p = TransitionPattern::increment(n, k);
+            bits = p.apply_bits(bits);
+            value = (value + k) % radix;
+            prop_assert_eq!(code.decode(bits), Some(value));
+        }
+    }
+
+    /// GEMV through the full in-memory stack equals the host reference
+    /// for arbitrary inputs and matrices.
+    #[test]
+    fn gemv_is_exact(
+        x in prop::collection::vec(0i64..256, 4..10),
+        density in 0.1f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+        let z = BinaryMatrix::random(x.len(), 8, density, &mut rng);
+        let got = int_binary_gemv(&KernelConfig::compact(), &x, &z);
+        let want = z.reference_gemv(&x);
+        for (g, w) in got.y.iter().zip(want) {
+            prop_assert_eq!(*g, i128::from(w));
+        }
+    }
+}
