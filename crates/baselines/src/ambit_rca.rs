@@ -101,7 +101,7 @@ pub fn add_program(layout: AdderLayout) -> MicroProgram {
         p.aap(b, AmbitAddr::T(2));
         p.aap(c, AmbitAddr::T(3));
         p.ap(AmbitAddr::TripleT1T2T3); // T1 = M
-        // Keep M in T0 and !M in DCC0.
+                                       // Keep M in T0 and !M in DCC0.
         p.aap(AmbitAddr::T(1), AmbitAddr::PairT0Dcc0);
         // sum = MAJ(M2, c, !M) via B14 {T1, T2, DCC0}.
         p.aap(d(layout.scratch()), AmbitAddr::T(1));
@@ -233,7 +233,11 @@ impl AmbitRca {
         assert_eq!(mask.width(), self.lanes, "mask width mismatch");
         for i in 0..self.layout.width_bits {
             let bit = (value >> i) & 1 == 1;
-            let row = if bit { mask.clone() } else { Row::zeros(self.lanes) };
+            let row = if bit {
+                mask.clone()
+            } else {
+                Row::zeros(self.lanes)
+            };
             self.sub.write_data(self.layout.addend(i), &row);
         }
         let prog = add_program(self.layout);
@@ -285,8 +289,8 @@ mod tests {
                 *r += v;
             }
         }
-        for l in 0..lanes {
-            assert_eq!(adder.get(l), reference[l], "lane {l}");
+        for (l, &r) in reference.iter().enumerate().take(lanes) {
+            assert_eq!(adder.get(l), r, "lane {l}");
         }
     }
 
@@ -363,8 +367,8 @@ mod tests {
                     *r = (*r + v) & 0xFF_FFFF;
                 }
             }
-            for l in 0..lanes {
-                assert_eq!(adder.get(l), reference[l], "round {round}, lane {l}");
+            for (l, &r) in reference.iter().enumerate().take(lanes) {
+                assert_eq!(adder.get(l), r, "round {round}, lane {l}");
             }
         }
     }

@@ -66,8 +66,7 @@ impl BitSerialMultiplier {
         assert!(multiplier < (1 << self.operand_bits), "multiplier too wide");
         for j in 0..self.operand_bits {
             if (multiplier >> j) & 1 == 1 {
-                self.product
-                    .add_masked(u128::from(value) << j, mask);
+                self.product.add_masked(u128::from(value) << j, mask);
             }
         }
     }

@@ -121,7 +121,7 @@ impl RcaAccumulator {
         let s1 = 2 * w + 2; // not carry_in
         let s2 = 2 * w + 3; // maj(a, b, !carry_in)
         let s3 = 2 * w + 4; // new carry before commit
-        // carry <- 0
+                            // carry <- 0
         self.machine.write(carry, &Row::zeros(self.lanes));
         for i in 0..w {
             let a = i;
@@ -241,7 +241,10 @@ mod tests {
             .map(|l| (acc.get(l) as i128 - 450).unsigned_abs())
             .max()
             .unwrap();
-        assert!(max_err > 10, "expected high-order corruption, max {max_err}");
+        assert!(
+            max_err > 10,
+            "expected high-order corruption, max {max_err}"
+        );
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! as C2M (§7.2.1).
 
 use c2m_dram::scheduler::steady_state_aap_interval;
-use c2m_dram::{AreaModel, CommandKind, CommandStats, DramConfig, EnergyModel, ExecutionReport, TimingParams};
+use c2m_dram::{
+    AreaModel, CommandKind, CommandStats, DramConfig, EnergyModel, ExecutionReport, TimingParams,
+};
 use serde::{Deserialize, Serialize};
 
 /// Analytic SIMDRAM engine for GEMV/GEMM-style masked accumulation.
@@ -113,10 +115,7 @@ mod tests {
         let e64 = SimdramEngine::x(1);
         let mut e32 = SimdramEngine::x(1);
         e32.accumulator_bits = 32;
-        assert_eq!(
-            e64.ops_per_accumulation(),
-            2 * e32.ops_per_accumulation()
-        );
+        assert_eq!(e64.ops_per_accumulation(), 2 * e32.ops_per_accumulation());
     }
 
     #[test]

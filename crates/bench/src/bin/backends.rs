@@ -53,8 +53,14 @@ struct BackendRow {
 }
 
 fn main() {
-    header("backends", "§4.6 ablation: counting cost per CIM technology");
-    println!("\n{:>10} | {:>8} {:>8} {:>8}", "backend", "n=2", "n=5", "n=8");
+    header(
+        "backends",
+        "§4.6 ablation: counting cost per CIM technology",
+    );
+    println!(
+        "\n{:>10} | {:>8} {:>8} {:>8}",
+        "backend", "n=2", "n=5", "n=8"
+    );
     let mut rows = Vec::new();
     for b in Backend::ALL {
         let row = BackendRow {

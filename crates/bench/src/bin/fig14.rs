@@ -1,8 +1,8 @@
 //! Fig. 14 — ternary GEMM/GEMV throughput, throughput/W and
 //! throughput/mm² for SIMDRAM:16 and C2M:16, normalised to the GPU.
 
-use c2m_bench::{eng, geomean, header, maybe_json};
 use c2m_baselines::{GpuModel, SimdramEngine};
+use c2m_bench::{eng, geomean, header, maybe_json};
 use c2m_core::engine::{C2mEngine, EngineConfig};
 use c2m_workloads::distributions::int8_embeddings;
 use c2m_workloads::llama::all_shapes;
@@ -23,15 +23,26 @@ struct Fig14Row {
 }
 
 fn main() {
-    header("fig14", "Ternary GEMM/GEMV vs GPU (normalised throughput metrics)");
+    header(
+        "fig14",
+        "Ternary GEMM/GEMV vs GPU (normalised throughput metrics)",
+    );
     let gpu = GpuModel::rtx_3090_ti();
     let simdram = SimdramEngine::x(16);
     let c2m = C2mEngine::new(EngineConfig::c2m(16));
 
     println!(
         "\n{:>4} | {:>10} {:>10} {:>10} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
-        "id", "SIM gops", "C2M gops", "GPU gops", "SIM/GPU", "C2M/GPU",
-        "SIM gpw", "C2M gpw", "SIM gpa", "C2M gpa"
+        "id",
+        "SIM gops",
+        "C2M gops",
+        "GPU gops",
+        "SIM/GPU",
+        "C2M/GPU",
+        "SIM gpw",
+        "C2M gpw",
+        "SIM gpa",
+        "C2M gpa"
     );
     let mut rows = Vec::new();
     for shape in all_shapes() {

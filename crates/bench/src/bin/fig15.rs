@@ -1,8 +1,8 @@
 //! Fig. 15 — in-DRAM designs across bank counts (1 / 4 / 16):
 //! latency of SIMDRAM:X and throughput of C2M:X on the Table 3 shapes.
 
-use c2m_bench::{eng, geomean, header, maybe_json};
 use c2m_baselines::SimdramEngine;
+use c2m_bench::{eng, geomean, header, maybe_json};
 use c2m_core::engine::{C2mEngine, EngineConfig};
 use c2m_workloads::distributions::int8_embeddings;
 use c2m_workloads::llama::all_shapes;
@@ -18,13 +18,25 @@ struct Fig15Row {
 }
 
 fn main() {
-    header("fig15", "DRAM bank scaling: SIMDRAM:X latency, C2M:X throughput");
+    header(
+        "fig15",
+        "DRAM bank scaling: SIMDRAM:X latency, C2M:X throughput",
+    );
     let banks = [1usize, 4, 16];
 
     println!(
         "\n{:>4} | {:>11} {:>11} {:>11} | {:>11} {:>11} {:>11} | {:>9} {:>9} {:>9} | {:>8}",
-        "id", "SIM:1 ms", "SIM:4 ms", "SIM:16 ms", "C2M:1 ms", "C2M:4 ms",
-        "C2M:16 ms", "gops:1", "gops:4", "gops:16", "C2M/SIM"
+        "id",
+        "SIM:1 ms",
+        "SIM:4 ms",
+        "SIM:16 ms",
+        "C2M:1 ms",
+        "C2M:4 ms",
+        "C2M:16 ms",
+        "gops:1",
+        "gops:4",
+        "gops:16",
+        "C2M/SIM"
     );
     let mut rows = Vec::new();
     for shape in all_shapes() {

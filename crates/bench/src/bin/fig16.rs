@@ -7,8 +7,8 @@
 //! on GEMV and ~99.6 % on GEMM; throughput crosses at 0 % (GEMV) and
 //! ~99.1 % (GEMM).
 
-use c2m_bench::{eng, header, maybe_json};
 use c2m_baselines::{GpuModel, SimdramEngine};
+use c2m_bench::{eng, header, maybe_json};
 use c2m_core::engine::{C2mEngine, EngineConfig};
 use c2m_workloads::llama::{GEMM_SHAPES, GEMV_SHAPES};
 use c2m_workloads::sparsity::{fig16_sweep, sparse_int8_stream};
@@ -92,9 +92,21 @@ fn main() {
     let m_lat = crossover(&m, |r| r.c2m_ms <= r.gpu_ms);
     let m_thr = crossover(&m, |r| r.c2m_gops >= r.gpu_gops);
     println!("\ncrossovers (C2M overtakes GPU):");
-    println!("  V0 latency:    {:?} (paper ~40%)", v_lat.map(|s| s * 100.0));
-    println!("  V0 throughput: {:?} (paper: from dense)", v_thr.map(|s| s * 100.0));
-    println!("  M0 latency:    {:?} (paper ~99.6%)", m_lat.map(|s| s * 100.0));
-    println!("  M0 throughput: {:?} (paper ~99.1%)", m_thr.map(|s| s * 100.0));
+    println!(
+        "  V0 latency:    {:?} (paper ~40%)",
+        v_lat.map(|s| s * 100.0)
+    );
+    println!(
+        "  V0 throughput: {:?} (paper: from dense)",
+        v_thr.map(|s| s * 100.0)
+    );
+    println!(
+        "  M0 latency:    {:?} (paper ~99.6%)",
+        m_lat.map(|s| s * 100.0)
+    );
+    println!(
+        "  M0 throughput: {:?} (paper ~99.1%)",
+        m_thr.map(|s| s * 100.0)
+    );
     maybe_json(&(v, m));
 }

@@ -19,10 +19,24 @@ const RATES: [f64; 6] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
 const CONFIGS: [(&str, bool, ProtectionKind); 6] = [
     ("JC", true, ProtectionKind::None),
     ("JC+TMR", true, ProtectionKind::Tmr),
-    ("JC+ECC", true, ProtectionKind::Ecc { fr_checks: 2, fuse_inverted_feedback: false }),
+    (
+        "JC+ECC",
+        true,
+        ProtectionKind::Ecc {
+            fr_checks: 2,
+            fuse_inverted_feedback: false,
+        },
+    ),
     ("RCA", false, ProtectionKind::None),
     ("RCA+TMR", false, ProtectionKind::Tmr),
-    ("RCA+ECC", false, ProtectionKind::Ecc { fr_checks: 2, fuse_inverted_feedback: false }),
+    (
+        "RCA+ECC",
+        false,
+        ProtectionKind::Ecc {
+            fr_checks: 2,
+            fuse_inverted_feedback: false,
+        },
+    ),
 ];
 
 #[derive(Serialize)]
@@ -32,7 +46,10 @@ struct Series {
 }
 
 fn main() {
-    header("fig17", "Accuracy under CIM faults: DNA filter F1, BERT-proxy accuracy");
+    header(
+        "fig17",
+        "Accuracy under CIM faults: DNA filter F1, BERT-proxy accuracy",
+    );
 
     // --- (a) DNA filtering.
     let filter = DnaFilter::build(FilterConfig::small(), 42);
@@ -42,8 +59,13 @@ fn main() {
         print!(" {name:>8}");
     }
     println!();
-    let mut dna_series: Vec<Series> =
-        CONFIGS.iter().map(|(n, _, _)| Series { name: (*n).into(), values: vec![] }).collect();
+    let mut dna_series: Vec<Series> = CONFIGS
+        .iter()
+        .map(|(n, _, _)| Series {
+            name: (*n).into(),
+            values: vec![],
+        })
+        .collect();
     for (ri, &rate) in RATES.iter().enumerate() {
         print!("{:>8}", format!("{rate:.0e}"));
         for (ci, &(_, jc, prot)) in CONFIGS.iter().enumerate() {
@@ -69,8 +91,13 @@ fn main() {
         print!(" {name:>8}");
     }
     println!();
-    let mut bert_series: Vec<Series> =
-        CONFIGS.iter().map(|(n, _, _)| Series { name: (*n).into(), values: vec![] }).collect();
+    let mut bert_series: Vec<Series> = CONFIGS
+        .iter()
+        .map(|(n, _, _)| Series {
+            name: (*n).into(),
+            values: vec![],
+        })
+        .collect();
     for (ri, &rate) in RATES.iter().enumerate() {
         print!("{:>8}", format!("{rate:.0e}"));
         for (ci, &(_, jc, prot)) in CONFIGS.iter().enumerate() {

@@ -2,8 +2,8 @@
 //! execution time, throughput/W and throughput/mm² for SIMDRAM:16,
 //! C2M:16, C2M protected (detection) and C2M protected + correction.
 
-use c2m_bench::{eng, header, maybe_json};
 use c2m_baselines::SimdramEngine;
+use c2m_bench::{eng, header, maybe_json};
 use c2m_core::engine::{C2mEngine, EngineConfig};
 use c2m_dram::ExecutionReport;
 use c2m_workloads::bertproxy::bert_attention_gemms;
@@ -33,7 +33,10 @@ enum InputKind {
 fn workloads() -> Vec<Workload> {
     let conv = |name: &'static str, layers: Vec<c2m_workloads::twn::ConvLayer>| Workload {
         name,
-        gemms: layers.iter().map(c2m_workloads::twn::ConvLayer::gemm).collect(),
+        gemms: layers
+            .iter()
+            .map(c2m_workloads::twn::ConvLayer::gemm)
+            .collect(),
         input: InputKind::Int8,
     };
     vec![
@@ -44,7 +47,13 @@ fn workloads() -> Vec<Workload> {
             name: "BERT",
             gemms: bert_attention_gemms()
                 .into_iter()
-                .map(|(id, m, n, k)| GemmShape { id, model: "BERT", m, n, k })
+                .map(|(id, m, n, k)| GemmShape {
+                    id,
+                    model: "BERT",
+                    m,
+                    n,
+                    k,
+                })
                 .collect(),
             input: InputKind::Int8,
         },
@@ -52,7 +61,13 @@ fn workloads() -> Vec<Workload> {
             name: "DNA filt",
             // 100k reads x (96 k-mer tokens each) against 65 536 genome
             // bins: masked accumulation of repetition counts.
-            gemms: vec![GemmShape { id: "dna", model: "GRIM", m: 100_000, n: 65_536, k: 96 }],
+            gemms: vec![GemmShape {
+                id: "dna",
+                model: "GRIM",
+                m: 100_000,
+                n: 65_536,
+                k: 96,
+            }],
             input: InputKind::Counts,
         },
         Workload {
@@ -157,8 +172,16 @@ fn main() {
 
     println!(
         "\n{:>9} | {:>11} {:>11} {:>11} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
-        "workload", "SIM ms", "C2M ms", "C2M+P ms", "SIM gpw", "C2M gpw", "C2M+P gpw",
-        "SIM gpa", "C2M gpa", "C2M+P gpa"
+        "workload",
+        "SIM ms",
+        "C2M ms",
+        "C2M+P ms",
+        "SIM gpw",
+        "C2M gpw",
+        "C2M+P gpw",
+        "SIM gpa",
+        "C2M gpa",
+        "C2M+P gpa"
     );
     let mut rows = Vec::new();
     for w in workloads() {

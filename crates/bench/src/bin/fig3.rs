@@ -20,7 +20,10 @@ struct Fig3 {
 }
 
 fn main() {
-    header("fig3", "Input distributions (DNA token repetition, BERT embeddings)");
+    header(
+        "fig3",
+        "Input distributions (DNA token repetition, BERT embeddings)",
+    );
 
     // (a) Token repetitions measured from actual synthetic reads.
     let filter = DnaFilter::build(FilterConfig::small(), 42);

@@ -4,14 +4,12 @@
 //!     TMR/ECC, across CIM fault rates 10⁻⁶…10⁻¹.
 //! (b) DNA pre-alignment filter F1 for the JC- and RCA-based filters.
 
+use c2m_baselines::rca::RcaAccumulator;
 use c2m_bench::{eng, header, maybe_json};
 use c2m_cim::{FaultModel, Row};
-use c2m_baselines::rca::RcaAccumulator;
 use c2m_ecc::protect::ProtectionKind;
 use c2m_jc::bank::CounterBank;
-use c2m_workloads::dna::{
-    effective_rate, DnaFilter, FilterConfig, JcBackend, RcaBackend,
-};
+use c2m_workloads::dna::{effective_rate, DnaFilter, FilterConfig, JcBackend, RcaBackend};
 use serde::Serialize;
 
 const RATES: [f64; 6] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
@@ -20,13 +18,7 @@ const ADDS: usize = 40;
 
 fn jc_rmse(rate: f64, protection: ProtectionKind, seed: u64) -> f64 {
     // Radix-10 counters with 16-bit-equivalent capacity (Fig. 4a setup).
-    let mut bank = CounterBank::with_faults(
-        10,
-        5,
-        LANES,
-        FaultModel::new(rate, seed),
-        protection,
-    );
+    let mut bank = CounterBank::with_faults(10, 5, LANES, FaultModel::new(rate, seed), protection);
     let mask = Row::ones(LANES);
     let mut expect = 0u128;
     for i in 0..ADDS {

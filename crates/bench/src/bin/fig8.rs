@@ -7,8 +7,8 @@
 
 use c2m_bench::{header, maybe_json};
 use c2m_jc::cost::{
-    average_over_uniform_u8, digits_for_capacity, iarm_stream_ops,
-    kary_full_ripple_ops, kary_oblivious_chain_ops, rca_add_ops, unit_counting_ops,
+    average_over_uniform_u8, digits_for_capacity, iarm_stream_ops, kary_full_ripple_ops,
+    kary_oblivious_chain_ops, rca_add_ops, unit_counting_ops,
 };
 use serde::Serialize;
 
@@ -40,8 +40,17 @@ fn main() {
     );
     println!(
         "\n{:>6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>8}",
-        "radix", "unit16", "unit32", "unit64", "kary16", "kary32", "kary64",
-        "chain16", "chain32", "chain64", "IARM"
+        "radix",
+        "unit16",
+        "unit32",
+        "unit64",
+        "kary16",
+        "kary32",
+        "kary64",
+        "chain16",
+        "chain32",
+        "chain64",
+        "IARM"
     );
     let mut rows = Vec::new();
     for &r in &radices {
@@ -71,10 +80,7 @@ fn main() {
     }
 
     // Headline gains.
-    let gains: Vec<f64> = rows
-        .iter()
-        .map(|r| r.unit_i32 / r.kary_i32)
-        .collect();
+    let gains: Vec<f64> = rows.iter().map(|r| r.unit_i32 / r.kary_i32).collect();
     println!(
         "\nk-ary over unit counting gain (i32): min {:.1}x, max {:.1}x (paper: 2-6x)",
         gains.iter().cloned().fold(f64::INFINITY, f64::min),

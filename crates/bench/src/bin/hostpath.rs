@@ -54,8 +54,7 @@ fn main() {
         .map(|i| MemoryRequest::read(0.0, i % banks, i / (banks * 16)))
         .collect();
     // Adversarial pattern: every read conflicts in one bank.
-    let conflict: Vec<MemoryRequest> =
-        (0..n).map(|i| MemoryRequest::read(0.0, 0, i)).collect();
+    let conflict: Vec<MemoryRequest> = (0..n).map(|i| MemoryRequest::read(0.0, 0, i)).collect();
 
     println!(
         "\n{:>12} | {:>8} {:>14} {:>12} {:>14}",

@@ -47,7 +47,10 @@ fn circuit_row(name: &str, c: &counting::Circuit) -> CircuitRow {
 }
 
 fn main() {
-    header("mig", "§4.2 MIG synthesis: circuit sizes and lowering costs");
+    header(
+        "mig",
+        "§4.2 MIG synthesis: circuit sizes and lowering costs",
+    );
 
     println!(
         "\n{:>18} | {:>6} {:>10} {:>6} {:>9}",
@@ -106,5 +109,8 @@ fn main() {
         circuits: Vec<CircuitRow>,
         steps: Vec<StepRow>,
     }
-    maybe_json(&Output { circuits: rows, steps });
+    maybe_json(&Output {
+        circuits: rows,
+        steps,
+    });
 }

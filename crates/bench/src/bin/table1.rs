@@ -13,7 +13,10 @@ struct Cell {
 }
 
 fn main() {
-    header("table1", "Protection scheme: FR checks vs error/detect rates");
+    header(
+        "table1",
+        "Protection scheme: FR checks vs error/detect rates",
+    );
     let rates = [1e-1, 1e-2, 1e-4];
     let checks = [2u32, 4, 6];
 
@@ -26,7 +29,10 @@ fn main() {
         let mut err = Vec::new();
         let mut det = Vec::new();
         for &p in &rates {
-            let a = ProtectionAnalysis { fault_rate: p, fr_checks: r };
+            let a = ProtectionAnalysis {
+                fault_rate: p,
+                fr_checks: r,
+            };
             err.push(a.undetected_error_rate());
             det.push(a.detect_rate());
             cells.push(Cell {
@@ -46,18 +52,21 @@ fn main() {
     println!("{:>12} {:>14}", "scheme", "ops(n)");
     println!("{:>12} {:>14}", "unprotected", "7n+7");
     for &r in &checks {
-        let k = ProtectionKind::Ecc { fr_checks: r, fuse_inverted_feedback: false };
+        let k = ProtectionKind::Ecc {
+            fr_checks: r,
+            fuse_inverted_feedback: false,
+        };
         // Verify against the closed form at n = 5 and print symbolically.
         let at5 = k.ambit_increment_ops(5);
         let a = at5 - k.ambit_increment_ops(4); // slope
         let b = at5 - 5 * a;
-        println!("{:>12} {:>14}", format!("{r} FR checks"), format!("{a}n+{b}"));
+        println!(
+            "{:>12} {:>14}",
+            format!("{r} FR checks"),
+            format!("{a}n+{b}")
+        );
     }
-    println!(
-        "{:>12} {:>14}",
-        "TMR",
-        format!("{}n+{}", 4 * 7, 4 * 7)
-    );
+    println!("{:>12} {:>14}", "TMR", format!("{}n+{}", 4 * 7, 4 * 7));
     println!("\npaper Table 1: error ≈ 1.4-1.5·p^(r+1) (floor 1e-20), 13n+16 / 23n+26 / 33n+36");
     maybe_json(&cells);
 }

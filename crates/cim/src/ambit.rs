@@ -301,12 +301,8 @@ impl AmbitSubarray {
             AmbitAddr::TripleT0T1Dcc0 => {
                 (self.t[0].clone(), self.t[1].clone(), self.dcc[0].clone())
             }
-            AmbitAddr::TripleT0T1T2 => {
-                (self.t[0].clone(), self.t[1].clone(), self.t[2].clone())
-            }
-            AmbitAddr::TripleT1T2T3 => {
-                (self.t[1].clone(), self.t[2].clone(), self.t[3].clone())
-            }
+            AmbitAddr::TripleT0T1T2 => (self.t[0].clone(), self.t[1].clone(), self.t[2].clone()),
+            AmbitAddr::TripleT1T2T3 => (self.t[1].clone(), self.t[2].clone(), self.t[3].clone()),
             AmbitAddr::TripleT1T2Dcc0 => {
                 (self.t[1].clone(), self.t[2].clone(), self.dcc[0].clone())
             }

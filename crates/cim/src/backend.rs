@@ -31,8 +31,12 @@ pub enum Backend {
 
 impl Backend {
     /// All supported backends, for sweeps.
-    pub const ALL: [Backend; 4] =
-        [Backend::Ambit, Backend::Fcdram, Backend::Pinatubo, Backend::Magic];
+    pub const ALL: [Backend; 4] = [
+        Backend::Ambit,
+        Backend::Fcdram,
+        Backend::Pinatubo,
+        Backend::Magic,
+    ];
 
     /// Human-readable name.
     #[must_use]
@@ -81,7 +85,7 @@ impl CostModel {
             // + TRA fused into AAP of the triple address).
             Backend::Ambit => match op {
                 LogicOp::Copy => 1,
-                LogicOp::Not => 2,  // AAP src->B8 ; AAP DCC0->dst
+                LogicOp::Not => 2, // AAP src->B8 ; AAP DCC0->dst
                 LogicOp::And | LogicOp::Or => 4,
                 LogicOp::Maj3 => 4, // 3 operand AAPs + AAP(triple, dst)
                 LogicOp::Nor => 6,  // OR + NOT
@@ -94,8 +98,8 @@ impl CostModel {
                 LogicOp::Copy => 1,
                 LogicOp::Not => 2,
                 LogicOp::And | LogicOp::Or => 3,
-                LogicOp::Maj3 => 7,  // synthesised from AND/OR
-                LogicOp::Nor => 5,   // OR + NOT
+                LogicOp::Maj3 => 7, // synthesised from AND/OR
+                LogicOp::Nor => 5,  // OR + NOT
                 LogicOp::Xor => 11,
             },
             // Pinatubo: every bulk gate is one sense-amplifier operation.

@@ -182,8 +182,14 @@ mod tests {
 
     fn pair() -> FcdramPair {
         let mut p = FcdramPair::new(8, 8);
-        p.write_upper(1, &Row::from_bits([true, true, false, false, true, false, true, false]));
-        p.write_upper(2, &Row::from_bits([true, false, true, false, false, true, true, false]));
+        p.write_upper(
+            1,
+            &Row::from_bits([true, true, false, false, true, false, true, false]),
+        );
+        p.write_upper(
+            2,
+            &Row::from_bits([true, false, true, false, false, true, true, false]),
+        );
         p
     }
 

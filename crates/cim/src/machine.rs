@@ -56,12 +56,7 @@ impl LogicMachine {
 
     /// Creates a machine with fault injection on compute results.
     #[must_use]
-    pub fn with_faults(
-        backend: Backend,
-        width: usize,
-        rows: usize,
-        fault: FaultModel,
-    ) -> Self {
+    pub fn with_faults(backend: Backend, width: usize, rows: usize, fault: FaultModel) -> Self {
         Self {
             width,
             rows: vec![Row::zeros(width); rows],
@@ -195,8 +190,14 @@ mod tests {
 
     fn machine(backend: Backend) -> LogicMachine {
         let mut m = LogicMachine::new(backend, 8, 6);
-        m.write(0, &Row::from_bits([true, true, false, false, true, false, true, false]));
-        m.write(1, &Row::from_bits([true, false, true, false, false, true, true, false]));
+        m.write(
+            0,
+            &Row::from_bits([true, true, false, false, true, false, true, false]),
+        );
+        m.write(
+            1,
+            &Row::from_bits([true, false, true, false, false, true, true, false]),
+        );
         m
     }
 
@@ -230,12 +231,7 @@ mod tests {
 
     #[test]
     fn faults_hit_compute_not_copies() {
-        let mut m = LogicMachine::with_faults(
-            Backend::Pinatubo,
-            1024,
-            4,
-            FaultModel::new(1.0, 3),
-        );
+        let mut m = LogicMachine::with_faults(Backend::Pinatubo, 1024, 4, FaultModel::new(1.0, 3));
         m.write(0, &Row::ones(1024));
         m.copy(0, 1);
         assert_eq!(m.read(1).count_ones(), 1024);

@@ -61,7 +61,12 @@ impl CountingLayout {
 /// backend.
 pub fn pinatubo_unit_increment(m: &mut LogicMachine, lay: &CountingLayout) {
     let n = lay.bits.len();
-    let [t0, t1, o1, o2] = [lay.scratch[0], lay.scratch[1], lay.scratch[2], lay.scratch[3]];
+    let [t0, t1, o1, o2] = [
+        lay.scratch[0],
+        lay.scratch[1],
+        lay.scratch[2],
+        lay.scratch[3],
+    ];
     // LD bn, t0 ; t1 <- !bn   (setup: save MSB and its complement).
     m.copy(lay.bits[n - 1], t0);
     m.not(lay.bits[n - 1], t1);
@@ -91,7 +96,12 @@ pub fn pinatubo_unit_increment(m: &mut LogicMachine, lay: &CountingLayout) {
 /// gate network would take ~10n).
 pub fn magic_unit_increment(m: &mut LogicMachine, lay: &CountingLayout) {
     let n = lay.bits.len();
-    let [t0, t1, o1, o2] = [lay.scratch[0], lay.scratch[1], lay.scratch[2], lay.scratch[3]];
+    let [t0, t1, o1, o2] = [
+        lay.scratch[0],
+        lay.scratch[1],
+        lay.scratch[2],
+        lay.scratch[3],
+    ];
     // Save !bn (one NOR) and bn (!(!bn): one more).
     m.nor(lay.bits[n - 1], lay.bits[n - 1], t1); // t1 = !bn
     m.nor(t1, t1, t0); //                           t0 = bn
@@ -99,10 +109,10 @@ pub fn magic_unit_increment(m: &mut LogicMachine, lay: &CountingLayout) {
         // o1 = !( m & b_{i-1} ) = NOR(!m, !b_{i-1}): build !b_{i-1} in o2.
         m.nor(lay.bits[i - 1], lay.bits[i - 1], o2);
         m.nor(lay.not_mask, o2, o1); //  o1 = m & b_{i-1}
-        // o2 = !m & b_i = NOR(m, !b_i).
+                                     // o2 = !m & b_i = NOR(m, !b_i).
         m.nor(lay.bits[i], lay.bits[i], o2);
         m.nor(lay.mask, o2, o2); //      o2 = !m & b_i ... NOR(m, !b_i)
-        // b_i = o1 | o2 = !NOR(o1, o2).
+                                 // b_i = o1 | o2 = !NOR(o1, o2).
         m.nor(o1, o2, lay.bits[i]);
         m.nor(lay.bits[i], lay.bits[i], lay.bits[i]);
     }

@@ -205,7 +205,6 @@ impl Row {
             }
         }
     }
-
 }
 
 impl fmt::Debug for Row {
@@ -263,7 +262,7 @@ mod tests {
                     let rb = Row::from_bits([b]);
                     let rc = Row::from_bits([c]);
                     let m = Row::maj3(&ra, &rb, &rc);
-                    let expect = (a && b) || (b && c) || (a && c);
+                    let expect = (a && b) || (c && (a || b));
                     assert_eq!(m.get(0), expect, "maj({a},{b},{c})");
                 }
             }

@@ -32,7 +32,10 @@ pub fn recode(value: i64) -> Vec<CsdTerm> {
             // Choose digit in {-1, +1} so the remainder is divisible
             // by 4 where possible (canonical rule: look at the next bit).
             let digit: i128 = if (v & 3) == 3 { -1 } else { 1 };
-            terms.push(CsdTerm { exponent: e, negative: digit < 0 });
+            terms.push(CsdTerm {
+                exponent: e,
+                negative: digit < 0,
+            });
             v -= digit;
         }
         v >>= 1;

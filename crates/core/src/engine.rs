@@ -17,8 +17,7 @@
 
 use c2m_dram::scheduler::steady_state_aap_interval;
 use c2m_dram::{
-    AreaModel, CommandKind, CommandStats, DramConfig, EnergyModel, ExecutionReport,
-    TimingParams,
+    AreaModel, CommandKind, CommandStats, DramConfig, EnergyModel, ExecutionReport, TimingParams,
 };
 use c2m_ecc::protect::{ProtectionAnalysis, ProtectionKind};
 use c2m_jc::codec::JohnsonCode;
@@ -81,7 +80,10 @@ impl EngineConfig {
     #[must_use]
     pub fn c2m_protected(banks: usize) -> Self {
         Self {
-            protection: ProtectionKind::Ecc { fr_checks: 2, fuse_inverted_feedback: false },
+            protection: ProtectionKind::Ecc {
+                fr_checks: 2,
+                fuse_inverted_feedback: false,
+            },
             fault_rate: 1e-4,
             ..Self::c2m(banks)
         }
@@ -188,11 +190,7 @@ impl C2mEngine {
     /// subtracted on the −1 plane, so the command stream sees `x` twice.
     #[must_use]
     pub fn ternary_gemv(&self, x: &[i64], n: usize) -> ExecutionReport {
-        let doubled: Vec<i64> = x
-            .iter()
-            .copied()
-            .chain(x.iter().map(|&v| -v))
-            .collect();
+        let doubled: Vec<i64> = x.iter().copied().chain(x.iter().map(|&v| -v)).collect();
         let accum_ops = self.ops_for_stream(&doubled);
         let total = accum_ops + self.reduction_ops();
         self.report(total, useful_ops(1, n, x.len()))
@@ -338,8 +336,11 @@ mod tests {
         assert!(prot.ops_per_sequence() > 1.5 * plain.ops_per_sequence());
         // §7.3.2: recompute overhead ~20% on top of the 13n+16 detection
         // cost at fault 1e-4.
-        let base = ProtectionKind::Ecc { fr_checks: 2, fuse_inverted_feedback: false }
-            .ambit_increment_ops(2) as f64;
+        let base = ProtectionKind::Ecc {
+            fr_checks: 2,
+            fuse_inverted_feedback: false,
+        }
+        .ambit_increment_ops(2) as f64;
         let overhead = prot.ops_per_sequence() / base - 1.0;
         assert!(
             (0.10..0.30).contains(&overhead),
@@ -353,10 +354,7 @@ mod tests {
         let t1 = C2mEngine::new(EngineConfig::c2m(1)).ternary_gemv(&xs, 22016);
         let t16 = C2mEngine::new(EngineConfig::c2m(16)).ternary_gemv(&xs, 22016);
         let speedup = t1.elapsed_ns / t16.elapsed_ns;
-        assert!(
-            (6.0..16.0).contains(&speedup),
-            "16-bank speedup {speedup}"
-        );
+        assert!((6.0..16.0).contains(&speedup), "16-bank speedup {speedup}");
     }
 
     #[test]
@@ -392,9 +390,7 @@ mod tests {
         // §5.2.3: CSD bit-slicing turns int x int into masked counting;
         // the bit-serial alternative multiplies with W-bit shift-and-add
         // RCAs. Worst-case 8-bit weights need 14 CSD planes.
-        let planes: Vec<(u32, bool)> = (0..7u32)
-            .flat_map(|e| [(e, false), (e, true)])
-            .collect();
+        let planes: Vec<(u32, bool)> = (0..7u32).flat_map(|e| [(e, false), (e, true)]).collect();
         let xs = int8_stream(4096, 9);
         let e = C2mEngine::new(EngineConfig::c2m(16));
         let c2m = e.int_gemv(&xs, 4096, &planes);
@@ -402,10 +398,7 @@ mod tests {
         // 16-bit partial into a 64-bit accumulator (12 AAP/bit as in the
         // SIMDRAM engine), at the same 16-bank interval.
         let simdram_ops = 4096.0 * 8.0 * (12.0 * 64.0);
-        let interval = steady_state_aap_interval(
-            &c2m_dram::TimingParams::ddr5_4400(),
-            16,
-        );
+        let interval = steady_state_aap_interval(&c2m_dram::TimingParams::ddr5_4400(), 16);
         let ratio = simdram_ops * interval / c2m.elapsed_ns;
         assert!(
             ratio > 1.0,
@@ -418,8 +411,7 @@ mod tests {
         let xs = int8_stream(1024, 10);
         let e = C2mEngine::new(EngineConfig::c2m(16));
         let few = e.int_gemv(&xs, 1024, &[(0, false), (2, false)]);
-        let many: Vec<(u32, bool)> =
-            (0..7u32).flat_map(|p| [(p, false), (p, true)]).collect();
+        let many: Vec<(u32, bool)> = (0..7u32).flat_map(|p| [(p, false), (p, true)]).collect();
         let all = e.int_gemv(&xs, 1024, &many);
         assert!(all.elapsed_ns > 3.0 * few.elapsed_ns);
     }

@@ -56,7 +56,10 @@ impl KernelConfig {
     /// Smaller counters for quick tests/examples.
     #[must_use]
     pub fn compact() -> Self {
-        Self { capacity_bits: 24, ..Self::paper_default() }
+        Self {
+            capacity_bits: 24,
+            ..Self::paper_default()
+        }
     }
 
     fn digits(&self) -> usize {
@@ -95,9 +98,7 @@ struct Job<'a> {
 fn run_jobs(cfg: &KernelConfig, width: usize, jobs: &[Job<'_>]) -> (CounterBank, BankStats) {
     let mut bank = cfg.bank(width);
     let capacity = bank.capacity();
-    let clamp = |v: i128| -> u128 {
-        (v.unsigned_abs()) % capacity
-    };
+    let clamp = |v: i128| -> u128 { (v.unsigned_abs()) % capacity };
     if cfg.iarm {
         let mut planner = IarmPlanner::new(cfg.radix, bank.digits());
         planner.assume_zero();
@@ -153,7 +154,10 @@ pub fn int_binary_gemv(cfg: &KernelConfig, x: &[i64], z: &BinaryMatrix) -> GemvR
         .iter()
         .enumerate()
         .filter(|(_, &v)| v != 0)
-        .map(|(i, &v)| Job { value: i128::from(v), mask: z.mask(i) })
+        .map(|(i, &v)| Job {
+            value: i128::from(v),
+            mask: z.mask(i),
+        })
         .collect();
     let (bank, stats) = run_jobs(cfg, z.n(), &jobs);
     collect(&bank, stats)
@@ -173,8 +177,14 @@ pub fn ternary_gemv(cfg: &KernelConfig, x: &[i64], t: &TernaryMatrix) -> GemvRes
         if v == 0 {
             continue;
         }
-        jobs.push(Job { value: i128::from(v), mask: t.plus.mask(i) });
-        jobs.push(Job { value: -i128::from(v), mask: t.minus.mask(i) });
+        jobs.push(Job {
+            value: i128::from(v),
+            mask: t.plus.mask(i),
+        });
+        jobs.push(Job {
+            value: -i128::from(v),
+            mask: t.minus.mask(i),
+        });
     }
     let (bank, stats) = run_jobs(cfg, t.n(), &jobs);
     collect(&bank, stats)
@@ -216,7 +226,10 @@ pub fn int_int_gemv(cfg: &KernelConfig, x: &[i64], weights: &[Vec<i64>]) -> Gemv
             }
             let scaled = i128::from(v) << e;
             let value = if *neg { -scaled } else { scaled };
-            jobs.push(Job { value, mask: plane.mask(i) });
+            jobs.push(Job {
+                value,
+                mask: plane.mask(i),
+            });
         }
     }
     // The planes borrow from the map; materialise jobs before running.
@@ -352,11 +365,11 @@ mod tests {
             .collect();
         let x: Vec<i64> = (0..k).map(|_| rng.gen_range(0..64)).collect();
         let got = int_int_gemv(&cfg(), &x, &weights);
-        for c in 0..n {
+        for (c, &yc) in got.y.iter().enumerate().take(n) {
             let want: i128 = (0..k)
                 .map(|r| i128::from(x[r]) * i128::from(weights[r][c]))
                 .sum();
-            assert_eq!(got.y[c], want, "col {c}");
+            assert_eq!(yc, want, "col {c}");
         }
     }
 
@@ -405,8 +418,22 @@ mod tests {
         let mut rng = ChaCha12Rng::seed_from_u64(29);
         let z = BinaryMatrix::random(64, 8, 0.5, &mut rng);
         let x: Vec<i64> = (0..64).map(|_| rng.gen_range(1..256)).collect();
-        let with = int_binary_gemv(&KernelConfig { iarm: true, ..cfg() }, &x, &z);
-        let without = int_binary_gemv(&KernelConfig { iarm: false, ..cfg() }, &x, &z);
+        let with = int_binary_gemv(
+            &KernelConfig {
+                iarm: true,
+                ..cfg()
+            },
+            &x,
+            &z,
+        );
+        let without = int_binary_gemv(
+            &KernelConfig {
+                iarm: false,
+                ..cfg()
+            },
+            &x,
+            &z,
+        );
         assert_eq!(with.y, without.y, "results must agree");
         assert!(
             with.stats.ambit_ops < without.stats.ambit_ops,
@@ -422,7 +449,10 @@ mod tests {
         let x = vec![9i64; 8];
         let plain = int_binary_gemv(&cfg(), &x, &z);
         let prot = int_binary_gemv(
-            &KernelConfig { protection: ProtectionKind::ecc_default(), ..cfg() },
+            &KernelConfig {
+                protection: ProtectionKind::ecc_default(),
+                ..cfg()
+            },
             &x,
             &z,
         );

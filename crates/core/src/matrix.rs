@@ -24,7 +24,10 @@ impl BinaryMatrix {
     #[must_use]
     pub fn zeros(k: usize, n: usize) -> Self {
         assert!(k > 0 && n > 0, "matrix dimensions must be positive");
-        Self { rows: vec![Row::zeros(n); k], n }
+        Self {
+            rows: vec![Row::zeros(n); k],
+            n,
+        }
     }
 
     /// Builds from a dense boolean table `data[k][n]`.
@@ -99,9 +102,9 @@ impl BinaryMatrix {
         assert_eq!(x.len(), self.k(), "x length mismatch");
         let mut y = vec![0i64; self.n];
         for (i, &xi) in x.iter().enumerate() {
-            for c in 0..self.n {
+            for (c, yc) in y.iter_mut().enumerate() {
                 if self.rows[i].get(c) {
-                    y[c] += xi;
+                    *yc += xi;
                 }
             }
         }
@@ -204,10 +207,7 @@ mod tests {
 
     #[test]
     fn binary_roundtrip_and_reference() {
-        let m = BinaryMatrix::from_rows(&[
-            vec![true, false, true],
-            vec![false, true, true],
-        ]);
+        let m = BinaryMatrix::from_rows(&[vec![true, false, true], vec![false, true, true]]);
         assert_eq!(m.k(), 2);
         assert_eq!(m.n(), 3);
         assert_eq!(m.reference_gemv(&[10, 1]), vec![10, 1, 11]);

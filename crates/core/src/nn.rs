@@ -103,7 +103,7 @@ pub fn im2col(input: &Image, shape: &ConvShape) -> Vec<Vec<i64>> {
     for oy in 0..oh {
         for ox in 0..ow {
             let mut patch = Vec::with_capacity(shape.gemm_k());
-            for c in 0..shape.in_channels {
+            for channel in input.iter().take(shape.in_channels) {
                 for ky in 0..shape.kernel {
                     for kx in 0..shape.kernel {
                         let y = (oy * shape.stride + ky) as isize - shape.padding as isize;
@@ -113,7 +113,7 @@ pub fn im2col(input: &Image, shape: &ConvShape) -> Vec<Vec<i64>> {
                             && (y as usize) < shape.in_h
                             && (x as usize) < shape.in_w
                         {
-                            input[c][y as usize][x as usize]
+                            channel[y as usize][x as usize]
                         } else {
                             0
                         };
@@ -156,8 +156,7 @@ pub fn conv2d_ternary(
     let x = im2col(input, shape);
     let (y, stats) = ternary_gemm(cfg, &x, weights);
     let (oh, ow) = (shape.out_h(), shape.out_w());
-    let mut output =
-        vec![vec![vec![0i128; ow]; oh]; shape.out_channels];
+    let mut output = vec![vec![vec![0i128; ow]; oh]; shape.out_channels];
     for (pos, row) in y.iter().enumerate() {
         let (oy, ox) = (pos / ow, pos % ow);
         for (c, &v) in row.iter().enumerate() {
@@ -233,7 +232,11 @@ fn requantize(m: &[Vec<i128>], shift: u32, clamp: i64) -> Vec<Vec<i64>> {
     m.iter()
         .map(|row| {
             row.iter()
-                .map(|&v| i64::try_from(v >> shift).unwrap_or(clamp).clamp(-clamp, clamp))
+                .map(|&v| {
+                    i64::try_from(v >> shift)
+                        .unwrap_or(clamp)
+                        .clamp(-clamp, clamp)
+                })
                 .collect()
         })
         .collect()
@@ -252,14 +255,11 @@ fn shift_normalize(scores: &[Vec<i64>]) -> Vec<Vec<i64>> {
                 .iter()
                 .map(|&v| {
                     let d = ((v - max) / 4).max(-15);
-                    1i64 << (15 + d).max(0).min(15)
+                    1i64 << (15 + d).clamp(0, 15)
                 })
                 .collect();
             let sum: i64 = weights.iter().sum::<i64>().max(1);
-            weights
-                .iter()
-                .map(|&w| (w * 64 / sum).min(64))
-                .collect()
+            weights.iter().map(|&w| (w * 64 / sum).min(64)).collect()
         })
         .collect()
 }
@@ -339,7 +339,12 @@ pub fn reference_attention(
 ) -> Vec<Vec<i128>> {
     let project = |w: &TernaryMatrix| -> Vec<Vec<i128>> {
         x.iter()
-            .map(|row| w.reference_gemv(row).iter().map(|&v| i128::from(v)).collect())
+            .map(|row| {
+                w.reference_gemv(row)
+                    .iter()
+                    .map(|&v| i128::from(v))
+                    .collect()
+            })
             .collect()
     };
     let shift = (shape.d_model as f64).log2() as u32;
@@ -435,7 +440,10 @@ mod tests {
         };
         let img: Image = vec![vec![vec![1, 2, 3], vec![4, 5, 6]]];
         let x = im2col(&img, &s);
-        assert_eq!(x, vec![vec![1], vec![2], vec![3], vec![4], vec![5], vec![6]]);
+        assert_eq!(
+            x,
+            vec![vec![1], vec![2], vec![3], vec![4], vec![5], vec![6]]
+        );
     }
 
     #[test]
@@ -525,7 +533,10 @@ mod tests {
     #[test]
     fn attention_block_matches_reference() {
         let mut rng = ChaCha12Rng::seed_from_u64(43);
-        let shape = AttentionShape { seq_len: 6, d_model: 8 };
+        let shape = AttentionShape {
+            seq_len: 6,
+            d_model: 8,
+        };
         let x: Vec<Vec<i64>> = (0..shape.seq_len)
             .map(|_| (0..shape.d_model).map(|_| rng.gen_range(-8..8)).collect())
             .collect();

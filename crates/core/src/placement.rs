@@ -205,11 +205,7 @@ pub fn plan(
 /// Maximum reduction depth K that fits one subarray for the given
 /// counter spec and encoding (the split granularity for §5.2.2 GEMM).
 #[must_use]
-pub fn max_k_per_subarray(
-    cfg: &DramConfig,
-    spec: &CounterSpec,
-    encoding: MaskEncoding,
-) -> usize {
+pub fn max_k_per_subarray(cfg: &DramConfig, spec: &CounterSpec, encoding: MaskEncoding) -> usize {
     let rows_available = cfg.rows_per_subarray.saturating_sub(10);
     let fixed = spec.counter_rows() + spec.scratch_rows();
     rows_available.saturating_sub(fixed) / encoding.rows_per_index()
@@ -251,8 +247,16 @@ mod tests {
     #[test]
     fn ternary_doubles_mask_rows() {
         let spec = CounterSpec::paper_default();
-        let bin = KernelShape { k: 100, n_out: 64, encoding: MaskEncoding::Binary };
-        let ter = KernelShape { k: 100, n_out: 64, encoding: MaskEncoding::Ternary };
+        let bin = KernelShape {
+            k: 100,
+            n_out: 64,
+            encoding: MaskEncoding::Binary,
+        };
+        let ter = KernelShape {
+            k: 100,
+            n_out: 64,
+            encoding: MaskEncoding::Ternary,
+        };
         let pb = plan(&cfg(), &spec, &bin).unwrap();
         let pt = plan(&cfg(), &spec, &ter).unwrap();
         assert_eq!(pt.rows_used - pb.rows_used, 100);
@@ -271,7 +275,11 @@ mod tests {
         // The deficit plus the budget must reconstruct the request.
         let max_k = max_k_per_subarray(&cfg(), &spec, MaskEncoding::Binary);
         assert!(max_k < 5000);
-        let ok = KernelShape { k: max_k, n_out: 64, encoding: MaskEncoding::Binary };
+        let ok = KernelShape {
+            k: max_k,
+            n_out: 64,
+            encoding: MaskEncoding::Binary,
+        };
         assert!(plan(&cfg(), &spec, &ok).is_ok());
     }
 
@@ -287,8 +295,14 @@ mod tests {
     fn higher_radix_uses_fewer_digits_but_wider_rows() {
         // Fig. 19: radix-4 packs like binary; radix-10 needs 5-bit
         // digits and pays storage for speed.
-        let r4 = CounterSpec { radix: 4, ..CounterSpec::paper_default() };
-        let r10 = CounterSpec { radix: 10, ..CounterSpec::paper_default() };
+        let r4 = CounterSpec {
+            radix: 4,
+            ..CounterSpec::paper_default()
+        };
+        let r10 = CounterSpec {
+            radix: 10,
+            ..CounterSpec::paper_default()
+        };
         assert!(r10.digits() < r4.digits());
         let bits_r4 = r4.digits() * r4.digit_bits();
         let bits_r10 = r10.digits() * r10.digit_bits();
@@ -298,7 +312,10 @@ mod tests {
     #[test]
     fn tmr_costs_two_extra_replicas() {
         let plain = CounterSpec::paper_default();
-        let tmr = CounterSpec { protection: ProtectionKind::Tmr, ..plain };
+        let tmr = CounterSpec {
+            protection: ProtectionKind::Tmr,
+            ..plain
+        };
         assert_eq!(
             tmr.scratch_rows() - plain.scratch_rows(),
             2 * plain.counter_rows()

@@ -45,10 +45,7 @@ impl CommandKind {
     /// True for the CIM macro commands that occupy a bank for `tAAP`.
     #[must_use]
     pub fn is_macro(self) -> bool {
-        matches!(
-            self,
-            CommandKind::Aap | CommandKind::Ap | CommandKind::Apa
-        )
+        matches!(self, CommandKind::Aap | CommandKind::Ap | CommandKind::Apa)
     }
 }
 

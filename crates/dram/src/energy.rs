@@ -127,8 +127,7 @@ mod tests {
     #[test]
     fn act_plus_pre_equals_act_pre_pair() {
         let e = EnergyModel::ddr5_4400();
-        let pair = e.command_energy_nj(CommandKind::Act)
-            + e.command_energy_nj(CommandKind::Pre);
+        let pair = e.command_energy_nj(CommandKind::Act) + e.command_energy_nj(CommandKind::Pre);
         assert!((pair - e.e_act_pre_nj).abs() < 1e-9);
     }
 }

@@ -46,9 +46,9 @@ pub mod stats;
 pub mod timing;
 
 pub use area::AreaModel;
+pub use bank_state::{AccessKind, BankState};
 pub use command::{CommandKind, DramCommand};
 pub use config::DramConfig;
-pub use bank_state::{AccessKind, BankState};
 pub use energy::EnergyModel;
 pub use refresh::RefreshModel;
 pub use request::{MemoryRequest, RequestQueue, ScheduleReport};

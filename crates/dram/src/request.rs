@@ -86,7 +86,10 @@ impl ScheduleReport {
         if self.completions.is_empty() {
             return 0.0;
         }
-        self.completions.iter().map(Completion::latency_ns).sum::<f64>()
+        self.completions
+            .iter()
+            .map(Completion::latency_ns)
+            .sum::<f64>()
             / self.completions.len() as f64
     }
 
@@ -216,9 +219,7 @@ impl RequestQueue {
             let ready: Vec<usize> = (0..pending.len())
                 .filter(|&i| {
                     let r = &pending[i].1;
-                    r.arrival_ns <= now
-                        && self.bank_ready[r.bank] <= now
-                        && self.bus_ready <= now
+                    r.arrival_ns <= now && self.bank_ready[r.bank] <= now && self.bus_ready <= now
                 })
                 .collect();
             debug_assert!(!ready.is_empty(), "clock advance must free a request");
@@ -262,8 +263,9 @@ mod tests {
     #[test]
     fn sequential_same_row_requests_hit() {
         let mut q = RequestQueue::new(timing(), 4);
-        let reqs: Vec<MemoryRequest> =
-            (0..8).map(|i| MemoryRequest::read(i as f64, 0, 5)).collect();
+        let reqs: Vec<MemoryRequest> = (0..8)
+            .map(|i| MemoryRequest::read(i as f64, 0, 5))
+            .collect();
         let rep = q.run(&reqs);
         assert_eq!(rep.completions.len(), 8);
         // First is a miss, the rest hit.
@@ -302,8 +304,7 @@ mod tests {
     fn latency_accounts_for_queueing() {
         let mut q = RequestQueue::new(timing(), 1);
         // A burst of conflicting requests must queue behind each other.
-        let reqs: Vec<MemoryRequest> =
-            (0..4).map(|i| MemoryRequest::read(0.0, 0, i)).collect();
+        let reqs: Vec<MemoryRequest> = (0..4).map(|i| MemoryRequest::read(0.0, 0, i)).collect();
         let rep = q.run(&reqs);
         assert!(rep.max_latency_ns() > rep.completions[0].latency_ns());
     }

@@ -70,9 +70,7 @@ impl ChannelScheduler {
     /// command issued so far.
     #[must_use]
     pub fn elapsed_ns(&self) -> f64 {
-        self.bank_ready
-            .iter()
-            .fold(self.now, |acc, &t| acc.max(t))
+        self.bank_ready.iter().fold(self.now, |acc, &t| acc.max(t))
     }
 
     /// Aggregate command statistics.
@@ -140,9 +138,7 @@ impl ChannelScheduler {
         }
         let occupancy = match cmd.kind {
             CommandKind::Aap => self.timing.t_aap() + self.timing.t_rrd,
-            CommandKind::Ap | CommandKind::Apa => {
-                self.timing.t_ap() + self.timing.t_rrd
-            }
+            CommandKind::Ap | CommandKind::Apa => self.timing.t_ap() + self.timing.t_rrd,
             CommandKind::Act => self.timing.t_ras,
             CommandKind::Pre => self.timing.t_rp,
             CommandKind::Rd | CommandKind::Wr => self.timing.t_burst,

@@ -35,7 +35,7 @@ impl TimingParams {
     #[must_use]
     pub fn ddr5_4400() -> Self {
         Self {
-            t_ck: 1.0 / 2.2,  // 2200 MHz
+            t_ck: 1.0 / 2.2, // 2200 MHz
             t_rcd: 14.5,
             t_ras: 32.0,
             t_rp: 14.5,

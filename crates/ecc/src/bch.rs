@@ -60,7 +60,14 @@ impl Bch {
             data_bits >= 1 && data_bits <= k,
             "data_bits {data_bits} out of range 1..={k} for BCH(n={n}, t={t})"
         );
-        Self { field, t, n, n_minus_k, data_bits, gen }
+        Self {
+            field,
+            t,
+            n,
+            n_minus_k,
+            data_bits,
+            gen,
+        }
     }
 
     /// The classic BCH(15, 7, t=2) code (shortened to `data_bits` ≤ 7).

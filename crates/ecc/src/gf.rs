@@ -18,10 +18,23 @@ pub struct GF2m {
 
 /// Default primitive polynomials (bit i = coefficient of x^i), indexed by m.
 const PRIMITIVE_POLY: [u32; 17] = [
-    0, 0, 0b111, 0b1011, 0b10011, 0b100101, 0b1000011, 0b10001001,
-    0b100011101, 0b1000010001, 0b10000001001, 0b100000000101,
-    0b1000001010011, 0b10000000011011, 0b100010000000011,
-    0b1000000000000011, 0b10001000000001011,
+    0,
+    0,
+    0b111,
+    0b1011,
+    0b10011,
+    0b100101,
+    0b1000011,
+    0b10001001,
+    0b100011101,
+    0b1000010001,
+    0b10000001001,
+    0b100000000101,
+    0b1000001010011,
+    0b10000000011011,
+    0b100010000000011,
+    0b1000000000000011,
+    0b10001000000001011,
 ];
 
 impl GF2m {
@@ -241,10 +254,7 @@ mod tests {
             for b in 0..32u32 {
                 assert_eq!(f.mul(a, b), f.mul(b, a));
                 for c in [3u32, 17, 29] {
-                    assert_eq!(
-                        f.mul(a, f.add(b, c)),
-                        f.add(f.mul(a, b), f.mul(a, c))
-                    );
+                    assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
                 }
             }
         }
@@ -275,8 +285,9 @@ mod tests {
         for i in 1..15 {
             let mp = f.minimal_poly(i);
             // Evaluate the GF(2)-coefficient polynomial at alpha^i.
-            let coeffs: Vec<u32> =
-                (0..=gf2_poly_deg(mp)).map(|k| ((mp >> k) & 1) as u32).collect();
+            let coeffs: Vec<u32> = (0..=gf2_poly_deg(mp))
+                .map(|k| ((mp >> k) & 1) as u32)
+                .collect();
             assert_eq!(f.poly_eval(&coeffs, f.alpha_pow(i)), 0, "i={i}");
         }
     }

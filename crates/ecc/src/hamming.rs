@@ -44,7 +44,11 @@ impl Hamming {
             }
             pos += 1;
         }
-        Self { data_bits, r, data_pos }
+        Self {
+            data_bits,
+            r,
+            data_pos,
+        }
     }
 
     /// The (72,64) data payload configuration: Hamming over 64 bits
@@ -134,7 +138,9 @@ impl Secded {
     /// Creates a SECDED code for `data_bits` data bits.
     #[must_use]
     pub fn new(data_bits: usize) -> Self {
-        Self { inner: Hamming::new(data_bits) }
+        Self {
+            inner: Hamming::new(data_bits),
+        }
     }
 
     /// The canonical (72,64) DIMM code: 64 data bits, 8 check bits.

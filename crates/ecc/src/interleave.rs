@@ -71,7 +71,7 @@ impl<C: LinearCode> EccRank<C> {
     #[must_use]
     pub fn new(layout: RankLayout, code: C) -> Self {
         assert!(
-            code.data_bits() % layout.beat_bits() == 0,
+            code.data_bits().is_multiple_of(layout.beat_bits()),
             "codeword data ({}) must be a whole number of {}-bit beats",
             code.data_bits(),
             layout.beat_bits()
@@ -100,7 +100,7 @@ impl<C: LinearCode> EccRank<C> {
     #[must_use]
     pub fn encode(&self, data: &[bool]) -> StoredRow {
         assert!(
-            data.len() % self.code.data_bits() == 0,
+            data.len().is_multiple_of(self.code.data_bits()),
             "row must be a whole number of codewords"
         );
         let checks = data
@@ -119,11 +119,7 @@ impl<C: LinearCode> EccRank<C> {
         let dlen = self.code.data_bits();
         let clen = self.code.check_bits();
         let mut fixed = 0usize;
-        for (d, c) in row
-            .data
-            .chunks_mut(dlen)
-            .zip(row.checks.chunks_mut(clen))
-        {
+        for (d, c) in row.data.chunks_mut(dlen).zip(row.checks.chunks_mut(clen)) {
             fixed += self.code.correct(d, c)?;
         }
         Some(fixed)
@@ -210,8 +206,8 @@ mod tests {
         let mut row = rank.encode(&data);
         rank.fail_chip(&mut row, 0);
         match rank.scrub(&mut row) {
-            None => {}                                // detected uncorrectable
-            Some(_) => assert_ne!(row.data, data),    // or silently wrong
+            None => {}                             // detected uncorrectable
+            Some(_) => assert_ne!(row.data, data), // or silently wrong
         }
     }
 

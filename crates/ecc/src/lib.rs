@@ -45,6 +45,6 @@ pub use code::LinearCode;
 pub use hamming::{Hamming, Secded};
 pub use interleave::{EccRank, RankLayout};
 pub use parity::ParityCode;
-pub use rs::{ReedSolomon, RsLinear};
 pub use protect::{EccProtection, ProtectionAnalysis, ProtectionKind};
+pub use rs::{ReedSolomon, RsLinear};
 pub use tmr::TmrVoter;

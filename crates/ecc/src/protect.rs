@@ -48,7 +48,10 @@ impl ProtectionKind {
     /// §7.3.2).
     #[must_use]
     pub fn ecc_default() -> Self {
-        ProtectionKind::Ecc { fr_checks: 2, fuse_inverted_feedback: false }
+        ProtectionKind::Ecc {
+            fr_checks: 2,
+            fuse_inverted_feedback: false,
+        }
     }
 
     /// Ambit AAP/AP command count for one k-ary masked increment with
@@ -61,7 +64,10 @@ impl ProtectionKind {
         match self {
             ProtectionKind::None => 7 * n + 7,
             ProtectionKind::Tmr => 4 * (7 * n + 7),
-            ProtectionKind::Ecc { fr_checks, fuse_inverted_feedback } => {
+            ProtectionKind::Ecc {
+                fr_checks,
+                fuse_inverted_feedback,
+            } => {
                 let r = u64::from(*fr_checks);
                 let base = (5 * r + 3) * n + 5 * r + 6;
                 if *fuse_inverted_feedback {
@@ -163,7 +169,12 @@ impl EccProtection {
     #[must_use]
     pub fn new(fr_checks: u32, faults: FaultModel) -> Self {
         assert!(fr_checks >= 1, "need at least one FR computation");
-        Self { fr_checks, code: Secded::secded_72_64(), faults, max_retries: 64 }
+        Self {
+            fr_checks,
+            code: Secded::secded_72_64(),
+            faults,
+            max_retries: 64,
+        }
     }
 
     /// Per-op fault rate in effect.
@@ -282,7 +293,10 @@ mod tests {
             (6, 1e-2, 1.5e-14),
         ];
         for (r, p, expect) in cases {
-            let a = ProtectionAnalysis { fault_rate: p, fr_checks: r };
+            let a = ProtectionAnalysis {
+                fault_rate: p,
+                fr_checks: r,
+            };
             let got = a.undetected_error_rate();
             assert!(
                 (got / expect - 1.0).abs() < 0.25,
@@ -290,7 +304,10 @@ mod tests {
             );
         }
         // DRAM floor clamps the extreme cells.
-        let a = ProtectionAnalysis { fault_rate: 1e-4, fr_checks: 6 };
+        let a = ProtectionAnalysis {
+            fault_rate: 1e-4,
+            fr_checks: 6,
+        };
         assert_eq!(a.undetected_error_rate(), ProtectionAnalysis::DRAM_FLOOR);
     }
 
@@ -308,7 +325,10 @@ mod tests {
             (6, 1e-4, 7.5e-4),
         ];
         for (r, p, expect) in cases {
-            let a = ProtectionAnalysis { fault_rate: p, fr_checks: r };
+            let a = ProtectionAnalysis {
+                fault_rate: p,
+                fr_checks: r,
+            };
             let got = a.detect_rate();
             assert!(
                 (got / expect - 1.0).abs() < 0.2,
@@ -323,23 +343,29 @@ mod tests {
         // "7n+7 -> 13n+16" transition.
         let n = 5;
         assert_eq!(ProtectionKind::None.ambit_increment_ops(n), 7 * 5 + 7);
-        let ecc = |r| ProtectionKind::Ecc { fr_checks: r, fuse_inverted_feedback: false };
+        let ecc = |r| ProtectionKind::Ecc {
+            fr_checks: r,
+            fuse_inverted_feedback: false,
+        };
         assert_eq!(ecc(2).ambit_increment_ops(n), 13 * 5 + 16);
         assert_eq!(ecc(4).ambit_increment_ops(n), 23 * 5 + 26);
         assert_eq!(ecc(6).ambit_increment_ops(n), 33 * 5 + 36);
-        assert_eq!(
-            ProtectionKind::Tmr.ambit_increment_ops(n),
-            4 * (7 * 5 + 7)
-        );
+        assert_eq!(ProtectionKind::Tmr.ambit_increment_ops(n), 4 * (7 * 5 + 7));
     }
 
     #[test]
     fn demorgan_fusing_cuts_overhead_by_quarter() {
         let n = 5;
-        let plain = ProtectionKind::Ecc { fr_checks: 2, fuse_inverted_feedback: false }
-            .ambit_increment_ops(n);
-        let fused = ProtectionKind::Ecc { fr_checks: 2, fuse_inverted_feedback: true }
-            .ambit_increment_ops(n);
+        let plain = ProtectionKind::Ecc {
+            fr_checks: 2,
+            fuse_inverted_feedback: false,
+        }
+        .ambit_increment_ops(n);
+        let fused = ProtectionKind::Ecc {
+            fr_checks: 2,
+            fuse_inverted_feedback: true,
+        }
+        .ambit_increment_ops(n);
         let unprot = ProtectionKind::None.ambit_increment_ops(n);
         let saved = plain - fused;
         let overhead = plain - unprot;
@@ -396,7 +422,10 @@ mod tests {
     fn expected_recompute_rate_matches_paper_example() {
         // §7.3.2: fault 1e-4, repeats=1 (2 FR checks) -> detected rate
         // 3.5e-4/bit -> 0.16 detections per 512-bit row.
-        let a = ProtectionAnalysis { fault_rate: 1e-4, fr_checks: 2 };
+        let a = ProtectionAnalysis {
+            fault_rate: 1e-4,
+            fr_checks: 2,
+        };
         let per_row = a.expected_recomputes_per_row(512);
         assert!(
             (0.10..0.25).contains(&per_row),

@@ -22,10 +22,7 @@ impl TmrVoter {
 
     /// Executes `compute` three times and returns the columnwise majority.
     /// The vote itself is a CIM MAJ3 and is perturbed by `vote_faults`.
-    pub fn vote_rows(
-        mut compute: impl FnMut() -> Row,
-        vote_faults: &mut FaultModel,
-    ) -> Row {
+    pub fn vote_rows(mut compute: impl FnMut() -> Row, vote_faults: &mut FaultModel) -> Row {
         let a = compute();
         let b = compute();
         let c = compute();

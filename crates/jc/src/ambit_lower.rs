@@ -88,9 +88,8 @@ pub fn lower_step(layout: &CounterLayout, pattern: &TransitionPattern) -> MicroP
         saves.len(),
         layout.theta_rows.len()
     );
-    let theta_of = |src: usize, saves: &[usize]| -> Option<usize> {
-        saves.iter().position(|&s| s == src).map(|i| i)
-    };
+    let theta_of =
+        |src: usize, saves: &[usize]| -> Option<usize> { saves.iter().position(|&s| s == src) };
     for (j, &src) in saves.iter().enumerate() {
         prog.aap(d(layout.bit_rows[src]), d(layout.theta_rows[j]));
     }
@@ -320,11 +319,7 @@ mod tests {
                         got |= 1 << i;
                     }
                 }
-                assert_eq!(
-                    got,
-                    code.encode((v + 2 * n - k) % (2 * n)),
-                    "k={k} v={v}"
-                );
+                assert_eq!(got, code.encode((v + 2 * n - k) % (2 * n)), "k={k} v={v}");
                 // Borrow flag fires iff v < k.
                 assert_eq!(
                     sub.read_data(layout.onext_row).get(v),

@@ -61,7 +61,13 @@ impl CounterBank {
     /// Panics if `radix` is odd/zero, or `digits`/`width` are zero.
     #[must_use]
     pub fn new(radix: usize, digits: usize, width: usize) -> Self {
-        Self::with_faults(radix, digits, width, FaultModel::fault_free(), ProtectionKind::None)
+        Self::with_faults(
+            radix,
+            digits,
+            width,
+            FaultModel::fault_free(),
+            ProtectionKind::None,
+        )
     }
 
     /// Creates a bank with a CIM fault model and a protection scheme.
@@ -85,11 +91,12 @@ impl CounterBank {
         let effective_rate = match protection {
             ProtectionKind::None => raw,
             ProtectionKind::Tmr => TmrVoter::effective_per_op_rate(raw),
-            ProtectionKind::Ecc { fr_checks, .. } => {
-                ProtectionAnalysis { fault_rate: raw, fr_checks }
-                    .undetected_error_rate()
-                    .min(1.0)
+            ProtectionKind::Ecc { fr_checks, .. } => ProtectionAnalysis {
+                fault_rate: raw,
+                fr_checks,
             }
+            .undetected_error_rate()
+            .min(1.0),
         };
         let effective = FaultModel::new(effective_rate.min(1.0), 0xC0DE ^ width as u64);
         let _ = faults; // raw model consumed into the effective rate
@@ -253,9 +260,7 @@ impl CounterBank {
         let fired = self.faulty(fired);
         self.onext[d] = self.faulty(self.onext[d].or(&fired));
         self.stats.increments += 1;
-        self.stats.ambit_ops += self
-            .protection
-            .ambit_increment_ops(self.code.bits());
+        self.stats.ambit_ops += self.protection.ambit_increment_ops(self.code.bits());
     }
 
     /// Masked increment of digit `d` by `k` (`1..radix`).
@@ -395,7 +400,11 @@ mod tests {
         let mask = Row::from_bits((0..8).map(|i| i % 2 == 0));
         b.increment_digit(0, 3, &mask);
         for col in 0..8 {
-            let expect = if col % 2 == 0 { col as u128 + 3 } else { col as u128 };
+            let expect = if col % 2 == 0 {
+                col as u128 + 3
+            } else {
+                col as u128
+            };
             assert_eq!(b.get(col), Some(expect % 100), "col {col}");
         }
     }
@@ -409,7 +418,7 @@ mod tests {
         b.increment_digit(0, 5, &mask); // 8+5 = 13: digit0 -> 3, carry
         assert!(b.onext(0).get(0));
         assert!(!b.onext(0).get(1)); // 2+5 = 7: no carry
-        // get() folds pending carries into the value.
+                                     // get() folds pending carries into the value.
         assert_eq!(b.get(0), Some(13));
         assert_eq!(b.get(1), Some(7));
         b.resolve_carry(0);
@@ -482,7 +491,10 @@ mod tests {
             1,
             4,
             FaultModel::fault_free(),
-            ProtectionKind::Ecc { fr_checks: 2, fuse_inverted_feedback: false },
+            ProtectionKind::Ecc {
+                fr_checks: 2,
+                fuse_inverted_feedback: false,
+            },
         );
         let mask = Row::ones(4);
         b.increment_digit(0, 4, &mask);
@@ -494,13 +506,7 @@ mod tests {
     fn tmr_protection_reduces_error_vs_unprotected() {
         let rate = 0.02;
         let run = |prot: ProtectionKind| -> f64 {
-            let mut b = CounterBank::with_faults(
-                10,
-                4,
-                256,
-                FaultModel::new(rate, 77),
-                prot,
-            );
+            let mut b = CounterBank::with_faults(10, 4, 256, FaultModel::new(rate, 77), prot);
             let mask = Row::ones(256);
             for _ in 0..20 {
                 b.accumulate_ripple(9, &mask);

@@ -33,7 +33,10 @@ impl JohnsonCode {
     /// Panics if `r` is odd or out of range.
     #[must_use]
     pub fn for_radix(r: usize) -> Self {
-        assert!(r >= 2 && r.is_multiple_of(2), "JC radix must be even and >= 2");
+        assert!(
+            r >= 2 && r.is_multiple_of(2),
+            "JC radix must be even and >= 2"
+        );
         Self::new(r / 2)
     }
 
@@ -80,12 +83,8 @@ impl JohnsonCode {
     /// is not a valid Johnson state (e.g. after an uncorrected fault).
     #[must_use]
     pub fn decode(&self, bits: u64) -> Option<usize> {
-        for v in 0..self.radix() {
-            if self.encode(v) == bits & ((1u64 << self.n) - 1) {
-                return Some(v);
-            }
-        }
-        None
+        let masked = bits & ((1u64 << self.n) - 1);
+        (0..self.radix()).find(|&v| self.encode(v) == masked)
     }
 
     /// Decodes a possibly-corrupt pattern to the *nearest* valid state by
@@ -176,9 +175,9 @@ mod tests {
             for bit in 0..5 {
                 let corrupt = c.encode(v) ^ (1 << bit);
                 let near = c.decode_nearest(corrupt);
-                let dist = (v as i64 - near as i64).rem_euclid(10).min(
-                    (near as i64 - v as i64).rem_euclid(10),
-                );
+                let dist = (v as i64 - near as i64)
+                    .rem_euclid(10)
+                    .min((near as i64 - v as i64).rem_euclid(10));
                 assert!(dist <= 2, "v={v} bit={bit} near={near}");
             }
         }

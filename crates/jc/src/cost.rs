@@ -169,8 +169,7 @@ mod tests {
         for radix in [4usize, 6, 8, 10, 16, 20] {
             let digits = digits_for_capacity(radix, 32);
             let unit = average_over_uniform_u8(|v| unit_counting_ops(v, radix, digits));
-            let kary =
-                average_over_uniform_u8(|v| kary_full_ripple_ops(v, radix, digits));
+            let kary = average_over_uniform_u8(|v| kary_full_ripple_ops(v, radix, digits));
             let gain = unit / kary;
             assert!(
                 gain > 1.5,

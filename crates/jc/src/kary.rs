@@ -57,7 +57,13 @@ impl TransitionPattern {
         assert!(n >= 1, "counter width must be positive");
         assert!((1..2 * n).contains(&k), "k must be in 1..2n");
         let (sources, flag) = Self::build(n, k);
-        Self { n, k, decrement: false, sources, flag }
+        Self {
+            n,
+            k,
+            decrement: false,
+            sources,
+            flag,
+        }
     }
 
     /// Builds the decrement-by-`k` pattern: bit movement of an increment
@@ -70,31 +76,59 @@ impl TransitionPattern {
     pub fn decrement(n: usize, k: usize) -> Self {
         assert!((1..2 * n).contains(&k), "k must be in 1..2n");
         let (sources, _) = Self::build(n, 2 * n - k);
-        let flag = if k <= n { FlagRule::DecSmall } else { FlagRule::DecLarge };
-        Self { n, k, decrement: true, sources, flag }
+        let flag = if k <= n {
+            FlagRule::DecSmall
+        } else {
+            FlagRule::DecLarge
+        };
+        Self {
+            n,
+            k,
+            decrement: true,
+            sources,
+            flag,
+        }
     }
 
     fn build(n: usize, k: usize) -> (Vec<BitSource>, FlagRule) {
-        let mut sources = vec![BitSource { src: 0, invert: false }; n];
+        let mut sources = vec![
+            BitSource {
+                src: 0,
+                invert: false
+            };
+            n
+        ];
         if k <= n {
             // Forward shifts (Alg. 1 line 3): b'_i <- b_{i-k}, i = n-1..k.
-            for i in k..n {
-                sources[i] = BitSource { src: i - k, invert: false };
+            for (i, source) in sources.iter_mut().enumerate().take(n).skip(k) {
+                *source = BitSource {
+                    src: i - k,
+                    invert: false,
+                };
             }
             // Inverted feedback (line 5): b'_i <- !b_{n-k+i}, i = 0..k.
-            for i in 0..k {
-                sources[i] = BitSource { src: n - k + i, invert: true };
+            for (i, source) in sources.iter_mut().enumerate().take(k) {
+                *source = BitSource {
+                    src: n - k + i,
+                    invert: true,
+                };
             }
             (sources, FlagRule::IncSmall)
         } else {
             let kk = k - n; // line 8
-            // Inverted feedback (line 10): b'_i <- !b_{i-kk}, i = n-1..kk.
-            for i in kk..n {
-                sources[i] = BitSource { src: i - kk, invert: true };
+                            // Inverted feedback (line 10): b'_i <- !b_{i-kk}, i = n-1..kk.
+            for (i, source) in sources.iter_mut().enumerate().take(n).skip(kk) {
+                *source = BitSource {
+                    src: i - kk,
+                    invert: true,
+                };
             }
             // Forward shifts (line 12): b'_i <- b_{n-kk+i}, i = 0..kk.
-            for i in 0..kk {
-                sources[i] = BitSource { src: n - kk + i, invert: false };
+            for (i, source) in sources.iter_mut().enumerate().take(kk) {
+                *source = BitSource {
+                    src: n - kk + i,
+                    invert: false,
+                };
             }
             (sources, FlagRule::IncLarge)
         }
@@ -239,11 +273,7 @@ mod tests {
                 for v in 0..2 * n {
                     let new = p.apply_bits(c.encode(v));
                     let wrapped = v + k >= 2 * n;
-                    assert_eq!(
-                        p.flag_fires(c.encode(v), new),
-                        wrapped,
-                        "n={n} k={k} v={v}"
-                    );
+                    assert_eq!(p.flag_fires(c.encode(v), new), wrapped, "n={n} k={k} v={v}");
                 }
             }
         }
@@ -258,11 +288,7 @@ mod tests {
                 for v in 0..2 * n {
                     let new = p.apply_bits(c.encode(v));
                     let borrow = v < k;
-                    assert_eq!(
-                        p.flag_fires(c.encode(v), new),
-                        borrow,
-                        "n={n} k={k} v={v}"
-                    );
+                    assert_eq!(p.flag_fires(c.encode(v), new), borrow, "n={n} k={k} v={v}");
                 }
             }
         }

@@ -105,13 +105,7 @@ mod tests {
 
     #[test]
     fn algorithm2_multi_digit_with_carries() {
-        let cases = [
-            (37u128, 45u128),
-            (99, 1),
-            (123, 877),
-            (0, 456),
-            (999, 999),
-        ];
+        let cases = [(37u128, 45u128), (99, 1), (123, 877), (0, 456), (999, 999)];
         for (a, b) in cases {
             let mut dst = bank_with(10, 3, &[a]);
             let src = bank_with(10, 3, &[b]);

@@ -327,7 +327,11 @@ mod tests {
                 } else {
                     col % (2 * n)
                 };
-                assert_eq!(row.get(col), code.bit(expect_val, i), "bit {i}, column {col}");
+                assert_eq!(
+                    row.get(col),
+                    code.bit(expect_val, i),
+                    "bit {i}, column {col}"
+                );
             }
         }
     }

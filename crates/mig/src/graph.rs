@@ -378,10 +378,7 @@ impl Mig {
 
     /// Nodes in creation (≡ topological) order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &Node)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (i as u32, n))
+        self.nodes.iter().enumerate().map(|(i, n)| (i as u32, n))
     }
 }
 

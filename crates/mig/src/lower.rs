@@ -270,10 +270,7 @@ impl<'a> Lowerer<'a> {
                 AmbitAddr::Data(self.pins.pi_row(i as usize)),
                 sig.is_complemented(),
             ),
-            Node::Maj(_) => (
-                AmbitAddr::Data(placed[&sig.node()]),
-                sig.is_complemented(),
-            ),
+            Node::Maj(_) => (AmbitAddr::Data(placed[&sig.node()]), sig.is_complemented()),
         }
     }
 

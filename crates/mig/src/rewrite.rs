@@ -74,12 +74,7 @@ pub fn optimize_depth(mig: &Mig, outputs: &[Signal]) -> Rewritten {
     };
     [plain, size, assoc]
         .into_iter()
-        .min_by_key(|r| {
-            (
-                max_depth(&r.mig, &r.outputs),
-                r.mig.node_count(&r.outputs),
-            )
-        })
+        .min_by_key(|r| (max_depth(&r.mig, &r.outputs), r.mig.node_count(&r.outputs)))
         .expect("three candidates")
 }
 

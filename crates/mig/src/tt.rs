@@ -105,7 +105,6 @@ impl TruthTable {
         (self.bits >> row) & 1 == 1
     }
 
-
     /// Conjunction.
     ///
     /// # Panics

@@ -39,7 +39,10 @@ fn build(num_pis: usize, recipe: &[NodeRecipe]) -> (Mig, Vec<Signal>) {
 }
 
 fn recipe_strategy() -> impl Strategy<Value = (usize, Vec<NodeRecipe>)> {
-    (2usize..=5, prop::collection::vec(any::<NodeRecipe>(), 1..20))
+    (
+        2usize..=5,
+        prop::collection::vec(any::<NodeRecipe>(), 1..20),
+    )
 }
 
 proptest! {

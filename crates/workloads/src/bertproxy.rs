@@ -75,7 +75,10 @@ impl TernaryMlp {
     /// against the fault-free reference labels.
     #[must_use]
     pub fn accuracy(&self, faulty: &KernelConfig, samples: usize, seed: u64) -> f64 {
-        let exact = KernelConfig { fault_rate: 0.0, ..*faulty };
+        let exact = KernelConfig {
+            fault_rate: 0.0,
+            ..*faulty
+        };
         let mut rng = ChaCha12Rng::seed_from_u64(seed);
         let mut agree = 0usize;
         for _ in 0..samples {

@@ -7,8 +7,8 @@
 //! shows 8-bit quantised BERT embeddings (zero-centred bell).
 
 use rand::Rng;
-use rand_chacha::ChaCha12Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
 /// A histogram over integer values.

@@ -19,8 +19,8 @@
 //! mutations, negative reads random), which preserves the quantity under
 //! study — how the filter's F1 degrades as CIM faults corrupt counts.
 
-use c2m_cim::{FaultModel, Row};
 use c2m_baselines::rca::RcaAccumulator;
+use c2m_cim::{FaultModel, Row};
 use c2m_ecc::protect::ProtectionKind;
 use c2m_jc::bank::CounterBank;
 use c2m_jc::cost::digits_for_capacity;
@@ -66,7 +66,15 @@ impl JcBackend {
             FaultModel::new(fault_rate, seed),
             protection,
         );
-        Self { bank, radix, digits, width, fault_rate, protection, seed }
+        Self {
+            bank,
+            radix,
+            digits,
+            width,
+            fault_rate,
+            protection,
+            seed,
+        }
     }
 }
 
@@ -131,11 +139,12 @@ pub fn effective_rate(raw: f64, protection: ProtectionKind) -> f64 {
     match protection {
         ProtectionKind::None => raw,
         ProtectionKind::Tmr => c2m_ecc::TmrVoter::effective_per_op_rate(raw),
-        ProtectionKind::Ecc { fr_checks, .. } => {
-            c2m_ecc::protect::ProtectionAnalysis { fault_rate: raw, fr_checks }
-                .undetected_error_rate()
-                .min(1.0)
+        ProtectionKind::Ecc { fr_checks, .. } => c2m_ecc::protect::ProtectionAnalysis {
+            fault_rate: raw,
+            fr_checks,
         }
+        .undetected_error_rate()
+        .min(1.0),
     }
 }
 
@@ -216,12 +225,22 @@ impl DnaFilter {
         let mut masks = vec![Row::zeros(bins); kmer_space];
         for b in 0..bins {
             let start = b * cfg.bin_len;
-            let end = (start + cfg.bin_len + cfg.k - 1).min(cfg.genome_len);
+            // Bins overlap by a full read length (as in GRIM-Filter) so a
+            // read that starts inside bin `b` contributes *all* of its
+            // k-mers to bin `b`'s window even when it crosses into the
+            // next bin; otherwise straddling reads split their counts and
+            // can never clear the threshold.
+            let end = (start + cfg.bin_len + cfg.read_len).min(cfg.genome_len);
             for w in genome[start..end].windows(cfg.k) {
                 masks[kmer_id(w)].set(b, true);
             }
         }
-        Self { cfg, genome, masks, bins }
+        Self {
+            cfg,
+            genome,
+            masks,
+            bins,
+        }
     }
 
     /// Number of bins (accumulator lanes needed).
@@ -253,7 +272,9 @@ impl DnaFilter {
 
     /// Samples a negative read (unrelated random sequence).
     pub fn negative_read(&self, rng: &mut impl Rng) -> Vec<u8> {
-        (0..self.cfg.read_len).map(|_| rng.gen_range(0u8..4)).collect()
+        (0..self.cfg.read_len)
+            .map(|_| rng.gen_range(0u8..4))
+            .collect()
     }
 
     /// Screens one read through the given accumulation backend: returns
@@ -276,12 +297,7 @@ impl DnaFilter {
     /// are the minority in pre-alignment filtering — most candidate
     /// locations are false, which is why a fault-corrupted accept-all
     /// filter scores poorly).
-    pub fn f1_score(
-        &self,
-        acc: &mut dyn MaskedAccumulator,
-        reads: usize,
-        seed: u64,
-    ) -> f64 {
+    pub fn f1_score(&self, acc: &mut dyn MaskedAccumulator, reads: usize, seed: u64) -> f64 {
         let mut rng = ChaCha12Rng::seed_from_u64(seed);
         let (mut tp, mut fp, mut fnn) = (0u32, 0u32, 0u32);
         for i in 0..reads {

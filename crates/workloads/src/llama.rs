@@ -33,26 +33,90 @@ impl GemmShape {
 
 /// The five GEMV shapes of Table 3.
 pub const GEMV_SHAPES: [GemmShape; 5] = [
-    GemmShape { id: "V0", model: "LLaMA", m: 1, n: 22016, k: 8192 },
-    GemmShape { id: "V1", model: "LLaMA", m: 1, n: 8192, k: 22016 },
-    GemmShape { id: "V2", model: "LLaMA-2", m: 1, n: 8192, k: 8192 },
-    GemmShape { id: "V3", model: "LLaMA-2", m: 1, n: 28672, k: 8192 },
-    GemmShape { id: "V4", model: "LLaMA-2", m: 1, n: 8192, k: 28672 },
+    GemmShape {
+        id: "V0",
+        model: "LLaMA",
+        m: 1,
+        n: 22016,
+        k: 8192,
+    },
+    GemmShape {
+        id: "V1",
+        model: "LLaMA",
+        m: 1,
+        n: 8192,
+        k: 22016,
+    },
+    GemmShape {
+        id: "V2",
+        model: "LLaMA-2",
+        m: 1,
+        n: 8192,
+        k: 8192,
+    },
+    GemmShape {
+        id: "V3",
+        model: "LLaMA-2",
+        m: 1,
+        n: 28672,
+        k: 8192,
+    },
+    GemmShape {
+        id: "V4",
+        model: "LLaMA-2",
+        m: 1,
+        n: 8192,
+        k: 28672,
+    },
 ];
 
 /// The five GEMM shapes of Table 3.
 pub const GEMM_SHAPES: [GemmShape; 5] = [
-    GemmShape { id: "M0", model: "LLaMA", m: 8192, n: 22016, k: 8192 },
-    GemmShape { id: "M1", model: "LLaMA", m: 8192, n: 8192, k: 22016 },
-    GemmShape { id: "M2", model: "LLaMA-2", m: 8192, n: 8192, k: 8192 },
-    GemmShape { id: "M3", model: "LLaMA-2", m: 8192, n: 28672, k: 8192 },
-    GemmShape { id: "M4", model: "LLaMA-2", m: 8192, n: 8192, k: 28672 },
+    GemmShape {
+        id: "M0",
+        model: "LLaMA",
+        m: 8192,
+        n: 22016,
+        k: 8192,
+    },
+    GemmShape {
+        id: "M1",
+        model: "LLaMA",
+        m: 8192,
+        n: 8192,
+        k: 22016,
+    },
+    GemmShape {
+        id: "M2",
+        model: "LLaMA-2",
+        m: 8192,
+        n: 8192,
+        k: 8192,
+    },
+    GemmShape {
+        id: "M3",
+        model: "LLaMA-2",
+        m: 8192,
+        n: 28672,
+        k: 8192,
+    },
+    GemmShape {
+        id: "M4",
+        model: "LLaMA-2",
+        m: 8192,
+        n: 8192,
+        k: 28672,
+    },
 ];
 
 /// All ten Table 3 shapes, V first.
 #[must_use]
 pub fn all_shapes() -> Vec<GemmShape> {
-    GEMV_SHAPES.iter().chain(GEMM_SHAPES.iter()).copied().collect()
+    GEMV_SHAPES
+        .iter()
+        .chain(GEMM_SHAPES.iter())
+        .copied()
+        .collect()
 }
 
 #[cfg(test)]

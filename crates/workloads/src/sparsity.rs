@@ -50,7 +50,9 @@ pub fn measured_sparsity(v: &[i64]) -> f64 {
 /// The sparsity sweep points of Fig. 16 (0 % … 99.9 %).
 #[must_use]
 pub fn fig16_sweep() -> Vec<f64> {
-    vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 0.996, 0.999]
+    vec![
+        0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 0.996, 0.999,
+    ]
 }
 
 #[cfg(test)]

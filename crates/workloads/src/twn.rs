@@ -39,8 +39,20 @@ impl ConvLayer {
 #[must_use]
 pub fn lenet() -> Vec<ConvLayer> {
     vec![
-        ConvLayer { name: "conv1", in_ch: 1, out_ch: 6, k: 5, out_hw: 28 },
-        ConvLayer { name: "conv2", in_ch: 6, out_ch: 16, k: 5, out_hw: 10 },
+        ConvLayer {
+            name: "conv1",
+            in_ch: 1,
+            out_ch: 6,
+            k: 5,
+            out_hw: 28,
+        },
+        ConvLayer {
+            name: "conv2",
+            in_ch: 6,
+            out_ch: 16,
+            k: 5,
+            out_hw: 10,
+        },
     ]
 }
 
@@ -48,16 +60,76 @@ pub fn lenet() -> Vec<ConvLayer> {
 #[must_use]
 pub fn vgg13() -> Vec<ConvLayer> {
     vec![
-        ConvLayer { name: "c1_1", in_ch: 3, out_ch: 64, k: 3, out_hw: 224 },
-        ConvLayer { name: "c1_2", in_ch: 64, out_ch: 64, k: 3, out_hw: 224 },
-        ConvLayer { name: "c2_1", in_ch: 64, out_ch: 128, k: 3, out_hw: 112 },
-        ConvLayer { name: "c2_2", in_ch: 128, out_ch: 128, k: 3, out_hw: 112 },
-        ConvLayer { name: "c3_1", in_ch: 128, out_ch: 256, k: 3, out_hw: 56 },
-        ConvLayer { name: "c3_2", in_ch: 256, out_ch: 256, k: 3, out_hw: 56 },
-        ConvLayer { name: "c4_1", in_ch: 256, out_ch: 512, k: 3, out_hw: 28 },
-        ConvLayer { name: "c4_2", in_ch: 512, out_ch: 512, k: 3, out_hw: 28 },
-        ConvLayer { name: "c5_1", in_ch: 512, out_ch: 512, k: 3, out_hw: 14 },
-        ConvLayer { name: "c5_2", in_ch: 512, out_ch: 512, k: 3, out_hw: 14 },
+        ConvLayer {
+            name: "c1_1",
+            in_ch: 3,
+            out_ch: 64,
+            k: 3,
+            out_hw: 224,
+        },
+        ConvLayer {
+            name: "c1_2",
+            in_ch: 64,
+            out_ch: 64,
+            k: 3,
+            out_hw: 224,
+        },
+        ConvLayer {
+            name: "c2_1",
+            in_ch: 64,
+            out_ch: 128,
+            k: 3,
+            out_hw: 112,
+        },
+        ConvLayer {
+            name: "c2_2",
+            in_ch: 128,
+            out_ch: 128,
+            k: 3,
+            out_hw: 112,
+        },
+        ConvLayer {
+            name: "c3_1",
+            in_ch: 128,
+            out_ch: 256,
+            k: 3,
+            out_hw: 56,
+        },
+        ConvLayer {
+            name: "c3_2",
+            in_ch: 256,
+            out_ch: 256,
+            k: 3,
+            out_hw: 56,
+        },
+        ConvLayer {
+            name: "c4_1",
+            in_ch: 256,
+            out_ch: 512,
+            k: 3,
+            out_hw: 28,
+        },
+        ConvLayer {
+            name: "c4_2",
+            in_ch: 512,
+            out_ch: 512,
+            k: 3,
+            out_hw: 28,
+        },
+        ConvLayer {
+            name: "c5_1",
+            in_ch: 512,
+            out_ch: 512,
+            k: 3,
+            out_hw: 14,
+        },
+        ConvLayer {
+            name: "c5_2",
+            in_ch: 512,
+            out_ch: 512,
+            k: 3,
+            out_hw: 14,
+        },
     ]
 }
 
@@ -65,9 +137,33 @@ pub fn vgg13() -> Vec<ConvLayer> {
 #[must_use]
 pub fn vgg16() -> Vec<ConvLayer> {
     let mut layers = vgg13();
-    layers.insert(6, ConvLayer { name: "c3_3", in_ch: 256, out_ch: 256, k: 3, out_hw: 56 });
-    layers.insert(9, ConvLayer { name: "c4_3", in_ch: 512, out_ch: 512, k: 3, out_hw: 28 });
-    layers.push(ConvLayer { name: "c5_3", in_ch: 512, out_ch: 512, k: 3, out_hw: 14 });
+    layers.insert(
+        6,
+        ConvLayer {
+            name: "c3_3",
+            in_ch: 256,
+            out_ch: 256,
+            k: 3,
+            out_hw: 56,
+        },
+    );
+    layers.insert(
+        9,
+        ConvLayer {
+            name: "c4_3",
+            in_ch: 512,
+            out_ch: 512,
+            k: 3,
+            out_hw: 28,
+        },
+    );
+    layers.push(ConvLayer {
+        name: "c5_3",
+        in_ch: 512,
+        out_ch: 512,
+        k: 3,
+        out_hw: 14,
+    });
     layers
 }
 

@@ -34,9 +34,9 @@ fn main() {
                 .map(|x| {
                     // A bright diagonal stroke on a noisy background.
                     if (y as i64 - x as i64).abs() <= 1 {
-                        12 + rng.gen_range(0..4)
+                        12 + rng.gen_range(0i64..4)
                     } else {
-                        rng.gen_range(0..3)
+                        rng.gen_range(0i64..3)
                     }
                 })
                 .collect()
@@ -52,9 +52,15 @@ fn main() {
 
     println!(
         "conv {}x{}x{} * {} filters ({}x{}) -> {}x{}x{}",
-        shape.in_channels, shape.in_h, shape.in_w,
-        shape.out_channels, shape.kernel, shape.kernel,
-        shape.out_channels, shape.out_h(), shape.out_w(),
+        shape.in_channels,
+        shape.in_h,
+        shape.in_w,
+        shape.out_channels,
+        shape.kernel,
+        shape.kernel,
+        shape.out_channels,
+        shape.out_h(),
+        shape.out_w(),
     );
     println!(
         "bit-accurate: {} increments, {} Ambit commands ({} MACs)",
@@ -85,6 +91,10 @@ fn main() {
                 (g.m * g.k * g.n) as u64
             })
             .sum();
-        println!("  {model}: {} conv layers, {:.2} GMAC/image", layers.len(), macs as f64 / 1e9);
+        println!(
+            "  {model}: {} conv layers, {:.2} GMAC/image",
+            layers.len(),
+            macs as f64 / 1e9
+        );
     }
 }

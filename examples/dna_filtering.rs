@@ -32,7 +32,10 @@ fn main() {
             ("random  ", filter.negative_read(&mut rng))
         };
         let accepted = filter.screen(&read, &mut acc);
-        println!("read {i} ({label}) -> {}", if accepted { "CANDIDATE" } else { "filtered" });
+        println!(
+            "read {i} ({label}) -> {}",
+            if accepted { "CANDIDATE" } else { "filtered" }
+        );
     }
 
     // F1 across fault regimes.

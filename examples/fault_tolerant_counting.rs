@@ -27,7 +27,13 @@ fn main() {
     // --- 2. Table 1 closed forms.
     println!("\nundetected-error rates (Table 1):");
     for fr_checks in [2u32, 4, 6] {
-        let at = |p: f64| ProtectionAnalysis { fault_rate: p, fr_checks }.undetected_error_rate();
+        let at = |p: f64| {
+            ProtectionAnalysis {
+                fault_rate: p,
+                fr_checks,
+            }
+            .undetected_error_rate()
+        };
         println!(
             "  {fr_checks} FR checks: 1e-1 -> {:.1e}, 1e-2 -> {:.1e}, 1e-4 -> {:.1e}",
             at(1e-1),
@@ -44,8 +50,7 @@ fn main() {
         ("TMR        ", ProtectionKind::Tmr),
         ("ECC (r=2)  ", ProtectionKind::ecc_default()),
     ] {
-        let mut bank =
-            CounterBank::with_faults(10, 3, 256, FaultModel::new(rate, 5), prot);
+        let mut bank = CounterBank::with_faults(10, 3, 256, FaultModel::new(rate, 5), prot);
         let mask = Row::ones(256);
         for _ in 0..30 {
             bank.accumulate_ripple(7, &mask);

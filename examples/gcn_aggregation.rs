@@ -49,9 +49,8 @@ fn main() {
     // an indicator and values = feature entries.
     let cfg = KernelConfig::compact();
     let mut checked = 0;
-    for v in 0..5 {
+    for (v, neigh) in graph.adj.iter().enumerate().take(5) {
         // Build the K x N problem for node v: K = neighbours, N = features.
-        let neigh = &graph.adj[v];
         if neigh.is_empty() {
             continue;
         }
@@ -70,7 +69,11 @@ fn main() {
             assert_eq!(y[f], i128::from(reference[v][f]), "node {v} feature {f}");
         }
         checked += 1;
-        println!("node {v}: aggregated {} neighbours -> {:?}…", neigh.len(), &y[..4]);
+        println!(
+            "node {v}: aggregated {} neighbours -> {:?}…",
+            neigh.len(),
+            &y[..4]
+        );
     }
     println!("verified {checked} nodes against the host reference");
 }

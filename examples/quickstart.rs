@@ -5,9 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
+use count2multiply::arch::engine::{C2mEngine, EngineConfig};
 use count2multiply::arch::kernels::{ternary_gemv, KernelConfig};
 use count2multiply::arch::matrix::TernaryMatrix;
-use count2multiply::arch::engine::{C2mEngine, EngineConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 

@@ -28,15 +28,31 @@ fn main() {
     let c = c2m.ternary_gemv(&x, shape.n);
 
     println!("\ndense activations:");
-    println!("  GPU     : {:>9.3} ms end-to-end, {:>7.0} GOPS kernel", g.total_ns / 1e6, g.gops());
-    println!("  SIMDRAM : {:>9.3} ms,           {:>7.2} GOPS", s.elapsed_ms(), s.gops());
-    println!("  C2M     : {:>9.3} ms,           {:>7.2} GOPS  ({:.1}x over SIMDRAM)",
-        c.elapsed_ms(), c.gops(), s.elapsed_ns / c.elapsed_ns);
+    println!(
+        "  GPU     : {:>9.3} ms end-to-end, {:>7.0} GOPS kernel",
+        g.total_ns / 1e6,
+        g.gops()
+    );
+    println!(
+        "  SIMDRAM : {:>9.3} ms,           {:>7.2} GOPS",
+        s.elapsed_ms(),
+        s.gops()
+    );
+    println!(
+        "  C2M     : {:>9.3} ms,           {:>7.2} GOPS  ({:.1}x over SIMDRAM)",
+        c.elapsed_ms(),
+        c.gops(),
+        s.elapsed_ns / c.elapsed_ns
+    );
 
     println!("\nC2M latency falls with activation sparsity (zeros cost nothing):");
     for sp in [0.0, 0.5, 0.9, 0.99] {
         let xs = sparse_int8_stream(shape.k, sp, 123);
         let r = c2m.ternary_gemv(&xs, shape.n);
-        println!("  {:>5.1}% sparse -> {:>8.3} ms", sp * 100.0, r.elapsed_ms());
+        println!(
+            "  {:>5.1}% sparse -> {:>8.3} ms",
+            sp * 100.0,
+            r.elapsed_ms()
+        );
     }
 }

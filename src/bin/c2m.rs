@@ -69,14 +69,24 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
         capacity_bits: capacity,
         ..CounterSpec::paper_default()
     };
-    let shape = KernelShape { k, n_out: n, encoding };
+    let shape = KernelShape {
+        k,
+        n_out: n,
+        encoding,
+    };
     println!("placement for K={k}, N={n}, radix {radix}, {capacity}-bit capacity:");
     match placement::plan(&cfg, &spec, &shape) {
         Ok(p) => {
             println!("  counter rows / column : {}", spec.counter_rows());
             println!("  scratch rows          : {}", spec.scratch_rows());
-            println!("  D-group rows used     : {} / {}", p.rows_used, p.rows_available);
-            println!("  row utilisation       : {:.1}%", p.row_utilisation() * 100.0);
+            println!(
+                "  D-group rows used     : {} / {}",
+                p.rows_used, p.rows_available
+            );
+            println!(
+                "  row utilisation       : {:.1}%",
+                p.row_utilisation() * 100.0
+            );
             println!("  columns per subarray  : {}", p.columns_per_subarray);
             println!("  subarrays needed      : {}", p.subarrays_needed);
             println!("  concurrent subarrays  : {}", p.parallel_subarrays);
@@ -145,9 +155,7 @@ fn cmd_radix_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("{:>6} | {:>10}", "radix", "AAP/input");
     for radix in (2..=max_radix).step_by(2) {
         let digits = cost::digits_for_capacity(radix, 64);
-        let ops = cost::average_over_uniform_u8(|v| {
-            cost::kary_full_ripple_ops(v, radix, digits)
-        });
+        let ops = cost::average_over_uniform_u8(|v| cost::kary_full_ripple_ops(v, radix, digits));
         println!("{radix:>6} | {ops:>10.1}");
     }
     println!(
@@ -172,7 +180,10 @@ fn cmd_experiments() {
         ("fig19", "counter storage capacity vs radix"),
         ("backends", "counting cost per CIM technology (§4.6)"),
         ("mig", "MIG synthesis sizes and lowering costs (§4.2)"),
-        ("hostpath", "FR-FCFS host read path vs CIM issue rate (§5.1)"),
+        (
+            "hostpath",
+            "FR-FCFS host read path vs CIM issue rate (§5.1)",
+        ),
     ] {
         println!("  {id:<9} {what}");
     }
@@ -181,6 +192,38 @@ fn cmd_experiments() {
 fn usage() -> &'static str {
     "usage: c2m <plan|gemv|radix-sweep|experiments> [--flag value]...\n\
      try `c2m experiments` for the paper-artefact harness"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "plan" => cmd_plan(&flags),
+        "gemv" => cmd_gemv(&flags),
+        "radix-sweep" => cmd_radix_sweep(&flags),
+        "experiments" => {
+            cmd_experiments();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 #[cfg(test)]
@@ -241,37 +284,5 @@ mod tests {
     fn plan_and_sweep_run_on_defaults() {
         assert!(cmd_plan(&flags(&[("k", "64"), ("n", "128")])).is_ok());
         assert!(cmd_radix_sweep(&flags(&[("max-radix", "6")])).is_ok());
-    }
-}
-
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
-        eprintln!("{}", usage());
-        return ExitCode::FAILURE;
-    };
-    let flags = match parse_flags(&args[1..]) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}\n{}", usage());
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match cmd.as_str() {
-        "plan" => cmd_plan(&flags),
-        "gemv" => cmd_gemv(&flags),
-        "radix-sweep" => cmd_radix_sweep(&flags),
-        "experiments" => {
-            cmd_experiments();
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
     }
 }

@@ -12,8 +12,8 @@
 
 use count2multiply::arch::kernels::{int_binary_gemv, KernelConfig};
 use count2multiply::arch::matrix::BinaryMatrix;
-use count2multiply::arch::nn::{conv2d_ternary, im2col, ConvShape, Image};
 use count2multiply::arch::matrix::TernaryMatrix;
+use count2multiply::arch::nn::{conv2d_ternary, im2col, ConvShape, Image};
 use count2multiply::baselines::ambit_rca::AmbitRca;
 use count2multiply::baselines::rca::RcaAccumulator;
 use count2multiply::cim::Row;
@@ -95,8 +95,8 @@ fn reed_solomon_survives_bursts_that_defeat_secded() {
     // A 4-bit burst inside one byte: one RS symbol, four SECDED bits.
     let mut d1 = data.clone();
     let mut c1 = sc.clone();
-    for i in 8..12 {
-        d1[i] = !d1[i];
+    for bit in &mut d1[8..12] {
+        *bit = !*bit;
     }
     assert!(
         secded.correct(&mut d1, &mut c1).is_none(),
@@ -105,8 +105,8 @@ fn reed_solomon_survives_bursts_that_defeat_secded() {
 
     let mut d2 = data.clone();
     let mut c2 = rc.clone();
-    for i in 8..12 {
-        d2[i] = !d2[i];
+    for bit in &mut d2[8..12] {
+        *bit = !*bit;
     }
     assert_eq!(rs.correct(&mut d2, &mut c2), Some(1));
     assert_eq!(d2, data);

@@ -2,9 +2,7 @@
 //! on the Ambit substrate up through kernels, engines and workloads.
 
 use count2multiply::arch::engine::{C2mEngine, EngineConfig};
-use count2multiply::arch::kernels::{
-    int_binary_gemv, int_int_gemv, ternary_gemv, KernelConfig,
-};
+use count2multiply::arch::kernels::{int_binary_gemv, int_int_gemv, ternary_gemv, KernelConfig};
 use count2multiply::arch::matrix::{BinaryMatrix, TernaryMatrix};
 use count2multiply::baselines::{GpuModel, SimdramEngine};
 use count2multiply::cim::ambit::AmbitSubarray;
@@ -50,7 +48,7 @@ fn microprogram_equals_software_bank_over_random_masked_stream() {
             }
         }
         // All three agree (mod 10 for the stored digit).
-        for c in 0..width {
+        for (c, &r) in reference.iter().enumerate().take(width) {
             let mut hw = 0u64;
             for i in 0..n {
                 if sub.read_data(layout.bit_rows[i]).get(c) {
@@ -59,8 +57,8 @@ fn microprogram_equals_software_bank_over_random_masked_stream() {
             }
             let hw_digit = code.decode(hw).expect("valid JC state");
             let sw = (bank.get(c).unwrap() % 10) as usize;
-            assert_eq!(hw_digit, reference[c] % 10, "step {step} col {c} (hw)");
-            assert_eq!(sw, reference[c] % 10, "step {step} col {c} (sw)");
+            assert_eq!(hw_digit, r % 10, "step {step} col {c} (hw)");
+            assert_eq!(sw, r % 10, "step {step} col {c} (sw)");
         }
     }
 }
@@ -91,11 +89,11 @@ fn kernels_match_references() {
         .collect();
     let xi: Vec<i64> = (0..8).map(|_| rng.gen_range(0..32)).collect();
     let got = int_int_gemv(&cfg, &xi, &weights);
-    for c in 0..6 {
+    for (c, &yc) in got.y.iter().enumerate().take(6) {
         let want: i128 = (0..8)
             .map(|r| i128::from(xi[r]) * i128::from(weights[r][c]))
             .sum();
-        assert_eq!(got.y[c], want);
+        assert_eq!(yc, want);
     }
 }
 
@@ -137,7 +135,14 @@ fn protection_is_semantically_transparent() {
     let base = KernelConfig::compact();
     let plain = ternary_gemv(&base, &x, &t);
     for prot in [ProtectionKind::Tmr, ProtectionKind::ecc_default()] {
-        let got = ternary_gemv(&KernelConfig { protection: prot, ..base }, &x, &t);
+        let got = ternary_gemv(
+            &KernelConfig {
+                protection: prot,
+                ..base
+            },
+            &x,
+            &t,
+        );
         assert_eq!(got.y, plain.y, "{prot:?} changed results");
         assert!(got.stats.ambit_ops > plain.stats.ambit_ops);
     }
@@ -154,7 +159,10 @@ fn dna_filter_backends_and_fault_tolerance() {
     let mut rng = ChaCha12Rng::seed_from_u64(4);
     for _ in 0..8 {
         let read = filter.positive_read(&mut rng);
-        assert_eq!(filter.screen(&read, &mut jc), filter.screen(&read, &mut rca));
+        assert_eq!(
+            filter.screen(&read, &mut jc),
+            filter.screen(&read, &mut rca)
+        );
     }
 
     let rate = 1e-5;

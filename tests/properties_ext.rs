@@ -5,9 +5,7 @@
 use count2multiply::arch::placement::{self, CounterSpec, KernelShape, MaskEncoding};
 use count2multiply::baselines::ambit_rca::AmbitRca;
 use count2multiply::cim::Row;
-use count2multiply::dram::{
-    DramConfig, MemoryRequest, RefreshModel, RequestQueue, TimingParams,
-};
+use count2multiply::dram::{DramConfig, MemoryRequest, RefreshModel, RequestQueue, TimingParams};
 use count2multiply::ecc::ReedSolomon;
 use proptest::prelude::*;
 
@@ -70,8 +68,8 @@ proptest! {
                 }
             }
         }
-        for l in 0..lanes {
-            prop_assert_eq!(adder.get(l), reference[l], "lane {}", l);
+        for (l, &r) in reference.iter().enumerate().take(lanes) {
+            prop_assert_eq!(adder.get(l), r, "lane {}", l);
         }
     }
 

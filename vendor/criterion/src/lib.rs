@@ -1,0 +1,98 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Implements the walltime-only subset the workspace's bench harness
+//! uses: [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros. Each
+//! benchmark is timed with `std::time::Instant` over an adaptively-sized
+//! batch and reported as ns/iter — no statistics, plots or baselines.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `id` and prints its timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut bencher);
+        println!("{id:<44} {:>14} ns/iter", format_ns(bencher.ns_per_iter));
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_string()
+    } else if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+/// Per-benchmark timing handle passed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, growing the batch size until the measurement
+    /// window is long enough to trust (~50 ms or 1M iterations).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let target = Duration::from_millis(50);
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || iters >= 1_000_000 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            let grow = if elapsed.is_zero() {
+                iters * 100
+            } else {
+                let scale = target.as_nanos() as f64 / elapsed.as_nanos() as f64;
+                ((iters as f64 * scale * 1.2) as u64).max(iters + 1)
+            };
+            iters = grow.min(1_000_000);
+        }
+    }
+}
+
+/// Declares a group runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,164 @@
+//! Minimal offline stand-in for `rand_chacha`: a genuine ChaCha block
+//! function driving [`rand::RngCore`], with 8-, 12- and 20-round
+//! variants. Deterministic for a given seed, which is all the workspace
+//! relies on (it never compares against the reference crate's streams).
+
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buf: [u32; 16],
+            idx: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buf = chacha_block::<{ $rounds }>(&self.key, self.counter);
+                self.counter = self.counter.wrapping_add(1);
+                self.idx = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (i, chunk) in seed.chunks(4).enumerate() {
+                    let mut word = [0u8; 4];
+                    word.copy_from_slice(chunk);
+                    key[i] = u32::from_le_bytes(word);
+                }
+                let mut rng = $name {
+                    key,
+                    counter: 0,
+                    buf: [0; 16],
+                    idx: 16,
+                };
+                rng.refill();
+                rng.idx = 0;
+                rng
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.idx >= 16 {
+                    self.refill();
+                }
+                let word = self.buf[self.idx];
+                self.idx += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = u64::from(self.next_u32());
+                let hi = u64::from(self.next_u32());
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 double... rounds (8-round variant)."
+);
+chacha_rng!(
+    ChaCha12Rng,
+    12,
+    "ChaCha with 12 rounds (rand's default generator)."
+);
+chacha_rng!(
+    ChaCha20Rng,
+    20,
+    "ChaCha with 20 rounds (the IETF cipher core)."
+);
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block<const ROUNDS: usize>(key: &[u32; 8], counter: u64) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k" constants.
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646E;
+    state[2] = 0x7962_2D32;
+    state[3] = 0x6B20_6574;
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = 0;
+    state[15] = 0;
+
+    let initial = state;
+    for _ in 0..ROUNDS / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, init) in state.iter_mut().zip(initial.iter()) {
+        *word = word.wrapping_add(*init);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        let mut c = ChaCha12Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn works_with_rng_trait() {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            let v = rng.gen_range(0i64..256);
+            assert!((0..256).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chacha20_known_answer() {
+        // RFC 8439 §2.3.2 test vector: key 00 01 .. 1f, counter 1 would
+        // need the nonce plumbed; with an all-zero nonce and counter 0 we
+        // at least pin the block function against regressions.
+        let key = [0u32; 8];
+        let block = chacha_block::<20>(&key, 0);
+        // First word of ChaCha20 keystream for zero key/nonce/counter.
+        assert_eq!(block[0], 0xADE0_B876);
+    }
+}

@@ -1,0 +1,312 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` shim.
+//!
+//! The real `serde_derive` (and its `syn`/`quote` dependency tree) is not
+//! available in this sandbox, so this crate parses the derive input with
+//! nothing but the built-in `proc_macro` token API. It supports exactly
+//! the shapes that appear in this workspace:
+//!
+//! * structs with named fields, tuple structs (newtype-transparent for a
+//!   single field), and unit structs;
+//! * enums with unit, tuple and struct variants, serialised with serde's
+//!   external tagging (`"Variant"` / `{"Variant": ...}`).
+//!
+//! Generic types are not supported — no serialised type in the workspace
+//! is generic. `#[derive(Deserialize)]` expands to nothing: the workspace
+//! only ever serialises.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by lowering the type into a `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand_serialize(input) {
+        Ok(out) => out.parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Accepted for source compatibility; expands to nothing (the workspace
+/// never deserialises).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+fn expand_serialize(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip attributes and visibility to find `struct` / `enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(_) => i += 1,
+            None => return Err("no struct or enum in derive input".into()),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing type name in derive input".into()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim: generic type `{name}` cannot derive Serialize"
+            ));
+        }
+    }
+
+    let body = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                struct_body(&name, &Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                struct_body(&name, &Fields::Tuple(count_top_level_fields(g.stream())))
+            }
+            _ => struct_body(&name, &Fields::Unit),
+        }
+    } else {
+        let group = loop {
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+                Some(_) => i += 1,
+                None => return Err(format!("enum `{name}` has no body")),
+            }
+        };
+        enum_body(&name, &parse_variants(group.stream())?)
+    };
+
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    ))
+}
+
+fn struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => {
+            let _ = name;
+            "::serde::Value::Null".to_string()
+        }
+    }
+}
+
+fn enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (vname, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => {
+                format!("{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),")
+            }
+            Fields::Tuple(1) => format!(
+                "{name}::{vname}(f0) => ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                 ::serde::Serialize::to_value(f0))]),"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                     ::serde::Value::Array(vec![{}]))]),",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fnames) => {
+                let binds = fnames.join(", ");
+                let entries: Vec<String> = fnames
+                    .iter()
+                    .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![({vname:?}\
+                     .to_string(), ::serde::Value::Object(vec![{}]))]),",
+                    entries.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+/// Parses `name: Type, ...` out of a brace group, skipping attributes and
+/// visibility, tracking `<...>` depth so commas inside generics don't
+/// split fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "expected `:` after field `{}`",
+                    fields.last().unwrap()
+                ))
+            }
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        let mut prev_dash = false;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                let c = p.as_char();
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' && !prev_dash {
+                    angle_depth -= 1;
+                } else if c == ',' && angle_depth == 0 {
+                    i += 1;
+                    break;
+                }
+                prev_dash = c == '-';
+            } else {
+                prev_dash = false;
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts tuple-struct fields: top-level commas + 1 (angle-depth aware).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            let c = p.as_char();
+            if c == '<' {
+                angle_depth += 1;
+            } else if c == '>' && !prev_dash {
+                angle_depth -= 1;
+            } else if c == ',' && angle_depth == 0 {
+                count += 1;
+                trailing_comma = true;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses enum variants: `Name`, `Name(T, ...)`, `Name { f: T, ... }`,
+/// optionally with discriminants, separated by top-level commas.
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip attributes on the variant.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let vname = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((vname, fields));
+        // Skip any discriminant up to the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(variants)
+}
