@@ -177,6 +177,36 @@ fn bench_scheduler(c: &mut Criterion) {
     });
 }
 
+fn bench_topology(c: &mut Criterion) {
+    use c2m_dram::{CommandKind, SystemScheduler, Topology};
+    let topo = Topology {
+        channels: 4,
+        ranks: 2,
+        banks: 16,
+    };
+    c.bench_function("topology/10k_aaps_4ch_2rank", |b| {
+        b.iter(|| {
+            let mut sys = SystemScheduler::new(TimingParams::ddr5_4400(), &topo);
+            for i in 0..10_000 {
+                sys.issue(i % 4, (i / 4) % 2, (i / 8) % 16, CommandKind::Aap);
+            }
+            sys.elapsed_ns()
+        })
+    });
+}
+
+fn bench_sharded_engine(c: &mut Criterion) {
+    use c2m_core::engine::{C2mEngine, EngineConfig};
+    let mut cfg = EngineConfig::c2m(16);
+    cfg.dram.channels = 4;
+    let engine = C2mEngine::new(cfg);
+    let mut rng = ChaCha12Rng::seed_from_u64(7);
+    let x: Vec<i64> = (0..4096).map(|_| rng.gen_range(-128i64..128)).collect();
+    c.bench_function("engine/ternary_gemv_k4096_4ch", |b| {
+        b.iter(|| engine.ternary_gemv(black_box(&x), 8192))
+    });
+}
+
 criterion_group!(
     benches,
     bench_kary_lowering,
@@ -191,5 +221,7 @@ criterion_group!(
     bench_ambit_rca,
     bench_request_queue,
     bench_scheduler,
+    bench_topology,
+    bench_sharded_engine,
 );
 criterion_main!(benches);

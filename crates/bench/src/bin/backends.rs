@@ -1,48 +1,12 @@
 //! Backend ablation (extension of Fig. 10 / §4.6): device-operation cost
 //! of one Johnson-counter increment (with overflow check) on each CIM
 //! technology, measured by running the generic counting program on the
-//! [`c2m_cim::LogicMachine`].
+//! [`c2m_cim::LogicMachine`] (see [`Backend::increment_ops`] — the same
+//! cost model heterogeneous shard dispatch prices with).
 
 use c2m_bench::{header, maybe_json};
-use c2m_cim::{Backend, LogicMachine, Row};
+use c2m_cim::Backend;
 use serde::Serialize;
-
-/// Executes one masked unit increment + overflow check of an n-bit JC on
-/// a logic machine, in the §4.6 style (Fig. 10a): per forward-shift bit
-/// two ANDs and an OR; inverted feedback adds a NOT; overflow adds
-/// NOT + AND + OR. Returns device ops charged.
-fn counting_ops(backend: Backend, n: usize) -> u64 {
-    let width = 64;
-    // Rows: bits 0..n | mask n | onext n+1 | t0 n+2 | t1 n+3 | o1 n+4 | o2 n+5 | notmask n+6
-    let mut m = LogicMachine::new(backend, width, n + 7);
-    let mask_row = n;
-    let onext = n + 1;
-    let t0 = n + 2;
-    let t1 = n + 3;
-    let o1 = n + 4;
-    let o2 = n + 5;
-    let notm = n + 6;
-    m.write(mask_row, &Row::ones(width));
-    // Setup: save MSB and its complement (Fig. 10a lines 1-2).
-    m.copy(n - 1, t0);
-    m.not(n - 1, t1);
-    m.not(mask_row, notm);
-    // Forward shifts (MSB-1 down to 1).
-    for i in (1..n).rev() {
-        m.and(mask_row, i - 1, o1);
-        m.and(notm, i, o2);
-        m.or(o1, o2, i);
-    }
-    // Inverted feedback into bit 0.
-    m.and(notm, 0, o1);
-    m.and(mask_row, t1, o2);
-    m.or(o1, o2, 0);
-    // Overflow checking (lines 12-14).
-    m.not(n - 1, t1);
-    m.and(t0, t1, o1);
-    m.or(onext, o1, onext);
-    m.ops()
-}
 
 #[derive(Serialize)]
 struct BackendRow {
@@ -65,9 +29,9 @@ fn main() {
     for b in Backend::ALL {
         let row = BackendRow {
             backend: b.name().to_string(),
-            ops_n2: counting_ops(b, 2),
-            ops_n5: counting_ops(b, 5),
-            ops_n8: counting_ops(b, 8),
+            ops_n2: b.increment_ops(2),
+            ops_n5: b.increment_ops(5),
+            ops_n8: b.increment_ops(8),
         };
         println!(
             "{:>10} | {:>8} {:>8} {:>8}",

@@ -1,0 +1,100 @@
+//! Channel/rank scaling curves (extension of §7.2 beyond Table 2's
+//! single channel): ternary GEMV (V0) and GEMM (M2) latency and
+//! throughput as the engine shards over 1→8 channels, for uniform Ambit
+//! and FCDRAM dispatch plus a mixed Ambit+FCDRAM module.
+//!
+//! GEMV shards the inner dimension (cross-unit partial-sum merges cap
+//! the gain); GEMM shards output rows (only the host gather is shared),
+//! so both curves are sublinear in channels, GEMM less so.
+
+use c2m_bench::{eng, header, maybe_json};
+use c2m_cim::Backend;
+use c2m_core::engine::{C2mEngine, EngineConfig};
+use c2m_core::shard::BackendPolicy;
+use c2m_workloads::distributions::int8_embeddings;
+use c2m_workloads::llama::{GEMM_SHAPES, GEMV_SHAPES};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ScalingRow {
+    dispatch: String,
+    channels: usize,
+    ranks: usize,
+    gemv_ms: f64,
+    gemv_gops: f64,
+    gemv_speedup: f64,
+    gemm_ms: f64,
+    gemm_gops: f64,
+    gemm_speedup: f64,
+}
+
+fn run(policy: &BackendPolicy, label: &str, rows: &mut Vec<ScalingRow>) {
+    let gemv_shape = GEMV_SHAPES[0]; // V0: 1 x 22016 x 8192
+    let gemm_shape = GEMM_SHAPES[2]; // M2: 8192 x 8192 x 8192
+    let x_gemv = int8_embeddings(gemv_shape.k, 0x5CA1);
+    let x_gemm = int8_embeddings(gemm_shape.k, 0x5CA2);
+
+    let mut base_gemv = 0.0;
+    let mut base_gemm = 0.0;
+    for channels in [1usize, 2, 4, 8] {
+        let mut cfg = EngineConfig::c2m(16);
+        cfg.dram.channels = channels;
+        let engine = C2mEngine::with_backends(cfg, policy.clone());
+        let gemv = engine.ternary_gemv(&x_gemv, gemv_shape.n);
+        let gemm = engine.ternary_gemm(gemm_shape.m, gemm_shape.n, &x_gemm);
+        if channels == 1 {
+            base_gemv = gemv.elapsed_ns;
+            base_gemm = gemm.elapsed_ns;
+        }
+        let row = ScalingRow {
+            dispatch: label.to_string(),
+            channels,
+            ranks: 1,
+            gemv_ms: gemv.elapsed_ms(),
+            gemv_gops: gemv.gops(),
+            gemv_speedup: base_gemv / gemv.elapsed_ns,
+            gemm_ms: gemm.elapsed_ms(),
+            gemm_gops: gemm.gops(),
+            gemm_speedup: base_gemm / gemm.elapsed_ns,
+        };
+        println!(
+            "{:>14} | {:>3} | {:>9} {:>8} {:>7} | {:>9} {:>8} {:>7}",
+            row.dispatch,
+            row.channels,
+            eng(row.gemv_ms),
+            eng(row.gemv_gops),
+            eng(row.gemv_speedup),
+            eng(row.gemm_ms),
+            eng(row.gemm_gops),
+            eng(row.gemm_speedup),
+        );
+        rows.push(row);
+    }
+}
+
+fn main() {
+    header(
+        "fig_scaling",
+        "Topology scaling: V0 GEMV / M2 GEMM over 1-8 channels",
+    );
+    println!(
+        "\n{:>14} | {:>3} | {:>9} {:>8} {:>7} | {:>9} {:>8} {:>7}",
+        "dispatch", "ch", "gemv ms", "gops", "speedup", "gemm ms", "gops", "speedup"
+    );
+    let mut rows = Vec::new();
+    run(&BackendPolicy::Uniform(Backend::Ambit), "Ambit", &mut rows);
+    run(
+        &BackendPolicy::Uniform(Backend::Fcdram),
+        "FCDRAM",
+        &mut rows,
+    );
+    run(
+        &BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]),
+        "Ambit+FCDRAM",
+        &mut rows,
+    );
+
+    println!("\nGEMV shards K (pays cross-unit merges); GEMM shards rows (pays host gather);");
+    println!("speedups are sublinear in channels, and FCDRAM pays the generic-lowering premium.");
+    maybe_json(&rows);
+}

@@ -14,10 +14,25 @@
 //! counter slice; partial results merge with log₂(X) rounds of
 //! counter-to-counter addition (Algorithm 2). Output rows of a GEMM are
 //! computed sequentially, paying a counter copy-out per row.
+//!
+//! Beyond the paper's single-channel setup, the engine shards kernels
+//! over the full channel×rank topology of the configured
+//! [`DramConfig`] (see [`crate::shard`]): each shard's command stream is
+//! projected independently (its own host-side planning pass), channels
+//! run concurrently (elapsed = max over channels; commands and energy
+//! sum), GEMV K-shards pay cross-unit partial-sum merge rounds, and
+//! multi-unit GEMMs pay a host gather of the finished outputs. Shards
+//! can dispatch to heterogeneous CIM backends (§4.6) via a
+//! [`BackendPolicy`]. With `channels == 1 && ranks == 1` and the default
+//! Ambit policy every path reduces bit-for-bit to the paper's
+//! single-channel model.
 
-use c2m_dram::scheduler::steady_state_aap_interval;
+use crate::shard::{BackendPolicy, ShardPlan, ShardPlanner};
+use c2m_cim::Backend;
+use c2m_dram::scheduler::steady_state_aap_interval_ranked;
 use c2m_dram::{
     AreaModel, CommandKind, CommandStats, DramConfig, EnergyModel, ExecutionReport, TimingParams,
+    Topology,
 };
 use c2m_ecc::protect::{ProtectionAnalysis, ProtectionKind};
 use c2m_jc::codec::JohnsonCode;
@@ -96,25 +111,72 @@ pub struct C2mEngine {
     cfg: EngineConfig,
     code: JohnsonCode,
     digits: usize,
+    backends: BackendPolicy,
 }
 
 impl C2mEngine {
-    /// Creates an engine from a configuration.
+    /// Creates an engine from a configuration, dispatching every shard
+    /// to Ambit (the paper's substrate).
     ///
     /// # Panics
     ///
     /// Panics on invalid radix/capacity combinations.
     #[must_use]
     pub fn new(cfg: EngineConfig) -> Self {
+        Self::with_backends(cfg, BackendPolicy::default())
+    }
+
+    /// Creates an engine with an explicit per-shard backend dispatch
+    /// policy (§4.6 heterogeneous execution).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid radix/capacity combinations, and on degenerate
+    /// DRAM geometry (zero channels/ranks, or more compute banks than
+    /// the rank has) — the same checks as [`Topology::from_config`],
+    /// applied at construction so the kernel methods cannot fail later.
+    #[must_use]
+    pub fn with_backends(cfg: EngineConfig, backends: BackendPolicy) -> Self {
         let code = JohnsonCode::for_radix(cfg.radix);
         let digits = digits_for_capacity(cfg.radix, cfg.capacity_bits);
-        Self { cfg, code, digits }
+        let _ = Topology::from_config(&cfg.dram, cfg.banks);
+        Self {
+            cfg,
+            code,
+            digits,
+            backends,
+        }
     }
 
     /// The configuration in force.
     #[must_use]
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// The backend dispatch policy in force.
+    #[must_use]
+    pub fn backend_policy(&self) -> &BackendPolicy {
+        &self.backends
+    }
+
+    /// The compute topology the engine shards over: the DRAM config's
+    /// channels × ranks, with `banks` CIM banks per rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's geometry is degenerate (zero
+    /// channels/ranks) or `banks` exceeds the banks per rank.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        Topology::from_config(&self.cfg.dram, self.cfg.banks)
+    }
+
+    /// A shard planner over [`Self::topology`] with this engine's
+    /// backend policy.
+    #[must_use]
+    pub fn planner(&self) -> ShardPlanner {
+        ShardPlanner::with_policy(self.topology(), self.backends.clone())
     }
 
     /// Digits per accumulator.
@@ -188,19 +250,37 @@ impl C2mEngine {
     /// Ternary GEMV report: `y[1×N] = x[1×K] · Z[K×N]` with ternary Z.
     /// Every non-zero `x_i` is accumulated on the +1 plane and
     /// subtracted on the −1 plane, so the command stream sees `x` twice.
+    ///
+    /// The inner dimension shards across the topology's (channel, rank)
+    /// units; each unit runs the real host-side planning pass over its
+    /// own K-slice, and the per-unit partial sums merge in
+    /// `⌈log₂(units)⌉` cross-unit counter-addition rounds.
     #[must_use]
     pub fn ternary_gemv(&self, x: &[i64], n: usize) -> ExecutionReport {
-        let doubled: Vec<i64> = x.iter().copied().chain(x.iter().map(|&v| -v)).collect();
-        let accum_ops = self.ops_for_stream(&doubled);
-        let total = accum_ops + self.reduction_ops();
-        self.report(total, useful_ops(1, n, x.len()))
+        let plan = self.planner().plan_inner(x.len());
+        let mut chan_ops = vec![0.0f64; self.cfg.dram.channels];
+        for shard in &plan.shards {
+            let slice = &x[shard.start..shard.end()];
+            let doubled: Vec<i64> = slice
+                .iter()
+                .copied()
+                .chain(slice.iter().map(|&v| -v))
+                .collect();
+            // Accumulation and the unit's own bank-level merge both
+            // execute on the shard's backend.
+            chan_ops[shard.channel] += (self.ops_for_stream(&doubled) + self.reduction_ops())
+                * self.backend_factor(shard.backend);
+        }
+        self.sharded_report(&plan, &chan_ops, 0, useful_ops(1, n, x.len()), n)
     }
 
     /// Ternary GEMM report for `M` output rows, each accumulating the
     /// same-statistics input row `x_sample` (§5.2.2: rows sequential per
     /// bank, counter rows copied out between rows). Unlike a GEMV, a GEMM
-    /// has abundant row-level parallelism, so banks each take a share of
-    /// the output rows and no partial-sum reduction is needed.
+    /// has abundant row-level parallelism, so output rows shard across
+    /// the topology's (channel, rank) units with no partial-sum
+    /// reduction; a multi-unit run only pays the host-side gather of the
+    /// finished output rows (RD bursts, serialised at the host).
     #[must_use]
     pub fn ternary_gemm(&self, m: usize, n: usize, x_sample: &[i64]) -> ExecutionReport {
         let doubled: Vec<i64> = x_sample
@@ -208,8 +288,34 @@ impl C2mEngine {
             .copied()
             .chain(x_sample.iter().map(|&v| -v))
             .collect();
-        let per_row = self.ops_for_stream(&doubled) + self.copy_out_ops(n);
-        self.report(per_row * m as f64, useful_ops(m, n, x_sample.len()))
+        self.rows_report(m, n, &doubled, x_sample.len())
+    }
+
+    /// Integer×binary GEMM report: like [`Self::ternary_gemm`] but Z has
+    /// a single +1 mask plane (e.g. a graph adjacency matrix), so each
+    /// row's input stream is accumulated once — no subtraction pass.
+    #[must_use]
+    pub fn binary_gemm(&self, m: usize, n: usize, x_sample: &[i64]) -> ExecutionReport {
+        self.rows_report(m, n, x_sample, x_sample.len())
+    }
+
+    /// Shared row-sharded GEMM pricing: `per_row_stream` is the command
+    /// stream each output row accumulates (already doubled for ternary).
+    fn rows_report(&self, m: usize, n: usize, per_row_stream: &[i64], k: usize) -> ExecutionReport {
+        let plan = self.planner().plan_rows(m);
+        let accum = self.ops_for_stream(per_row_stream);
+        let copy_out = self.copy_out_ops(n);
+        let mut chan_ops = vec![0.0f64; self.cfg.dram.channels];
+        for shard in &plan.shards {
+            let per_row = accum * self.backend_factor(shard.backend) + copy_out;
+            chan_ops[shard.channel] += per_row * shard.len as f64;
+        }
+        let gather_bursts = if plan.units_used() > 1 {
+            m as u64 * self.output_row_bursts(n)
+        } else {
+            0
+        };
+        self.sharded_report(&plan, &chan_ops, gather_bursts, useful_ops(m, n, k), n)
     }
 
     /// Integer×integer GEMV via CSD bit-slicing (§5.2.3): the weight
@@ -229,38 +335,49 @@ impl C2mEngine {
         n: usize,
         plane_exponents: &[(u32, bool)],
     ) -> ExecutionReport {
-        let mut total = 0.0f64;
-        for &(e, neg) in plane_exponents {
-            let stream: Vec<i64> = x
-                .iter()
-                .map(|&v| {
-                    let scaled = v << e;
-                    if neg {
-                        -scaled
-                    } else {
-                        scaled
-                    }
-                })
-                .collect();
-            total += self.ops_for_stream(&stream);
+        let plan = self.planner().plan_planes(plane_exponents.len());
+        let mut chan_ops = vec![0.0f64; self.cfg.dram.channels];
+        for shard in &plan.shards {
+            let mut ops = 0.0f64;
+            for &(e, neg) in &plane_exponents[shard.start..shard.end()] {
+                let stream: Vec<i64> = x
+                    .iter()
+                    .map(|&v| {
+                        let scaled = v << e;
+                        if neg {
+                            -scaled
+                        } else {
+                            scaled
+                        }
+                    })
+                    .collect();
+                ops += self.ops_for_stream(&stream);
+            }
+            chan_ops[shard.channel] +=
+                (ops + self.reduction_ops()) * self.backend_factor(shard.backend);
         }
-        total += self.reduction_ops();
-        self.report(total, useful_ops(1, n, x.len()))
+        self.sharded_report(&plan, &chan_ops, 0, useful_ops(1, n, x.len()), n)
     }
 
-    /// Commands for the log₂(banks) partial-sum merge rounds
-    /// (Algorithm 2: 2n unit increments per digit per round, plus mask
-    /// staging).
+    /// Commands for the log₂(banks) partial-sum merge rounds within one
+    /// (channel, rank) unit (Algorithm 2: 2n unit increments per digit
+    /// per round, plus mask staging).
     #[must_use]
     pub fn reduction_ops(&self) -> f64 {
         if self.cfg.banks <= 1 {
             return 0.0;
         }
         let rounds = (self.cfg.banks as f64).log2().ceil();
+        rounds * self.merge_round_ops()
+    }
+
+    /// Commands for one pairwise counter-to-counter merge round
+    /// (Algorithm 2's per-round cost; also the per-round cost of the
+    /// cross-unit merge after K/plane sharding).
+    #[must_use]
+    pub fn merge_round_ops(&self) -> f64 {
         let n = self.code.bits() as f64;
-        let per_round =
-            self.digits as f64 * (2.0 * n) * self.ops_per_sequence() + self.digits as f64 * 2.0;
-        rounds * per_round
+        self.digits as f64 * (2.0 * n) * self.ops_per_sequence() + self.digits as f64 * 2.0
     }
 
     /// Commands to copy a finished output row's counters to another
@@ -272,13 +389,103 @@ impl C2mEngine {
         (self.digits * (self.code.bits() + 1)) as f64 * slices as f64
     }
 
-    fn report(&self, total_ops: f64, useful: u64) -> ExecutionReport {
-        let interval = steady_state_aap_interval(&self.cfg.timing, self.cfg.banks);
-        let elapsed_ns = total_ops * interval;
+    /// Relative per-increment cost of executing a shard on `backend`
+    /// instead of the optimised Ambit μProgram: the backend's generic
+    /// gate-network increment cost (§4.6, [`Backend::increment_ops`])
+    /// over Ambit's hand-scheduled `7n + 7`. Exactly 1 for Ambit.
+    #[must_use]
+    pub fn backend_factor(&self, backend: Backend) -> f64 {
+        if backend == Backend::Ambit {
+            return 1.0;
+        }
+        let n = self.code.bits();
+        backend.increment_ops(n) as f64 / ProtectionKind::None.ambit_increment_ops(n) as f64
+    }
+
+    /// RD bursts to stream one finished output row (`n` accumulators of
+    /// `capacity_bits`) to the host over a 64-byte burst interface.
+    fn output_row_bursts(&self, n: usize) -> u64 {
+        (n * self.cfg.capacity_bits as usize).div_ceil(512).max(1) as u64
+    }
+
+    /// Bursts to move one unit's Johnson-coded counter state (all digit
+    /// rows of every column slice holding `n` outputs) through the host
+    /// during a cross-unit merge round.
+    fn counter_transfer_bursts(&self, n: usize) -> u64 {
+        let slices = n.div_ceil(self.cfg.dram.row_bits_per_rank()).max(1);
+        let rows = self.digits * (self.code.bits() + 1);
+        let bursts_per_row = self.cfg.dram.row_bits_per_rank().div_ceil(512).max(1);
+        (slices * rows * bursts_per_row) as u64
+    }
+
+    /// Merges a sharded run into one [`ExecutionReport`]: channels run
+    /// concurrently (elapsed = max over per-channel command time, each
+    /// channel priced at the interleave rate of the ranks it *actually*
+    /// occupies), the cross-unit merge tree and host gather serialise
+    /// after the parallel phase, and commands/energy sum over
+    /// everything. With a single-unit plan this is exactly the paper's
+    /// single-channel pricing.
+    fn sharded_report(
+        &self,
+        plan: &ShardPlan,
+        chan_ops: &[f64],
+        gather_bursts: u64,
+        useful: u64,
+        n_out: usize,
+    ) -> ExecutionReport {
+        let compute_ns = chan_ops
+            .iter()
+            .enumerate()
+            .map(|(c, &ops)| {
+                let ranks_used = plan.on_channel(c).filter(|s| s.len > 0).count().max(1);
+                ops * steady_state_aap_interval_ranked(&self.cfg.timing, self.cfg.banks, ranks_used)
+            })
+            .fold(0.0, f64::max);
+        let mut total_ops: f64 = chan_ops.iter().sum();
         let mut stats = CommandStats::default();
+        let mut transfer_ns = 0.0;
+
+        let units = plan.units_used();
+        if plan.axis.needs_reduction() && units > 1 {
+            // Pairwise merge tree over the partial-sum units: round r
+            // halves the survivors, so U units take ⌈log₂U⌉ rounds and
+            // U−1 merges in total. Within a round the counter-to-counter
+            // additions run on distinct destination units (one
+            // merge-latency per round, at the single-rank rate), but
+            // every transfer crosses the shared host bus (RD at the
+            // source, store-and-forward WR at the destination), so
+            // transfer time scales with the pair count.
+            let bursts = self.counter_transfer_bursts(n_out);
+            let merge_interval =
+                steady_state_aap_interval_ranked(&self.cfg.timing, self.cfg.banks, 1);
+            // Counter-to-counter additions execute on the destination
+            // units' backends; price conservatively at the plan's
+            // slowest dispatch (the straggler gates each round anyway).
+            let merge_ops = self.merge_round_ops()
+                * plan
+                    .shards
+                    .iter()
+                    .map(|s| self.backend_factor(s.backend))
+                    .fold(0.0, f64::max);
+            let mut active = units;
+            while active > 1 {
+                let pairs = active / 2;
+                transfer_ns += merge_ops * merge_interval
+                    + pairs as f64 * 2.0 * bursts as f64 * self.cfg.timing.t_burst;
+                total_ops += pairs as f64 * merge_ops;
+                stats.record_n(CommandKind::Rd, pairs as u64 * bursts);
+                stats.record_n(CommandKind::Wr, pairs as u64 * bursts);
+                active -= pairs;
+            }
+        }
+        if gather_bursts > 0 {
+            transfer_ns += gather_bursts as f64 * self.cfg.timing.t_burst;
+            stats.record_n(CommandKind::Rd, gather_bursts);
+        }
+
         stats.record_n(CommandKind::Aap, total_ops.round() as u64);
         ExecutionReport::from_run(
-            elapsed_ns,
+            compute_ns + transfer_ns,
             stats,
             useful,
             &self.cfg.energy,
@@ -297,6 +504,7 @@ pub fn useful_ops(m: usize, n: usize, k: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use c2m_dram::scheduler::steady_state_aap_interval;
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha12Rng;
 
@@ -424,5 +632,158 @@ mod tests {
         assert!(r.gops_per_watt() > 0.0);
         assert!(r.gops_per_mm2() > 0.0);
         assert!(r.elapsed_ms() > 0.0);
+    }
+
+    // ---- topology-aware sharded execution ----
+
+    fn cfg_with_channels(channels: usize, ranks: usize) -> EngineConfig {
+        let mut cfg = EngineConfig::c2m(16);
+        cfg.dram.channels = channels;
+        cfg.dram.ranks = ranks;
+        cfg
+    }
+
+    #[test]
+    fn single_channel_reproduces_seed_closed_form_bit_for_bit() {
+        // channels=1, ranks=1 must price exactly like the paper's
+        // single-channel model: (accumulation + bank merge) x the
+        // steady-state interval, all-AAP stats, rank-level area/energy.
+        let xs = int8_stream(4096, 21);
+        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let doubled: Vec<i64> = xs.iter().copied().chain(xs.iter().map(|&v| -v)).collect();
+        let expect_ops = e.ops_for_stream(&doubled) + e.reduction_ops();
+        let interval = steady_state_aap_interval(&TimingParams::ddr5_4400(), 16);
+
+        let gemv = e.ternary_gemv(&xs, 8192);
+        assert_eq!(gemv.elapsed_ns, expect_ops * interval);
+        assert_eq!(
+            gemv.stats.count(CommandKind::Aap),
+            expect_ops.round() as u64
+        );
+        assert_eq!(gemv.stats.count(CommandKind::Rd), 0);
+        assert_eq!(gemv.stats.count(CommandKind::Wr), 0);
+
+        let per_row = e.ops_for_stream(&doubled) + e.copy_out_ops(8192);
+        let gemm = e.ternary_gemm(64, 8192, &xs);
+        assert_eq!(gemm.elapsed_ns, per_row * 64.0 * interval);
+        assert_eq!(gemm.stats.count(CommandKind::Rd), 0);
+    }
+
+    #[test]
+    fn four_channel_gemm_is_sublinear_speedup() {
+        // Acceptance: 4 channels lands strictly between 1x and 1/4x of
+        // the single-channel latency (gather of finished rows is serial
+        // at the host).
+        let xs = int8_stream(4096, 22);
+        let one = C2mEngine::new(cfg_with_channels(1, 1)).ternary_gemm(64, 4096, &xs);
+        let four = C2mEngine::new(cfg_with_channels(4, 1)).ternary_gemm(64, 4096, &xs);
+        assert!(four.elapsed_ns < one.elapsed_ns);
+        assert!(
+            four.elapsed_ns > one.elapsed_ns / 4.0,
+            "4ch {} vs 1ch/4 {}",
+            four.elapsed_ns,
+            one.elapsed_ns / 4.0
+        );
+        // The gather shows up as host RD bursts.
+        assert!(four.stats.count(CommandKind::Rd) > 0);
+    }
+
+    #[test]
+    fn gemv_channel_sharding_pays_cross_unit_merge() {
+        let xs = int8_stream(8192, 23);
+        let one = C2mEngine::new(cfg_with_channels(1, 1)).ternary_gemv(&xs, 22016);
+        let four = C2mEngine::new(cfg_with_channels(4, 1)).ternary_gemv(&xs, 22016);
+        assert!(four.elapsed_ns < one.elapsed_ns);
+        assert!(four.elapsed_ns > one.elapsed_ns / 4.0);
+        // 4 units -> 2 merge rounds of counter traffic through the host.
+        assert!(four.stats.count(CommandKind::Rd) > 0);
+        assert_eq!(
+            four.stats.count(CommandKind::Rd),
+            four.stats.count(CommandKind::Wr)
+        );
+    }
+
+    #[test]
+    fn rank_interleaving_improves_latency_with_bus_floor() {
+        let xs = int8_stream(8192, 24);
+        let r1 = C2mEngine::new(cfg_with_channels(1, 1)).ternary_gemv(&xs, 8192);
+        let r2 = C2mEngine::new(cfg_with_channels(1, 2)).ternary_gemv(&xs, 8192);
+        assert!(
+            r2.elapsed_ns < r1.elapsed_ns,
+            "2 ranks {} vs 1 rank {}",
+            r2.elapsed_ns,
+            r1.elapsed_ns
+        );
+        // The rank-switch floor keeps the gain below the unit count.
+        assert!(r2.elapsed_ns > r1.elapsed_ns / 2.0);
+    }
+
+    #[test]
+    fn int_gemv_shards_planes_across_channels() {
+        let planes: Vec<(u32, bool)> = (0..7u32).flat_map(|e| [(e, false), (e, true)]).collect();
+        let xs = int8_stream(4096, 25);
+        let one = C2mEngine::new(cfg_with_channels(1, 1)).int_gemv(&xs, 4096, &planes);
+        let four = C2mEngine::new(cfg_with_channels(4, 1)).int_gemv(&xs, 4096, &planes);
+        assert!(four.elapsed_ns < one.elapsed_ns);
+        assert!(four.elapsed_ns > one.elapsed_ns / 4.0);
+    }
+
+    #[test]
+    fn fcdram_dispatch_prices_above_ambit() {
+        // FCDRAM has no hand-optimised counting μProgram, so a uniform
+        // FCDRAM run pays the generic-lowering premium over Ambit.
+        let xs = int8_stream(4096, 26);
+        let cfg = cfg_with_channels(4, 1);
+        let ambit = C2mEngine::new(cfg.clone()).ternary_gemv(&xs, 8192);
+        let fcdram = C2mEngine::with_backends(cfg.clone(), BackendPolicy::Uniform(Backend::Fcdram))
+            .ternary_gemv(&xs, 8192);
+        assert!(fcdram.elapsed_ns > ambit.elapsed_ns);
+
+        // A mixed module prices between the two uniform extremes.
+        let mixed = C2mEngine::with_backends(
+            cfg,
+            BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]),
+        )
+        .ternary_gemv(&xs, 8192);
+        assert!(mixed.elapsed_ns >= ambit.elapsed_ns);
+        assert!(mixed.elapsed_ns <= fcdram.elapsed_ns);
+    }
+
+    #[test]
+    fn binary_gemm_skips_the_subtraction_pass() {
+        // A binary mask plane accumulates each row stream once; ternary
+        // doubles it with the negated copy, so on a zero-free stream the
+        // binary path must price strictly below ternary (and within
+        // [1x, 2x] of half the ternary accumulation).
+        let xs = vec![1i64; 512];
+        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let bin = e.binary_gemm(32, 1024, &xs);
+        let ter = e.ternary_gemm(32, 1024, &xs);
+        assert!(bin.elapsed_ns < ter.elapsed_ns);
+        let ratio = ter.elapsed_ns / bin.elapsed_ns;
+        assert!((1.0..=2.5).contains(&ratio), "ternary/binary ratio {ratio}");
+        assert_eq!(bin.useful_ops, ter.useful_ops);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn engine_rejects_more_banks_than_the_rank_has() {
+        let _ = C2mEngine::new(EngineConfig::c2m(64));
+    }
+
+    #[test]
+    fn backend_factor_is_exactly_one_for_ambit() {
+        let e = C2mEngine::new(EngineConfig::c2m(16));
+        assert_eq!(e.backend_factor(Backend::Ambit), 1.0);
+        assert!(e.backend_factor(Backend::Fcdram) > 1.0);
+        assert!(e.backend_factor(Backend::Pinatubo) < 1.0);
+    }
+
+    #[test]
+    fn topology_capacity_and_area_aggregate_in_reports() {
+        let xs = int8_stream(1024, 27);
+        let one = C2mEngine::new(cfg_with_channels(1, 1)).ternary_gemv(&xs, 4096);
+        let eight = C2mEngine::new(cfg_with_channels(4, 2)).ternary_gemv(&xs, 4096);
+        assert!((eight.area_mm2 - 8.0 * one.area_mm2).abs() < 1e-9);
     }
 }

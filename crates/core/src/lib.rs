@@ -16,6 +16,9 @@
 //! * [`engine`] — the analytic performance engine: IARM-planned command
 //!   counts → `tRRD`/`tFAW`-scheduled latency, energy and area reports
 //!   for the paper-scale shapes of Table 3 (§7.2).
+//! * [`shard`] — topology-aware work partitioning: GEMM rows, GEMV
+//!   inner dimension and CSD planes split over channels → ranks → banks,
+//!   with per-shard backend dispatch (§4.6).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,8 +30,10 @@ pub mod kernels;
 pub mod matrix;
 pub mod nn;
 pub mod placement;
+pub mod shard;
 
 pub use engine::{C2mEngine, EngineConfig};
 pub use matrix::{BinaryMatrix, TernaryMatrix};
 pub use nn::{AttentionShape, ConvShape};
 pub use placement::{CounterSpec, KernelShape, MaskEncoding, PlacementPlan};
+pub use shard::{BackendPolicy, Shard, ShardAxis, ShardPlan, ShardPlanner};

@@ -202,6 +202,45 @@ pub fn plan(
     })
 }
 
+/// Plans every shard of a [`ShardPlan`](crate::shard::ShardPlan)
+/// against the DRAM geometry.
+///
+/// A shard on the [`InnerDim`](crate::shard::ShardAxis::InnerDim) axis
+/// only stores its K-slice's mask rows, so sharding K across the
+/// topology is also how an over-deep kernel (one that
+/// [`plan`] rejects) becomes placeable. Shards on other axes replicate
+/// the full K mask set per unit.
+///
+/// # Errors
+///
+/// Returns the worst row deficit if any non-empty shard still exceeds
+/// its subarray's D-group.
+pub fn plan_sharded(
+    cfg: &DramConfig,
+    spec: &CounterSpec,
+    shape: &KernelShape,
+    shards: &crate::shard::ShardPlan,
+) -> Result<Vec<PlacementPlan>, usize> {
+    let mut plans = Vec::new();
+    let mut worst_deficit = 0usize;
+    for shard in shards.shards.iter().filter(|s| s.len > 0) {
+        let k = match shards.axis {
+            crate::shard::ShardAxis::InnerDim => shard.len,
+            crate::shard::ShardAxis::OutputRows | crate::shard::ShardAxis::CsdPlanes => shape.k,
+        };
+        let shard_shape = KernelShape { k, ..*shape };
+        match plan(cfg, spec, &shard_shape) {
+            Ok(p) => plans.push(p),
+            Err(deficit) => worst_deficit = worst_deficit.max(deficit),
+        }
+    }
+    if worst_deficit > 0 {
+        Err(worst_deficit)
+    } else {
+        Ok(plans)
+    }
+}
+
 /// Maximum reduction depth K that fits one subarray for the given
 /// counter spec and encoding (the split granularity for §5.2.2 GEMM).
 #[must_use]
@@ -320,6 +359,39 @@ mod tests {
             tmr.scratch_rows() - plain.scratch_rows(),
             2 * plain.counter_rows()
         );
+    }
+
+    #[test]
+    fn inner_dim_sharding_makes_oversized_k_placeable() {
+        use crate::shard::ShardPlanner;
+        use c2m_dram::Topology;
+
+        let spec = CounterSpec::paper_default();
+        let shape = KernelShape {
+            k: 3000,
+            n_out: 64,
+            encoding: MaskEncoding::Binary,
+        };
+        // Whole kernel: too deep for one subarray.
+        assert!(plan(&cfg(), &spec, &shape).is_err());
+        // Split over 4 channels: each K-slice of 750 masks fits.
+        let shards = ShardPlanner::new(Topology {
+            channels: 4,
+            ranks: 1,
+            banks: 16,
+        })
+        .plan_inner(shape.k);
+        let plans = plan_sharded(&cfg(), &spec, &shape, &shards).expect("shards fit");
+        assert_eq!(plans.len(), 4);
+        assert!(plans.iter().all(PlacementPlan::fits));
+        // Row-axis sharding replicates the masks, so it does not help.
+        let row_shards = ShardPlanner::new(Topology {
+            channels: 4,
+            ranks: 1,
+            banks: 16,
+        })
+        .plan_rows(128);
+        assert!(plan_sharded(&cfg(), &spec, &shape, &row_shards).is_err());
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! Sharding kernels across the memory-system topology.
+//!
+//! The paper executes every kernel on one channel of one rank (§7.2);
+//! this module partitions work over the full
+//! [`Topology`](c2m_dram::Topology) so the engine can drive every
+//! channel's scheduler concurrently:
+//!
+//! * **GEMM output rows (M)** — rows are independent, so they split
+//!   across channels → ranks with no partial-sum traffic; only the host
+//!   gather of finished outputs is shared.
+//! * **GEMV inner dimension (K)** — each (channel, rank) unit
+//!   accumulates a K-slice into its own counters; the partial sums then
+//!   merge in `⌈log₂(units)⌉` counter-to-counter addition rounds
+//!   (Algorithm 2 lifted to the cross-channel case).
+//! * **CSD planes** — integer×integer GEMV planes (§5.2.3) are
+//!   independent accumulation passes, so they distribute like K-slices
+//!   and merge the same way.
+//!
+//! Each [`Shard`] also carries the [`Backend`] that executes it, so a
+//! single plan can dispatch shards to heterogeneous substrates (§4.6):
+//! an Ambit channel next to an FCDRAM channel prices each shard with
+//! its own cost model.
+
+use c2m_cim::Backend;
+use c2m_dram::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Which axis of the kernel a plan partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardAxis {
+    /// GEMM output rows (M): independent, no reduction needed.
+    OutputRows,
+    /// GEMV inner dimension (K): partial sums must be reduced.
+    InnerDim,
+    /// CSD bit-slice planes of an integer GEMV: partial sums must be
+    /// reduced.
+    CsdPlanes,
+}
+
+impl ShardAxis {
+    /// True if shards hold partial sums that must merge after the
+    /// parallel phase.
+    #[must_use]
+    pub fn needs_reduction(self) -> bool {
+        matches!(self, ShardAxis::InnerDim | ShardAxis::CsdPlanes)
+    }
+}
+
+/// One contiguous slice of the partitioned axis, pinned to a
+/// (channel, rank) unit and a compute backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shard {
+    /// Channel executing this shard.
+    pub channel: usize,
+    /// Rank within the channel.
+    pub rank: usize,
+    /// CIM technology pricing this shard's μPrograms.
+    pub backend: Backend,
+    /// First index of the slice on the partitioned axis.
+    pub start: usize,
+    /// Slice length (may be zero only in the degenerate all-empty plan).
+    pub len: usize,
+}
+
+impl Shard {
+    /// End of the slice (exclusive).
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// An explicit partition of one kernel axis over the topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    /// The partitioned axis.
+    pub axis: ShardAxis,
+    /// Total extent of the axis (Σ shard lengths).
+    pub total: usize,
+    /// Shards in (channel, rank) order; contiguous and disjoint.
+    pub shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// Number of (channel, rank) units holding work.
+    #[must_use]
+    pub fn units_used(&self) -> usize {
+        self.shards.iter().filter(|s| s.len > 0).count()
+    }
+
+    /// Number of distinct channels holding work.
+    #[must_use]
+    pub fn channels_used(&self) -> usize {
+        let mut chans: Vec<usize> = self
+            .shards
+            .iter()
+            .filter(|s| s.len > 0)
+            .map(|s| s.channel)
+            .collect();
+        // Shards are all-pub, so don't rely on the planner's
+        // channel-major ordering.
+        chans.sort_unstable();
+        chans.dedup();
+        chans.len()
+    }
+
+    /// Depth of the partial-sum merge tree after the parallel phase:
+    /// `⌈log₂(units)⌉` pairwise rounds (the *latency* of the merge;
+    /// the tree performs `units − 1` merges in total), zero for axes
+    /// without reduction or single-unit plans.
+    #[must_use]
+    pub fn reduction_rounds(&self) -> u32 {
+        if !self.axis.needs_reduction() {
+            return 0;
+        }
+        let units = self.units_used();
+        if units <= 1 {
+            0
+        } else {
+            (units as f64).log2().ceil() as u32
+        }
+    }
+
+    /// Shards assigned to `channel` (including empty ones).
+    pub fn on_channel(&self, channel: usize) -> impl Iterator<Item = &Shard> + '_ {
+        self.shards.iter().filter(move |s| s.channel == channel)
+    }
+}
+
+/// How shards map to compute backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendPolicy {
+    /// Every shard runs on the same technology (the paper's setup, with
+    /// [`Backend::Ambit`]).
+    Uniform(Backend),
+    /// Channel `c` runs on `backends[c % backends.len()]` — a mixed
+    /// module where channels are built from different substrates.
+    PerChannel(Vec<Backend>),
+}
+
+impl BackendPolicy {
+    /// Backend executing shards on `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `PerChannel` policy has an empty backend list.
+    #[must_use]
+    pub fn backend_for(&self, channel: usize) -> Backend {
+        match self {
+            BackendPolicy::Uniform(b) => *b,
+            BackendPolicy::PerChannel(list) => {
+                assert!(!list.is_empty(), "PerChannel policy needs backends");
+                list[channel % list.len()]
+            }
+        }
+    }
+}
+
+impl Default for BackendPolicy {
+    fn default() -> Self {
+        BackendPolicy::Uniform(Backend::Ambit)
+    }
+}
+
+/// Plans contiguous, balanced partitions of kernel axes over a
+/// [`Topology`].
+#[derive(Debug, Clone)]
+pub struct ShardPlanner {
+    topology: Topology,
+    policy: BackendPolicy,
+}
+
+impl ShardPlanner {
+    /// Planner dispatching every shard to Ambit.
+    #[must_use]
+    pub fn new(topology: Topology) -> Self {
+        Self::with_policy(topology, BackendPolicy::default())
+    }
+
+    /// Planner with an explicit backend dispatch policy.
+    #[must_use]
+    pub fn with_policy(topology: Topology, policy: BackendPolicy) -> Self {
+        Self { topology, policy }
+    }
+
+    /// The topology being planned over.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Partitions GEMM output rows: one shard per (channel, rank).
+    #[must_use]
+    pub fn plan_rows(&self, m: usize) -> ShardPlan {
+        self.split(ShardAxis::OutputRows, m)
+    }
+
+    /// Partitions a GEMV inner dimension.
+    #[must_use]
+    pub fn plan_inner(&self, k: usize) -> ShardPlan {
+        self.split(ShardAxis::InnerDim, k)
+    }
+
+    /// Partitions the CSD plane list of an integer GEMV.
+    #[must_use]
+    pub fn plan_planes(&self, planes: usize) -> ShardPlan {
+        self.split(ShardAxis::CsdPlanes, planes)
+    }
+
+    /// Splits `total` into at most `channels × ranks` contiguous chunks,
+    /// channel-major (channel 0 rank 0, channel 0 rank 1, …), balanced
+    /// to within one element. A zero-extent axis still yields one empty
+    /// shard on unit (0, 0) so per-unit fixed costs (the bank-level
+    /// partial-sum merge a single unit already pays) stay attributed.
+    fn split(&self, axis: ShardAxis, total: usize) -> ShardPlan {
+        let units = self.topology.units();
+        let base = total / units;
+        let extra = total % units;
+        let mut shards = Vec::new();
+        let mut start = 0usize;
+        for unit in 0..units {
+            let len = base + usize::from(unit < extra);
+            if len == 0 && !(unit == 0 && total == 0) {
+                continue;
+            }
+            let channel = unit / self.topology.ranks;
+            let rank = unit % self.topology.ranks;
+            shards.push(Shard {
+                channel,
+                rank,
+                backend: self.policy.backend_for(channel),
+                start,
+                len,
+            });
+            start += len;
+        }
+        debug_assert_eq!(start, total);
+        ShardPlan {
+            axis,
+            total,
+            shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(channels: usize, ranks: usize) -> Topology {
+        Topology {
+            channels,
+            ranks,
+            banks: 16,
+        }
+    }
+
+    #[test]
+    fn single_unit_plan_is_one_full_shard() {
+        let plan = ShardPlanner::new(topo(1, 1)).plan_inner(8192);
+        assert_eq!(plan.shards.len(), 1);
+        assert_eq!(plan.shards[0].len, 8192);
+        assert_eq!(plan.units_used(), 1);
+        assert_eq!(plan.reduction_rounds(), 0);
+    }
+
+    #[test]
+    fn shards_cover_axis_disjointly_and_balanced() {
+        let plan = ShardPlanner::new(topo(4, 2)).plan_rows(8193);
+        assert_eq!(plan.shards.len(), 8);
+        let mut cursor = 0;
+        for s in &plan.shards {
+            assert_eq!(s.start, cursor, "contiguous");
+            cursor = s.end();
+        }
+        assert_eq!(cursor, 8193);
+        let lens: Vec<usize> = plan.shards.iter().map(|s| s.len).collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        assert!(max - min <= 1, "balanced to within one: {lens:?}");
+    }
+
+    #[test]
+    fn channel_major_unit_order() {
+        let plan = ShardPlanner::new(topo(2, 2)).plan_rows(4);
+        let coords: Vec<(usize, usize)> = plan.shards.iter().map(|s| (s.channel, s.rank)).collect();
+        assert_eq!(coords, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn small_axis_leaves_trailing_units_empty() {
+        let plan = ShardPlanner::new(topo(8, 1)).plan_planes(3);
+        assert_eq!(plan.units_used(), 3);
+        assert_eq!(plan.channels_used(), 3);
+        assert_eq!(plan.reduction_rounds(), 2); // ceil(log2(3))
+    }
+
+    #[test]
+    fn rows_need_no_reduction_inner_dim_does() {
+        let planner = ShardPlanner::new(topo(4, 1));
+        assert_eq!(planner.plan_rows(1024).reduction_rounds(), 0);
+        assert_eq!(planner.plan_inner(1024).reduction_rounds(), 2);
+        assert_eq!(planner.plan_planes(14).reduction_rounds(), 2);
+    }
+
+    #[test]
+    fn empty_axis_keeps_one_empty_shard() {
+        let plan = ShardPlanner::new(topo(4, 1)).plan_planes(0);
+        assert_eq!(plan.shards.len(), 1);
+        assert_eq!(plan.shards[0].len, 0);
+        assert_eq!(plan.units_used(), 0);
+        assert_eq!(plan.reduction_rounds(), 0);
+    }
+
+    #[test]
+    fn per_channel_policy_dispatches_backends() {
+        let policy = BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]);
+        let plan = ShardPlanner::with_policy(topo(4, 1), policy).plan_rows(8);
+        let backends: Vec<Backend> = plan.shards.iter().map(|s| s.backend).collect();
+        assert_eq!(
+            backends,
+            vec![
+                Backend::Ambit,
+                Backend::Fcdram,
+                Backend::Ambit,
+                Backend::Fcdram
+            ]
+        );
+    }
+}

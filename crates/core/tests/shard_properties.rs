@@ -1,0 +1,114 @@
+//! Property tests for topology-aware sharded execution: sharded reports
+//! must stay consistent with the single-channel model they generalise.
+
+use c2m_core::engine::{C2mEngine, EngineConfig};
+use c2m_core::shard::ShardPlanner;
+use c2m_dram::{CommandKind, Topology};
+use proptest::prelude::*;
+
+fn engine(channels: usize, ranks: usize, banks: usize) -> C2mEngine {
+    let mut cfg = EngineConfig::c2m(banks);
+    cfg.dram.channels = channels;
+    cfg.dram.ranks = ranks;
+    C2mEngine::new(cfg)
+}
+
+fn stream(k: usize, seed: u64) -> Vec<i64> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+    (0..k).map(|_| rng.gen_range(-128i64..128)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// GEMM latency is monotonically non-increasing in the channel
+    /// count: more channels never slow a kernel down.
+    #[test]
+    fn gemm_elapsed_non_increasing_in_channels(
+        m in 8usize..64,
+        k in 256usize..1024,
+        n in 256usize..2048,
+        seed in 0u64..1000,
+    ) {
+        let xs = stream(k, seed);
+        let mut prev = f64::INFINITY;
+        for channels in [1usize, 2, 4, 8] {
+            let r = engine(channels, 1, 16).ternary_gemm(m, n, &xs);
+            prop_assert!(
+                r.elapsed_ns <= prev,
+                "channels={} elapsed {} > prev {}", channels, r.elapsed_ns, prev
+            );
+            prev = r.elapsed_ns;
+        }
+    }
+
+    /// The accumulation command count of a GEMM is invariant under
+    /// sharding: distributing rows over channels moves work, it does
+    /// not create or destroy it (only host RD gather traffic appears).
+    #[test]
+    fn gemm_macro_commands_invariant_under_sharding(
+        m in 8usize..64,
+        k in 256usize..1024,
+        seed in 0u64..1000,
+    ) {
+        let xs = stream(k, seed);
+        let base = engine(1, 1, 16).ternary_gemm(m, 1024, &xs);
+        for channels in [2usize, 4, 8] {
+            let r = engine(channels, 1, 16).ternary_gemm(m, 1024, &xs);
+            prop_assert_eq!(
+                r.stats.count(CommandKind::Aap),
+                base.stats.count(CommandKind::Aap),
+                "channels={}", channels
+            );
+        }
+    }
+
+    /// GEMV sharding over K always lands in (1/channels, 1] of the
+    /// single-channel latency when K dwarfs the merge cost.
+    #[test]
+    fn gemv_speedup_is_sublinear_but_real(
+        k in 4096usize..8192,
+        seed in 0u64..1000,
+    ) {
+        let xs = stream(k, seed);
+        let one = engine(1, 1, 16).ternary_gemv(&xs, 8192);
+        for channels in [2usize, 4, 8] {
+            let r = engine(channels, 1, 16).ternary_gemv(&xs, 8192);
+            prop_assert!(r.elapsed_ns < one.elapsed_ns, "channels={}", channels);
+            prop_assert!(
+                r.elapsed_ns > one.elapsed_ns / channels as f64,
+                "channels={}: {} not > {}", channels, r.elapsed_ns,
+                one.elapsed_ns / channels as f64
+            );
+        }
+    }
+
+    /// Shard plans partition their axis exactly: contiguous, disjoint,
+    /// complete, balanced to within one element, and confined to the
+    /// topology's units.
+    #[test]
+    fn plans_partition_exactly(
+        channels in 1usize..=8,
+        ranks in 1usize..=4,
+        total in 1usize..10_000,
+    ) {
+        let planner = ShardPlanner::new(Topology { channels, ranks, banks: 16 });
+        for plan in [planner.plan_rows(total), planner.plan_inner(total), planner.plan_planes(total)] {
+            let mut cursor = 0usize;
+            let mut min_len = usize::MAX;
+            let mut max_len = 0usize;
+            for s in &plan.shards {
+                prop_assert_eq!(s.start, cursor);
+                cursor = s.end();
+                min_len = min_len.min(s.len);
+                max_len = max_len.max(s.len);
+                prop_assert!(s.channel < channels);
+                prop_assert!(s.rank < ranks);
+            }
+            prop_assert_eq!(cursor, total);
+            prop_assert!(max_len - min_len <= 1, "balanced: {} vs {}", min_len, max_len);
+            prop_assert!(plan.shards.len() <= channels * ranks);
+        }
+    }
+}

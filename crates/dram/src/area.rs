@@ -37,6 +37,14 @@ impl AreaModel {
         let chips = (cfg.chips + cfg.ecc_chips) as f64;
         chips * self.chip_area_mm2 * (1.0 + self.cim_overhead_frac)
     }
+
+    /// Total silicon area of the whole system (mm²): the per-rank area
+    /// aggregated over `channels × ranks`. This is the figure GOPS/mm²
+    /// must normalise by once kernels shard across the topology.
+    #[must_use]
+    pub fn total_area_mm2(&self, cfg: &DramConfig) -> f64 {
+        self.rank_area_mm2(cfg) * (cfg.channels * cfg.ranks) as f64
+    }
 }
 
 impl Default for AreaModel {
@@ -63,5 +71,15 @@ mod tests {
         let a = AreaModel::ddr5_4400();
         let cfg = DramConfig::ddr5_4400();
         assert!(a.rank_area_mm2(&cfg) < 628.0);
+    }
+
+    #[test]
+    fn total_area_aggregates_topology() {
+        let a = AreaModel::ddr5_4400();
+        let mut cfg = DramConfig::ddr5_4400();
+        assert_eq!(a.total_area_mm2(&cfg), a.rank_area_mm2(&cfg));
+        cfg.channels = 2;
+        cfg.ranks = 4;
+        assert!((a.total_area_mm2(&cfg) - 8.0 * a.rank_area_mm2(&cfg)).abs() < 1e-9);
     }
 }

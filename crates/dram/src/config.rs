@@ -75,6 +75,13 @@ impl DramConfig {
     pub fn rank_capacity_bytes(&self) -> usize {
         self.chips * self.chip_gbit * (1 << 30) / 8
     }
+
+    /// Total DRAM capacity of the whole system in bytes: the per-rank
+    /// capacity aggregated over `channels × ranks` (data chips only).
+    #[must_use]
+    pub fn total_capacity_bytes(&self) -> usize {
+        self.rank_capacity_bytes() * self.channels * self.ranks
+    }
 }
 
 impl Default for DramConfig {
@@ -104,6 +111,17 @@ mod tests {
     fn rank_capacity_is_4gib() {
         let c = DramConfig::ddr5_4400();
         assert_eq!(c.rank_capacity_bytes(), 4 * (1 << 30));
+        // 1 channel x 1 rank: system capacity equals rank capacity.
+        assert_eq!(c.total_capacity_bytes(), c.rank_capacity_bytes());
+    }
+
+    #[test]
+    fn total_capacity_aggregates_topology() {
+        let mut c = DramConfig::ddr5_4400();
+        c.channels = 4;
+        c.ranks = 2;
+        assert_eq!(c.total_capacity_bytes(), 8 * c.rank_capacity_bytes());
+        assert_eq!(c.total_capacity_bytes(), 32 * (1 << 30));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! for a DDR5 x8 rank.
 
 use crate::command::CommandKind;
+use crate::config::DramConfig;
 use crate::stats::CommandStats;
 use serde::{Deserialize, Serialize};
 
@@ -75,6 +76,16 @@ impl EnergyModel {
         self.dynamic_energy_nj(stats) + self.p_static_w * elapsed_ns
     }
 
+    /// Total energy (nJ) for the whole system described by `cfg`:
+    /// dynamic command energy plus background power for *every* rank on
+    /// *every* channel — idle ranks still burn static power while one
+    /// shard straggles.
+    #[must_use]
+    pub fn system_energy_nj(&self, stats: &CommandStats, elapsed_ns: f64, cfg: &DramConfig) -> f64 {
+        let ranks_total = (cfg.channels * cfg.ranks) as f64;
+        self.dynamic_energy_nj(stats) + self.p_static_w * ranks_total * elapsed_ns
+    }
+
     /// Average power (W) over `elapsed_ns`.
     ///
     /// Returns 0 for a zero-length interval.
@@ -122,6 +133,24 @@ mod tests {
         // No commands: average power equals static power.
         assert!((e.average_power_w(&s, 1000.0) - e.p_static_w).abs() < 1e-9);
         assert_eq!(e.average_power_w(&s, 0.0), 0.0);
+    }
+
+    #[test]
+    fn system_energy_scales_background_with_topology() {
+        let e = EnergyModel::ddr5_4400();
+        let mut s = CommandStats::default();
+        s.record(CommandKind::Aap);
+        let mut cfg = DramConfig::ddr5_4400();
+        // 1x1 system energy equals the rank-level total (bit-for-bit).
+        assert_eq!(
+            e.system_energy_nj(&s, 1000.0, &cfg),
+            e.total_energy_nj(&s, 1000.0)
+        );
+        cfg.channels = 4;
+        cfg.ranks = 2;
+        let sys = e.system_energy_nj(&s, 1000.0, &cfg);
+        let expect = e.dynamic_energy_nj(&s) + e.p_static_w * 8.0 * 1000.0;
+        assert!((sys - expect).abs() < 1e-9);
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! NVMain/RTSim. This crate is the equivalent substrate for the pure-Rust
 //! reproduction: it models a DDR5 memory system at the *command* level —
 //! geometry ([`DramConfig`], Table 2 of the paper), timing parameters
-//! ([`TimingParams`]), a multi-bank activation scheduler ([`scheduler`])
-//! honouring `tRRD`/`tFAW`/`tAAP` exactly as §7.2.1 of the paper analyses,
-//! and per-command energy ([`energy`]) and area ([`area`]) models. The
+//! ([`TimingParams`]), a multi-bank multi-rank activation scheduler
+//! ([`scheduler`]) honouring `tRRD`/`tFAW`/`tAAP` exactly as §7.2.1 of the
+//! paper analyses, the full channel×rank system topology ([`topology`])
+//! with per-channel concurrent schedulers, and per-command energy
+//! ([`energy`]) and area ([`area`]) models. The
 //! host access path of §5.1 is covered by per-bank row-buffer state
 //! machines ([`bank_state`]) behind an FR-FCFS request queue
 //! ([`request`], Table 2's scheduling policy), and refresh overhead is
@@ -44,6 +46,7 @@ pub mod request;
 pub mod scheduler;
 pub mod stats;
 pub mod timing;
+pub mod topology;
 
 pub use area::AreaModel;
 pub use bank_state::{AccessKind, BankState};
@@ -55,3 +58,4 @@ pub use request::{MemoryRequest, RequestQueue, ScheduleReport};
 pub use scheduler::ChannelScheduler;
 pub use stats::{CommandStats, ExecutionReport};
 pub use timing::TimingParams;
+pub use topology::{SystemScheduler, Topology};

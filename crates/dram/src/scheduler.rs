@@ -1,4 +1,4 @@
-//! Multi-bank command scheduler enforcing `tRRD`/`tFAW`/`tAAP`.
+//! Multi-bank, multi-rank command scheduler enforcing `tRRD`/`tFAW`/`tAAP`.
 //!
 //! Reproduces the bank-level parallelism analysis of §7.2.1:
 //!
@@ -10,12 +10,18 @@
 //!   `tAAP + tRRD`.
 //! * **16 banks** — issue rate is bounded by the four-activation window:
 //!   the first→fifth delay becomes `tFAW`, which is *shorter* than `tAAP`.
+//!
+//! Beyond the paper's single-rank setup, the scheduler models multiple
+//! ranks per channel: `tRRD` and `tFAW` are *per-rank* windows, so
+//! interleaving ranks relaxes both, while consecutive commands to
+//! different ranks pay the [`TimingParams::t_rank_switch`] bus-turnaround
+//! gap.
 
 use crate::command::{CommandKind, DramCommand};
 use crate::stats::CommandStats;
 use crate::timing::TimingParams;
 
-/// Event-driven scheduler for one DRAM channel.
+/// Event-driven scheduler for one DRAM channel with one or more ranks.
 ///
 /// Commands are issued in program order; the scheduler advances a virtual
 /// clock to the earliest time each command may legally issue and records
@@ -23,32 +29,53 @@ use crate::timing::TimingParams;
 #[derive(Debug, Clone)]
 pub struct ChannelScheduler {
     timing: TimingParams,
-    /// Earliest time each bank can accept its next macro command.
+    banks_per_rank: usize,
+    /// Earliest time each bank (global index, rank-major) can accept its
+    /// next macro command.
     bank_ready: Vec<f64>,
-    /// Issue time of the most recent activation on the channel.
-    last_act: f64,
-    /// Ring buffer of the last four activation issue times (for tFAW).
-    act_window: [f64; 4],
-    act_window_pos: usize,
+    /// Issue time of the most recent activation, per rank.
+    last_act: Vec<f64>,
+    /// Ring buffer of the last four activation issue times per rank
+    /// (for the per-rank tFAW window).
+    act_window: Vec<[f64; 4]>,
+    act_window_pos: Vec<usize>,
+    /// Rank addressed by the most recent command, if any.
+    last_rank: Option<usize>,
     now: f64,
     stats: CommandStats,
 }
 
 impl ChannelScheduler {
-    /// Creates a scheduler for a channel with `banks` banks.
+    /// Creates a scheduler for a single-rank channel with `banks` banks.
     ///
     /// # Panics
     ///
     /// Panics if `banks` is zero.
     #[must_use]
     pub fn new(timing: TimingParams, banks: usize) -> Self {
-        assert!(banks > 0, "a channel must have at least one bank");
+        Self::with_ranks(timing, banks, 1)
+    }
+
+    /// Creates a scheduler for a channel with `ranks` ranks of
+    /// `banks_per_rank` banks each. Bank indices in issued commands are
+    /// global and rank-major: bank `b` of rank `r` is
+    /// `r * banks_per_rank + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks_per_rank` or `ranks` is zero.
+    #[must_use]
+    pub fn with_ranks(timing: TimingParams, banks_per_rank: usize, ranks: usize) -> Self {
+        assert!(banks_per_rank > 0, "a rank must have at least one bank");
+        assert!(ranks > 0, "a channel must have at least one rank");
         Self {
             timing,
-            bank_ready: vec![0.0; banks],
-            last_act: f64::NEG_INFINITY,
-            act_window: [f64::NEG_INFINITY; 4],
-            act_window_pos: 0,
+            banks_per_rank,
+            bank_ready: vec![0.0; banks_per_rank * ranks],
+            last_act: vec![f64::NEG_INFINITY; ranks],
+            act_window: vec![[f64::NEG_INFINITY; 4]; ranks],
+            act_window_pos: vec![0; ranks],
+            last_rank: None,
             now: 0.0,
             stats: CommandStats::default(),
         }
@@ -60,10 +87,16 @@ impl ChannelScheduler {
         &self.timing
     }
 
-    /// Number of banks on the channel.
+    /// Total number of banks on the channel (all ranks).
     #[must_use]
     pub fn banks(&self) -> usize {
         self.bank_ready.len()
+    }
+
+    /// Ranks on the channel.
+    #[must_use]
+    pub fn ranks(&self) -> usize {
+        self.last_act.len()
     }
 
     /// Total elapsed simulated time (ns) — completion time of the latest
@@ -103,6 +136,13 @@ impl ChannelScheduler {
         self.issue(DramCommand::new(bank, CommandKind::Ap))
     }
 
+    /// Issues a macro command to bank `bank` of rank `rank` (convenience
+    /// wrapper translating to the global rank-major bank index).
+    pub fn issue_ranked(&mut self, rank: usize, bank: usize, kind: CommandKind) -> f64 {
+        assert!(bank < self.banks_per_rank, "bank {bank} out of rank");
+        self.issue(DramCommand::new(rank * self.banks_per_rank + bank, kind))
+    }
+
     /// Issues the same macro command to every bank in `banks` (broadcast),
     /// as the memory controller does when replicating a μProgram step over
     /// several CIM subarrays. Returns the issue time of the last copy.
@@ -115,12 +155,18 @@ impl ChannelScheduler {
     }
 
     fn earliest_issue(&self, cmd: DramCommand) -> f64 {
+        let rank = cmd.bank / self.banks_per_rank;
         let mut t = self.now;
+        // Bus turnaround when the channel switches ranks.
+        if self.last_rank.is_some_and(|r| r != rank) {
+            t = t.max(self.now + self.timing.t_rank_switch);
+        }
         if cmd.kind.activations() > 0 {
-            // Inter-activation spacing.
-            t = t.max(self.last_act + self.timing.t_rrd);
-            // Four-activation window: the 4th-previous ACT gates us.
-            let oldest = self.act_window[self.act_window_pos];
+            // Inter-activation spacing (per rank).
+            t = t.max(self.last_act[rank] + self.timing.t_rrd);
+            // Four-activation window: the 4th-previous ACT on this rank
+            // gates us.
+            let oldest = self.act_window[rank][self.act_window_pos[rank]];
             t = t.max(oldest + self.timing.t_faw);
         }
         if cmd.kind.is_macro() || cmd.kind == CommandKind::Act {
@@ -130,11 +176,13 @@ impl ChannelScheduler {
     }
 
     fn commit(&mut self, cmd: DramCommand, t: f64) {
+        let rank = cmd.bank / self.banks_per_rank;
         self.now = t;
+        self.last_rank = Some(rank);
         if cmd.kind.activations() > 0 {
-            self.last_act = t;
-            self.act_window[self.act_window_pos] = t;
-            self.act_window_pos = (self.act_window_pos + 1) % 4;
+            self.last_act[rank] = t;
+            self.act_window[rank][self.act_window_pos[rank]] = t;
+            self.act_window_pos[rank] = (self.act_window_pos[rank] + 1) % 4;
         }
         let occupancy = match cmd.kind {
             CommandKind::Aap => self.timing.t_aap() + self.timing.t_rrd,
@@ -147,12 +195,17 @@ impl ChannelScheduler {
         self.stats.record(cmd.kind);
     }
 
-    /// Resets the clock and statistics, keeping timing and bank count.
+    /// Resets the clock and statistics, keeping timing and geometry.
     pub fn reset(&mut self) {
         self.bank_ready.iter_mut().for_each(|t| *t = 0.0);
-        self.last_act = f64::NEG_INFINITY;
-        self.act_window = [f64::NEG_INFINITY; 4];
-        self.act_window_pos = 0;
+        self.last_act
+            .iter_mut()
+            .for_each(|t| *t = f64::NEG_INFINITY);
+        self.act_window
+            .iter_mut()
+            .for_each(|w| *w = [f64::NEG_INFINITY; 4]);
+        self.act_window_pos.iter_mut().for_each(|p| *p = 0);
+        self.last_rank = None;
         self.now = 0.0;
         self.stats = CommandStats::default();
     }
@@ -167,6 +220,34 @@ pub fn steady_state_aap_interval(timing: &TimingParams, banks: usize) -> f64 {
     let rrd_bound = timing.t_rrd;
     let faw_bound = timing.t_faw / 4.0;
     (per_bank / banks as f64).max(rrd_bound).max(faw_bound)
+}
+
+/// Closed-form steady-state AAP issue interval for `ranks` ranks of
+/// `banks_per_rank` banks issuing round-robin on one channel, in ns.
+///
+/// Rank interleaving relaxes the per-rank `tRRD` and `tFAW` windows by
+/// the rank count (a given rank only sees every `ranks`-th command) and
+/// spreads bank occupancy over `ranks × banks` banks, but every
+/// command switches ranks, so the channel can never issue faster than
+/// one command per [`TimingParams::t_rank_switch`].
+///
+/// With `ranks == 1` this is exactly [`steady_state_aap_interval`].
+#[must_use]
+pub fn steady_state_aap_interval_ranked(
+    timing: &TimingParams,
+    banks_per_rank: usize,
+    ranks: usize,
+) -> f64 {
+    if ranks <= 1 {
+        return steady_state_aap_interval(timing, banks_per_rank);
+    }
+    let per_bank = timing.t_aap() + timing.t_rrd;
+    let rrd_bound = timing.t_rrd / ranks as f64;
+    let faw_bound = timing.t_faw / (4.0 * ranks as f64);
+    (per_bank / (banks_per_rank * ranks) as f64)
+        .max(rrd_bound)
+        .max(faw_bound)
+        .max(timing.t_rank_switch)
 }
 
 #[cfg(test)]
@@ -273,5 +354,123 @@ mod tests {
     fn issue_to_missing_bank_panics() {
         let mut s = sched(2);
         s.issue_aap(5);
+    }
+
+    // ---- §7.2.1 invariants, pinned explicitly against Table 2 timing ----
+
+    #[test]
+    fn paper_7_2_1_invariants_pinned() {
+        let t = TimingParams::ddr5_4400();
+        // 1 bank: first -> next = tAAP + tRRD.
+        let mut s1 = sched(1);
+        let a = s1.issue_aap(0);
+        let b = s1.issue_aap(0);
+        assert!((b - a - (t.t_aap() + t.t_rrd)).abs() < 1e-9);
+        // 4 banks: first -> fifth = tAAP + tRRD.
+        let mut s4 = sched(4);
+        let first = s4.issue_aap(0);
+        for bank in 1..4 {
+            s4.issue_aap(bank);
+        }
+        let fifth = s4.issue_aap(0);
+        assert!((fifth - first - (t.t_aap() + t.t_rrd)).abs() < 1e-9);
+        // 16 banks: first -> fifth = tFAW.
+        let mut s16 = sched(16);
+        let first = s16.issue_aap(0);
+        for bank in 1..4 {
+            s16.issue_aap(bank);
+        }
+        let fifth = s16.issue_aap(4);
+        assert!((fifth - first - t.t_faw).abs() < 1e-9);
+    }
+
+    // ---- multi-rank behaviour ----
+
+    #[test]
+    fn single_rank_scheduler_matches_legacy_constructor() {
+        let t = TimingParams::ddr5_4400();
+        let mut a = ChannelScheduler::new(t, 16);
+        let mut b = ChannelScheduler::with_ranks(t, 16, 1);
+        for i in 0..200 {
+            let ta = a.issue_aap(i % 16);
+            let tb = b.issue_aap(i % 16);
+            assert_eq!(ta, tb, "command {i}");
+        }
+        assert_eq!(a.elapsed_ns(), b.elapsed_ns());
+    }
+
+    #[test]
+    fn rank_switch_pays_turnaround() {
+        let t = TimingParams::ddr5_4400();
+        let mut s = ChannelScheduler::with_ranks(t, 1, 2);
+        let t0 = s.issue_ranked(0, 0, CommandKind::Aap);
+        let t1 = s.issue_ranked(1, 0, CommandKind::Aap);
+        // Different rank: fresh tRRD/tFAW windows, only the bus gap binds.
+        assert!((t1 - t0 - t.t_rank_switch).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_interleaving_matches_ranked_closed_form() {
+        let t = TimingParams::ddr5_4400();
+        for &(banks, ranks) in &[(1usize, 2usize), (4, 2), (16, 2), (16, 4), (8, 4)] {
+            let mut s = ChannelScheduler::with_ranks(t, banks, ranks);
+            let n = 600;
+            let mut first = 0.0;
+            let mut last = 0.0;
+            for i in 0..n {
+                let rank = i % ranks;
+                let bank = (i / ranks) % banks;
+                let ti = s.issue_ranked(rank, bank, CommandKind::Aap);
+                if i == 0 {
+                    first = ti;
+                }
+                last = ti;
+            }
+            let measured = (last - first) / (n - 1) as f64;
+            let analytic = steady_state_aap_interval_ranked(&t, banks, ranks);
+            assert!(
+                (measured - analytic).abs() / analytic < 0.02,
+                "banks={banks} ranks={ranks}: measured {measured} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_ranks_never_slower() {
+        let t = TimingParams::ddr5_4400();
+        for &banks in &[1usize, 4, 16] {
+            let mut prev = f64::INFINITY;
+            for &ranks in &[1usize, 2, 4, 8] {
+                let interval = steady_state_aap_interval_ranked(&t, banks, ranks);
+                assert!(
+                    interval <= prev + 1e-12,
+                    "banks={banks} ranks={ranks}: {interval} > {prev}"
+                );
+                prev = interval;
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_closed_form_reduces_to_single_rank() {
+        let t = TimingParams::ddr5_4400();
+        for &banks in &[1usize, 2, 4, 8, 16, 32] {
+            assert_eq!(
+                steady_state_aap_interval_ranked(&t, banks, 1),
+                steady_state_aap_interval(&t, banks)
+            );
+        }
+    }
+
+    #[test]
+    fn reset_clears_rank_state() {
+        let t = TimingParams::ddr5_4400();
+        let mut s = ChannelScheduler::with_ranks(t, 2, 2);
+        s.issue_ranked(1, 0, CommandKind::Aap);
+        s.reset();
+        assert_eq!(s.elapsed_ns(), 0.0);
+        // After reset the first command pays no rank-switch gap.
+        let t0 = s.issue_ranked(0, 0, CommandKind::Aap);
+        assert_eq!(t0, 0.0);
     }
 }

@@ -113,6 +113,12 @@ pub struct ExecutionReport {
 
 impl ExecutionReport {
     /// Builds a report from scheduler outputs and model constants.
+    ///
+    /// Energy and area aggregate over the full `cfg` topology
+    /// (`channels × ranks`): background power burns on every rank for
+    /// the whole makespan, and GOPS/mm² normalises by the system's
+    /// silicon, not one rank's. For the paper's 1×1 Table 2 config both
+    /// reduce to the per-rank figures bit-for-bit.
     #[must_use]
     pub fn from_run(
         elapsed_ns: f64,
@@ -122,13 +128,13 @@ impl ExecutionReport {
         area: &AreaModel,
         cfg: &DramConfig,
     ) -> Self {
-        let energy_nj = energy.total_energy_nj(&stats, elapsed_ns);
+        let energy_nj = energy.system_energy_nj(&stats, elapsed_ns, cfg);
         Self {
             elapsed_ns,
             stats,
             energy_nj,
             useful_ops,
-            area_mm2: area.rank_area_mm2(cfg),
+            area_mm2: area.total_area_mm2(cfg),
         }
     }
 

@@ -28,6 +28,11 @@ pub struct TimingParams {
     pub t_ccd: f64,
     /// Burst latency of one RD/WR (ns).
     pub t_burst: f64,
+    /// Rank-to-rank switch penalty (ns): consecutive commands to
+    /// different ranks on the same channel pay this bus-turnaround gap
+    /// (`tCCD_S`/`tRTRS`-style). Interleaving ranks relaxes the per-rank
+    /// `tRRD`/`tFAW` windows but can never beat this floor.
+    pub t_rank_switch: f64,
 }
 
 impl TimingParams {
@@ -42,7 +47,8 @@ impl TimingParams {
             t_rrd: 3.6,  // 8 tCK
             t_faw: 14.5, // conservative estimate quoted in §7.2.2
             t_ccd: 2.5,
-            t_burst: 3.6, // BL16 @ 4400 MT/s
+            t_burst: 3.6,       // BL16 @ 4400 MT/s
+            t_rank_switch: 2.5, // ~5.5 tCK bus turnaround between ranks
         }
     }
 
@@ -60,7 +66,8 @@ impl TimingParams {
             t_rrd: 4.9, // tRRD_L
             t_faw: 21.0,
             t_ccd: 5.0,
-            t_burst: 6.67, // BL8 @ 2400 MT/s
+            t_burst: 6.67,      // BL8 @ 2400 MT/s
+            t_rank_switch: 3.3, // ~4 tCK bus turnaround between ranks
         }
     }
 
@@ -113,5 +120,16 @@ mod tests {
         let t = TimingParams::ddr5_4400();
         assert!(t.t_faw < t.t_aap());
         assert!(t.t_faw >= 4.0 * t.t_rrd);
+    }
+
+    #[test]
+    fn rank_switch_is_a_short_bus_gap() {
+        // Rank interleaving must be able to pay off: the switch penalty
+        // has to be cheaper than a same-rank ACT-ACT window, otherwise
+        // adding ranks could never improve the issue rate.
+        for t in [TimingParams::ddr5_4400(), TimingParams::ddr4_2400()] {
+            assert!(t.t_rank_switch > 0.0);
+            assert!(t.t_rank_switch < t.t_faw / 4.0 + t.t_rrd);
+        }
     }
 }

@@ -338,6 +338,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "slow DNA F1 sweep (~0.5 s); nightly CI runs `cargo test -- --ignored`"]
     fn fault_free_filter_is_accurate() {
         let f = filter();
         let mut acc = JcBackend::new(f.bins(), 0.0, ProtectionKind::None, 7);
@@ -369,6 +370,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "slow DNA F1 sweep (~0.8 s); nightly CI runs `cargo test -- --ignored`"]
     fn jc_tolerates_higher_fault_rates_than_rca() {
         // The §3 motivation (Fig. 4b): at a fault rate where RCA's filter
         // quality collapses, the JC filter holds up.

@@ -47,4 +47,16 @@ fn main() {
         report.gops(),
         report.gops_per_watt()
     );
+
+    // 6. Shard the same kernel over a 4-channel module: the engine
+    //    splits K across channels, runs each channel's command stream
+    //    concurrently, and pays the cross-channel partial-sum merge.
+    let mut quad_cfg = EngineConfig::c2m(16);
+    quad_cfg.dram.channels = 4;
+    let quad = C2mEngine::new(quad_cfg).ternary_gemv(&big_x, 22016);
+    println!(
+        "same kernel on 4 channels          -> {:.2} ms ({:.2}x, sublinear: merge rounds)",
+        quad.elapsed_ms(),
+        report.elapsed_ns / quad.elapsed_ns
+    );
 }

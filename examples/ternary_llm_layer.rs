@@ -55,4 +55,17 @@ fn main() {
             r.elapsed_ms()
         );
     }
+
+    println!("\n...and with memory channels (K shards across the topology):");
+    for channels in [1usize, 2, 4] {
+        let mut cfg = EngineConfig::c2m(16);
+        cfg.dram.channels = channels;
+        let r = C2mEngine::new(cfg).ternary_gemv(&x, shape.n);
+        println!(
+            "  {channels} channel{} -> {:>8.3} ms, {:>7.0} GOPS",
+            if channels == 1 { " " } else { "s" },
+            r.elapsed_ms(),
+            r.gops()
+        );
+    }
 }

@@ -184,6 +184,10 @@ fn cmd_experiments() {
             "hostpath",
             "FR-FCFS host read path vs CIM issue rate (§5.1)",
         ),
+        (
+            "fig_scaling",
+            "channel/rank scaling, Ambit vs FCDRAM dispatch",
+        ),
     ] {
         println!("  {id:<9} {what}");
     }

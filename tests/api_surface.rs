@@ -9,10 +9,12 @@
 
 use count2multiply::arch::kernels::{int_binary_gemv, KernelConfig};
 use count2multiply::arch::matrix::BinaryMatrix;
-use count2multiply::arch::{C2mEngine, EngineConfig, MaskEncoding};
+use count2multiply::arch::{BackendPolicy, C2mEngine, EngineConfig, MaskEncoding, ShardPlanner};
 use count2multiply::baselines::{AmbitRca, RcaAccumulator};
 use count2multiply::cim::{AmbitSubarray, Backend, FaultModel, MicroProgram, Row};
-use count2multiply::dram::{AreaModel, DramConfig, MemoryRequest, RequestQueue, TimingParams};
+use count2multiply::dram::{
+    AreaModel, DramConfig, MemoryRequest, RequestQueue, TimingParams, Topology,
+};
 use count2multiply::ecc::{LinearCode, ReedSolomon, Secded};
 use count2multiply::jc::{CounterBank, IarmPlanner, JohnsonCode, TransitionPattern};
 use count2multiply::mig::{counting, Mig, Signal};
@@ -74,6 +76,17 @@ fn every_reexport_is_reachable_and_sane() {
     let gemm = engine.ternary_gemm(4, 4, &[1, -2, 3, -4]);
     assert!(gemm.elapsed_ns > 0.0);
     assert_ne!(MaskEncoding::Binary, MaskEncoding::Ternary);
+    // topology + sharding surface
+    assert!(Topology::single(4).is_single());
+    assert_eq!(engine.topology().units(), 1);
+    let plan = ShardPlanner::new(Topology {
+        channels: 2,
+        ranks: 2,
+        banks: 4,
+    })
+    .plan_inner(64);
+    assert_eq!(plan.units_used(), 4);
+    let _policy = BackendPolicy::Uniform(Backend::Fcdram);
     let mut rng = ChaCha12Rng::seed_from_u64(9);
     let z = BinaryMatrix::random(4, 4, 0.5, &mut rng);
     let got = int_binary_gemv(&KernelConfig::compact(), &[1, 2, 3, 4], &z);

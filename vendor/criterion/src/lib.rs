@@ -4,11 +4,25 @@
 //! uses: [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`]
 //! and the [`criterion_group!`] / [`criterion_main!`] macros. Each
 //! benchmark is timed with `std::time::Instant` over an adaptively-sized
-//! batch and reported as ns/iter — no statistics, plots or baselines.
+//! batch and reported as ns/iter — no statistics or plots.
+//!
+//! One baseline feature is supported: passing
+//! `--save-baseline <name>` (as real criterion accepts) dumps every
+//! benchmark's ns/iter to `<target>/criterion-baselines/<name>.json`
+//! so CI can diff walltimes between runs:
+//!
+//! ```json
+//! {"baseline":"pr","benchmarks":{"scheduler/10k_aaps_16banks":123.4}}
+//! ```
 
 pub use std::hint::black_box;
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results accumulated across every group of the process, drained by
+/// [`save_baseline_if_requested`] at the end of `criterion_main!`.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -25,7 +39,96 @@ impl Criterion {
         };
         f(&mut bencher);
         println!("{id:<44} {:>14} ns/iter", format_ns(bencher.ns_per_iter));
+        RESULTS
+            .lock()
+            .expect("benchmark results poisoned")
+            .push((id.to_string(), bencher.ns_per_iter));
         self
+    }
+}
+
+/// Extracts the `--save-baseline <name>` argument, if present and sane
+/// (a plain file-name component, to keep the dump inside the baselines
+/// directory).
+fn parse_save_baseline<I: Iterator<Item = String>>(mut args: I) -> Option<String> {
+    while let Some(arg) = args.next() {
+        let name = match arg.strip_prefix("--save-baseline=") {
+            Some(rest) => Some(rest.to_string()),
+            None if arg == "--save-baseline" => args.next(),
+            None => None,
+        };
+        if let Some(name) = name {
+            if !name.is_empty() && !name.contains(['/', '\\', '.']) {
+                return Some(name);
+            }
+            eprintln!("criterion shim: ignoring invalid baseline name {name:?}");
+            return None;
+        }
+    }
+    None
+}
+
+/// Serialises the collected results as a single-line JSON document.
+/// Benchmark ids in this workspace are `group/case` slugs; escaping
+/// covers quotes and backslashes for safety.
+fn baseline_json(name: &str, results: &[(String, f64)]) -> String {
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = format!("{{\"baseline\":\"{}\",\"benchmarks\":{{", escape(name));
+    for (i, (id, ns)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let value = if ns.is_finite() {
+            format!("{ns:.3}")
+        } else {
+            "null".to_string()
+        };
+        out.push_str(&format!("\"{}\":{}", escape(id), value));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// The build's `target` directory, derived from the running bench
+/// executable (`<target>/<profile>/deps/<bench>-<hash>`): cargo runs
+/// bench binaries with the *package* directory as cwd, so a relative
+/// path would scatter dumps across workspace members.
+fn target_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        // A relative CARGO_TARGET_DIR is resolved by cargo against the
+        // *invocation* cwd, which this process (running in the package
+        // dir) cannot reconstruct — fall through to the executable's
+        // path in that case, which is inside the real target dir either
+        // way.
+        if dir.is_absolute() {
+            return dir;
+        }
+    }
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.ancestors().nth(3).map(std::path::Path::to_path_buf))
+        .unwrap_or_else(|| "target".into())
+}
+
+/// Writes `<target>/criterion-baselines/<name>.json` when the process
+/// was invoked with `--save-baseline <name>` (e.g.
+/// `cargo bench --bench criterion_benches -- --save-baseline pr`).
+/// Called automatically at the end of [`criterion_main!`]; a no-op
+/// otherwise.
+pub fn save_baseline_if_requested() {
+    let Some(name) = parse_save_baseline(std::env::args()) else {
+        return;
+    };
+    let dir = target_dir().join("criterion-baselines");
+    let results = RESULTS.lock().expect("benchmark results poisoned");
+    let payload = baseline_json(&name, &results);
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, payload)) {
+        Ok(()) => println!("saved baseline {name:?} -> {}", path.display()),
+        Err(e) => eprintln!("criterion shim: could not save baseline: {e}"),
     }
 }
 
@@ -87,12 +190,58 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running every group.
+/// Declares `main` running every group, then saving a baseline dump if
+/// `--save-baseline <name>` was passed.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::save_baseline_if_requested();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> std::vec::IntoIter<String> {
+        v.iter()
+            .map(|s| (*s).to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_save_baseline_forms() {
+        assert_eq!(
+            parse_save_baseline(args(&["bench", "--save-baseline", "pr42"])),
+            Some("pr42".to_string())
+        );
+        assert_eq!(
+            parse_save_baseline(args(&["--save-baseline=main"])),
+            Some("main".to_string())
+        );
+        assert_eq!(parse_save_baseline(args(&["bench", "--bench"])), None);
+        // Missing or path-escaping names are rejected.
+        assert_eq!(parse_save_baseline(args(&["--save-baseline"])), None);
+        assert_eq!(
+            parse_save_baseline(args(&["--save-baseline", "../evil"])),
+            None
+        );
+    }
+
+    #[test]
+    fn baseline_json_is_valid_and_ordered() {
+        let rows = vec![
+            ("scheduler/10k".to_string(), 123.456),
+            ("iarm \"q\"".to_string(), f64::NAN),
+        ];
+        let json = baseline_json("pr", &rows);
+        assert_eq!(
+            json,
+            "{\"baseline\":\"pr\",\"benchmarks\":{\"scheduler/10k\":123.456,\"iarm \\\"q\\\"\":null}}"
+        );
+    }
 }

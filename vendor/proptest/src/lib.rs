@@ -6,8 +6,12 @@
 //! `Arbitrary` types, `prop::collection::vec`, `prop::sample::select`,
 //! and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
 //!
-//! There is no shrinking: a failing case panics immediately with the
-//! generated inputs' debug representation where available. Generation is
+//! Shrinking is the simple halving kind, for integer strategies only:
+//! when a case fails, each integer input is repeatedly halved toward its
+//! range's lower bound (tuples shrink component-wise, left to right)
+//! while the failure reproduces, and the test re-panics with the
+//! minimised input's debug representation. Other strategies (vectors,
+//! floats, `any`) report the originally generated value. Generation is
 //! deterministic — case `i` of test `f` always sees the same inputs, so
 //! CI failures reproduce locally.
 
@@ -58,6 +62,14 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes one smaller value to retry a failing case with, or
+    /// `None` when `v` is already minimal for this strategy. The default
+    /// (no shrinking) suits strategies without a natural order.
+    fn shrink(&self, v: &Self::Value) -> Option<Self::Value> {
+        let _ = v;
+        None
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -65,6 +77,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Option<Self::Value> {
+        (**self).shrink(v)
     }
 }
 
@@ -76,6 +92,10 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            fn shrink(&self, v: &$t) -> Option<$t> {
+                shrink_toward(*v, self.start)
+            }
         }
 
         impl Strategy for core::ops::RangeInclusive<$t> {
@@ -84,8 +104,37 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            fn shrink(&self, v: &$t) -> Option<$t> {
+                shrink_toward(*v, *self.start())
+            }
+        }
+
+        impl Shrinkable for $t {
+            fn halve_toward(self, lo: Self) -> Option<Self> {
+                if self == lo {
+                    return None;
+                }
+                // Halve the distance to the lower bound; if the
+                // distance overflows the type, jump straight to it.
+                match self.checked_sub(lo) {
+                    Some(d) => Some(lo + d / 2),
+                    None => Some(lo),
+                }
+            }
         }
     )*};
+}
+
+/// Integer types that can halve toward a lower bound (the shim's only
+/// shrinking primitive).
+trait Shrinkable: Sized {
+    fn halve_toward(self, lo: Self) -> Option<Self>;
+}
+
+/// One halving step of `v` toward `lo`; `None` once `v == lo`.
+fn shrink_toward<T: Shrinkable>(v: T, lo: T) -> Option<T> {
+    v.halve_toward(lo)
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
@@ -106,11 +155,27 @@ impl_float_range_strategy!(f32, f64);
 
 macro_rules! impl_tuple_strategy {
     ($(($($n:tt $s:ident),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$n.generate(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Option<Self::Value> {
+                // Component-wise, left to right: the first component
+                // that can still shrink produces the candidate.
+                $(
+                    if let Some(smaller) = self.$n.shrink(&v.$n) {
+                        let mut out = v.clone();
+                        out.$n = smaller;
+                        return Some(out);
+                    }
+                )+
+                None
             }
         }
     )*};
@@ -293,6 +358,96 @@ pub fn __new_rng(case: u64, name: &str) -> TestRng {
     TestRng::seed_from_u64(hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// What happened when one generated case ran.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum __CaseOutcome {
+    /// The body returned `Ok(())`.
+    Pass,
+    /// `prop_assume!` rejected the inputs.
+    Reject,
+    /// The body panicked (an assertion failed).
+    Fail,
+}
+
+/// Runs the case body over `vals`, converting panics into
+/// [`__CaseOutcome::Fail`] so the runner can shrink before re-raising.
+#[doc(hidden)]
+pub fn __run_case<V, F>(vals: &V, case: &F) -> __CaseOutcome
+where
+    F: Fn(&V) -> Result<(), test_runner::TestCaseError>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(vals))) {
+        Ok(Ok(())) => __CaseOutcome::Pass,
+        Ok(Err(test_runner::TestCaseError::Reject)) => __CaseOutcome::Reject,
+        Err(_) => __CaseOutcome::Fail,
+    }
+}
+
+/// The [`proptest!`] runner: draws cases deterministically until
+/// `config.cases` accepted cases pass, shrinking and re-panicking on
+/// the first failure. Lives here (not in the macro body) so the case
+/// closure's parameter type is pinned by `F`'s bound.
+#[doc(hidden)]
+pub fn __run_property<S, F>(name: &str, config: &ProptestConfig, strategy: &S, case: &F)
+where
+    S: Strategy,
+    S::Value: core::fmt::Debug,
+    F: Fn(&S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut accepted: u32 = 0;
+    let mut case_idx: u64 = 0;
+    let budget: u64 = u64::from(config.cases) * 20 + 1000;
+    while accepted < config.cases {
+        assert!(
+            case_idx < budget,
+            "proptest shim: `{name}` rejected too many cases (prop_assume too strict?)",
+        );
+        let mut rng = __new_rng(case_idx, name);
+        case_idx += 1;
+        let vals = strategy.generate(&mut rng);
+        match __run_case(&vals, case) {
+            __CaseOutcome::Pass => accepted += 1,
+            __CaseOutcome::Reject => {}
+            __CaseOutcome::Fail => __shrink_and_fail(name, strategy, vals, case),
+        }
+    }
+}
+
+/// Shrinks a failing input: follows the strategy's halving chain while
+/// the failure keeps reproducing (bounded, in case shrinking thrashes),
+/// then panics with the minimised input. The original assertion's
+/// message is on stderr above, printed by the panic hook when the case
+/// first failed.
+#[doc(hidden)]
+pub fn __shrink_and_fail<S, F>(name: &str, strategy: &S, first_failure: S::Value, case: &F) -> !
+where
+    S: Strategy,
+    S::Value: core::fmt::Debug,
+    F: Fn(&S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    // Silence the panic hook while probing shrunk candidates — every
+    // still-failing probe would otherwise print a full panic trace,
+    // burying the original assertion message printed above.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut best = first_failure;
+    for _ in 0..64 {
+        let Some(candidate) = strategy.shrink(&best) else {
+            break;
+        };
+        if __run_case(&candidate, case) == __CaseOutcome::Fail {
+            best = candidate;
+        } else {
+            // The halving chain lost the failure; stop at the last
+            // reproducing input.
+            break;
+        }
+    }
+    std::panic::set_hook(prev_hook);
+    panic!("proptest shim: property `{name}` failed; minimal failing input: {best:?}");
+}
+
 /// Defines property tests. Mirrors `proptest::proptest!` for the forms
 /// used in this workspace.
 #[macro_export]
@@ -315,29 +470,16 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let mut accepted: u32 = 0;
-            let mut case: u64 = 0;
-            let budget: u64 = u64::from(config.cases) * 20 + 1000;
-            while accepted < config.cases {
-                assert!(
-                    case < budget,
-                    "proptest shim: `{}` rejected too many cases (prop_assume too strict?)",
-                    stringify!($name),
-                );
-                let mut __rng = $crate::__new_rng(case, stringify!($name));
-                case += 1;
-                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
-                #[allow(clippy::redundant_closure_call)]
-                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| {
-                        $body
-                        Ok(())
-                    })();
-                match outcome {
-                    Ok(()) => accepted += 1,
-                    Err($crate::test_runner::TestCaseError::Reject) => {}
-                }
-            }
+            $crate::__run_property(
+                stringify!($name),
+                &config,
+                &($($strat,)+),
+                &|__vals| {
+                    let ($($pat,)+) = ::std::clone::Clone::clone(__vals);
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
         }
     )*};
 }
@@ -418,5 +560,61 @@ mod tests {
             prop_assume!(x != y);
             prop_assert!(x != y);
         }
+    }
+
+    #[test]
+    fn integer_ranges_shrink_toward_lower_bound() {
+        let s = 5i64..100;
+        let mut v = 99i64;
+        let mut steps = 0;
+        while let Some(n) = Strategy::shrink(&s, &v) {
+            assert!(n < v, "shrink must make progress: {n} from {v}");
+            assert!(n >= 5, "shrink must stay in range: {n}");
+            v = n;
+            steps += 1;
+        }
+        assert_eq!(v, 5, "chain bottoms out at the lower bound");
+        assert!(steps <= 8, "halving converges in log steps: {steps}");
+        // Inclusive ranges shrink the same way.
+        let inc = 2u32..=64;
+        assert_eq!(Strategy::shrink(&inc, &64), Some(33));
+        assert_eq!(Strategy::shrink(&inc, &2), None);
+    }
+
+    #[test]
+    fn tuples_shrink_component_wise_left_to_right() {
+        let s = (0u32..100, 0u32..100);
+        // First component shrinks first...
+        assert_eq!(Strategy::shrink(&s, &(40, 7)), Some((20, 7)));
+        // ...and once it is minimal, the second takes over.
+        assert_eq!(Strategy::shrink(&s, &(0, 7)), Some((0, 3)));
+        assert_eq!(Strategy::shrink(&s, &(0, 0)), None);
+        // Non-integer components (vectors) simply do not shrink.
+        let vs = (prop::collection::vec(0u8..10, 3), 0u32..100);
+        assert_eq!(
+            Strategy::shrink(&vs, &(vec![9, 9, 9], 8)),
+            Some((vec![9, 9, 9], 4))
+        );
+    }
+
+    #[test]
+    fn failing_case_reports_minimised_input() {
+        // Property "x < 10" over 0..1000: the halving chain from any
+        // failing seed must land on exactly 10.
+        let strategy = (0u32..1000,);
+        let case = |vals: &(u32,)| -> Result<(), TestCaseError> {
+            assert!(vals.0 < 10, "too big: {}", vals.0);
+            Ok(())
+        };
+        let payload =
+            std::panic::catch_unwind(|| crate::__shrink_and_fail("demo", &strategy, (700,), &case))
+                .expect_err("must re-panic after shrinking");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("shim panics with a formatted String");
+        assert!(
+            msg.contains("minimal failing input: (10,)"),
+            "unexpected message: {msg}"
+        );
     }
 }
