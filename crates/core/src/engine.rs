@@ -27,7 +27,7 @@
 //! Ambit policy every path reduces bit-for-bit to the paper's
 //! single-channel model.
 
-use crate::shard::{BackendPolicy, ShardPlan, ShardPlanner};
+use crate::shard::{BackendPolicy, ShardPlan, ShardPlanner, ShardSizing};
 use c2m_cim::Backend;
 use c2m_dram::scheduler::steady_state_aap_interval_ranked;
 use c2m_dram::{
@@ -112,6 +112,7 @@ pub struct C2mEngine {
     code: JohnsonCode,
     digits: usize,
     backends: BackendPolicy,
+    sizing: ShardSizing,
 }
 
 impl C2mEngine {
@@ -145,7 +146,46 @@ impl C2mEngine {
             code,
             digits,
             backends,
+            sizing: ShardSizing::default(),
         }
+    }
+
+    /// Replaces the shard-length sizing policy (see [`ShardSizing`]).
+    /// The default [`ShardSizing::Even`] is the seed behaviour;
+    /// [`Self::heterogeneity_weights`] builds the weighted sizing that
+    /// equalises per-channel makespan under this engine's backend
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or non-positive weight vector.
+    #[must_use]
+    pub fn with_shard_sizing(mut self, sizing: ShardSizing) -> Self {
+        // Validate eagerly through the planner's checks.
+        let _ = ShardPlanner::new(self.topology()).with_sizing(sizing.clone());
+        self.sizing = sizing;
+        self
+    }
+
+    /// The shard-length sizing policy in force.
+    #[must_use]
+    pub fn shard_sizing(&self) -> &ShardSizing {
+        &self.sizing
+    }
+
+    /// Per-channel throughput weights under the engine's backend policy:
+    /// channel `c` weighs `1 / backend_factor(backend_for(c))`, so a
+    /// channel whose increments cost `f×` Ambit's receives `1/f` of the
+    /// work and every channel finishes its shard at the same time.
+    /// Feeding this to [`Self::with_shard_sizing`] rebalances
+    /// mixed-backend topologies; on a uniform policy it reduces to the
+    /// even split.
+    #[must_use]
+    pub fn heterogeneity_weights(&self) -> ShardSizing {
+        let weights: Vec<f64> = (0..self.cfg.dram.channels)
+            .map(|c| 1.0 / self.backend_factor(self.backends.backend_for(c)))
+            .collect();
+        ShardSizing::Weighted(weights)
     }
 
     /// The configuration in force.
@@ -173,10 +213,11 @@ impl C2mEngine {
     }
 
     /// A shard planner over [`Self::topology`] with this engine's
-    /// backend policy.
+    /// backend policy and sizing.
     #[must_use]
     pub fn planner(&self) -> ShardPlanner {
         ShardPlanner::with_policy(self.topology(), self.backends.clone())
+            .with_sizing(self.sizing.clone())
     }
 
     /// Digits per accumulator.
@@ -260,18 +301,45 @@ impl C2mEngine {
         let plan = self.planner().plan_inner(x.len());
         let mut chan_ops = vec![0.0f64; self.cfg.dram.channels];
         for shard in &plan.shards {
-            let slice = &x[shard.start..shard.end()];
-            let doubled: Vec<i64> = slice
-                .iter()
-                .copied()
-                .chain(slice.iter().map(|&v| -v))
-                .collect();
+            let doubled = doubled_ternary(&x[shard.start..shard.end()]);
             // Accumulation and the unit's own bank-level merge both
             // execute on the shard's backend.
             chan_ops[shard.channel] += (self.ops_for_stream(&doubled) + self.reduction_ops())
                 * self.backend_factor(shard.backend);
         }
         self.sharded_report(&plan, &chan_ops, 0, useful_ops(1, n, x.len()), n)
+    }
+
+    /// Prices a *batch* of `B` ternary GEMVs sharing one weight matrix
+    /// (`y_b = x_b · Z` for each request) as a single launch: the B
+    /// input streams distribute over the topology's units like GEMM
+    /// output rows (each unit accumulates its requests into its own
+    /// counters, §5.2.2 row semantics), so a batched request pays
+    /// accumulation + counter copy-out instead of the per-request
+    /// cross-unit partial-sum merges a lone GEMV pays, and a multi-unit
+    /// launch pays one host gather of the B finished outputs. This is
+    /// the engine entry point of the `c2m_serve` batching runtime.
+    #[must_use]
+    pub fn ternary_gemv_batch<S: AsRef<[i64]>>(&self, xs: &[S], n: usize) -> ExecutionReport {
+        let plan = self.planner().plan_rows(xs.len());
+        let copy_out = self.copy_out_ops(n);
+        let mut chan_ops = vec![0.0f64; self.cfg.dram.channels];
+        let mut useful = 0u64;
+        for shard in &plan.shards {
+            for x in &xs[shard.start..shard.end()] {
+                let x = x.as_ref();
+                let doubled = doubled_ternary(x);
+                chan_ops[shard.channel] +=
+                    self.ops_for_stream(&doubled) * self.backend_factor(shard.backend) + copy_out;
+                useful += useful_ops(1, n, x.len());
+            }
+        }
+        let gather_bursts = if plan.units_used() > 1 {
+            xs.len() as u64 * self.output_row_bursts(n)
+        } else {
+            0
+        };
+        self.sharded_report(&plan, &chan_ops, gather_bursts, useful, n)
     }
 
     /// Ternary GEMM report for `M` output rows, each accumulating the
@@ -283,12 +351,7 @@ impl C2mEngine {
     /// finished output rows (RD bursts, serialised at the host).
     #[must_use]
     pub fn ternary_gemm(&self, m: usize, n: usize, x_sample: &[i64]) -> ExecutionReport {
-        let doubled: Vec<i64> = x_sample
-            .iter()
-            .copied()
-            .chain(x_sample.iter().map(|&v| -v))
-            .collect();
-        self.rows_report(m, n, &doubled, x_sample.len())
+        self.rows_report(m, n, &doubled_ternary(x_sample), x_sample.len())
     }
 
     /// Integer×binary GEMM report: like [`Self::ternary_gemm`] but Z has
@@ -499,6 +562,16 @@ impl C2mEngine {
 #[must_use]
 pub fn useful_ops(m: usize, n: usize, k: usize) -> u64 {
     2 * m as u64 * n as u64 * k as u64
+}
+
+/// The doubled ternary command stream (`x` then `−x`): the +1-plane
+/// accumulation pass followed by the −1-plane subtraction pass. This
+/// ordering is load-bearing for seed bit-compatibility — every ternary
+/// path (engine kernels and the serving runtime) must build the stream
+/// the same way.
+#[must_use]
+pub fn doubled_ternary(x: &[i64]) -> Vec<i64> {
+    x.iter().copied().chain(x.iter().map(|&v| -v)).collect()
 }
 
 #[cfg(test)]
@@ -769,6 +842,80 @@ mod tests {
     #[should_panic(expected = "exceed")]
     fn engine_rejects_more_banks_than_the_rank_has() {
         let _ = C2mEngine::new(EngineConfig::c2m(64));
+    }
+
+    // ---- batched GEMV + heterogeneity-aware sizing ----
+
+    #[test]
+    fn gemv_batch_of_one_matches_gemm_row_pricing() {
+        // A batch is row-sharded, so a single-request batch prices like
+        // a one-row GEMM over the same stream (accumulation + copy-out).
+        let xs = int8_stream(2048, 30);
+        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let batch = e.ternary_gemv_batch(std::slice::from_ref(&xs), 4096);
+        let gemm = e.ternary_gemm(1, 4096, &xs);
+        assert_eq!(batch.elapsed_ns, gemm.elapsed_ns);
+    }
+
+    #[test]
+    fn batched_gemvs_price_below_sequential_gemvs() {
+        // Per request, a batch pays copy-out instead of the cross-bank
+        // partial-sum merge, and on a multi-channel topology rows shard
+        // cleanly instead of paying cross-unit merges per request.
+        let xs: Vec<Vec<i64>> = (0..8).map(|s| int8_stream(2048, 31 + s)).collect();
+        for &channels in &[1usize, 4] {
+            let e = C2mEngine::new(cfg_with_channels(channels, 1));
+            let batched = e.ternary_gemv_batch(&xs, 4096).elapsed_ns;
+            let serial: f64 = xs.iter().map(|x| e.ternary_gemv(x, 4096).elapsed_ns).sum();
+            assert!(
+                batched < serial,
+                "{channels}ch: batched {batched} vs serial {serial}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_prices_to_zero() {
+        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let r = e.ternary_gemv_batch::<Vec<i64>>(&[], 4096);
+        assert_eq!(r.elapsed_ns, 0.0);
+        assert_eq!(r.useful_ops, 0);
+    }
+
+    #[test]
+    fn heterogeneity_weights_equalise_mixed_module_makespan() {
+        let xs: Vec<Vec<i64>> = (0..16).map(|s| int8_stream(2048, 40 + s)).collect();
+        let cfg = cfg_with_channels(4, 1);
+        let policy = BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]);
+        let even = C2mEngine::with_backends(cfg.clone(), policy.clone());
+        let weighted = {
+            let e = C2mEngine::with_backends(cfg, policy);
+            let w = e.heterogeneity_weights();
+            e.with_shard_sizing(w)
+        };
+        let t_even = even.ternary_gemv_batch(&xs, 4096).elapsed_ns;
+        let t_weighted = weighted.ternary_gemv_batch(&xs, 4096).elapsed_ns;
+        assert!(
+            t_weighted < t_even,
+            "weighted {t_weighted} vs even {t_even}"
+        );
+    }
+
+    #[test]
+    fn heterogeneity_weights_are_even_on_uniform_policies() {
+        let e = C2mEngine::new(cfg_with_channels(4, 1));
+        let ShardSizing::Weighted(w) = e.heterogeneity_weights() else {
+            panic!("weights expected");
+        };
+        assert!(w.iter().all(|&x| x == 1.0));
+        // And a uniform weighted engine plans identically to the seed.
+        let xs = int8_stream(4096, 50);
+        let sized =
+            C2mEngine::new(cfg_with_channels(4, 1)).with_shard_sizing(ShardSizing::Weighted(w));
+        assert_eq!(
+            sized.ternary_gemv(&xs, 8192).elapsed_ns,
+            e.ternary_gemv(&xs, 8192).elapsed_ns
+        );
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub use engine::{C2mEngine, EngineConfig};
 pub use matrix::{BinaryMatrix, TernaryMatrix};
 pub use nn::{AttentionShape, ConvShape};
 pub use placement::{CounterSpec, KernelShape, MaskEncoding, PlacementPlan};
-pub use shard::{BackendPolicy, Shard, ShardAxis, ShardPlan, ShardPlanner};
+pub use shard::{BackendPolicy, Shard, ShardAxis, ShardPlan, ShardPlanner, ShardSizing};

@@ -20,6 +20,14 @@
 //! single plan can dispatch shards to heterogeneous substrates (§4.6):
 //! an Ambit channel next to an FCDRAM channel prices each shard with
 //! its own cost model.
+//!
+//! Shard *lengths* are sized by a [`ShardSizing`] policy: the default
+//! [`ShardSizing::Even`] split (the paper's setup — every unit gets the
+//! same share) or [`ShardSizing::Weighted`], which apportions the axis
+//! proportionally to per-channel throughput weights so a mixed-backend
+//! module is no longer paced by its slowest channels: giving an Ambit
+//! channel `f×` the work of an FCDRAM channel whose increments cost `f×`
+//! more equalises the per-channel makespan.
 
 use c2m_cim::Backend;
 use c2m_dram::Topology;
@@ -162,12 +170,31 @@ impl Default for BackendPolicy {
     }
 }
 
+/// How shard lengths are apportioned over the topology's units.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum ShardSizing {
+    /// Every unit gets the same share, balanced to within one element
+    /// (the seed behaviour; bit-for-bit identical to the paper's model
+    /// at one channel/one rank).
+    #[default]
+    Even,
+    /// Shard lengths proportional to per-channel throughput weights:
+    /// channel `c` weighs `weights[c % weights.len()]`, every rank of a
+    /// channel shares its channel's weight, and the axis is apportioned
+    /// by largest remainder (ties to the lower unit index). A channel
+    /// with weight 2 receives twice the work of a channel with weight 1,
+    /// so weights of `1 / cost-factor` equalise per-channel makespan on
+    /// heterogeneous modules.
+    Weighted(Vec<f64>),
+}
+
 /// Plans contiguous, balanced partitions of kernel axes over a
 /// [`Topology`].
 #[derive(Debug, Clone)]
 pub struct ShardPlanner {
     topology: Topology,
     policy: BackendPolicy,
+    sizing: ShardSizing,
 }
 
 impl ShardPlanner {
@@ -180,7 +207,36 @@ impl ShardPlanner {
     /// Planner with an explicit backend dispatch policy.
     #[must_use]
     pub fn with_policy(topology: Topology, policy: BackendPolicy) -> Self {
-        Self { topology, policy }
+        Self {
+            topology,
+            policy,
+            sizing: ShardSizing::default(),
+        }
+    }
+
+    /// Replaces the shard-length apportionment policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Weighted` sizing is empty or has a non-positive or
+    /// non-finite weight.
+    #[must_use]
+    pub fn with_sizing(mut self, sizing: ShardSizing) -> Self {
+        if let ShardSizing::Weighted(w) = &sizing {
+            assert!(!w.is_empty(), "weighted sizing needs at least one weight");
+            assert!(
+                w.iter().all(|&x| x.is_finite() && x > 0.0),
+                "weights must be positive and finite: {w:?}"
+            );
+        }
+        self.sizing = sizing;
+        self
+    }
+
+    /// The shard-length apportionment policy in force.
+    #[must_use]
+    pub fn sizing(&self) -> &ShardSizing {
+        &self.sizing
     }
 
     /// The topology being planned over.
@@ -208,18 +264,28 @@ impl ShardPlanner {
     }
 
     /// Splits `total` into at most `channels × ranks` contiguous chunks,
-    /// channel-major (channel 0 rank 0, channel 0 rank 1, …), balanced
-    /// to within one element. A zero-extent axis still yields one empty
-    /// shard on unit (0, 0) so per-unit fixed costs (the bank-level
-    /// partial-sum merge a single unit already pays) stay attributed.
+    /// channel-major (channel 0 rank 0, channel 0 rank 1, …), with
+    /// lengths chosen by the sizing policy. A zero-extent axis still
+    /// yields one empty shard on unit (0, 0) so per-unit fixed costs
+    /// (the bank-level partial-sum merge a single unit already pays)
+    /// stay attributed.
     fn split(&self, axis: ShardAxis, total: usize) -> ShardPlan {
         let units = self.topology.units();
-        let base = total / units;
-        let extra = total % units;
+        let lens = match &self.sizing {
+            ShardSizing::Even => even_lengths(total, units),
+            // Equal weights must reproduce the even split bit-for-bit,
+            // so route them through the same integer path.
+            ShardSizing::Weighted(w) if uniform_weights(w) => even_lengths(total, units),
+            ShardSizing::Weighted(w) => {
+                let per_unit: Vec<f64> = (0..units)
+                    .map(|u| w[(u / self.topology.ranks) % w.len()])
+                    .collect();
+                weighted_lengths(total, &per_unit)
+            }
+        };
         let mut shards = Vec::new();
         let mut start = 0usize;
-        for unit in 0..units {
-            let len = base + usize::from(unit < extra);
+        for (unit, &len) in lens.iter().enumerate() {
             if len == 0 && !(unit == 0 && total == 0) {
                 continue;
             }
@@ -241,6 +307,44 @@ impl ShardPlanner {
             shards,
         }
     }
+}
+
+/// True when every weight equals the first (the degenerate case where a
+/// weighted split must not deviate from the even one).
+fn uniform_weights(w: &[f64]) -> bool {
+    w.iter().all(|&x| x == w[0])
+}
+
+/// The seed even split: `total` over `units`, balanced to within one
+/// element, leading units taking the remainder.
+fn even_lengths(total: usize, units: usize) -> Vec<usize> {
+    let base = total / units;
+    let extra = total % units;
+    (0..units).map(|u| base + usize::from(u < extra)).collect()
+}
+
+/// Largest-remainder apportionment of `total` by per-unit weights: each
+/// unit gets the floor of its ideal share `total·wᵤ/Σw`, and the
+/// leftover elements go to the largest fractional remainders (ties to
+/// the lower unit index).
+fn weighted_lengths(total: usize, weights: &[f64]) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum();
+    let ideal: Vec<f64> = weights.iter().map(|w| total as f64 * w / sum).collect();
+    let mut lens: Vec<usize> = ideal.iter().map(|x| x.floor() as usize).collect();
+    let assigned: usize = lens.iter().sum();
+    debug_assert!(assigned <= total, "floors cannot exceed the total");
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        (ideal[b] - ideal[b].floor())
+            .partial_cmp(&(ideal[a] - ideal[a].floor()))
+            .expect("finite remainders")
+            .then(a.cmp(&b))
+    });
+    for &u in order.iter().take(total - assigned) {
+        lens[u] += 1;
+    }
+    debug_assert_eq!(lens.iter().sum::<usize>(), total);
+    lens
 }
 
 #[cfg(test)]
@@ -310,6 +414,67 @@ mod tests {
         assert_eq!(plan.shards[0].len, 0);
         assert_eq!(plan.units_used(), 0);
         assert_eq!(plan.reduction_rounds(), 0);
+    }
+
+    #[test]
+    fn weighted_split_covers_axis_and_favours_heavy_channels() {
+        let plan = ShardPlanner::new(topo(4, 1))
+            .with_sizing(ShardSizing::Weighted(vec![1.0, 0.5, 1.0, 0.5]))
+            .plan_rows(16);
+        let lens: Vec<usize> = plan.shards.iter().map(|s| s.len).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 16);
+        let mut cursor = 0;
+        for s in &plan.shards {
+            assert_eq!(s.start, cursor, "contiguous");
+            cursor = s.end();
+        }
+        // Weight-1 channels get twice the rows of weight-0.5 channels.
+        assert_eq!(lens, vec![5, 3, 5, 3]);
+    }
+
+    #[test]
+    fn equal_weights_reproduce_the_even_split_exactly() {
+        for total in [0usize, 1, 3, 8, 8193] {
+            for &(c, r) in &[(1usize, 1usize), (3, 1), (4, 2), (8, 1)] {
+                let even = ShardPlanner::new(topo(c, r)).plan_inner(total);
+                let weighted = ShardPlanner::new(topo(c, r))
+                    .with_sizing(ShardSizing::Weighted(vec![0.7; c]))
+                    .plan_inner(total);
+                assert_eq!(even, weighted, "{c}ch x {r}rk, total {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_cycle_over_channels_and_share_within_ranks() {
+        let plan = ShardPlanner::new(topo(2, 2))
+            .with_sizing(ShardSizing::Weighted(vec![3.0, 1.0]))
+            .plan_rows(8);
+        // Channel 0 (weight 3) holds 6 rows over its two ranks, channel 1
+        // (weight 1) holds 2.
+        let per_channel: Vec<usize> = (0..2)
+            .map(|c| plan.on_channel(c).map(|s| s.len).sum())
+            .collect();
+        assert_eq!(per_channel, vec![6, 2]);
+    }
+
+    #[test]
+    fn weighted_split_may_leave_slow_units_empty() {
+        let plan = ShardPlanner::new(topo(4, 1))
+            .with_sizing(ShardSizing::Weighted(vec![10.0, 1.0, 10.0, 1.0]))
+            .plan_planes(2);
+        assert_eq!(plan.units_used(), 2);
+        assert!(plan
+            .shards
+            .iter()
+            .filter(|s| s.len > 0)
+            .all(|s| s.channel % 2 == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_weights_are_rejected() {
+        let _ = ShardPlanner::new(topo(2, 1)).with_sizing(ShardSizing::Weighted(vec![1.0, 0.0]));
     }
 
     #[test]

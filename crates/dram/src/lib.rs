@@ -54,7 +54,7 @@ pub use command::{CommandKind, DramCommand};
 pub use config::DramConfig;
 pub use energy::EnergyModel;
 pub use refresh::RefreshModel;
-pub use request::{MemoryRequest, RequestQueue, ScheduleReport};
+pub use request::{BatchWindow, MemoryRequest, RequestQueue, ScheduleReport};
 pub use scheduler::ChannelScheduler;
 pub use stats::{CommandStats, ExecutionReport};
 pub use timing::TimingParams;

@@ -9,6 +9,16 @@
 //! per-request latency and row-buffer locality so the bench harness can
 //! verify the host access path never becomes the bottleneck (the
 //! paper's claim that "μProgram generation … is negligible").
+//!
+//! Beyond the paper's one-request-at-a-time host path, the queue also
+//! models *batched* dispatch ([`RequestQueue::run_batched`]): requests
+//! arriving within a configurable window ([`BatchWindow`]) form a batch
+//! inside which the controller reorders freely — row hits coalesce
+//! back-to-back and banks overlap — subject to a starvation cap that
+//! bounds how long first-ready priority may bypass an older request.
+//! The serving runtime (`c2m_serve`) prices its host fetch path through
+//! this interface; [`RequestQueue::run_serial`] is the one-at-a-time
+//! baseline it is compared against.
 
 use crate::bank_state::{AccessKind, BankState};
 use crate::timing::TimingParams;
@@ -136,6 +146,39 @@ impl ScheduleReport {
     }
 }
 
+/// Batched-dispatch policy for [`RequestQueue::run_batched`].
+///
+/// A batch opens at the arrival time of the oldest still-pending request
+/// and admits every pending request arriving within `window_ns` of that
+/// instant (in FCFS order). Within the batch the controller schedules
+/// with FR-FCFS — row hits first, banks overlapped — but a ready request
+/// that has already waited longer than `max_wait_ns` preempts first-ready
+/// priority, bounding the bypass a row-hit streak can inflict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchWindow {
+    /// Width of the batching window, ns. Zero coalesces only requests
+    /// arriving at the very same instant.
+    pub window_ns: f64,
+    /// FR-FCFS starvation cap, ns: a ready request older than this is
+    /// served before any younger row hit.
+    pub max_wait_ns: f64,
+}
+
+impl BatchWindow {
+    /// Default FR-FCFS starvation cap (10 µs), shared with the serving
+    /// runtime's default so both layers run the same policy.
+    pub const DEFAULT_MAX_WAIT_NS: f64 = 10_000.0;
+
+    /// A window of `window_ns` with the default 10 µs starvation cap.
+    #[must_use]
+    pub fn new(window_ns: f64) -> Self {
+        Self {
+            window_ns,
+            max_wait_ns: Self::DEFAULT_MAX_WAIT_NS,
+        }
+    }
+}
+
 /// An FR-FCFS request scheduler over `banks` open-row banks.
 ///
 /// # Examples
@@ -182,65 +225,49 @@ impl RequestQueue {
     }
 
     /// Services every request with FR-FCFS and returns the report.
+    /// Equivalent to [`Self::run_batched`] with an unbounded window and
+    /// no starvation cap: the whole trace is one batch.
     ///
     /// # Panics
     ///
     /// Panics if any request names a bank out of range.
     pub fn run(&mut self, requests: &[MemoryRequest]) -> ScheduleReport {
+        self.run_batched(
+            requests,
+            BatchWindow {
+                window_ns: f64::INFINITY,
+                max_wait_ns: f64::INFINITY,
+            },
+        )
+    }
+
+    /// Services every request strictly one at a time in arrival order —
+    /// the seed host path that prices each request only after the
+    /// previous one finished, with no bank overlap and no reordering.
+    /// This is the serial baseline batched dispatch is measured against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request names a bank out of range.
+    pub fn run_serial(&mut self, requests: &[MemoryRequest]) -> ScheduleReport {
         for r in requests {
             assert!(r.bank < self.banks.len(), "bank {} out of range", r.bank);
         }
-        let mut pending: Vec<(usize, MemoryRequest)> =
-            requests.iter().copied().enumerate().collect();
-        // Stable order by arrival, then submission index (FCFS base).
-        pending.sort_by(|a, b| {
-            a.1.arrival_ns
-                .partial_cmp(&b.1.arrival_ns)
-                .unwrap()
-                .then(a.0.cmp(&b.0))
-        });
+        let mut order: Vec<(usize, MemoryRequest)> = requests.iter().copied().enumerate().collect();
+        sort_fcfs(&mut order);
         let mut report = ScheduleReport::default();
-        let mut now = 0.0f64;
-
-        while !pending.is_empty() {
-            // Advance the clock to the earliest instant *some* request
-            // could issue (arrived, bank free, bus free) — scheduling
-            // decisions are made when resources free up, so a row hit
-            // that arrives while a bank is busy still wins FR priority.
-            let t_min = pending
-                .iter()
-                .map(|(_, r)| {
-                    r.arrival_ns
-                        .max(self.bank_ready[r.bank])
-                        .max(self.bus_ready)
-                })
-                .fold(f64::INFINITY, f64::min);
-            now = now.max(t_min);
-            let ready: Vec<usize> = (0..pending.len())
-                .filter(|&i| {
-                    let r = &pending[i].1;
-                    r.arrival_ns <= now && self.bank_ready[r.bank] <= now && self.bus_ready <= now
-                })
-                .collect();
-            debug_assert!(!ready.is_empty(), "clock advance must free a request");
-            // First-ready: row hits first; FCFS tie-break by queue order
-            // (pending is sorted by arrival).
-            let pick = ready
-                .iter()
-                .copied()
-                .find(|&i| {
-                    let r = &pending[i].1;
-                    self.banks[r.bank].would_hit(r.row)
-                })
-                .unwrap_or(ready[0]);
-            let (_, req) = pending.remove(pick);
-
+        let mut prev_finish = 0.0f64;
+        for (_, req) in order {
+            let issue = req
+                .arrival_ns
+                .max(prev_finish)
+                .max(self.bank_ready[req.bank])
+                .max(self.bus_ready);
             let kind = self.banks[req.bank].access(req.row);
-            // Row cycle occupies the bank; the data burst occupies the bus.
-            let issue = now;
             let finish = issue + kind.latency_ns(&self.timing);
             self.bank_ready[req.bank] = finish;
             self.bus_ready = issue + self.timing.t_burst;
+            prev_finish = finish;
             report.completions.push(Completion {
                 request: req,
                 issue_ns: issue,
@@ -250,6 +277,110 @@ impl RequestQueue {
         }
         report
     }
+
+    /// Services the trace batch by batch under `window` (see
+    /// [`BatchWindow`] for the batch-formation rule). Within a batch the
+    /// controller overlaps banks and issues row hits first, except that
+    /// a ready request waiting longer than the starvation cap is served
+    /// before any younger hit; the next batch opens once the current one
+    /// has fully issued, so a window can only reorder — it never idles
+    /// the controller waiting for future arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request names a bank out of range.
+    pub fn run_batched(
+        &mut self,
+        requests: &[MemoryRequest],
+        window: BatchWindow,
+    ) -> ScheduleReport {
+        for r in requests {
+            assert!(r.bank < self.banks.len(), "bank {} out of range", r.bank);
+        }
+        let mut pending: Vec<(usize, MemoryRequest)> =
+            requests.iter().copied().enumerate().collect();
+        // Stable order by arrival, then submission index (FCFS base).
+        sort_fcfs(&mut pending);
+        let mut report = ScheduleReport::default();
+        let mut now = 0.0f64;
+
+        while !pending.is_empty() {
+            // The batch opens at the oldest pending arrival and admits
+            // everything arriving within the window of that instant.
+            let t_open = pending[0].1.arrival_ns;
+            let take = pending
+                .iter()
+                .take_while(|(_, r)| r.arrival_ns - t_open <= window.window_ns)
+                .count()
+                .max(1);
+            let mut batch: Vec<(usize, MemoryRequest)> = pending.drain(..take).collect();
+
+            while !batch.is_empty() {
+                // Advance the clock to the earliest instant *some* batch
+                // request could issue (arrived, bank free, bus free) —
+                // scheduling decisions are made when resources free up,
+                // so a row hit that arrives while a bank is busy still
+                // wins FR priority.
+                let t_min = batch
+                    .iter()
+                    .map(|(_, r)| {
+                        r.arrival_ns
+                            .max(self.bank_ready[r.bank])
+                            .max(self.bus_ready)
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                now = now.max(t_min);
+                let ready: Vec<usize> = (0..batch.len())
+                    .filter(|&i| {
+                        let r = &batch[i].1;
+                        r.arrival_ns <= now
+                            && self.bank_ready[r.bank] <= now
+                            && self.bus_ready <= now
+                    })
+                    .collect();
+                debug_assert!(!ready.is_empty(), "clock advance must free a request");
+                // Starvation cap first (oldest over-cap request wins —
+                // `batch` is in FCFS order), then first-ready row hits,
+                // then plain FCFS.
+                let pick = ready
+                    .iter()
+                    .copied()
+                    .find(|&i| now - batch[i].1.arrival_ns > window.max_wait_ns)
+                    .or_else(|| {
+                        ready.iter().copied().find(|&i| {
+                            let r = &batch[i].1;
+                            self.banks[r.bank].would_hit(r.row)
+                        })
+                    })
+                    .unwrap_or(ready[0]);
+                let (_, req) = batch.remove(pick);
+
+                let kind = self.banks[req.bank].access(req.row);
+                // Row cycle occupies the bank; the data burst occupies the bus.
+                let issue = now;
+                let finish = issue + kind.latency_ns(&self.timing);
+                self.bank_ready[req.bank] = finish;
+                self.bus_ready = issue + self.timing.t_burst;
+                report.completions.push(Completion {
+                    request: req,
+                    issue_ns: issue,
+                    finish_ns: finish,
+                    kind,
+                });
+            }
+        }
+        report
+    }
+}
+
+/// Stable FCFS order: arrival time, then submission index.
+fn sort_fcfs(reqs: &mut [(usize, MemoryRequest)]) {
+    reqs.sort_by(|a, b| {
+        a.1.arrival_ns
+            .partial_cmp(&b.1.arrival_ns)
+            .unwrap()
+            .then(a.0.cmp(&b.0))
+    });
 }
 
 #[cfg(test)]
@@ -336,5 +467,97 @@ mod tests {
     fn bad_bank_panics() {
         let mut q = RequestQueue::new(timing(), 1);
         let _ = q.run(&[MemoryRequest::read(0.0, 3, 0)]);
+    }
+
+    // ---- batched dispatch ----
+
+    fn mixed_trace() -> Vec<MemoryRequest> {
+        (0..40)
+            .map(|i| MemoryRequest::read(i as f64 * 3.0, i % 3, (i / 5) % 4))
+            .collect()
+    }
+
+    #[test]
+    fn unbounded_window_matches_run() {
+        let trace = mixed_trace();
+        let a = RequestQueue::new(timing(), 4).run(&trace);
+        let b = RequestQueue::new(timing(), 4).run_batched(
+            &trace,
+            BatchWindow {
+                window_ns: f64::INFINITY,
+                max_wait_ns: f64::INFINITY,
+            },
+        );
+        assert_eq!(a.completions, b.completions);
+    }
+
+    #[test]
+    fn batched_never_slower_than_serial_on_a_mixed_trace() {
+        let trace = mixed_trace();
+        let serial = RequestQueue::new(timing(), 4).run_serial(&trace);
+        for w in [0.0, 10.0, 100.0, 1e6] {
+            let batched = RequestQueue::new(timing(), 4).run_batched(&trace, BatchWindow::new(w));
+            assert!(
+                batched.makespan_ns() <= serial.makespan_ns() + 1e-9,
+                "window {w}: batched {} vs serial {}",
+                batched.makespan_ns(),
+                serial.makespan_ns()
+            );
+        }
+    }
+
+    #[test]
+    fn window_coalesces_row_hits_across_requests() {
+        // Interleaved rows on one bank: serial order alternates rows
+        // (every access a conflict); a wide window groups same-row
+        // requests back-to-back.
+        let trace: Vec<MemoryRequest> = (0..20)
+            .map(|i| MemoryRequest::read(i as f64, 0, i % 2))
+            .collect();
+        let serial = RequestQueue::new(timing(), 1).run_serial(&trace);
+        let batched = RequestQueue::new(timing(), 1).run_batched(&trace, BatchWindow::new(1e6));
+        assert!(batched.hit_rate() > serial.hit_rate());
+        assert!(batched.makespan_ns() < serial.makespan_ns());
+    }
+
+    #[test]
+    fn starvation_cap_bounds_bypass() {
+        // One early conflict request against a long stream of row hits:
+        // without a cap FR priority defers the conflict to the very end;
+        // with a cap it is served once its wait exceeds the cap.
+        let mut trace = vec![MemoryRequest::read(0.5, 0, 99)];
+        trace.extend((0..200).map(|i| MemoryRequest::read(i as f64 * 0.1, 0, 1)));
+        let uncapped = RequestQueue::new(timing(), 1).run_batched(
+            &trace,
+            BatchWindow {
+                window_ns: 1e9,
+                max_wait_ns: f64::INFINITY,
+            },
+        );
+        let capped = RequestQueue::new(timing(), 1).run_batched(
+            &trace,
+            BatchWindow {
+                window_ns: 1e9,
+                max_wait_ns: 200.0,
+            },
+        );
+        let lat = |rep: &ScheduleReport| {
+            rep.completions
+                .iter()
+                .find(|c| c.request.row == 99)
+                .expect("victim serviced")
+                .latency_ns()
+        };
+        assert!(lat(&capped) < lat(&uncapped));
+        // Bound: the victim waits at most the cap plus the drain of the
+        // requests already over-cap or in flight ahead of it.
+        assert!(lat(&capped) < 200.0 + 10.0 * timing().t_rp + 10.0 * timing().t_rcd);
+    }
+
+    #[test]
+    fn zero_window_still_services_everything_in_order_batches() {
+        let trace = mixed_trace();
+        let rep = RequestQueue::new(timing(), 4).run_batched(&trace, BatchWindow::new(0.0));
+        assert_eq!(rep.completions.len(), trace.len());
     }
 }

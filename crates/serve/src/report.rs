@@ -1,0 +1,206 @@
+//! Serving metrics: per-request latency percentiles, throughput, batch
+//! shapes and queue-depth timelines.
+
+use serde::Serialize;
+
+/// Outcome of one served request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RequestOutcome {
+    /// Request id.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: usize,
+    /// Arrival at the front end, ns.
+    pub arrival_ns: f64,
+    /// Completion (its batch's execution finished), ns.
+    pub completion_ns: f64,
+    /// Index of the batch that served it.
+    pub batch: usize,
+}
+
+impl RequestOutcome {
+    /// End-to-end latency (arrival → completion), ns.
+    #[must_use]
+    pub fn latency_ns(&self) -> f64 {
+        self.completion_ns - self.arrival_ns
+    }
+}
+
+/// One dispatched batch's cost breakdown and pipeline placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BatchRecord {
+    /// Requests coalesced into the batch.
+    pub size: usize,
+    /// The batch's tenant (batches never mix tenants).
+    pub tenant: usize,
+    /// Host fetch of the batch's input vectors finished at, ns.
+    pub fetch_done_ns: f64,
+    /// Host-side planning time (digit unpack + IARM), ns.
+    pub plan_ns: f64,
+    /// Engine execution time, ns.
+    pub exec_ns: f64,
+    /// Execution started at, ns.
+    pub exec_start_ns: f64,
+    /// Execution finished at, ns.
+    pub exec_done_ns: f64,
+}
+
+/// Queue depth sampled at a pipeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct QueueSample {
+    /// Sample instant, ns.
+    pub t_ns: f64,
+    /// Requests arrived but not yet completed at that instant.
+    pub depth: usize,
+}
+
+/// Aggregate results of one serving run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ServeReport {
+    /// Per-request outcomes, in completion order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Per-batch pipeline records, in dispatch order.
+    pub batches: Vec<BatchRecord>,
+    /// Queue depth at each batch completion.
+    pub queue_depth: Vec<QueueSample>,
+    /// Row-buffer hit rate of the host fetch path over the whole run.
+    pub host_hit_rate: f64,
+}
+
+impl ServeReport {
+    /// Latencies at each percentile of `ps` (values in [0, 100]), ns —
+    /// sorts the outcomes once however many percentiles are asked for.
+    /// All zeros when there are no outcomes.
+    #[must_use]
+    pub fn latency_percentiles_ns(&self, ps: &[f64]) -> Vec<f64> {
+        if self.outcomes.is_empty() {
+            return vec![0.0; ps.len()];
+        }
+        let mut lat: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(RequestOutcome::latency_ns)
+            .collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        ps.iter()
+            .map(|p| {
+                let rank = (p / 100.0 * lat.len() as f64).ceil() as usize;
+                lat[rank.clamp(1, lat.len()) - 1]
+            })
+            .collect()
+    }
+
+    /// Latency at percentile `p` in [0, 100], ns (0 when no outcomes).
+    #[must_use]
+    pub fn latency_percentile_ns(&self, p: f64) -> f64 {
+        self.latency_percentiles_ns(&[p])[0]
+    }
+
+    /// Median latency, ns.
+    #[must_use]
+    pub fn p50_ns(&self) -> f64 {
+        self.latency_percentile_ns(50.0)
+    }
+
+    /// 95th-percentile latency, ns.
+    #[must_use]
+    pub fn p95_ns(&self) -> f64 {
+        self.latency_percentile_ns(95.0)
+    }
+
+    /// 99th-percentile latency, ns.
+    #[must_use]
+    pub fn p99_ns(&self) -> f64 {
+        self.latency_percentile_ns(99.0)
+    }
+
+    /// Mean latency, ns.
+    #[must_use]
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(RequestOutcome::latency_ns)
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Completion time of the last request, ns.
+    #[must_use]
+    pub fn makespan_ns(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.completion_ns)
+            .fold(0.0, f64::max)
+    }
+
+    /// Sustained throughput in requests per second over the makespan.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        let span = self.makespan_ns();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 * 1e9 / span
+    }
+
+    /// Mean requests per dispatched batch.
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches.is_empty() {
+            return 0.0;
+        }
+        self.batches.iter().map(|b| b.size as f64).sum::<f64>() / self.batches.len() as f64
+    }
+
+    /// Peak queue depth over the sampled timeline.
+    #[must_use]
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue_depth.iter().map(|s| s.depth).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u64, arrival: f64, done: f64) -> RequestOutcome {
+        RequestOutcome {
+            id,
+            tenant: 0,
+            arrival_ns: arrival,
+            completion_ns: done,
+            batch: 0,
+        }
+    }
+
+    #[test]
+    fn percentiles_pick_order_statistics() {
+        let rep = ServeReport {
+            outcomes: (0..100).map(|i| outcome(i, 0.0, (i + 1) as f64)).collect(),
+            ..ServeReport::default()
+        };
+        assert_eq!(rep.p50_ns(), 50.0);
+        assert_eq!(rep.p95_ns(), 95.0);
+        assert_eq!(rep.p99_ns(), 99.0);
+        assert_eq!(
+            rep.latency_percentiles_ns(&[50.0, 95.0, 99.0]),
+            vec![50.0, 95.0, 99.0]
+        );
+        assert_eq!(rep.latency_percentile_ns(100.0), 100.0);
+        assert_eq!(rep.latency_percentile_ns(0.0), 1.0);
+        assert_eq!(rep.makespan_ns(), 100.0);
+        assert!((rep.throughput_rps() - 1e9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let rep = ServeReport::default();
+        assert_eq!(rep.p99_ns(), 0.0);
+        assert_eq!(rep.throughput_rps(), 0.0);
+        assert_eq!(rep.mean_batch_size(), 0.0);
+        assert_eq!(rep.peak_queue_depth(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Serving-layer request types: what the multi-tenant ingest layer
+//! accepts and what the runtime batches.
+
+use c2m_core::engine::doubled_ternary;
+use serde::{Deserialize, Serialize};
+
+/// One inference request: a ternary GEMV `y = x · Z_t` against the
+/// weight matrix of tenant `t`.
+///
+/// Requests carry their own input vector so the runtime can run the
+/// real host-side planning pass (digit unpacking + IARM) per request —
+/// the same exactness contract as the engine's kernel methods.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Unique request id (assigned by the traffic generator).
+    pub id: u64,
+    /// Arrival time at the serving front end, ns.
+    pub arrival_ns: f64,
+    /// Owning tenant: selects the resident weight matrix. Requests of
+    /// the same tenant are row hits on each other — they share mask
+    /// planes and input-buffer rows, so the batcher may coalesce them.
+    pub tenant: usize,
+    /// Output width N of the tenant's weight matrix.
+    pub n: usize,
+    /// The input vector (length K).
+    pub x: Vec<i64>,
+}
+
+impl ServeRequest {
+    /// Inner dimension K of this request.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.x.len()
+    }
+
+    /// The doubled ternary command stream (`x` then `−x`): the +1-plane
+    /// accumulation pass followed by the −1-plane subtraction pass,
+    /// built by the engine's canonical
+    /// [`doubled_ternary`](c2m_core::engine::doubled_ternary) so the
+    /// serving path can never diverge from the kernel paths.
+    #[must_use]
+    pub fn ternary_stream(&self) -> Vec<i64> {
+        doubled_ternary(&self.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ternary_stream_doubles_and_negates() {
+        let r = ServeRequest {
+            id: 0,
+            arrival_ns: 0.0,
+            tenant: 0,
+            n: 4,
+            x: vec![1, -2, 3],
+        };
+        assert_eq!(r.k(), 3);
+        assert_eq!(r.ternary_stream(), vec![1, -2, 3, -1, 2, -3]);
+    }
+}

@@ -1,0 +1,487 @@
+//! The discrete-event serving runtime: batch formation, host fetch
+//! pricing, (optionally overlapped) host planning, and engine execution.
+//!
+//! The pipeline per batch is
+//!
+//! ```text
+//! fetch (FR-FCFS batched host queue) → plan (IARM, host CPU) → execute
+//! ```
+//!
+//! with three levers over the seed one-request-at-a-time host path:
+//!
+//! * **Batching** — same-tenant requests arriving within the queue
+//!   window coalesce into one engine launch
+//!   ([`C2mEngine::ternary_gemv_batch`]), amortising the per-dispatch
+//!   overhead and replacing per-request cross-unit partial-sum merges
+//!   with row sharding. The host fetch of the batch's input vectors is
+//!   priced through [`RequestQueue::run_batched`], where same-tenant
+//!   requests are row hits on each other's buffer rows.
+//! * **Async planning** — with [`ServeConfig::async_planner`] the host
+//!   plans batch *i+1* while batch *i* executes (double buffering), so
+//!   a steady-state step costs `max(plan, execute)` instead of their
+//!   sum.
+//! * **Heterogeneity-aware sizing** — configure the engine with
+//!   [`C2mEngine::heterogeneity_weights`] and mixed Ambit/FCDRAM
+//!   topologies stop being paced by their slow channels.
+//!
+//! With `max_batch == 1`, synchronous planning and a 1-channel/1-rank
+//! engine, every request executes through the seed
+//! [`C2mEngine::ternary_gemv`] path bit-for-bit.
+
+use crate::report::{BatchRecord, QueueSample, RequestOutcome, ServeReport};
+use crate::request::ServeRequest;
+use crate::traffic::{request_input, ClosedLoopConfig};
+use c2m_core::engine::C2mEngine;
+use c2m_dram::{BatchWindow, MemoryRequest, RequestQueue};
+use serde::{Deserialize, Serialize};
+
+/// Serving-runtime configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Batch admission window, ns: a batch coalesces same-tenant
+    /// requests arriving within this window of its oldest request.
+    pub window_ns: f64,
+    /// Hard cap on requests per batch.
+    pub max_batch: usize,
+    /// FR-FCFS starvation cap on the host fetch queue, ns.
+    pub max_wait_ns: f64,
+    /// Host planning cost per broadcast command sequence, ns (digit
+    /// unpacking + IARM bookkeeping on the host CPU).
+    pub host_ns_per_seq: f64,
+    /// Fixed host→controller launch overhead per dispatched batch, ns.
+    pub dispatch_ns: f64,
+    /// Double-buffer the planner: plan batch *i+1* during execution of
+    /// batch *i* instead of serialising planning with the command
+    /// stream.
+    pub async_planner: bool,
+}
+
+impl Default for ServeConfig {
+    /// The seed-faithful configuration: no batching (one request per
+    /// dispatch), synchronous planning.
+    fn default() -> Self {
+        Self {
+            window_ns: 0.0,
+            max_batch: 1,
+            max_wait_ns: BatchWindow::DEFAULT_MAX_WAIT_NS,
+            host_ns_per_seq: 25.0,
+            dispatch_ns: 2_000.0,
+            async_planner: false,
+        }
+    }
+}
+
+/// The serving runtime: owns a configured engine and prices request
+/// traces through the fetch → plan → execute pipeline.
+#[derive(Debug, Clone)]
+pub struct ServeRuntime {
+    engine: C2mEngine,
+    cfg: ServeConfig,
+}
+
+/// Pipeline clock state threaded through batch dispatches.
+#[derive(Debug, Default)]
+struct Pipeline {
+    planner_free: f64,
+    engine_free: f64,
+    hits: u64,
+    accesses: u64,
+}
+
+impl ServeRuntime {
+    /// Creates a runtime over `engine` with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero batch cap or negative window.
+    #[must_use]
+    pub fn new(engine: C2mEngine, cfg: ServeConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "batches hold at least one request");
+        assert!(
+            cfg.window_ns >= 0.0 && !cfg.window_ns.is_nan(),
+            "window must be non-negative"
+        );
+        Self { engine, cfg }
+    }
+
+    /// The engine being served.
+    #[must_use]
+    pub fn engine(&self) -> &C2mEngine {
+        &self.engine
+    }
+
+    /// The serving policy in force.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Serves an open-loop trace (arrivals fixed in advance) and
+    /// reports per-request latencies, batch records and queue depth.
+    pub fn run(&self, requests: &[ServeRequest]) -> ServeReport {
+        let mut pending: Vec<ServeRequest> = requests.to_vec();
+        pending.sort_by(|a, b| {
+            a.arrival_ns
+                .partial_cmp(&b.arrival_ns)
+                .expect("finite arrivals")
+                .then(a.id.cmp(&b.id))
+        });
+        // `pending` is sorted by arrival, so this is non-decreasing and
+        // ready for `partition_point`.
+        let arrivals: Vec<f64> = pending.iter().map(|r| r.arrival_ns).collect();
+
+        let mut fetch_q = self.fetch_queue();
+        let mut pipe = Pipeline::default();
+        let mut report = ServeReport::default();
+        while !pending.is_empty() {
+            let batch = self.form_batch(&mut pending);
+            self.dispatch(&batch, &mut fetch_q, &mut pipe, &mut report);
+            let done = report.batches.last().expect("batch recorded").exec_done_ns;
+            let arrived = arrivals.partition_point(|&a| a <= done);
+            report.queue_depth.push(QueueSample {
+                t_ns: done,
+                depth: arrived - report.outcomes.len(),
+            });
+        }
+        report.host_hit_rate = if pipe.accesses == 0 {
+            0.0
+        } else {
+            pipe.hits as f64 / pipe.accesses as f64
+        };
+        report
+    }
+
+    /// Serves closed-loop traffic: each of `cfg.clients` clients waits
+    /// for its previous request to complete, thinks for
+    /// `cfg.think_ns`, then issues the next, `cfg.requests_per_client`
+    /// times. Queue depth is sampled over *issued* requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant list is empty.
+    pub fn run_closed_loop(&self, cfg: &ClosedLoopConfig) -> ServeReport {
+        assert!(!cfg.tenants.is_empty(), "at least one tenant required");
+        let mut remaining = vec![cfg.requests_per_client; cfg.clients];
+        // Ids are issued sequentially, so `client_of[id]` recovers the
+        // owning client without threading tuples through the batcher.
+        let mut client_of: Vec<usize> = Vec::new();
+        let issue = |client: usize, arrival: f64, client_of: &mut Vec<usize>| -> ServeRequest {
+            let tenant = client % cfg.tenants.len();
+            let spec = cfg.tenants[tenant];
+            let id = client_of.len() as u64;
+            client_of.push(client);
+            ServeRequest {
+                id,
+                arrival_ns: arrival,
+                tenant,
+                n: spec.n,
+                x: request_input(spec.k, cfg.seed, id),
+            }
+        };
+        // Every client fires its first request at t = 0.
+        let mut pending: Vec<ServeRequest> = Vec::new();
+        for (c, rem) in remaining.iter_mut().enumerate() {
+            if *rem > 0 {
+                *rem -= 1;
+                let r = issue(c, 0.0, &mut client_of);
+                pending.push(r);
+            }
+        }
+
+        let mut fetch_q = self.fetch_queue();
+        let mut pipe = Pipeline::default();
+        let mut report = ServeReport::default();
+        let mut issued_arrivals: Vec<f64> = pending.iter().map(|r| r.arrival_ns).collect();
+        while !pending.is_empty() {
+            pending.sort_by(|a, b| {
+                a.arrival_ns
+                    .partial_cmp(&b.arrival_ns)
+                    .expect("finite arrivals")
+                    .then(a.id.cmp(&b.id))
+            });
+            let batch = self.form_batch(&mut pending);
+            let clients: Vec<usize> = batch.iter().map(|r| client_of[r.id as usize]).collect();
+            self.dispatch(&batch, &mut fetch_q, &mut pipe, &mut report);
+            let done = report.batches.last().expect("batch recorded").exec_done_ns;
+            // Served clients think, then issue their next request.
+            for &c in &clients {
+                if remaining[c] > 0 {
+                    remaining[c] -= 1;
+                    let r = issue(c, done + cfg.think_ns, &mut client_of);
+                    issued_arrivals.push(r.arrival_ns);
+                    pending.push(r);
+                }
+            }
+            let arrived = issued_arrivals.iter().filter(|&&a| a <= done).count();
+            report.queue_depth.push(QueueSample {
+                t_ns: done,
+                depth: arrived - report.outcomes.len(),
+            });
+        }
+        report.host_hit_rate = if pipe.accesses == 0 {
+            0.0
+        } else {
+            pipe.hits as f64 / pipe.accesses as f64
+        };
+        report
+    }
+
+    /// A fresh FR-FCFS queue over the engine's host-visible banks.
+    fn fetch_queue(&self) -> RequestQueue {
+        let cfg = self.engine.config();
+        RequestQueue::new(cfg.timing, cfg.dram.banks)
+    }
+
+    /// Pops the next batch off `pending` (sorted by arrival): the oldest
+    /// request seeds it, and later same-tenant same-shape requests
+    /// within the window join, up to the cap. Other tenants' requests
+    /// are left for their own batches — the serving-layer analogue of
+    /// first-ready row hits bypassing a conflicting request.
+    fn form_batch(&self, pending: &mut Vec<ServeRequest>) -> Vec<ServeRequest> {
+        debug_assert!(!pending.is_empty());
+        let seed_arrival = pending[0].arrival_ns;
+        let (tenant, n, k) = (pending[0].tenant, pending[0].n, pending[0].k());
+        let mut batch = Vec::new();
+        let mut i = 0;
+        while i < pending.len() && batch.len() < self.cfg.max_batch {
+            if pending[i].arrival_ns - seed_arrival > self.cfg.window_ns {
+                break;
+            }
+            if pending[i].tenant == tenant && pending[i].n == n && pending[i].k() == k {
+                batch.push(pending.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        batch
+    }
+
+    /// Prices one batch through fetch → plan → execute and records the
+    /// outcomes.
+    fn dispatch(
+        &self,
+        batch: &[ServeRequest],
+        fetch_q: &mut RequestQueue,
+        pipe: &mut Pipeline,
+        report: &mut ServeReport,
+    ) {
+        debug_assert!(!batch.is_empty());
+        // Host fetch: stream every request's input vector through the
+        // batched FR-FCFS queue. Same-tenant requests share buffer rows,
+        // so coalescing them is row-hit heavy.
+        let mem: Vec<MemoryRequest> = batch.iter().flat_map(|r| self.fetch_plan(r)).collect();
+        let fetch = fetch_q.run_batched(
+            &mem,
+            BatchWindow {
+                window_ns: self.cfg.window_ns,
+                max_wait_ns: self.cfg.max_wait_ns,
+            },
+        );
+        pipe.accesses += fetch.completions.len() as u64;
+        pipe.hits += fetch
+            .completions
+            .iter()
+            .filter(|c| c.kind == c2m_dram::AccessKind::RowHit)
+            .count() as u64;
+        let fetch_done = fetch.makespan_ns();
+
+        // Host planning: the real IARM pass over each request's doubled
+        // ternary stream, costed per emitted sequence.
+        let plan_ns = batch
+            .iter()
+            .map(|r| self.engine.sequences_for_stream(&r.ternary_stream()) as f64)
+            .sum::<f64>()
+            * self.cfg.host_ns_per_seq;
+
+        // Engine execution: the seed GEMV path for a lone request (bit
+        // compatible with the paper model), the row-sharded batch entry
+        // point otherwise.
+        let exec_ns = if batch.len() == 1 {
+            self.engine.ternary_gemv(&batch[0].x, batch[0].n).elapsed_ns
+        } else {
+            let xs: Vec<&[i64]> = batch.iter().map(|r| r.x.as_slice()).collect();
+            self.engine.ternary_gemv_batch(&xs, batch[0].n).elapsed_ns
+        };
+
+        let plan_start = fetch_done.max(pipe.planner_free);
+        let plan_done = plan_start + plan_ns;
+        let exec_start = plan_done.max(pipe.engine_free);
+        let exec_done = exec_start + self.cfg.dispatch_ns + exec_ns;
+        pipe.engine_free = exec_done;
+        pipe.planner_free = if self.cfg.async_planner {
+            plan_done
+        } else {
+            exec_done
+        };
+
+        let batch_idx = report.batches.len();
+        report.batches.push(BatchRecord {
+            size: batch.len(),
+            tenant: batch[0].tenant,
+            fetch_done_ns: fetch_done,
+            plan_ns,
+            exec_ns,
+            exec_start_ns: exec_start,
+            exec_done_ns: exec_done,
+        });
+        for r in batch {
+            report.outcomes.push(RequestOutcome {
+                id: r.id,
+                tenant: r.tenant,
+                arrival_ns: r.arrival_ns,
+                completion_ns: exec_done,
+                batch: batch_idx,
+            });
+        }
+    }
+
+    /// The memory requests streaming one request's input vector out of
+    /// the host buffer: one read per 64-byte burst, same-tenant vectors
+    /// aliasing the same rows (the weights-resident tenant keeps its
+    /// input buffer hot).
+    fn fetch_plan(&self, r: &ServeRequest) -> Vec<MemoryRequest> {
+        let dram = &self.engine.config().dram;
+        let row_bytes = dram.row_bits_per_rank() / 8;
+        let bank = r.tenant % dram.banks;
+        let base_row = (r.tenant / dram.banks) * 64;
+        let bursts = r.k().div_ceil(64).max(1);
+        (0..bursts)
+            .map(|b| MemoryRequest::read(r.arrival_ns, bank, base_row + (b * 64) / row_bytes))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{open_loop, OpenLoopConfig, TenantSpec};
+    use c2m_core::engine::EngineConfig;
+
+    fn engine(channels: usize) -> C2mEngine {
+        let mut cfg = EngineConfig::c2m(16);
+        cfg.dram.channels = channels;
+        C2mEngine::new(cfg)
+    }
+
+    fn trace(requests: usize, tenants: usize) -> Vec<ServeRequest> {
+        open_loop(&OpenLoopConfig {
+            tenants: vec![TenantSpec { n: 512, k: 256 }; tenants],
+            requests,
+            mean_interarrival_ns: 2_000.0,
+            seed: 11,
+        })
+    }
+
+    fn cfg(max_batch: usize, window_ns: f64) -> ServeConfig {
+        ServeConfig {
+            window_ns,
+            max_batch,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_request_completes_exactly_once() {
+        let reqs = trace(40, 2);
+        let rep = ServeRuntime::new(engine(1), cfg(4, 1e6)).run(&reqs);
+        assert_eq!(rep.outcomes.len(), 40);
+        let mut ids: Vec<u64> = rep.outcomes.iter().map(|o| o.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 40);
+        for o in &rep.outcomes {
+            assert!(o.completion_ns > o.arrival_ns, "request {}", o.id);
+        }
+        assert_eq!(
+            rep.batches.iter().map(|b| b.size).sum::<usize>(),
+            40,
+            "batch sizes partition the trace"
+        );
+    }
+
+    #[test]
+    fn batches_respect_cap_window_and_tenant() {
+        let reqs = trace(60, 2);
+        let rep = ServeRuntime::new(engine(1), cfg(4, 1e6)).run(&reqs);
+        assert!(rep.batches.iter().all(|b| b.size <= 4));
+        assert!(rep.mean_batch_size() > 1.0, "window should coalesce");
+        // Per-batch tenants are single-valued by construction: cross
+        // check through outcomes.
+        for (i, b) in rep.batches.iter().enumerate() {
+            assert!(rep
+                .outcomes
+                .iter()
+                .filter(|o| o.batch == i)
+                .all(|o| o.tenant == b.tenant));
+        }
+    }
+
+    #[test]
+    fn batching_improves_throughput_on_single_tenant_traffic() {
+        let reqs = trace(32, 1);
+        let serial = ServeRuntime::new(engine(1), cfg(1, 0.0)).run(&reqs);
+        let batched = ServeRuntime::new(engine(1), cfg(8, 1e9)).run(&reqs);
+        assert!(
+            batched.throughput_rps() > serial.throughput_rps(),
+            "batched {} vs serial {}",
+            batched.throughput_rps(),
+            serial.throughput_rps()
+        );
+    }
+
+    #[test]
+    fn async_planner_is_never_slower_and_hides_plan_time() {
+        let reqs = trace(32, 1);
+        let sync_cfg = ServeConfig {
+            host_ns_per_seq: 100.0,
+            ..cfg(4, 1e9)
+        };
+        let async_cfg = ServeConfig {
+            async_planner: true,
+            ..sync_cfg.clone()
+        };
+        let e = engine(4);
+        let sync = ServeRuntime::new(e.clone(), sync_cfg).run(&reqs);
+        let asyncr = ServeRuntime::new(e, async_cfg).run(&reqs);
+        assert!(
+            asyncr.makespan_ns() < sync.makespan_ns(),
+            "async {} vs sync {}",
+            asyncr.makespan_ns(),
+            sync.makespan_ns()
+        );
+        assert!(asyncr.mean_latency_ns() < sync.mean_latency_ns());
+    }
+
+    #[test]
+    fn closed_loop_serves_every_client_quota() {
+        let ccfg = ClosedLoopConfig {
+            tenants: vec![TenantSpec { n: 512, k: 256 }],
+            clients: 4,
+            requests_per_client: 5,
+            think_ns: 1_000.0,
+            seed: 3,
+        };
+        let rep = ServeRuntime::new(engine(1), cfg(4, 1e6)).run_closed_loop(&ccfg);
+        assert_eq!(rep.outcomes.len(), 20);
+        // Completions are strictly ordered per client: a client's next
+        // request arrives only after its previous completion + think.
+        for o in &rep.outcomes {
+            assert!(o.completion_ns > o.arrival_ns);
+        }
+        assert!(rep.queue_depth.iter().all(|s| s.depth <= 4));
+    }
+
+    #[test]
+    fn queue_depth_never_exceeds_outstanding_requests() {
+        let reqs = trace(50, 2);
+        let rep = ServeRuntime::new(engine(1), cfg(2, 5_000.0)).run(&reqs);
+        assert!(rep.peak_queue_depth() <= 50);
+        assert_eq!(rep.queue_depth.len(), rep.batches.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_batch_cap_is_rejected() {
+        let _ = ServeRuntime::new(engine(1), cfg(0, 0.0));
+    }
+}

@@ -1,0 +1,131 @@
+//! Multi-tenant traffic generators for the serving runtime.
+//!
+//! Open-loop traffic draws Poisson arrivals
+//! ([`c2m_workloads::distributions::exp_interarrivals`]) and assigns
+//! each request a tenant and an input vector drawn from the Fig. 3b
+//! int8 embedding distribution; closed-loop traffic is generated
+//! interactively by [`crate::runtime::ServeRuntime::run_closed_loop`],
+//! which needs completion feedback, and is configured here.
+
+use crate::request::ServeRequest;
+use c2m_workloads::distributions::{int8_embeddings, poisson_arrivals};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// One tenant's resident model: the GEMV shape its requests run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Output width N of the tenant's ternary weight matrix.
+    pub n: usize,
+    /// Inner dimension K (input vector length).
+    pub k: usize,
+}
+
+/// Open-loop (arrival-driven) traffic: requests arrive on a Poisson
+/// process regardless of completions — the "heavy traffic" regime where
+/// the queue builds and batching pays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoopConfig {
+    /// The tenants sharing the module; each request picks one uniformly
+    /// at random. A single tenant yields a row-hit-heavy trace.
+    pub tenants: Vec<TenantSpec>,
+    /// Total requests to generate.
+    pub requests: usize,
+    /// Mean inter-arrival gap, ns.
+    pub mean_interarrival_ns: f64,
+    /// RNG seed (arrivals, tenant choice and inputs all derive from it).
+    pub seed: u64,
+}
+
+/// Closed-loop (completion-driven) traffic: each client waits for its
+/// previous request to finish, thinks, then issues the next.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopConfig {
+    /// The tenants sharing the module; client `c` uses tenant
+    /// `c % tenants.len()`.
+    pub tenants: Vec<TenantSpec>,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Think time between a completion and the client's next request, ns.
+    pub think_ns: f64,
+    /// RNG seed for the input vectors.
+    pub seed: u64,
+}
+
+/// Generates an open-loop trace: `requests` Poisson arrivals with
+/// uniformly random tenants and int8-embedding inputs.
+///
+/// # Panics
+///
+/// Panics if `tenants` is empty or the mean gap is not positive.
+#[must_use]
+pub fn open_loop(cfg: &OpenLoopConfig) -> Vec<ServeRequest> {
+    assert!(!cfg.tenants.is_empty(), "at least one tenant required");
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ 0x007E_4A17);
+    poisson_arrivals(cfg.requests, cfg.mean_interarrival_ns, cfg.seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrival_ns)| {
+            let tenant = rng.gen_range(0..cfg.tenants.len());
+            let spec = cfg.tenants[tenant];
+            ServeRequest {
+                id: i as u64,
+                arrival_ns,
+                tenant,
+                n: spec.n,
+                x: request_input(spec.k, cfg.seed, i as u64),
+            }
+        })
+        .collect()
+}
+
+/// The input vector of request `id`: int8 embeddings, deterministically
+/// seeded so traces reproduce across runs and runtimes.
+#[must_use]
+pub fn request_input(k: usize, seed: u64, id: u64) -> Vec<i64> {
+    int8_embeddings(k, seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> OpenLoopConfig {
+        OpenLoopConfig {
+            tenants: vec![TenantSpec { n: 256, k: 64 }, TenantSpec { n: 128, k: 32 }],
+            requests: 200,
+            mean_interarrival_ns: 500.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn open_loop_arrivals_increase_and_cover_tenants() {
+        let reqs = open_loop(&cfg());
+        assert_eq!(reqs.len(), 200);
+        assert!(reqs.windows(2).all(|w| w[1].arrival_ns > w[0].arrival_ns));
+        assert!(reqs.iter().any(|r| r.tenant == 0));
+        assert!(reqs.iter().any(|r| r.tenant == 1));
+        for r in &reqs {
+            let spec = cfg().tenants[r.tenant];
+            assert_eq!(r.k(), spec.k);
+            assert_eq!(r.n, spec.n);
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        assert_eq!(open_loop(&cfg()), open_loop(&cfg()));
+    }
+
+    #[test]
+    #[should_panic(expected = "tenant")]
+    fn empty_tenant_list_panics() {
+        let mut c = cfg();
+        c.tenants.clear();
+        let _ = open_loop(&c);
+    }
+}

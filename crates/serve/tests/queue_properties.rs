@@ -1,0 +1,153 @@
+//! Property tests for the serving queue invariants:
+//!
+//! 1. batched dispatch is never slower than serial dispatch under the
+//!    same trace;
+//! 2. no request starves — the FR-FCFS cap bounds how long first-ready
+//!    priority may bypass a ready request;
+//! 3. batch cap 1 on a 1-channel/1-rank engine reproduces the seed
+//!    engine's per-request numbers bit-for-bit.
+
+use c2m_core::engine::{C2mEngine, EngineConfig};
+use c2m_dram::{BatchWindow, MemoryRequest, RequestQueue, TimingParams};
+use c2m_serve::{open_loop, OpenLoopConfig, ServeConfig, ServeRuntime, TenantSpec};
+use proptest::prelude::*;
+
+/// A reproducible random memory trace: `len` requests over `banks`
+/// banks and `rows` distinct rows, arrivals spread by `gap_ns`.
+fn trace(len: usize, banks: usize, rows: usize, gap_ns: f64, seed: u64) -> Vec<MemoryRequest> {
+    // Deterministic splitmix-style stream; no rand dependency needed.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 11
+    };
+    (0..len)
+        .map(|i| {
+            let bank = (next() as usize) % banks;
+            let row = (next() as usize) % rows;
+            MemoryRequest::read(i as f64 * gap_ns, bank, row)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 1: for any trace, window and bank count, batched
+    /// dispatch finishes no later than the serial one-at-a-time host
+    /// path.
+    #[test]
+    fn batched_dispatch_never_slower_than_serial(
+        (len, banks, rows) in (1usize..120, 1usize..5, 1usize..6),
+        gap_tenths in 0u32..400,
+        window_tenths in 0u32..100_000,
+        seed in 0u64..1_000,
+    ) {
+        let t = TimingParams::ddr5_4400();
+        let reqs = trace(len, banks, rows, f64::from(gap_tenths) / 10.0, seed);
+        let serial = RequestQueue::new(t, banks).run_serial(&reqs);
+        let batched = RequestQueue::new(t, banks)
+            .run_batched(&reqs, BatchWindow::new(f64::from(window_tenths) / 10.0));
+        prop_assert_eq!(batched.completions.len(), serial.completions.len());
+        prop_assert!(
+            batched.makespan_ns() <= serial.makespan_ns() + 1e-9,
+            "batched {} vs serial {}",
+            batched.makespan_ns(),
+            serial.makespan_ns()
+        );
+    }
+
+    /// Invariant 2: with a starvation cap, no request waits more than
+    /// the cap plus the drain of requests legitimately ahead of it —
+    /// conservatively bounded by the cap plus the whole-trace service
+    /// time at the worst-case per-request latency.
+    #[test]
+    fn no_request_starves_under_the_cap(
+        (len, rows) in (2usize..100, 2usize..5),
+        seed in 0u64..1_000,
+        cap_us in 1u32..20,
+    ) {
+        let t = TimingParams::ddr5_4400();
+        // Single bank and tight arrivals: the adversarial case where
+        // row-hit streams can bypass a conflicting request indefinitely.
+        let reqs = trace(len, 1, rows, 0.1, seed);
+        let cap = f64::from(cap_us) * 1_000.0;
+        let rep = RequestQueue::new(t, 1).run_batched(
+            &reqs,
+            BatchWindow { window_ns: f64::INFINITY, max_wait_ns: cap },
+        );
+        let worst = t.t_rp + t.t_rcd + t.t_burst;
+        let bound = cap + len as f64 * worst + 1e-9;
+        for c in &rep.completions {
+            prop_assert!(
+                c.latency_ns() <= bound,
+                "request latency {} exceeds starvation bound {}",
+                c.latency_ns(),
+                bound
+            );
+        }
+    }
+
+    /// Invariant 3: batch cap 1 on the 1-channel/1-rank engine prices
+    /// every request through the seed `ternary_gemv` path bit-for-bit.
+    #[test]
+    fn unit_batches_reproduce_the_seed_engine(
+        k_blocks in 1usize..6,
+        requests in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let engine = C2mEngine::new(EngineConfig::c2m(16));
+        let reqs = open_loop(&OpenLoopConfig {
+            tenants: vec![TenantSpec { n: 1024, k: 64 * k_blocks }],
+            requests,
+            mean_interarrival_ns: 5_000.0,
+            seed,
+        });
+        let runtime = ServeRuntime::new(engine.clone(), ServeConfig::default());
+        let rep = runtime.run(&reqs);
+        prop_assert_eq!(rep.batches.len(), reqs.len());
+        for (batch, req) in rep.batches.iter().zip(&reqs) {
+            let expect = engine.ternary_gemv(&req.x, req.n);
+            prop_assert_eq!(batch.size, 1);
+            // Bitwise equality: the serving path must not perturb the
+            // seed model's arithmetic.
+            prop_assert!(
+                batch.exec_ns == expect.elapsed_ns,
+                "serve {} vs seed {}",
+                batch.exec_ns,
+                expect.elapsed_ns
+            );
+        }
+    }
+}
+
+/// Deterministic end-to-end sanity: batching and async planning
+/// together dominate the seed-faithful serial configuration on a
+/// row-hit-heavy single-tenant trace.
+#[test]
+fn full_pipeline_dominates_serial_configuration() {
+    let mut cfg = EngineConfig::c2m(16);
+    cfg.dram.channels = 4;
+    let engine = C2mEngine::new(cfg);
+    let reqs = open_loop(&OpenLoopConfig {
+        tenants: vec![TenantSpec { n: 2048, k: 512 }],
+        requests: 48,
+        mean_interarrival_ns: 1_000.0,
+        seed: 21,
+    });
+    let serial = ServeRuntime::new(engine.clone(), ServeConfig::default()).run(&reqs);
+    let tuned = ServeRuntime::new(
+        engine,
+        ServeConfig {
+            window_ns: 1e9,
+            max_batch: 8,
+            async_planner: true,
+            ..ServeConfig::default()
+        },
+    )
+    .run(&reqs);
+    assert!(tuned.throughput_rps() > serial.throughput_rps());
+    assert!(tuned.makespan_ns() < serial.makespan_ns());
+}

@@ -107,6 +107,44 @@ pub fn uniform_u8(samples: usize, seed: u64) -> Vec<i64> {
     (0..samples).map(|_| rng.gen_range(0i64..256)).collect()
 }
 
+/// Samples `samples` exponential inter-arrival gaps with the given mean
+/// (ns) — the open-loop Poisson traffic model used by the serving
+/// runtime's ingest layer. Gaps are strictly positive.
+///
+/// # Panics
+///
+/// Panics if `mean_ns` is not positive and finite.
+#[must_use]
+pub fn exp_interarrivals(samples: usize, mean_ns: f64, seed: u64) -> Vec<f64> {
+    assert!(
+        mean_ns.is_finite() && mean_ns > 0.0,
+        "mean inter-arrival must be positive: {mean_ns}"
+    );
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    (0..samples)
+        .map(|_| {
+            // Inverse-CDF sampling; the uniform draw is kept away from 0
+            // so the log stays finite.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            -mean_ns * u.ln()
+        })
+        .collect()
+}
+
+/// Cumulative arrival instants (ns) of a Poisson process with the given
+/// mean inter-arrival gap, starting after the first gap.
+#[must_use]
+pub fn poisson_arrivals(samples: usize, mean_ns: f64, seed: u64) -> Vec<f64> {
+    let mut t = 0.0;
+    exp_interarrivals(samples, mean_ns, seed)
+        .into_iter()
+        .map(|gap| {
+            t += gap;
+            t
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +187,24 @@ mod tests {
         let v = uniform_u8(50_000, 3);
         assert!(v.iter().any(|&x| x < 16));
         assert!(v.iter().any(|&x| x > 240));
+    }
+
+    #[test]
+    fn exp_interarrivals_match_the_mean_and_stay_positive() {
+        let gaps = exp_interarrivals(100_000, 250.0, 4);
+        assert!(gaps.iter().all(|&g| g > 0.0));
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 250.0).abs() / 250.0 < 0.02, "mean {mean}");
+        // Exponential: ~63% of mass below the mean.
+        let below = gaps.iter().filter(|&&g| g < 250.0).count() as f64 / gaps.len() as f64;
+        assert!((below - 0.632).abs() < 0.01, "CDF(mean) {below}");
+    }
+
+    #[test]
+    fn poisson_arrivals_are_strictly_increasing() {
+        let t = poisson_arrivals(1000, 100.0, 5);
+        assert_eq!(t.len(), 1000);
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+        assert!(t[0] > 0.0);
     }
 }

@@ -188,6 +188,10 @@ fn cmd_experiments() {
             "fig_scaling",
             "channel/rank scaling, Ambit vs FCDRAM dispatch",
         ),
+        (
+            "fig_serve",
+            "serving runtime: batch window x topology x mix",
+        ),
     ] {
         println!("  {id:<9} {what}");
     }

@@ -19,6 +19,9 @@
 //! * [`baselines`] — SIMDRAM-style ripple-carry CIM baseline and the GPU
 //!   analytical model.
 //! * [`workloads`] — LLaMA/BERT/DNA/TWN/GCN workload generators.
+//! * [`serve`] — batched, async, heterogeneity-aware request-serving
+//!   runtime: multi-tenant traffic, FR-FCFS batched host queue,
+//!   double-buffered planner, latency-percentile reports.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
@@ -32,4 +35,5 @@ pub use c2m_dram as dram;
 pub use c2m_ecc as ecc;
 pub use c2m_jc as jc;
 pub use c2m_mig as mig;
+pub use c2m_serve as serve;
 pub use c2m_workloads as workloads;

@@ -9,7 +9,9 @@
 
 use count2multiply::arch::kernels::{int_binary_gemv, KernelConfig};
 use count2multiply::arch::matrix::BinaryMatrix;
-use count2multiply::arch::{BackendPolicy, C2mEngine, EngineConfig, MaskEncoding, ShardPlanner};
+use count2multiply::arch::{
+    BackendPolicy, C2mEngine, EngineConfig, MaskEncoding, ShardPlanner, ShardSizing,
+};
 use count2multiply::baselines::{AmbitRca, RcaAccumulator};
 use count2multiply::cim::{AmbitSubarray, Backend, FaultModel, MicroProgram, Row};
 use count2multiply::dram::{
@@ -18,6 +20,7 @@ use count2multiply::dram::{
 use count2multiply::ecc::{LinearCode, ReedSolomon, Secded};
 use count2multiply::jc::{CounterBank, IarmPlanner, JohnsonCode, TransitionPattern};
 use count2multiply::mig::{counting, Mig, Signal};
+use count2multiply::serve::{open_loop, OpenLoopConfig, ServeConfig, ServeRuntime, TenantSpec};
 use count2multiply::workloads::distributions;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -107,6 +110,29 @@ fn every_reexport_is_reachable_and_sane() {
     let samples = distributions::uniform_u8(32, 1);
     assert_eq!(samples.len(), 32);
     assert!(samples.iter().all(|&v| (0..256).contains(&v)));
+    let gaps = distributions::exp_interarrivals(8, 100.0, 2);
+    assert!(gaps.iter().all(|&g| g > 0.0));
+
+    // serve
+    let _sizing = ShardSizing::Weighted(vec![1.0, 0.5]);
+    let trace = open_loop(&OpenLoopConfig {
+        tenants: vec![TenantSpec { n: 64, k: 64 }],
+        requests: 6,
+        mean_interarrival_ns: 1_000.0,
+        seed: 1,
+    });
+    let runtime = ServeRuntime::new(
+        C2mEngine::new(EngineConfig::c2m(4)),
+        ServeConfig {
+            max_batch: 3,
+            window_ns: 1e9,
+            ..ServeConfig::default()
+        },
+    );
+    let served = runtime.run(&trace);
+    assert_eq!(served.outcomes.len(), 6);
+    assert!(served.throughput_rps() > 0.0);
+    assert!(served.p99_ns() >= served.p50_ns());
 
     let _ = cfg;
 }

@@ -6,14 +6,20 @@
 //! benchmark is timed with `std::time::Instant` over an adaptively-sized
 //! batch and reported as ns/iter — no statistics or plots.
 //!
-//! One baseline feature is supported: passing
-//! `--save-baseline <name>` (as real criterion accepts) dumps every
-//! benchmark's ns/iter to `<target>/criterion-baselines/<name>.json`
-//! so CI can diff walltimes between runs:
+//! Two baseline features are supported:
 //!
-//! ```json
-//! {"baseline":"pr","benchmarks":{"scheduler/10k_aaps_16banks":123.4}}
-//! ```
+//! * `--save-baseline <name>` (as real criterion accepts) dumps every
+//!   benchmark's ns/iter to `<target>/criterion-baselines/<name>.json`
+//!   so CI can diff walltimes between runs:
+//!
+//!   ```json
+//!   {"baseline":"pr","benchmarks":{"scheduler/10k_aaps_16banks":123.4}}
+//!   ```
+//!
+//! * `--baselines-diff <a> <b>` compares two previously saved dumps
+//!   without running any benchmark, printing per-benchmark ns/iter
+//!   delta and percent (`cargo bench --bench criterion_benches --
+//!   --baselines-diff main pr`).
 
 pub use std::hint::black_box;
 
@@ -132,6 +138,173 @@ pub fn save_baseline_if_requested() {
     }
 }
 
+/// Extracts `--baselines-diff <a> <b>` from the argument stream,
+/// applying the same name hygiene as `--save-baseline`.
+fn parse_baselines_diff<I: Iterator<Item = String>>(mut args: I) -> Option<(String, String)> {
+    while let Some(arg) = args.next() {
+        if arg != "--baselines-diff" {
+            continue;
+        }
+        let (Some(a), Some(b)) = (args.next(), args.next()) else {
+            eprintln!("criterion shim: --baselines-diff needs two baseline names");
+            return None;
+        };
+        for name in [&a, &b] {
+            if name.is_empty() || name.contains(['/', '\\', '.']) {
+                eprintln!("criterion shim: ignoring invalid baseline name {name:?}");
+                return None;
+            }
+        }
+        return Some((a, b));
+    }
+    None
+}
+
+/// Parses a dump produced by [`baseline_json`] back into
+/// `(id, ns_per_iter)` pairs (`None` for benchmarks recorded as
+/// `null`). A tiny scanner is enough because the shim wrote the file:
+/// the only string escapes are `\"` and `\\`.
+fn parse_baseline_dump(text: &str) -> Result<Vec<(String, Option<f64>)>, String> {
+    let key = "\"benchmarks\":{";
+    let start = text
+        .find(key)
+        .ok_or_else(|| "no \"benchmarks\" object".to_string())?
+        + key.len();
+    let mut out = Vec::new();
+    let mut rest = text[start..].trim_start();
+    while !rest.starts_with('}') {
+        rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected a quoted id at {rest:.20?}"))?;
+        let mut id = String::new();
+        let mut chars = rest.char_indices();
+        let value_from = loop {
+            let (i, c) = chars.next().ok_or("unterminated id")?;
+            match c {
+                '\\' => {
+                    let (_, esc) = chars.next().ok_or("dangling escape")?;
+                    id.push(esc);
+                }
+                '"' => break i + 1,
+                c => id.push(c),
+            }
+        };
+        rest = rest[value_from..]
+            .strip_prefix(':')
+            .ok_or("missing value separator")?;
+        let end = rest
+            .find([',', '}'])
+            .ok_or("unterminated benchmarks object")?;
+        let raw = rest[..end].trim();
+        let ns = if raw == "null" {
+            None
+        } else {
+            Some(
+                raw.parse::<f64>()
+                    .map_err(|e| format!("bad ns/iter {raw:?}: {e}"))?,
+            )
+        };
+        out.push((id, ns));
+        rest = rest[end..].strip_prefix(',').unwrap_or(&rest[end..]);
+    }
+    Ok(out)
+}
+
+/// Renders the per-benchmark comparison of two parsed dumps: ns/iter of
+/// each side, delta, and percent relative to `a`. Benchmarks present on
+/// only one side are reported as `n/a`.
+fn diff_lines(a: &[(String, Option<f64>)], b: &[(String, Option<f64>)]) -> Vec<String> {
+    let lookup = |set: &[(String, Option<f64>)], id: &str| -> Option<f64> {
+        set.iter().find(|(i, _)| i == id).and_then(|(_, ns)| *ns)
+    };
+    let mut ids: Vec<&String> = a.iter().map(|(id, _)| id).collect();
+    for (id, _) in b {
+        if !a.iter().any(|(i, _)| i == id) {
+            ids.push(id);
+        }
+    }
+    ids.iter()
+        .map(|id| {
+            let (x, y) = (lookup(a, id), lookup(b, id));
+            match (x, y) {
+                (Some(x), Some(y)) => {
+                    let delta = y - x;
+                    let pct = if x == 0.0 { 0.0 } else { delta / x * 100.0 };
+                    format!(
+                        "{id:<44} {:>14} {:>14} {:>14} {pct:>+9.2}%",
+                        format_ns(x),
+                        format_ns(y),
+                        format_ns_signed(delta),
+                    )
+                }
+                _ => format!(
+                    "{id:<44} {:>14} {:>14} {:>14} {:>10}",
+                    x.map_or_else(|| "n/a".into(), format_ns),
+                    y.map_or_else(|| "n/a".into(), format_ns),
+                    "n/a",
+                    "n/a"
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Handles `--baselines-diff <a> <b>` if present: loads both dumps from
+/// `<target>/criterion-baselines/`, prints the per-benchmark ns/iter
+/// delta and percent, and returns `true` so `criterion_main!` skips the
+/// benchmark groups entirely. Returns `false` when the flag is absent.
+/// A malformed invocation or an unreadable/corrupt dump **exits with
+/// status 1** — a CI step invoking the diff must fail loudly rather
+/// than succeed having compared nothing.
+pub fn baselines_diff_if_requested() -> bool {
+    let Some((a, b)) = parse_baselines_diff(std::env::args()) else {
+        if std::env::args().any(|arg| arg == "--baselines-diff") {
+            // The flag was given but its arguments did not parse; the
+            // specific complaint is on stderr already.
+            std::process::exit(1);
+        }
+        return false;
+    };
+    let dir = target_dir().join("criterion-baselines");
+    let load = |name: &str| -> Vec<(String, Option<f64>)> {
+        let path = dir.join(format!("{name}.json"));
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match parse_baseline_dump(&text) {
+                Ok(rows) => rows,
+                Err(e) => {
+                    eprintln!("criterion shim: {} is corrupt: {e}", path.display());
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("criterion shim: cannot read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    };
+    let (rows_a, rows_b) = (load(&a), load(&b));
+    println!(
+        "{:<44} {:>14} {:>14} {:>14} {:>10}",
+        "benchmark",
+        format!("{a} ns/iter"),
+        format!("{b} ns/iter"),
+        "delta ns",
+        "delta %"
+    );
+    for line in diff_lines(&rows_a, &rows_b) {
+        println!("{line}");
+    }
+    true
+}
+
+fn format_ns_signed(ns: f64) -> String {
+    if ns >= 0.0 {
+        format!("+{}", format_ns(ns))
+    } else {
+        format!("-{}", format_ns(-ns))
+    }
+}
+
 fn format_ns(ns: f64) -> String {
     if ns.is_nan() {
         "n/a".to_string()
@@ -191,11 +364,15 @@ macro_rules! criterion_group {
 }
 
 /// Declares `main` running every group, then saving a baseline dump if
-/// `--save-baseline <name>` was passed.
+/// `--save-baseline <name>` was passed. With `--baselines-diff <a> <b>`
+/// the groups are skipped and the two saved dumps are compared instead.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            if $crate::baselines_diff_if_requested() {
+                return;
+            }
             $( $group(); )+
             $crate::save_baseline_if_requested();
         }
@@ -230,6 +407,68 @@ mod tests {
             parse_save_baseline(args(&["--save-baseline", "../evil"])),
             None
         );
+    }
+
+    #[test]
+    fn parses_baselines_diff_form() {
+        assert_eq!(
+            parse_baselines_diff(args(&["bench", "--baselines-diff", "main", "pr"])),
+            Some(("main".to_string(), "pr".to_string()))
+        );
+        assert_eq!(parse_baselines_diff(args(&["--baselines-diff", "a"])), None);
+        assert_eq!(
+            parse_baselines_diff(args(&["--baselines-diff", "../x", "b"])),
+            None
+        );
+        assert_eq!(parse_baselines_diff(args(&["--save-baseline", "a"])), None);
+    }
+
+    #[test]
+    fn baseline_dump_round_trips_through_the_parser() {
+        let rows = vec![
+            ("scheduler/10k".to_string(), 123.456),
+            ("iarm \"q\\z\"".to_string(), f64::NAN),
+            ("plain".to_string(), 7.0),
+        ];
+        let parsed = parse_baseline_dump(&baseline_json("pr", &rows)).expect("parses");
+        assert_eq!(
+            parsed,
+            vec![
+                ("scheduler/10k".to_string(), Some(123.456)),
+                ("iarm \"q\\z\"".to_string(), None),
+                ("plain".to_string(), Some(7.0)),
+            ]
+        );
+        // Empty dumps parse to nothing.
+        assert_eq!(
+            parse_baseline_dump("{\"baseline\":\"x\",\"benchmarks\":{}}").expect("parses"),
+            vec![]
+        );
+        assert!(parse_baseline_dump("{\"nope\":1}").is_err());
+    }
+
+    #[test]
+    fn diff_reports_delta_and_percent() {
+        let a = vec![
+            ("k".to_string(), Some(100.0)),
+            ("only_a".to_string(), Some(1.0)),
+        ];
+        let b = vec![
+            ("k".to_string(), Some(150.0)),
+            ("only_b".to_string(), Some(2.0)),
+        ];
+        let lines = diff_lines(&a, &b);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("+50.00%"), "line: {}", lines[0]);
+        assert!(lines[0].contains("+50.0"), "line: {}", lines[0]);
+        assert!(lines[1].contains("n/a"), "line: {}", lines[1]);
+        assert!(lines[2].contains("n/a"), "line: {}", lines[2]);
+        // A regression and an improvement carry opposite signs.
+        let down = diff_lines(
+            &[("k".to_string(), Some(200.0))],
+            &[("k".to_string(), Some(100.0))],
+        );
+        assert!(down[0].contains("-50.00%"), "line: {}", down[0]);
     }
 
     #[test]

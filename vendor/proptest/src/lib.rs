@@ -6,14 +6,16 @@
 //! `Arbitrary` types, `prop::collection::vec`, `prop::sample::select`,
 //! and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
 //!
-//! Shrinking is the simple halving kind, for integer strategies only:
-//! when a case fails, each integer input is repeatedly halved toward its
-//! range's lower bound (tuples shrink component-wise, left to right)
-//! while the failure reproduces, and the test re-panics with the
-//! minimised input's debug representation. Other strategies (vectors,
-//! floats, `any`) report the originally generated value. Generation is
-//! deterministic — case `i` of test `f` always sees the same inputs, so
-//! CI failures reproduce locally.
+//! Shrinking is the simple halving kind: when a case fails, each
+//! integer input is repeatedly halved toward its range's lower bound
+//! (tuples shrink component-wise, left to right) while the failure
+//! reproduces, and the test re-panics with the minimised input's debug
+//! representation. `vec(...)` strategies shrink too — the *length*
+//! halves toward its lower bound first (dropping trailing elements),
+//! then the surviving elements shrink left to right with their element
+//! strategy. Other strategies (floats, `any`) report the originally
+//! generated value. Generation is deterministic — case `i` of test `f`
+//! always sees the same inputs, so CI failures reproduce locally.
 
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
@@ -310,12 +312,35 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let len = rng.gen_range(self.size.lo..=self.size.hi);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, v: &Self::Value) -> Option<Self::Value> {
+            // Length first: halve toward the minimum size, dropping
+            // trailing elements — a shorter failing vector localises
+            // the problem faster than smaller elements do.
+            if v.len() > self.size.lo {
+                let target = self.size.lo + (v.len() - self.size.lo) / 2;
+                return Some(v[..target].to_vec());
+            }
+            // Then elements, left to right: the first element that can
+            // still shrink produces the candidate.
+            for (i, x) in v.iter().enumerate() {
+                if let Some(smaller) = self.element.shrink(x) {
+                    let mut out = v.clone();
+                    out[i] = smaller;
+                    return Some(out);
+                }
+            }
+            None
         }
     }
 }
@@ -589,11 +614,63 @@ mod tests {
         // ...and once it is minimal, the second takes over.
         assert_eq!(Strategy::shrink(&s, &(0, 7)), Some((0, 3)));
         assert_eq!(Strategy::shrink(&s, &(0, 0)), None);
-        // Non-integer components (vectors) simply do not shrink.
+        // Vector components shrink their elements once the (fixed)
+        // length is minimal, before later tuple components get a turn.
         let vs = (prop::collection::vec(0u8..10, 3), 0u32..100);
         assert_eq!(
             Strategy::shrink(&vs, &(vec![9, 9, 9], 8)),
-            Some((vec![9, 9, 9], 4))
+            Some((vec![4, 9, 9], 8))
+        );
+        assert_eq!(
+            Strategy::shrink(&vs, &(vec![0, 0, 0], 8)),
+            Some((vec![0, 0, 0], 4))
+        );
+    }
+
+    #[test]
+    fn vectors_shrink_length_first_then_elements() {
+        let s = prop::collection::vec(1u32..100, 1..=8);
+        // Length halves toward the lower bound, dropping the tail...
+        assert_eq!(
+            Strategy::shrink(&s, &vec![7, 8, 9, 10, 11]),
+            Some(vec![7, 8, 9])
+        );
+        assert_eq!(Strategy::shrink(&s, &vec![7, 8]), Some(vec![7]));
+        // ...then elements halve toward their own lower bound.
+        assert_eq!(Strategy::shrink(&s, &vec![9]), Some(vec![5]));
+        assert_eq!(Strategy::shrink(&s, &vec![1]), None);
+        // The full chain from any failing input bottoms out at the
+        // minimal vector.
+        let mut v = vec![63u32, 17, 4, 99];
+        let mut steps = 0;
+        while let Some(next) = Strategy::shrink(&s, &v) {
+            v = next;
+            steps += 1;
+            assert!(steps < 64, "chain must terminate");
+        }
+        assert_eq!(v, vec![1]);
+    }
+
+    #[test]
+    fn failing_vector_case_reports_minimised_input() {
+        // Property "all elements < 10" over vec(0..1000, 1..=6): the
+        // halving chain first drops the vector to one element, then
+        // halves that element down to the boundary value 10.
+        let strategy = (prop::collection::vec(0u32..1000, 1usize..=6),);
+        let case = |vals: &(Vec<u32>,)| -> Result<(), TestCaseError> {
+            assert!(vals.0.iter().all(|&x| x < 10), "too big: {:?}", vals.0);
+            Ok(())
+        };
+        let payload = std::panic::catch_unwind(|| {
+            crate::__shrink_and_fail("vec_demo", &strategy, (vec![700, 1, 2, 3, 900, 12],), &case)
+        })
+        .expect_err("must re-panic after shrinking");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("shim panics with a formatted String");
+        assert!(
+            msg.contains("minimal failing input: ([10],)"),
+            "unexpected message: {msg}"
         );
     }
 
