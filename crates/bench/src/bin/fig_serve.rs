@@ -1,7 +1,8 @@
 //! Serving-runtime sweeps (extension of §7.2 to heavy multi-request
-//! traffic): batch window × topology × backend mix through `c2m_serve`.
+//! traffic): batch window × topology × backend mix × scheduling policy
+//! through `c2m_serve`.
 //!
-//! Three sweeps over the same row-hit-heavy open-loop trace:
+//! Five sweeps:
 //!
 //! * **batching** — batch cap 1→16 on 1 and 4 channels (Ambit, sync):
 //!   coalescing same-tenant GEMVs into row-sharded launches amortises
@@ -14,12 +15,24 @@
 //!   mixed Ambit+FCDRAM 4-channel module: weighting shard lengths by
 //!   `1/backend_factor` equalises per-channel makespan and beats the
 //!   even split.
+//! * **slo** — FIFO vs EDF vs starvation-capped PriorityWeighted
+//!   admission under a mixed-priority overload: one latency-critical
+//!   tenant shares the module with three best-effort bulk tenants, and
+//!   the deadline-aware policies pull the high class's p99 and miss
+//!   rate down without giving up aggregate throughput.
+//! * **residency** — the same overload with tenant weight residency
+//!   modelled at a two-tenant mask budget: tenant switches now pay a
+//!   mask-plane reload, so policy choice trades deadline chasing
+//!   against tenant affinity (visible as reload counts).
 
 use c2m_bench::{eng, header, maybe_json};
 use c2m_cim::Backend;
 use c2m_core::engine::{C2mEngine, EngineConfig};
 use c2m_core::shard::BackendPolicy;
-use c2m_serve::{open_loop, OpenLoopConfig, ServeConfig, ServeRequest, ServeRuntime, TenantSpec};
+use c2m_serve::{
+    open_loop, OpenLoopConfig, SchedPolicy, ServeConfig, ServeRequest, ServeRuntime, ServiceClass,
+    TenantSpec,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -29,6 +42,7 @@ struct ServeRow {
     dispatch: String,
     sizing: String,
     mode: String,
+    policy: String,
     max_batch: usize,
     p50_us: f64,
     p95_us: f64,
@@ -38,16 +52,48 @@ struct ServeRow {
     mean_batch: f64,
     host_hit_rate: f64,
     peak_queue_depth: usize,
+    // SLO metrics: the high class is the highest priority served,
+    // the low class the lowest (equal when there is a single class).
+    p99_hi_us: f64,
+    miss_hi: f64,
+    p99_lo_us: f64,
+    miss_lo: f64,
+    miss_rate: f64,
+    reloads: usize,
+    reload_us: f64,
 }
 
 /// The shared row-hit-heavy trace: one tenant, Poisson arrivals fast
 /// enough to keep the queue backlogged at every swept configuration.
 fn workload() -> Vec<ServeRequest> {
     open_loop(&OpenLoopConfig {
-        tenants: vec![TenantSpec { n: 4096, k: 2048 }],
+        tenants: vec![TenantSpec::new(4096, 2048)],
         requests: 64,
         mean_interarrival_ns: 20_000.0,
         seed: 0x5EE5,
+    })
+}
+
+/// The mixed-priority overload trace for the slo/residency sweeps: one
+/// latency-critical tenant (priority 2, tight deadline) against three
+/// best-effort bulk tenants, arriving faster than the module drains.
+fn slo_workload() -> Vec<ServeRequest> {
+    // An 8 ms deadline is feasible for the critical tenant when the
+    // scheduler pulls it ahead of the backlog (EDF lands ~6 ms) but
+    // infeasible under arrival order (FIFO backlog pushes it past
+    // 20 ms); bulk tenants' 100 ms is met by everyone.
+    let critical = ServiceClass::new(2, 8_000_000.0);
+    let bulk = ServiceClass::new(0, 100_000_000.0);
+    open_loop(&OpenLoopConfig {
+        tenants: vec![
+            TenantSpec::new(1024, 512).with_class(critical),
+            TenantSpec::new(1024, 512).with_class(bulk),
+            TenantSpec::new(1024, 512).with_class(bulk),
+            TenantSpec::new(1024, 512).with_class(bulk),
+        ],
+        requests: 96,
+        mean_interarrival_ns: 30_000.0,
+        seed: 0x510,
     })
 }
 
@@ -63,35 +109,41 @@ fn engine(channels: usize, policy: &BackendPolicy, weighted: bool) -> C2mEngine 
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+fn policy_name(policy: SchedPolicy) -> &'static str {
+    match policy {
+        SchedPolicy::Fifo => "fifo",
+        SchedPolicy::EarliestDeadlineFirst => "edf",
+        SchedPolicy::PriorityWeighted => "prio",
+    }
+}
+
 fn run(
     trace: &[ServeRequest],
     sweep: &str,
     channels: usize,
-    policy: &BackendPolicy,
-    dispatch: &str,
-    weighted: bool,
-    max_batch: usize,
-    async_planner: bool,
+    backend: (&BackendPolicy, &str, bool),
+    cfg: ServeConfig,
     rows: &mut Vec<ServeRow>,
 ) {
-    let runtime = ServeRuntime::new(
-        engine(channels, policy, weighted),
-        ServeConfig {
-            window_ns: if max_batch > 1 { 1e9 } else { 0.0 },
-            max_batch,
-            async_planner,
-            ..ServeConfig::default()
-        },
-    );
+    let (backend_policy, dispatch, weighted) = backend;
+    let async_planner = cfg.async_planner;
+    let max_batch = cfg.max_batch;
+    let policy = cfg.policy;
+    let runtime = ServeRuntime::new(engine(channels, backend_policy, weighted), cfg);
     let rep = runtime.run(trace);
     let pcts = rep.latency_percentiles_ns(&[50.0, 95.0, 99.0]);
+    let classes = rep.class_stats();
+    let (hi, lo) = match (classes.last(), classes.first()) {
+        (Some(hi), Some(lo)) => (*hi, *lo),
+        _ => panic!("served trace has at least one class"),
+    };
     let row = ServeRow {
         sweep: sweep.to_string(),
         channels,
         dispatch: dispatch.to_string(),
         sizing: if weighted { "weighted" } else { "even" }.to_string(),
         mode: if async_planner { "async" } else { "sync" }.to_string(),
+        policy: policy_name(policy).to_string(),
         max_batch,
         p50_us: pcts[0] / 1e3,
         p95_us: pcts[1] / 1e3,
@@ -101,20 +153,31 @@ fn run(
         mean_batch: rep.mean_batch_size(),
         host_hit_rate: rep.host_hit_rate,
         peak_queue_depth: rep.peak_queue_depth(),
+        p99_hi_us: hi.p99_ns / 1e3,
+        miss_hi: hi.miss_rate,
+        p99_lo_us: lo.p99_ns / 1e3,
+        miss_lo: lo.miss_rate,
+        miss_rate: rep.deadline_miss_rate(),
+        reloads: rep.reload_count(),
+        reload_us: rep.reload_ns_total() / 1e3,
     };
     println!(
-        "{:>9} | {:>2} | {:>12} | {:>8} | {:>5} | {:>5} | {:>9} {:>9} {:>9} | {:>9} | {:>5}",
+        "{:>9} | {:>2} | {:>12} | {:>8} | {:>5} | {:>4} | {:>5} | {:>9} {:>9} {:>9} | {:>9} | {:>5} | {:>9} {:>5.2} | {:>3}",
         row.sweep,
         row.channels,
         row.dispatch,
         row.sizing,
         row.mode,
+        row.policy,
         row.max_batch,
         eng(row.p50_us),
         eng(row.p95_us),
         eng(row.p99_us),
         eng(row.throughput_rps),
         eng(row.mean_batch),
+        eng(row.p99_hi_us),
+        row.miss_hi,
+        row.reloads,
     );
     rows.push(row);
 }
@@ -122,21 +185,25 @@ fn run(
 fn main() {
     header(
         "fig_serve",
-        "Serving runtime: batch window x topology x backend mix",
+        "Serving runtime: batch window x topology x backend mix x policy",
     );
     println!(
-        "\n{:>9} | {:>2} | {:>12} | {:>8} | {:>5} | {:>5} | {:>9} {:>9} {:>9} | {:>9} | {:>5}",
+        "\n{:>9} | {:>2} | {:>12} | {:>8} | {:>5} | {:>4} | {:>5} | {:>9} {:>9} {:>9} | {:>9} | {:>5} | {:>9} {:>5} | {:>3}",
         "sweep",
         "ch",
         "dispatch",
         "sizing",
         "mode",
+        "pol",
         "batch",
         "p50 us",
         "p95 us",
         "p99 us",
         "req/s",
-        "B"
+        "B",
+        "hi p99",
+        "miss",
+        "rl"
     );
     let ambit = BackendPolicy::Uniform(Backend::Ambit);
     let mixed = BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]);
@@ -145,11 +212,22 @@ fn main() {
     let trace = workload();
     let mut rows = Vec::new();
 
+    let batched = |max_batch: usize| ServeConfig {
+        window_ns: if max_batch > 1 { 1e9 } else { 0.0 },
+        max_batch,
+        ..ServeConfig::default()
+    };
+
     // Sweep 1: the batching window (batch cap) on 1 and 4 channels.
     for &channels in &[1usize, 4] {
         for &b in &[1usize, 2, 4, 8, 16] {
             run(
-                &trace, "batching", channels, &ambit, "Ambit", false, b, false, &mut rows,
+                &trace,
+                "batching",
+                channels,
+                (&ambit, "Ambit", false),
+                batched(b),
+                &mut rows,
             );
         }
     }
@@ -159,11 +237,11 @@ fn main() {
             &trace,
             "async",
             4,
-            &ambit,
-            "Ambit",
-            false,
-            8,
-            async_planner,
+            (&ambit, "Ambit", false),
+            ServeConfig {
+                async_planner,
+                ..batched(8)
+            },
             &mut rows,
         );
     }
@@ -174,17 +252,60 @@ fn main() {
             &trace,
             "sizing",
             4,
-            &mixed,
-            "Ambit+FCDRAM",
-            weighted,
-            16,
-            false,
+            (&mixed, "Ambit+FCDRAM", weighted),
+            batched(16),
+            &mut rows,
+        );
+    }
+
+    // Sweep 4: admission policy under mixed-priority overload. The
+    // starvation cap is widened so PriorityWeighted's class preference
+    // is visible (at the default 10 µs cap every backlogged request is
+    // over-cap and the policy collapses to FCFS).
+    let slo_trace = slo_workload();
+    let policies = [
+        SchedPolicy::Fifo,
+        SchedPolicy::EarliestDeadlineFirst,
+        SchedPolicy::PriorityWeighted,
+    ];
+    for &policy in &policies {
+        run(
+            &slo_trace,
+            "slo",
+            1,
+            (&ambit, "Ambit", false),
+            ServeConfig {
+                policy,
+                max_wait_ns: 10e6,
+                ..batched(8)
+            },
+            &mut rows,
+        );
+    }
+    // Sweep 5: the same overload with tenant weight residency at a
+    // two-tenant mask budget — switches now pay a mask-plane reload.
+    let slo_engine = engine(1, &ambit, false);
+    let budget = 2 * slo_engine.tenant_mask_rows(1024, 512);
+    for &policy in &policies {
+        run(
+            &slo_trace,
+            "residency",
+            1,
+            (&ambit, "Ambit", false),
+            ServeConfig {
+                policy,
+                max_wait_ns: 10e6,
+                residency_rows: Some(budget),
+                ..batched(8)
+            },
             &mut rows,
         );
     }
 
     println!("\nBatching coalesces same-tenant GEMVs into row-sharded launches (cap 1 = the");
     println!("seed one-at-a-time host path); async planning overlaps IARM with execution;");
-    println!("weighted sizing rebalances the mixed Ambit+FCDRAM module's makespan.");
+    println!("weighted sizing rebalances the mixed Ambit+FCDRAM module's makespan; EDF and");
+    println!("priority admission pull the critical class's p99/miss rate down under overload;");
+    println!("residency prices tenant-switch mask reloads at a 2-tenant budget.");
     maybe_json(&rows);
 }

@@ -465,6 +465,49 @@ impl C2mEngine {
         backend.increment_ops(n) as f64 / ProtectionKind::None.ambit_increment_ops(n) as f64
     }
 
+    /// Mask rows tenant weights of shape `K×N` occupy while resident:
+    /// the +1 and −1 planes across the column slices `n` outputs span
+    /// (see [`crate::residency::ternary_mask_rows`]).
+    #[must_use]
+    pub fn tenant_mask_rows(&self, n: usize, k: usize) -> usize {
+        crate::residency::ternary_mask_rows(n, k, self.cfg.dram.row_bits_per_rank())
+    }
+
+    /// Mask rows the CIM subarrays can hold after reserving the Johnson
+    /// counter rows: the residency budget of this engine's module
+    /// (capacity hook: [`c2m_dram::DramConfig::cim_subarray_rows`]).
+    /// Feed this to
+    /// [`ResidencyModel::new`](crate::residency::ResidencyModel::new) to
+    /// track tenant residency on the engine's actual geometry.
+    #[must_use]
+    pub fn residency_capacity_rows(&self) -> usize {
+        let counter_rows = self.digits * (self.code.bits() + 1);
+        let units = self.cfg.dram.channels * self.cfg.dram.ranks;
+        let reserved = counter_rows * self.cfg.dram.parallel_subarrays(self.cfg.banks) * units;
+        self.cfg
+            .dram
+            .cim_subarray_rows(self.cfg.banks)
+            .saturating_sub(reserved)
+            .max(1)
+    }
+
+    /// Time to stream `rows` mask rows from host memory back into the
+    /// CIM subarrays — the price of a tenant switch on an over-subscribed
+    /// module (the serving-layer row-conflict analogue). Each row pays
+    /// its write bursts on the shared bus plus an activate/precharge
+    /// cycle; bursts serialise on the bus, row cycles overlap with the
+    /// next row's transfer, so the total is bus-bound with one trailing
+    /// row cycle.
+    #[must_use]
+    pub fn mask_reload_ns(&self, rows: usize) -> f64 {
+        if rows == 0 {
+            return 0.0;
+        }
+        let bursts_per_row = self.cfg.dram.row_bits_per_rank().div_ceil(512).max(1) as f64;
+        rows as f64 * bursts_per_row * self.cfg.timing.t_burst
+            + (self.cfg.timing.t_rcd + self.cfg.timing.t_rp)
+    }
+
     /// RD bursts to stream one finished output row (`n` accumulators of
     /// `capacity_bits`) to the host over a 64-byte burst interface.
     fn output_row_bursts(&self, n: usize) -> u64 {
@@ -924,6 +967,50 @@ mod tests {
         assert_eq!(e.backend_factor(Backend::Ambit), 1.0);
         assert!(e.backend_factor(Backend::Fcdram) > 1.0);
         assert!(e.backend_factor(Backend::Pinatubo) < 1.0);
+    }
+
+    // ---- tenant weight residency pricing ----
+
+    #[test]
+    fn residency_capacity_reserves_counter_rows_and_scales() {
+        let one = C2mEngine::new(cfg_with_channels(1, 1));
+        let cap1 = one.residency_capacity_rows();
+        // 16 CIM subarrays x 1024 rows minus the counter reservation.
+        assert!(cap1 < 16 * 1024);
+        assert!(cap1 > 8 * 1024, "counters must not eat the subarray");
+        let eight = C2mEngine::new(cfg_with_channels(4, 2));
+        assert_eq!(eight.residency_capacity_rows(), 8 * cap1);
+    }
+
+    #[test]
+    fn mask_reload_is_bus_bound_and_linear_in_rows() {
+        let e = C2mEngine::new(EngineConfig::c2m(16));
+        assert_eq!(e.mask_reload_ns(0), 0.0);
+        let one = e.mask_reload_ns(1);
+        let thousand = e.mask_reload_ns(1000);
+        assert!(one > 0.0);
+        // Linear in rows up to the single trailing row cycle.
+        let t = TimingParams::ddr5_4400();
+        let per_row = thousand - (t.t_rcd + t.t_rp);
+        assert!((per_row / 1000.0 - (one - (t.t_rcd + t.t_rp))).abs() < 1e-9);
+        // A real tenant reload costs the same order as one large GEMV,
+        // so the scheduler faces a genuine affinity-vs-deadline trade.
+        let rows = e.tenant_mask_rows(4096, 2048);
+        let xs = int8_stream(2048, 60);
+        let gemv = e.ternary_gemv(&xs, 4096).elapsed_ns;
+        let reload = e.mask_reload_ns(rows);
+        assert!(reload > gemv / 100.0, "reload {reload} vs gemv {gemv}");
+        assert!(reload < gemv * 10.0, "reload {reload} vs gemv {gemv}");
+    }
+
+    #[test]
+    fn tenant_mask_rows_match_residency_module() {
+        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let row_bits = e.config().dram.row_bits_per_rank();
+        assert_eq!(
+            e.tenant_mask_rows(4096, 2048),
+            crate::residency::ternary_mask_rows(4096, 2048, row_bits)
+        );
     }
 
     #[test]

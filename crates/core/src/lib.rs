@@ -19,6 +19,10 @@
 //! * [`shard`] — topology-aware work partitioning: GEMM rows, GEMV
 //!   inner dimension and CSD planes split over channels → ranks → banks,
 //!   with per-shard backend dispatch (§4.6).
+//! * [`residency`] — tenant weight residency: LRU tracking of which
+//!   tenants' mask planes fit in the CIM subarrays, with tenant-switch
+//!   reloads priced through the engine (the serving-layer row-conflict
+//!   analogue).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,10 +34,12 @@ pub mod kernels;
 pub mod matrix;
 pub mod nn;
 pub mod placement;
+pub mod residency;
 pub mod shard;
 
 pub use engine::{C2mEngine, EngineConfig};
 pub use matrix::{BinaryMatrix, TernaryMatrix};
 pub use nn::{AttentionShape, ConvShape};
 pub use placement::{CounterSpec, KernelShape, MaskEncoding, PlacementPlan};
+pub use residency::{ResidencyModel, ResidencyOutcome};
 pub use shard::{BackendPolicy, Shard, ShardAxis, ShardPlan, ShardPlanner, ShardSizing};

@@ -1,0 +1,211 @@
+//! Tenant weight residency: which tenants' mask planes fit in the CIM
+//! subarrays, and what a tenant switch costs when they don't all fit.
+//!
+//! A tenant's ternary weight matrix lives in the compute subarrays as
+//! per-row mask planes (§5.2: one +1 plane and one −1 plane, K rows
+//! each, replicated across the column slices its N outputs span). The
+//! subarrays also hold the Johnson counter rows, so the residency budget
+//! is the CIM subarray capacity ([`c2m_dram::DramConfig::cim_subarray_rows`])
+//! minus the counter footprint. When a module hosts more tenants than
+//! fit, dispatching a non-resident tenant must first stream its mask
+//! planes back in — the serving-layer analogue of a row-buffer conflict,
+//! priced through
+//! [`C2mEngine::mask_reload_ns`](crate::engine::C2mEngine::mask_reload_ns).
+//!
+//! [`ResidencyModel`] is the bookkeeping half: an LRU set of resident
+//! tenants over a fixed row budget. It is deliberately engine-agnostic —
+//! the serving runtime owns one per run and asks the engine to price the
+//! reloads it reports.
+
+use serde::Serialize;
+
+/// Outcome of dispatching one tenant against the residency state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ResidencyOutcome {
+    /// The tenant's mask planes were already resident (no reload).
+    Hit,
+    /// The tenant had to be (re)loaded: `rows` mask rows streamed into
+    /// the CIM subarrays, after evicting least-recently-used tenants.
+    Reload {
+        /// Mask rows written by the reload.
+        rows: usize,
+    },
+}
+
+/// LRU residency tracker for tenant mask planes over a row budget.
+///
+/// # Examples
+///
+/// ```
+/// use c2m_core::residency::{ResidencyModel, ResidencyOutcome};
+///
+/// let mut res = ResidencyModel::new(1000);
+/// assert_eq!(res.touch(0, 600), ResidencyOutcome::Reload { rows: 600 });
+/// assert_eq!(res.touch(0, 600), ResidencyOutcome::Hit);
+/// // Tenant 1 doesn't fit alongside tenant 0: 0 is evicted.
+/// assert_eq!(res.touch(1, 600), ResidencyOutcome::Reload { rows: 600 });
+/// assert!(!res.is_resident(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResidencyModel {
+    capacity_rows: usize,
+    /// Resident tenants in LRU order: front = coldest, back = hottest.
+    resident: Vec<(usize, usize)>,
+}
+
+impl ResidencyModel {
+    /// A model with `capacity_rows` mask-capable rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity — a module with no mask rows cannot
+    /// serve any tenant.
+    #[must_use]
+    pub fn new(capacity_rows: usize) -> Self {
+        assert!(capacity_rows > 0, "residency capacity must be positive");
+        Self {
+            capacity_rows,
+            resident: Vec::new(),
+        }
+    }
+
+    /// The row budget.
+    #[must_use]
+    pub fn capacity_rows(&self) -> usize {
+        self.capacity_rows
+    }
+
+    /// Mask rows currently occupied.
+    #[must_use]
+    pub fn used_rows(&self) -> usize {
+        self.resident.iter().map(|&(_, rows)| rows).sum()
+    }
+
+    /// Whether `tenant`'s mask planes are resident right now.
+    #[must_use]
+    pub fn is_resident(&self, tenant: usize) -> bool {
+        self.resident.iter().any(|&(t, _)| t == tenant)
+    }
+
+    /// Resident tenants, coldest first.
+    #[must_use]
+    pub fn resident_tenants(&self) -> Vec<usize> {
+        self.resident.iter().map(|&(t, _)| t).collect()
+    }
+
+    /// Dispatches `tenant` needing `rows` mask rows: a resident tenant
+    /// with an unchanged footprint is refreshed to most-recently-used
+    /// and hits; a non-resident one (or one whose footprint changed —
+    /// its planes must be restreamed) evicts least-recently-used
+    /// tenants until it fits and reports the reload. A tenant larger
+    /// than the whole budget still runs — it evicts everything and
+    /// reloads every dispatch (permanent thrashing), mirroring a row
+    /// that can never stay open.
+    pub fn touch(&mut self, tenant: usize, rows: usize) -> ResidencyOutcome {
+        if let Some(pos) = self.resident.iter().position(|&(t, _)| t == tenant) {
+            if self.resident[pos].1 == rows {
+                let entry = self.resident.remove(pos);
+                self.resident.push(entry);
+                return ResidencyOutcome::Hit;
+            }
+            // Footprint changed: the old planes are stale, reload.
+            self.resident.remove(pos);
+        }
+        while !self.resident.is_empty() && self.used_rows() + rows > self.capacity_rows {
+            self.resident.remove(0);
+        }
+        if rows <= self.capacity_rows {
+            self.resident.push((tenant, rows));
+        }
+        ResidencyOutcome::Reload { rows }
+    }
+}
+
+/// Mask rows needed to keep one ternary tenant resident: 2 planes
+/// (+1 and −1) × K weight rows × the column slices its N outputs span
+/// on a `row_bits` wide logical row.
+///
+/// # Panics
+///
+/// Panics on a zero row width.
+#[must_use]
+pub fn ternary_mask_rows(n: usize, k: usize, row_bits: usize) -> usize {
+    assert!(row_bits > 0, "row width must be positive");
+    2 * k * n.div_ceil(row_bits).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_coldest_first() {
+        let mut res = ResidencyModel::new(100);
+        assert_eq!(res.touch(0, 40), ResidencyOutcome::Reload { rows: 40 });
+        assert_eq!(res.touch(1, 40), ResidencyOutcome::Reload { rows: 40 });
+        // Refresh tenant 0: tenant 1 becomes the LRU victim.
+        assert_eq!(res.touch(0, 40), ResidencyOutcome::Hit);
+        assert_eq!(res.touch(2, 40), ResidencyOutcome::Reload { rows: 40 });
+        assert!(res.is_resident(0));
+        assert!(!res.is_resident(1));
+        assert!(res.is_resident(2));
+        assert_eq!(res.used_rows(), 80);
+    }
+
+    #[test]
+    fn fitting_tenants_never_reload_twice() {
+        let mut res = ResidencyModel::new(1000);
+        for round in 0..3 {
+            for t in 0..4 {
+                let out = res.touch(t, 200);
+                if round == 0 {
+                    assert_eq!(out, ResidencyOutcome::Reload { rows: 200 });
+                } else {
+                    assert_eq!(out, ResidencyOutcome::Hit, "tenant {t} round {round}");
+                }
+            }
+        }
+        assert_eq!(res.used_rows(), 800);
+    }
+
+    #[test]
+    fn oversized_tenant_thrashes_but_runs() {
+        let mut res = ResidencyModel::new(100);
+        assert_eq!(res.touch(0, 40), ResidencyOutcome::Reload { rows: 40 });
+        assert_eq!(res.touch(9, 500), ResidencyOutcome::Reload { rows: 500 });
+        // Too big to retain: evicted everything, kept nothing.
+        assert!(!res.is_resident(9));
+        assert!(!res.is_resident(0));
+        assert_eq!(res.touch(9, 500), ResidencyOutcome::Reload { rows: 500 });
+    }
+
+    #[test]
+    fn changed_footprint_forces_a_reload() {
+        let mut res = ResidencyModel::new(1000);
+        assert_eq!(res.touch(0, 100), ResidencyOutcome::Reload { rows: 100 });
+        // Same tenant, bigger working set: stale planes, re-stream and
+        // re-fit against the budget.
+        assert_eq!(res.touch(0, 600), ResidencyOutcome::Reload { rows: 600 });
+        assert_eq!(res.used_rows(), 600);
+        assert_eq!(res.touch(0, 600), ResidencyOutcome::Hit);
+        // A growth past the whole budget evicts and cannot be retained.
+        assert_eq!(res.touch(0, 2000), ResidencyOutcome::Reload { rows: 2000 });
+        assert!(!res.is_resident(0));
+    }
+
+    #[test]
+    fn mask_rows_count_planes_and_slices() {
+        // 2 planes x K rows, one column slice.
+        assert_eq!(ternary_mask_rows(1024, 512, 65_536), 2 * 512);
+        // N spanning 3 slices triples the rows.
+        assert_eq!(ternary_mask_rows(3 * 65_536, 512, 65_536), 6 * 512);
+        // Degenerate shapes still cost at least one slice.
+        assert_eq!(ternary_mask_rows(0, 16, 65_536), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = ResidencyModel::new(0);
+    }
+}

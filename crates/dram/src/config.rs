@@ -82,6 +82,16 @@ impl DramConfig {
     pub fn total_capacity_bytes(&self) -> usize {
         self.rank_capacity_bytes() * self.channels * self.ranks
     }
+
+    /// Rows available inside the CIM subarrays of the whole topology when
+    /// `banks_used` banks each dedicate one subarray to computing: the
+    /// residency budget that mask planes and counter rows must share.
+    /// Tenant weight matrices must be *resident* in these subarrays to be
+    /// served without a reload (see `c2m_core::residency`).
+    #[must_use]
+    pub fn cim_subarray_rows(&self, banks_used: usize) -> usize {
+        self.parallel_subarrays(banks_used) * self.rows_per_subarray * self.channels * self.ranks
+    }
 }
 
 impl Default for DramConfig {
@@ -129,5 +139,16 @@ mod tests {
         let c = DramConfig::ddr5_4400();
         assert_eq!(c.parallel_subarrays(16), 16);
         assert_eq!(c.parallel_subarrays(64), 32);
+    }
+
+    #[test]
+    fn cim_subarray_rows_scale_with_topology() {
+        let mut c = DramConfig::ddr5_4400();
+        assert_eq!(c.cim_subarray_rows(16), 16 * 1024);
+        c.channels = 4;
+        c.ranks = 2;
+        assert_eq!(c.cim_subarray_rows(16), 8 * 16 * 1024);
+        // Clamped to the banks the rank actually has.
+        assert_eq!(c.cim_subarray_rows(64), 8 * 32 * 1024);
     }
 }

@@ -1,5 +1,6 @@
-//! Serving metrics: per-request latency percentiles, throughput, batch
-//! shapes and queue-depth timelines.
+//! Serving metrics: per-request and per-class latency percentiles,
+//! deadline-miss rates, throughput, batch shapes, residency reloads and
+//! queue-depth timelines.
 
 use serde::Serialize;
 
@@ -10,8 +11,12 @@ pub struct RequestOutcome {
     pub id: u64,
     /// Owning tenant.
     pub tenant: usize,
+    /// SLO priority the request carried.
+    pub priority: u8,
     /// Arrival at the front end, ns.
     pub arrival_ns: f64,
+    /// Absolute deadline, ns (`+∞` for best-effort requests).
+    pub deadline_ns: f64,
     /// Completion (its batch's execution finished), ns.
     pub completion_ns: f64,
     /// Index of the batch that served it.
@@ -24,6 +29,19 @@ impl RequestOutcome {
     pub fn latency_ns(&self) -> f64 {
         self.completion_ns - self.arrival_ns
     }
+
+    /// Whether the request finished past its deadline.
+    #[must_use]
+    pub fn missed(&self) -> bool {
+        self.completion_ns > self.deadline_ns
+    }
+
+    /// Lateness, ns: completion minus deadline (negative = early,
+    /// `-∞` for best-effort requests).
+    #[must_use]
+    pub fn lateness_ns(&self) -> f64 {
+        self.completion_ns - self.deadline_ns
+    }
 }
 
 /// One dispatched batch's cost breakdown and pipeline placement.
@@ -33,10 +51,19 @@ pub struct BatchRecord {
     pub size: usize,
     /// The batch's tenant (batches never mix tenants).
     pub tenant: usize,
+    /// Admission instant, ns: the clock time the scheduler formed the
+    /// batch. Only requests that had *arrived* by this instant are in
+    /// the batch.
+    pub formed_ns: f64,
     /// Host fetch of the batch's input vectors finished at, ns.
     pub fetch_done_ns: f64,
     /// Host-side planning time (digit unpack + IARM), ns.
     pub plan_ns: f64,
+    /// Mask rows reloaded because the tenant was not resident (0 on a
+    /// residency hit or when residency is unmodelled).
+    pub reload_rows: usize,
+    /// Time the tenant-switch mask reload took, ns.
+    pub reload_ns: f64,
     /// Engine execution time, ns.
     pub exec_ns: f64,
     /// Execution started at, ns.
@@ -54,6 +81,23 @@ pub struct QueueSample {
     pub depth: usize,
 }
 
+/// Aggregate latency/SLO statistics of one priority class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ClassStats {
+    /// The priority this row aggregates.
+    pub priority: u8,
+    /// Requests served in the class.
+    pub count: usize,
+    /// Median latency, ns.
+    pub p50_ns: f64,
+    /// 95th-percentile latency, ns.
+    pub p95_ns: f64,
+    /// 99th-percentile latency, ns.
+    pub p99_ns: f64,
+    /// Fraction of the class's requests that finished past deadline.
+    pub miss_rate: f64,
+}
+
 /// Aggregate results of one serving run.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct ServeReport {
@@ -67,27 +111,33 @@ pub struct ServeReport {
     pub host_hit_rate: f64,
 }
 
+/// Percentiles of `lat` (consumed and sorted in place).
+fn percentiles_ns(mut lat: Vec<f64>, ps: &[f64]) -> Vec<f64> {
+    if lat.is_empty() {
+        return vec![0.0; ps.len()];
+    }
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    ps.iter()
+        .map(|p| {
+            let rank = (p / 100.0 * lat.len() as f64).ceil() as usize;
+            lat[rank.clamp(1, lat.len()) - 1]
+        })
+        .collect()
+}
+
 impl ServeReport {
     /// Latencies at each percentile of `ps` (values in [0, 100]), ns —
     /// sorts the outcomes once however many percentiles are asked for.
     /// All zeros when there are no outcomes.
     #[must_use]
     pub fn latency_percentiles_ns(&self, ps: &[f64]) -> Vec<f64> {
-        if self.outcomes.is_empty() {
-            return vec![0.0; ps.len()];
-        }
-        let mut lat: Vec<f64> = self
-            .outcomes
-            .iter()
-            .map(RequestOutcome::latency_ns)
-            .collect();
-        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        ps.iter()
-            .map(|p| {
-                let rank = (p / 100.0 * lat.len() as f64).ceil() as usize;
-                lat[rank.clamp(1, lat.len()) - 1]
-            })
-            .collect()
+        percentiles_ns(
+            self.outcomes
+                .iter()
+                .map(RequestOutcome::latency_ns)
+                .collect(),
+            ps,
+        )
     }
 
     /// Latency at percentile `p` in [0, 100], ns (0 when no outcomes).
@@ -127,6 +177,105 @@ impl ServeReport {
             / self.outcomes.len() as f64
     }
 
+    /// The distinct priorities served, ascending.
+    #[must_use]
+    pub fn priorities(&self) -> Vec<u8> {
+        let mut ps: Vec<u8> = self.outcomes.iter().map(|o| o.priority).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps
+    }
+
+    /// Latency percentiles restricted to one priority class, ns.
+    #[must_use]
+    pub fn class_latency_percentiles_ns(&self, priority: u8, ps: &[f64]) -> Vec<f64> {
+        percentiles_ns(
+            self.outcomes
+                .iter()
+                .filter(|o| o.priority == priority)
+                .map(RequestOutcome::latency_ns)
+                .collect(),
+            ps,
+        )
+    }
+
+    /// Deadline-miss rate of one priority class (0 when the class is
+    /// empty).
+    #[must_use]
+    pub fn class_miss_rate(&self, priority: u8) -> f64 {
+        let class: Vec<&RequestOutcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.priority == priority)
+            .collect();
+        if class.is_empty() {
+            return 0.0;
+        }
+        class.iter().filter(|o| o.missed()).count() as f64 / class.len() as f64
+    }
+
+    /// Per-class latency/SLO rollup, ascending by priority.
+    #[must_use]
+    pub fn class_stats(&self) -> Vec<ClassStats> {
+        self.priorities()
+            .into_iter()
+            .map(|priority| {
+                let pcts = self.class_latency_percentiles_ns(priority, &[50.0, 95.0, 99.0]);
+                ClassStats {
+                    priority,
+                    count: self
+                        .outcomes
+                        .iter()
+                        .filter(|o| o.priority == priority)
+                        .count(),
+                    p50_ns: pcts[0],
+                    p95_ns: pcts[1],
+                    p99_ns: pcts[2],
+                    miss_rate: self.class_miss_rate(priority),
+                }
+            })
+            .collect()
+    }
+
+    /// Overall deadline-miss rate (best-effort requests never miss).
+    #[must_use]
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.missed()).count() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Deadline misses, absolute count.
+    #[must_use]
+    pub fn deadline_miss_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.missed()).count()
+    }
+
+    /// Worst lateness over requests that carry a deadline, ns
+    /// (negative when every deadline was met; 0 with no deadlines).
+    #[must_use]
+    pub fn max_lateness_ns(&self) -> f64 {
+        let mut worst = None;
+        for o in self.outcomes.iter().filter(|o| o.deadline_ns.is_finite()) {
+            let l = o.lateness_ns();
+            worst = Some(worst.map_or(l, |w: f64| w.max(l)));
+        }
+        worst.unwrap_or(0.0)
+    }
+
+    /// Tenant-switch mask reloads over the run.
+    #[must_use]
+    pub fn reload_count(&self) -> usize {
+        self.batches.iter().filter(|b| b.reload_rows > 0).count()
+    }
+
+    /// Total time spent reloading tenant mask planes, ns.
+    #[must_use]
+    pub fn reload_ns_total(&self) -> f64 {
+        self.batches.iter().map(|b| b.reload_ns).sum()
+    }
+
     /// Completion time of the last request, ns.
     #[must_use]
     pub fn makespan_ns(&self) -> f64 {
@@ -136,10 +285,26 @@ impl ServeReport {
             .fold(0.0, f64::max)
     }
 
-    /// Sustained throughput in requests per second over the makespan.
+    /// First arrival over the served trace, ns.
+    #[must_use]
+    pub fn first_arrival_ns(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.arrival_ns)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Sustained throughput in requests per second over the *busy*
+    /// window: last completion minus first arrival. Measuring from t=0
+    /// would overstate the window for open-loop traces whose first
+    /// request arrives late. Returns 0 for an empty or degenerate
+    /// (single-instant) report.
     #[must_use]
     pub fn throughput_rps(&self) -> f64 {
-        let span = self.makespan_ns();
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let span = self.makespan_ns() - self.first_arrival_ns();
         if span <= 0.0 {
             return 0.0;
         }
@@ -170,7 +335,9 @@ mod tests {
         RequestOutcome {
             id,
             tenant: 0,
+            priority: 0,
             arrival_ns: arrival,
+            deadline_ns: f64::INFINITY,
             completion_ns: done,
             batch: 0,
         }
@@ -202,5 +369,87 @@ mod tests {
         assert_eq!(rep.throughput_rps(), 0.0);
         assert_eq!(rep.mean_batch_size(), 0.0);
         assert_eq!(rep.peak_queue_depth(), 0);
+        assert_eq!(rep.deadline_miss_rate(), 0.0);
+        assert_eq!(rep.reload_count(), 0);
+        assert!(rep.class_stats().is_empty());
+    }
+
+    #[test]
+    fn throughput_window_starts_at_first_arrival() {
+        // Two requests arriving late: the busy window is completion −
+        // first arrival, not completion − 0. Measured from t=0 the
+        // window would be 5x too wide here.
+        let rep = ServeReport {
+            outcomes: vec![outcome(0, 400.0, 450.0), outcome(1, 410.0, 500.0)],
+            ..ServeReport::default()
+        };
+        assert!((rep.throughput_rps() - 2.0 * 1e9 / 100.0).abs() < 1e-6);
+        assert_eq!(rep.first_arrival_ns(), 400.0);
+    }
+
+    #[test]
+    fn degenerate_single_instant_reports_zero_throughput() {
+        let rep = ServeReport {
+            outcomes: vec![outcome(0, 100.0, 100.0)],
+            ..ServeReport::default()
+        };
+        assert_eq!(rep.throughput_rps(), 0.0);
+    }
+
+    #[test]
+    fn class_stats_split_by_priority_and_count_misses() {
+        let mut outcomes = Vec::new();
+        for i in 0..10u64 {
+            // Priority 1: deadline 50, completion 10·i → 5 misses.
+            outcomes.push(RequestOutcome {
+                id: i,
+                tenant: 0,
+                priority: 1,
+                arrival_ns: 0.0,
+                deadline_ns: 50.0,
+                completion_ns: 10.0 * (i + 1) as f64,
+                batch: 0,
+            });
+            // Priority 0: best-effort, never missed.
+            outcomes.push(outcome(100 + i, 0.0, 1_000.0));
+        }
+        let rep = ServeReport {
+            outcomes,
+            ..ServeReport::default()
+        };
+        assert_eq!(rep.priorities(), vec![0, 1]);
+        let stats = rep.class_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].priority, 0);
+        assert_eq!(stats[0].miss_rate, 0.0);
+        assert_eq!(stats[1].priority, 1);
+        assert!((stats[1].miss_rate - 0.5).abs() < 1e-9);
+        assert_eq!(stats[1].count, 10);
+        assert!((rep.deadline_miss_rate() - 0.25).abs() < 1e-9);
+        assert_eq!(rep.deadline_miss_count(), 5);
+        assert!((rep.max_lateness_ns() - 50.0).abs() < 1e-9);
+        assert_eq!(rep.class_latency_percentiles_ns(1, &[50.0])[0], 50.0);
+    }
+
+    #[test]
+    fn reload_totals_come_from_batches() {
+        let batch = |rows: usize, ns: f64| BatchRecord {
+            size: 1,
+            tenant: 0,
+            formed_ns: 0.0,
+            fetch_done_ns: 0.0,
+            plan_ns: 0.0,
+            reload_rows: rows,
+            reload_ns: ns,
+            exec_ns: 1.0,
+            exec_start_ns: 0.0,
+            exec_done_ns: 1.0,
+        };
+        let rep = ServeReport {
+            batches: vec![batch(0, 0.0), batch(100, 5.0), batch(200, 7.0)],
+            ..ServeReport::default()
+        };
+        assert_eq!(rep.reload_count(), 2);
+        assert!((rep.reload_ns_total() - 12.0).abs() < 1e-12);
     }
 }

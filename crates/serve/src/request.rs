@@ -4,6 +4,49 @@
 use c2m_core::engine::doubled_ternary;
 use serde::{Deserialize, Serialize};
 
+/// SLO class of a request: how urgent it is and how important its
+/// tenant is. Set per tenant in [`crate::traffic::TenantSpec`] and
+/// consumed by the admission scheduler's pluggable policies
+/// ([`crate::runtime::SchedPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceClass {
+    /// Scheduling weight: higher wins under
+    /// [`SchedPolicy::PriorityWeighted`](crate::runtime::SchedPolicy).
+    pub priority: u8,
+    /// Relative deadline, ns after arrival. `f64::INFINITY` means
+    /// best-effort (never counted as missed).
+    pub deadline_ns: f64,
+}
+
+impl ServiceClass {
+    /// Best-effort: priority 0, no deadline.
+    pub const BEST_EFFORT: Self = Self {
+        priority: 0,
+        deadline_ns: f64::INFINITY,
+    };
+
+    /// A class with `priority` and a relative `deadline_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive or NaN deadline.
+    #[must_use]
+    pub fn new(priority: u8, deadline_ns: f64) -> Self {
+        assert!(deadline_ns > 0.0, "deadline must be positive");
+        Self {
+            priority,
+            deadline_ns,
+        }
+    }
+}
+
+impl Default for ServiceClass {
+    /// Best-effort.
+    fn default() -> Self {
+        Self::BEST_EFFORT
+    }
+}
+
 /// One inference request: a ternary GEMV `y = x · Z_t` against the
 /// weight matrix of tenant `t`.
 ///
@@ -20,6 +63,8 @@ pub struct ServeRequest {
     /// the same tenant are row hits on each other — they share mask
     /// planes and input-buffer rows, so the batcher may coalesce them.
     pub tenant: usize,
+    /// SLO class (inherited from the tenant's spec).
+    pub class: ServiceClass,
     /// Output width N of the tenant's weight matrix.
     pub n: usize,
     /// The input vector (length K).
@@ -31,6 +76,12 @@ impl ServeRequest {
     #[must_use]
     pub fn k(&self) -> usize {
         self.x.len()
+    }
+
+    /// Absolute deadline, ns (`+∞` for best-effort requests).
+    #[must_use]
+    pub fn deadline_ns(&self) -> f64 {
+        self.arrival_ns + self.class.deadline_ns
     }
 
     /// The doubled ternary command stream (`x` then `−x`): the +1-plane
@@ -54,10 +105,32 @@ mod tests {
             id: 0,
             arrival_ns: 0.0,
             tenant: 0,
+            class: ServiceClass::BEST_EFFORT,
             n: 4,
             x: vec![1, -2, 3],
         };
         assert_eq!(r.k(), 3);
         assert_eq!(r.ternary_stream(), vec![1, -2, 3, -1, 2, -3]);
+        assert_eq!(r.deadline_ns(), f64::INFINITY);
+    }
+
+    #[test]
+    fn deadlines_are_arrival_relative() {
+        let r = ServeRequest {
+            id: 1,
+            arrival_ns: 500.0,
+            tenant: 0,
+            class: ServiceClass::new(3, 1_000.0),
+            n: 4,
+            x: vec![1],
+        };
+        assert_eq!(r.deadline_ns(), 1_500.0);
+        assert_eq!(r.class.priority, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn non_positive_deadline_is_rejected() {
+        let _ = ServiceClass::new(1, 0.0);
     }
 }

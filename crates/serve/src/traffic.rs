@@ -7,19 +7,41 @@
 //! interactively by [`crate::runtime::ServeRuntime::run_closed_loop`],
 //! which needs completion feedback, and is configured here.
 
-use crate::request::ServeRequest;
+use crate::request::{ServeRequest, ServiceClass};
 use c2m_workloads::distributions::{int8_embeddings, poisson_arrivals};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
-/// One tenant's resident model: the GEMV shape its requests run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// One tenant's resident model: the GEMV shape its requests run and the
+/// SLO class they carry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TenantSpec {
     /// Output width N of the tenant's ternary weight matrix.
     pub n: usize,
     /// Inner dimension K (input vector length).
     pub k: usize,
+    /// SLO class stamped on every request of this tenant.
+    pub class: ServiceClass,
+}
+
+impl TenantSpec {
+    /// A best-effort tenant of shape `n × k`.
+    #[must_use]
+    pub fn new(n: usize, k: usize) -> Self {
+        Self {
+            n,
+            k,
+            class: ServiceClass::BEST_EFFORT,
+        }
+    }
+
+    /// The same tenant with an explicit SLO class.
+    #[must_use]
+    pub fn with_class(mut self, class: ServiceClass) -> Self {
+        self.class = class;
+        self
+    }
 }
 
 /// Open-loop (arrival-driven) traffic: requests arrive on a Poisson
@@ -75,6 +97,7 @@ pub fn open_loop(cfg: &OpenLoopConfig) -> Vec<ServeRequest> {
                 id: i as u64,
                 arrival_ns,
                 tenant,
+                class: spec.class,
                 n: spec.n,
                 x: request_input(spec.k, cfg.seed, i as u64),
             }
@@ -95,7 +118,10 @@ mod tests {
 
     fn cfg() -> OpenLoopConfig {
         OpenLoopConfig {
-            tenants: vec![TenantSpec { n: 256, k: 64 }, TenantSpec { n: 128, k: 32 }],
+            tenants: vec![
+                TenantSpec::new(256, 64).with_class(ServiceClass::new(2, 1e6)),
+                TenantSpec::new(128, 32),
+            ],
             requests: 200,
             mean_interarrival_ns: 500.0,
             seed: 7,
@@ -113,6 +139,7 @@ mod tests {
             let spec = cfg().tenants[r.tenant];
             assert_eq!(r.k(), spec.k);
             assert_eq!(r.n, spec.n);
+            assert_eq!(r.class, spec.class, "requests inherit the tenant class");
         }
     }
 

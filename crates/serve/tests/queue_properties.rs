@@ -1,15 +1,26 @@
-//! Property tests for the serving queue invariants:
+//! Property tests for the serving queue and scheduler invariants:
 //!
 //! 1. batched dispatch is never slower than serial dispatch under the
 //!    same trace;
 //! 2. no request starves — the FR-FCFS cap bounds how long first-ready
 //!    priority may bypass a ready request;
 //! 3. batch cap 1 on a 1-channel/1-rank engine reproduces the seed
-//!    engine's per-request numbers bit-for-bit.
+//!    engine's per-request numbers bit-for-bit, under every admission
+//!    policy;
+//! 4. on equal-cost jobs, EDF admission never misses a deadline FIFO
+//!    meets (non-preemptive EDF is optimal for max lateness when
+//!    service times are equal);
+//! 5. the PriorityWeighted starvation cap bounds how long a low-class
+//!    request can wait before admission;
+//! 6. the scheduler is never clairvoyant: every admitted request had
+//!    arrived by its batch's admission instant.
 
 use c2m_core::engine::{C2mEngine, EngineConfig};
 use c2m_dram::{BatchWindow, MemoryRequest, RequestQueue, TimingParams};
-use c2m_serve::{open_loop, OpenLoopConfig, ServeConfig, ServeRuntime, TenantSpec};
+use c2m_serve::{
+    open_loop, OpenLoopConfig, SchedPolicy, ServeConfig, ServeReport, ServeRequest, ServeRuntime,
+    ServiceClass, TenantSpec,
+};
 use proptest::prelude::*;
 
 /// A reproducible random memory trace: `len` requests over `banks`
@@ -91,7 +102,9 @@ proptest! {
     }
 
     /// Invariant 3: batch cap 1 on the 1-channel/1-rank engine prices
-    /// every request through the seed `ternary_gemv` path bit-for-bit.
+    /// every request through the seed `ternary_gemv` path bit-for-bit —
+    /// under every admission policy, because a single-tenant trace
+    /// collapses EDF and PriorityWeighted to arrival order.
     #[test]
     fn unit_batches_reproduce_the_seed_engine(
         k_blocks in 1usize..6,
@@ -100,27 +113,214 @@ proptest! {
     ) {
         let engine = C2mEngine::new(EngineConfig::c2m(16));
         let reqs = open_loop(&OpenLoopConfig {
-            tenants: vec![TenantSpec { n: 1024, k: 64 * k_blocks }],
+            tenants: vec![TenantSpec::new(1024, 64 * k_blocks)],
             requests,
             mean_interarrival_ns: 5_000.0,
             seed,
         });
-        let runtime = ServeRuntime::new(engine.clone(), ServeConfig::default());
-        let rep = runtime.run(&reqs);
-        prop_assert_eq!(rep.batches.len(), reqs.len());
-        for (batch, req) in rep.batches.iter().zip(&reqs) {
-            let expect = engine.ternary_gemv(&req.x, req.n);
-            prop_assert_eq!(batch.size, 1);
-            // Bitwise equality: the serving path must not perturb the
-            // seed model's arithmetic.
-            prop_assert!(
-                batch.exec_ns == expect.elapsed_ns,
-                "serve {} vs seed {}",
-                batch.exec_ns,
-                expect.elapsed_ns
+        for policy in [
+            SchedPolicy::Fifo,
+            SchedPolicy::EarliestDeadlineFirst,
+            SchedPolicy::PriorityWeighted,
+        ] {
+            let runtime = ServeRuntime::new(
+                engine.clone(),
+                ServeConfig { policy, ..ServeConfig::default() },
+            );
+            let rep = runtime.run(&reqs);
+            prop_assert_eq!(rep.batches.len(), reqs.len());
+            for (batch, req) in rep.batches.iter().zip(&reqs) {
+                let expect = engine.ternary_gemv(&req.x, req.n);
+                prop_assert_eq!(batch.size, 1);
+                // Bitwise equality: the serving path must not perturb
+                // the seed model's arithmetic.
+                prop_assert!(
+                    batch.exec_ns == expect.elapsed_ns,
+                    "{:?}: serve {} vs seed {}",
+                    policy,
+                    batch.exec_ns,
+                    expect.elapsed_ns
+                );
+            }
+        }
+    }
+
+    /// Invariant 4: with equal-cost jobs (identical input vector and
+    /// shape, batch cap 1), non-preemptive EDF is optimal for maximum
+    /// lateness — so whenever FIFO meets every deadline, EDF does too,
+    /// and EDF's worst lateness never exceeds FIFO's. The 1 µs slack
+    /// absorbs the ~tens-of-ns fetch jitter from per-tenant row-buffer
+    /// state; scheduling differences are whole multiples of the >10 µs
+    /// service time.
+    #[test]
+    fn edf_never_misses_a_deadline_fifo_meets_on_equal_jobs(
+        requests in 2usize..24,
+        gap_us in 1u32..40,
+        deadline_us in 30u32..400,
+        seed in 0u64..1_000,
+    ) {
+        let reqs = equal_job_trace(requests, f64::from(gap_us) * 1_000.0, f64::from(deadline_us) * 1_000.0, seed);
+        let fifo = run_policy(SchedPolicy::Fifo, &reqs);
+        let edf = run_policy(SchedPolicy::EarliestDeadlineFirst, &reqs);
+        prop_assert_eq!(edf.outcomes.len(), fifo.outcomes.len());
+        prop_assert!(
+            edf.max_lateness_ns() <= fifo.max_lateness_ns() + 1_000.0,
+            "EDF lateness {} vs FIFO {}",
+            edf.max_lateness_ns(),
+            fifo.max_lateness_ns()
+        );
+        if fifo.deadline_miss_count() == 0 {
+            prop_assert_eq!(
+                edf.deadline_miss_count(),
+                0,
+                "EDF missed a deadline FIFO met (EDF Lmax {}, FIFO Lmax {})",
+                edf.max_lateness_ns(),
+                fifo.max_lateness_ns()
             );
         }
     }
+
+    /// Invariant 5: under PriorityWeighted, a request's wait until
+    /// admission is bounded by the starvation cap plus the FCFS drain
+    /// of the requests ahead of it — over-cap requests are served
+    /// oldest-first, one per admission, and admissions are at most one
+    /// batch cycle apart.
+    #[test]
+    fn priority_cap_bounds_low_class_wait(
+        low_requests in 1usize..4,
+        high_requests in 4usize..20,
+        cap_us in 10u32..200,
+        seed in 0u64..1_000,
+    ) {
+        let cap = f64::from(cap_us) * 1_000.0;
+        let high = ServiceClass { priority: 7, deadline_ns: f64::INFINITY };
+        // Low-class victims early, a high-class flood right behind.
+        let mut reqs: Vec<ServeRequest> = (0..low_requests)
+            .map(|i| equal_job(i as u64, i as f64, 0, ServiceClass::BEST_EFFORT))
+            .collect();
+        let n = low_requests + high_requests;
+        for i in low_requests..n {
+            let jitter = (seed.wrapping_mul(i as u64 + 1) % 97) as f64;
+            reqs.push(equal_job(i as u64, jitter, 1 + i % 2, high));
+        }
+        let rep = run_policy_capped(SchedPolicy::PriorityWeighted, &reqs, cap);
+        prop_assert_eq!(rep.outcomes.len(), n);
+        let max_cycle = rep
+            .batches
+            .iter()
+            .map(|b| b.exec_done_ns - b.formed_ns)
+            .fold(0.0, f64::max);
+        let bound = cap + (n as f64 + 2.0) * max_cycle + 1e-9;
+        for o in &rep.outcomes {
+            let admitted = rep.batches[o.batch].formed_ns;
+            prop_assert!(
+                admitted - o.arrival_ns <= bound,
+                "request {} admitted after {} ns wait (cap {}, bound {})",
+                o.id,
+                admitted - o.arrival_ns,
+                cap,
+                bound
+            );
+        }
+    }
+
+    /// Invariant 6: no clairvoyance — under any policy and window,
+    /// every request had arrived by its batch's admission instant.
+    #[test]
+    fn admission_is_never_clairvoyant(
+        requests in 1usize..40,
+        window_us in 0u32..2_000,
+        tenants in 1usize..4,
+        seed in 0u64..1_000,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            SchedPolicy::Fifo,
+            SchedPolicy::EarliestDeadlineFirst,
+            SchedPolicy::PriorityWeighted,
+        ][policy_idx];
+        let reqs = open_loop(&OpenLoopConfig {
+            tenants: (0..tenants)
+                .map(|t| TenantSpec::new(256, 64).with_class(
+                    ServiceClass::new(t as u8, 1e5 * (t + 1) as f64),
+                ))
+                .collect(),
+            requests,
+            mean_interarrival_ns: 3_000.0,
+            seed,
+        });
+        let runtime = ServeRuntime::new(
+            C2mEngine::new(EngineConfig::c2m(16)),
+            ServeConfig {
+                window_ns: f64::from(window_us) * 1_000.0,
+                max_batch: 8,
+                policy,
+                ..ServeConfig::default()
+            },
+        );
+        let rep = runtime.run(&reqs);
+        prop_assert_eq!(rep.outcomes.len(), reqs.len());
+        for o in &rep.outcomes {
+            prop_assert!(
+                o.arrival_ns <= rep.batches[o.batch].formed_ns,
+                "request {} admitted before it arrived",
+                o.id
+            );
+        }
+    }
+}
+
+/// One request with a constant input vector: every equal-job request
+/// costs the engine the same, which is what makes non-preemptive EDF
+/// provably optimal for max lateness in invariant 4.
+fn equal_job(id: u64, arrival_ns: f64, tenant: usize, class: ServiceClass) -> ServeRequest {
+    ServeRequest {
+        id,
+        arrival_ns,
+        tenant,
+        class,
+        n: 512,
+        x: vec![7; 128],
+    }
+}
+
+/// Equal-cost jobs over 3 tenants whose relative deadlines are 1×, 2×
+/// and 3× `deadline_ns`, with splitmix-jittered arrivals `gap_ns`
+/// apart on average.
+fn equal_job_trace(requests: usize, gap_ns: f64, deadline_ns: f64, seed: u64) -> Vec<ServeRequest> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 11
+    };
+    let mut arrival = 0.0;
+    (0..requests)
+        .map(|i| {
+            arrival += gap_ns * ((next() % 200) as f64 / 100.0);
+            let tenant = (next() % 3) as usize;
+            let class = ServiceClass::new(0, deadline_ns * (tenant + 1) as f64);
+            equal_job(i as u64, arrival, tenant, class)
+        })
+        .collect()
+}
+
+fn run_policy(policy: SchedPolicy, reqs: &[ServeRequest]) -> ServeReport {
+    run_policy_capped(policy, reqs, BatchWindow::DEFAULT_MAX_WAIT_NS)
+}
+
+fn run_policy_capped(policy: SchedPolicy, reqs: &[ServeRequest], cap_ns: f64) -> ServeReport {
+    ServeRuntime::new(
+        C2mEngine::new(EngineConfig::c2m(16)),
+        ServeConfig {
+            max_batch: 1,
+            policy,
+            max_wait_ns: cap_ns,
+            ..ServeConfig::default()
+        },
+    )
+    .run(reqs)
 }
 
 /// Deterministic end-to-end sanity: batching and async planning
@@ -132,7 +332,7 @@ fn full_pipeline_dominates_serial_configuration() {
     cfg.dram.channels = 4;
     let engine = C2mEngine::new(cfg);
     let reqs = open_loop(&OpenLoopConfig {
-        tenants: vec![TenantSpec { n: 2048, k: 512 }],
+        tenants: vec![TenantSpec::new(2048, 512)],
         requests: 48,
         mean_interarrival_ns: 1_000.0,
         seed: 21,

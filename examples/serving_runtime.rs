@@ -1,7 +1,10 @@
 //! Serving-runtime demo: the same open-loop multi-tenant trace priced
-//! under the seed one-request-at-a-time host path and under the tuned
+//! under the seed one-request-at-a-time host path, under the tuned
 //! runtime (batching + async planning + heterogeneity-aware sizing on a
-//! mixed Ambit/FCDRAM 4-channel module).
+//! mixed Ambit/FCDRAM 4-channel module), and under SLO-aware admission
+//! with tenant weight residency — the latency-critical tenant's p99
+//! drops when EDF pulls it ahead of the bulk backlog, while an
+//! oversubscribed mask budget makes every tenant switch pay a reload.
 //!
 //! ```console
 //! $ cargo run --release --example serving_runtime
@@ -11,28 +14,31 @@ use count2multiply::arch::engine::{C2mEngine, EngineConfig};
 use count2multiply::arch::BackendPolicy;
 use count2multiply::cim::Backend;
 use count2multiply::serve::{
-    open_loop, OpenLoopConfig, ServeConfig, ServeReport, ServeRuntime, TenantSpec,
+    open_loop, OpenLoopConfig, SchedPolicy, ServeConfig, ServeReport, ServeRuntime, ServiceClass,
+    TenantSpec,
 };
 
 fn show(label: &str, rep: &ServeReport) {
     println!(
-        "{label:<28} p50 {:>8.1} us | p95 {:>8.1} us | p99 {:>8.1} us | {:>7.0} req/s | mean batch {:>5.2} | host hit {:>5.1}%",
+        "{label:<28} p50 {:>8.1} us | p99 {:>8.1} us | {:>7.0} req/s | batch {:>5.2} | hi-p99 {:>8.1} us | miss {:>4.0}% | reloads {:>2}",
         rep.p50_ns() / 1e3,
-        rep.p95_ns() / 1e3,
         rep.p99_ns() / 1e3,
         rep.throughput_rps(),
         rep.mean_batch_size(),
-        rep.host_hit_rate * 100.0,
+        rep.class_stats().last().expect("classes").p99_ns / 1e3,
+        rep.deadline_miss_rate() * 100.0,
+        rep.reload_count(),
     );
 }
 
 fn main() {
     // Two tenants sharing a 4-channel mixed Ambit+FCDRAM module under
-    // Poisson traffic heavy enough to backlog the queue.
+    // Poisson traffic heavy enough to backlog the queue: tenant 0 is
+    // latency-critical (priority 2, 4 ms deadline), tenant 1 is bulk.
     let trace = open_loop(&OpenLoopConfig {
         tenants: vec![
-            TenantSpec { n: 4096, k: 2048 },
-            TenantSpec { n: 2048, k: 1024 },
+            TenantSpec::new(4096, 2048).with_class(ServiceClass::new(2, 4_000_000.0)),
+            TenantSpec::new(2048, 1024).with_class(ServiceClass::new(0, 100_000_000.0)),
         ],
         requests: 48,
         mean_interarrival_ns: 25_000.0,
@@ -45,30 +51,53 @@ fn main() {
     let engine = C2mEngine::with_backends(cfg, policy);
 
     // Seed-faithful serving: one request per dispatch, synchronous
-    // planning, even shard sizing.
+    // planning, even shard sizing, FIFO admission.
     let serial = ServeRuntime::new(engine.clone(), ServeConfig::default()).run(&trace);
 
     // Tuned serving: batch up to 8 same-tenant requests, double-buffer
     // the planner, weight shard lengths by backend throughput.
     let weights = engine.heterogeneity_weights();
-    let tuned = ServeRuntime::new(
-        engine.with_shard_sizing(weights),
+    let tuned_cfg = ServeConfig {
+        window_ns: 1e9,
+        max_batch: 8,
+        async_planner: true,
+        ..ServeConfig::default()
+    };
+    let engine = engine.with_shard_sizing(weights);
+    let tuned = ServeRuntime::new(engine.clone(), tuned_cfg.clone()).run(&trace);
+
+    // SLO-aware serving with tenant residency: EDF admission pulls the
+    // critical tenant ahead of the bulk backlog, and a one-tenant mask
+    // budget makes every tenant switch stream its planes back in.
+    let budget = engine.tenant_mask_rows(4096, 2048);
+    let slo = ServeRuntime::new(
+        engine,
         ServeConfig {
-            window_ns: 1e9,
-            max_batch: 8,
-            async_planner: true,
-            ..ServeConfig::default()
+            policy: SchedPolicy::EarliestDeadlineFirst,
+            residency_rows: Some(budget),
+            ..tuned_cfg
         },
     )
     .run(&trace);
 
-    println!("48 requests, 2 tenants, 4-channel mixed Ambit+FCDRAM module\n");
+    println!("48 requests, critical + bulk tenant, 4-channel mixed Ambit+FCDRAM module\n");
     show("seed host path (batch 1)", &serial);
     show("batched + async + weighted", &tuned);
+    show("  + EDF + tight residency", &slo);
     println!(
-        "\nspeedup: {:.2}x throughput, {:.2}x p99",
+        "\nspeedup: {:.2}x throughput, {:.2}x p99; EDF cuts critical-class p99 {:.2}x \
+         while paying {} mask reloads ({:.0} us)",
         tuned.throughput_rps() / serial.throughput_rps(),
         serial.p99_ns() / tuned.p99_ns(),
+        tuned.class_stats().last().expect("classes").p99_ns
+            / slo.class_stats().last().expect("classes").p99_ns,
+        slo.reload_count(),
+        slo.reload_ns_total() / 1e3,
     );
     assert!(tuned.throughput_rps() > serial.throughput_rps());
+    assert!(
+        slo.class_stats().last().expect("classes").p99_ns
+            < tuned.class_stats().last().expect("classes").p99_ns,
+        "EDF must cut the critical class's p99 even while paying reloads"
+    );
 }

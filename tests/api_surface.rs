@@ -20,7 +20,9 @@ use count2multiply::dram::{
 use count2multiply::ecc::{LinearCode, ReedSolomon, Secded};
 use count2multiply::jc::{CounterBank, IarmPlanner, JohnsonCode, TransitionPattern};
 use count2multiply::mig::{counting, Mig, Signal};
-use count2multiply::serve::{open_loop, OpenLoopConfig, ServeConfig, ServeRuntime, TenantSpec};
+use count2multiply::serve::{
+    open_loop, OpenLoopConfig, SchedPolicy, ServeConfig, ServeRuntime, ServiceClass, TenantSpec,
+};
 use count2multiply::workloads::distributions;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -116,16 +118,20 @@ fn every_reexport_is_reachable_and_sane() {
     // serve
     let _sizing = ShardSizing::Weighted(vec![1.0, 0.5]);
     let trace = open_loop(&OpenLoopConfig {
-        tenants: vec![TenantSpec { n: 64, k: 64 }],
+        tenants: vec![TenantSpec::new(64, 64).with_class(ServiceClass::new(1, 1e6))],
         requests: 6,
         mean_interarrival_ns: 1_000.0,
         seed: 1,
     });
+    let serve_engine = C2mEngine::new(EngineConfig::c2m(4));
+    let residency_rows = serve_engine.residency_capacity_rows();
     let runtime = ServeRuntime::new(
-        C2mEngine::new(EngineConfig::c2m(4)),
+        serve_engine,
         ServeConfig {
             max_batch: 3,
             window_ns: 1e9,
+            policy: SchedPolicy::EarliestDeadlineFirst,
+            residency_rows: Some(residency_rows),
             ..ServeConfig::default()
         },
     );
@@ -133,6 +139,8 @@ fn every_reexport_is_reachable_and_sane() {
     assert_eq!(served.outcomes.len(), 6);
     assert!(served.throughput_rps() > 0.0);
     assert!(served.p99_ns() >= served.p50_ns());
+    assert_eq!(served.reload_count(), 1, "one cold mask load");
+    assert!(!served.class_stats().is_empty());
 
     let _ = cfg;
 }
