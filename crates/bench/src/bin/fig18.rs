@@ -5,7 +5,7 @@
 use c2m_baselines::SimdramEngine;
 use c2m_bench::{eng, header, maybe_json};
 use c2m_core::engine::{C2mEngine, EngineConfig};
-use c2m_dram::ExecutionReport;
+use c2m_dram::{EnergyBreakdown, ExecutionReport};
 use c2m_workloads::bertproxy::bert_attention_gemms;
 use c2m_workloads::distributions::{int8_embeddings, token_repetitions};
 use c2m_workloads::gcn::pubmed;
@@ -106,14 +106,33 @@ fn input_row(kind: &InputKind, k: usize, seed: u64) -> Vec<i64> {
     }
 }
 
-fn run(engine: &C2mEngine, w: &Workload) -> ExecutionReport {
-    let mut total = ExecutionReport {
+/// Accumulates one launch's report into the workload total via the
+/// energy ledger: the scalar total and the per-shard/busy-vs-idle
+/// breakdown both ride along (`energy_nj` stays the breakdown's exact
+/// `total_nj`, so the summed figure is bit-for-bit what the old
+/// post-hoc per-launch scalars summed to).
+fn accumulate(total: &mut ExecutionReport, r: &ExecutionReport) {
+    total.elapsed_ns += r.elapsed_ns;
+    total.energy.merge(&r.energy);
+    total.energy_nj += r.energy_nj;
+    total.useful_ops += r.useful_ops;
+    total.area_mm2 = r.area_mm2;
+    total.stats.merge(&r.stats);
+}
+
+fn empty_total() -> ExecutionReport {
+    ExecutionReport {
         elapsed_ns: 0.0,
         stats: c2m_dram::CommandStats::default(),
         energy_nj: 0.0,
         useful_ops: 0,
         area_mm2: 0.0,
-    };
+        energy: EnergyBreakdown::default(),
+    }
+}
+
+fn run(engine: &C2mEngine, w: &Workload) -> ExecutionReport {
+    let mut total = empty_total();
     for (i, g) in w.gemms.iter().enumerate() {
         let x = input_row(&w.input, g.k, 0xF18 + i as u64);
         let r = if g.is_gemv() {
@@ -121,31 +140,17 @@ fn run(engine: &C2mEngine, w: &Workload) -> ExecutionReport {
         } else {
             engine.ternary_gemm(g.m, g.n, &x)
         };
-        total.elapsed_ns += r.elapsed_ns;
-        total.energy_nj += r.energy_nj;
-        total.useful_ops += r.useful_ops;
-        total.area_mm2 = r.area_mm2;
-        total.stats.merge(&r.stats);
+        accumulate(&mut total, &r);
     }
     total
 }
 
 fn run_simdram(w: &Workload) -> ExecutionReport {
     let e = SimdramEngine::x(16);
-    let mut total = ExecutionReport {
-        elapsed_ns: 0.0,
-        stats: c2m_dram::CommandStats::default(),
-        energy_nj: 0.0,
-        useful_ops: 0,
-        area_mm2: 0.0,
-    };
+    let mut total = empty_total();
     for g in &w.gemms {
         let r = e.ternary_gemm(g.m, g.n, g.k);
-        total.elapsed_ns += r.elapsed_ns;
-        total.energy_nj += r.energy_nj;
-        total.useful_ops += r.useful_ops;
-        total.area_mm2 = r.area_mm2;
-        total.stats.merge(&r.stats);
+        accumulate(&mut total, &r);
     }
     total
 }

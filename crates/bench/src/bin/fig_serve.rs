@@ -24,6 +24,12 @@
 //!   modelled at a two-tenant mask budget: tenant switches now pay a
 //!   mask-plane reload, so policy choice trades deadline chasing
 //!   against tenant affinity (visible as reload counts).
+//! * **energy** — the energy-ledger sweep over batch window × policy ×
+//!   power cap on the mixed-priority overload: J/request (overall and
+//!   per class) drops under batching, and a rolling-window power cap
+//!   ([`ServeConfig::power_budget_w`], set at two fractions of the
+//!   uncapped excursion above the idle floor) trades latency for cap
+//!   compliance under every admission policy.
 
 use c2m_bench::{eng, header, maybe_json};
 use c2m_cim::Backend;
@@ -61,6 +67,15 @@ struct ServeRow {
     miss_rate: f64,
     reloads: usize,
     reload_us: f64,
+    // Energy-ledger metrics: joules per request (overall and for the
+    // highest/lowest class), average and worst rolling-window power,
+    // and the power cap in force (0 = uncapped).
+    j_per_req: f64,
+    j_per_req_hi: f64,
+    j_per_req_lo: f64,
+    avg_power_w: f64,
+    peak_power_w: f64,
+    cap_w: f64,
 }
 
 /// The shared row-hit-heavy trace: one tenant, Poisson arrivals fast
@@ -129,6 +144,7 @@ fn run(
     let async_planner = cfg.async_planner;
     let max_batch = cfg.max_batch;
     let policy = cfg.policy;
+    let cap_w = cfg.power_budget_w.unwrap_or(0.0);
     let runtime = ServeRuntime::new(engine(channels, backend_policy, weighted), cfg);
     let rep = runtime.run(trace);
     let pcts = rep.latency_percentiles_ns(&[50.0, 95.0, 99.0]);
@@ -160,9 +176,15 @@ fn run(
         miss_rate: rep.deadline_miss_rate(),
         reloads: rep.reload_count(),
         reload_us: rep.reload_ns_total() / 1e3,
+        j_per_req: rep.joules_per_request(),
+        j_per_req_hi: rep.class_joules_per_request(hi.priority),
+        j_per_req_lo: rep.class_joules_per_request(lo.priority),
+        avg_power_w: rep.mean_power_w(),
+        peak_power_w: rep.peak_window_power_w(),
+        cap_w,
     };
     println!(
-        "{:>9} | {:>2} | {:>12} | {:>8} | {:>5} | {:>4} | {:>5} | {:>9} {:>9} {:>9} | {:>9} | {:>5} | {:>9} {:>5.2} | {:>3}",
+        "{:>9} | {:>2} | {:>12} | {:>8} | {:>5} | {:>4} | {:>5} | {:>9} {:>9} {:>9} | {:>9} | {:>5} | {:>9} {:>5.2} | {:>3} | {:>9} {:>7} {:>5}",
         row.sweep,
         row.channels,
         row.dispatch,
@@ -178,6 +200,9 @@ fn run(
         eng(row.p99_hi_us),
         row.miss_hi,
         row.reloads,
+        eng(row.j_per_req * 1e6),
+        eng(row.peak_power_w),
+        eng(row.cap_w),
     );
     rows.push(row);
 }
@@ -188,7 +213,7 @@ fn main() {
         "Serving runtime: batch window x topology x backend mix x policy",
     );
     println!(
-        "\n{:>9} | {:>2} | {:>12} | {:>8} | {:>5} | {:>4} | {:>5} | {:>9} {:>9} {:>9} | {:>9} | {:>5} | {:>9} {:>5} | {:>3}",
+        "\n{:>9} | {:>2} | {:>12} | {:>8} | {:>5} | {:>4} | {:>5} | {:>9} {:>9} {:>9} | {:>9} | {:>5} | {:>9} {:>5} | {:>3} | {:>9} {:>7} {:>5}",
         "sweep",
         "ch",
         "dispatch",
@@ -203,7 +228,10 @@ fn main() {
         "B",
         "hi p99",
         "miss",
-        "rl"
+        "rl",
+        "uJ/req",
+        "pk W",
+        "cap W"
     );
     let ambit = BackendPolicy::Uniform(Backend::Ambit);
     let mixed = BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]);
@@ -302,10 +330,50 @@ fn main() {
         );
     }
 
+    // Sweep 6: the energy ledger — batch window x policy x power cap on
+    // the same overload trace. The caps sit at fixed fractions of the
+    // uncapped batched FIFO run's rolling-window excursion above the
+    // module's static idle floor, so "tight" demonstrably binds while
+    // staying feasible for a lone request.
+    let energy_cfg = |policy: SchedPolicy, max_batch: usize, cap: Option<f64>| ServeConfig {
+        policy,
+        max_wait_ns: 10e6,
+        power_budget_w: cap,
+        ..batched(max_batch)
+    };
+    let probe = ServeRuntime::new(
+        engine(1, &ambit, false),
+        energy_cfg(SchedPolicy::Fifo, 8, None),
+    )
+    .run(&slo_trace);
+    let idle_w = probe.idle_floor_w;
+    let excursion = probe.peak_window_power_w() - idle_w;
+    let caps = [
+        None,
+        Some(idle_w + 0.7 * excursion),
+        Some(idle_w + 0.4 * excursion),
+    ];
+    for &policy in &policies {
+        for &b in &[1usize, 8] {
+            for &cap in &caps {
+                run(
+                    &slo_trace,
+                    "energy",
+                    1,
+                    (&ambit, "Ambit", false),
+                    energy_cfg(policy, b, cap),
+                    &mut rows,
+                );
+            }
+        }
+    }
+
     println!("\nBatching coalesces same-tenant GEMVs into row-sharded launches (cap 1 = the");
     println!("seed one-at-a-time host path); async planning overlaps IARM with execution;");
     println!("weighted sizing rebalances the mixed Ambit+FCDRAM module's makespan; EDF and");
     println!("priority admission pull the critical class's p99/miss rate down under overload;");
-    println!("residency prices tenant-switch mask reloads at a 2-tenant budget.");
+    println!("residency prices tenant-switch mask reloads at a 2-tenant budget; the energy");
+    println!("sweep reports J/request off the ledger and holds a rolling-window power cap");
+    println!("by shrinking/deferring batches, trading latency for cap compliance.");
     maybe_json(&rows);
 }

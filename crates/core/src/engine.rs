@@ -31,8 +31,8 @@ use crate::shard::{BackendPolicy, ShardPlan, ShardPlanner, ShardSizing};
 use c2m_cim::Backend;
 use c2m_dram::scheduler::steady_state_aap_interval_ranked;
 use c2m_dram::{
-    AreaModel, CommandKind, CommandStats, DramConfig, EnergyModel, ExecutionReport, TimingParams,
-    Topology,
+    AreaModel, CommandKind, CommandStats, DramConfig, EnergyLedger, EnergyModel, ExecutionReport,
+    TimingParams, Topology,
 };
 use c2m_ecc::protect::{ProtectionAnalysis, ProtectionKind};
 use c2m_jc::codec::JohnsonCode;
@@ -299,15 +299,18 @@ impl C2mEngine {
     #[must_use]
     pub fn ternary_gemv(&self, x: &[i64], n: usize) -> ExecutionReport {
         let plan = self.planner().plan_inner(x.len());
-        let mut chan_ops = vec![0.0f64; self.cfg.dram.channels];
-        for shard in &plan.shards {
-            let doubled = doubled_ternary(&x[shard.start..shard.end()]);
-            // Accumulation and the unit's own bank-level merge both
-            // execute on the shard's backend.
-            chan_ops[shard.channel] += (self.ops_for_stream(&doubled) + self.reduction_ops())
-                * self.backend_factor(shard.backend);
-        }
-        self.sharded_report(&plan, &chan_ops, 0, useful_ops(1, n, x.len()), n)
+        let shard_ops: Vec<f64> = plan
+            .shards
+            .iter()
+            .map(|shard| {
+                let doubled = doubled_ternary(&x[shard.start..shard.end()]);
+                // Accumulation and the unit's own bank-level merge both
+                // execute on the shard's backend.
+                (self.ops_for_stream(&doubled) + self.reduction_ops())
+                    * self.backend_factor(shard.backend)
+            })
+            .collect();
+        self.sharded_report(&plan, &shard_ops, 0, useful_ops(1, n, x.len()), n)
     }
 
     /// Prices a *batch* of `B` ternary GEMVs sharing one weight matrix
@@ -323,13 +326,13 @@ impl C2mEngine {
     pub fn ternary_gemv_batch<S: AsRef<[i64]>>(&self, xs: &[S], n: usize) -> ExecutionReport {
         let plan = self.planner().plan_rows(xs.len());
         let copy_out = self.copy_out_ops(n);
-        let mut chan_ops = vec![0.0f64; self.cfg.dram.channels];
+        let mut shard_ops = vec![0.0f64; plan.shards.len()];
         let mut useful = 0u64;
-        for shard in &plan.shards {
+        for (shard, ops) in plan.shards.iter().zip(shard_ops.iter_mut()) {
             for x in &xs[shard.start..shard.end()] {
                 let x = x.as_ref();
                 let doubled = doubled_ternary(x);
-                chan_ops[shard.channel] +=
+                *ops +=
                     self.ops_for_stream(&doubled) * self.backend_factor(shard.backend) + copy_out;
                 useful += useful_ops(1, n, x.len());
             }
@@ -339,7 +342,7 @@ impl C2mEngine {
         } else {
             0
         };
-        self.sharded_report(&plan, &chan_ops, gather_bursts, useful, n)
+        self.sharded_report(&plan, &shard_ops, gather_bursts, useful, n)
     }
 
     /// Ternary GEMM report for `M` output rows, each accumulating the
@@ -368,17 +371,20 @@ impl C2mEngine {
         let plan = self.planner().plan_rows(m);
         let accum = self.ops_for_stream(per_row_stream);
         let copy_out = self.copy_out_ops(n);
-        let mut chan_ops = vec![0.0f64; self.cfg.dram.channels];
-        for shard in &plan.shards {
-            let per_row = accum * self.backend_factor(shard.backend) + copy_out;
-            chan_ops[shard.channel] += per_row * shard.len as f64;
-        }
+        let shard_ops: Vec<f64> = plan
+            .shards
+            .iter()
+            .map(|shard| {
+                let per_row = accum * self.backend_factor(shard.backend) + copy_out;
+                per_row * shard.len as f64
+            })
+            .collect();
         let gather_bursts = if plan.units_used() > 1 {
             m as u64 * self.output_row_bursts(n)
         } else {
             0
         };
-        self.sharded_report(&plan, &chan_ops, gather_bursts, useful_ops(m, n, k), n)
+        self.sharded_report(&plan, &shard_ops, gather_bursts, useful_ops(m, n, k), n)
     }
 
     /// Integer×integer GEMV via CSD bit-slicing (§5.2.3): the weight
@@ -399,27 +405,29 @@ impl C2mEngine {
         plane_exponents: &[(u32, bool)],
     ) -> ExecutionReport {
         let plan = self.planner().plan_planes(plane_exponents.len());
-        let mut chan_ops = vec![0.0f64; self.cfg.dram.channels];
-        for shard in &plan.shards {
-            let mut ops = 0.0f64;
-            for &(e, neg) in &plane_exponents[shard.start..shard.end()] {
-                let stream: Vec<i64> = x
-                    .iter()
-                    .map(|&v| {
-                        let scaled = v << e;
-                        if neg {
-                            -scaled
-                        } else {
-                            scaled
-                        }
-                    })
-                    .collect();
-                ops += self.ops_for_stream(&stream);
-            }
-            chan_ops[shard.channel] +=
-                (ops + self.reduction_ops()) * self.backend_factor(shard.backend);
-        }
-        self.sharded_report(&plan, &chan_ops, 0, useful_ops(1, n, x.len()), n)
+        let shard_ops: Vec<f64> = plan
+            .shards
+            .iter()
+            .map(|shard| {
+                let mut ops = 0.0f64;
+                for &(e, neg) in &plane_exponents[shard.start..shard.end()] {
+                    let stream: Vec<i64> = x
+                        .iter()
+                        .map(|&v| {
+                            let scaled = v << e;
+                            if neg {
+                                -scaled
+                            } else {
+                                scaled
+                            }
+                        })
+                        .collect();
+                    ops += self.ops_for_stream(&stream);
+                }
+                (ops + self.reduction_ops()) * self.backend_factor(shard.backend)
+            })
+            .collect();
+        self.sharded_report(&plan, &shard_ops, 0, useful_ops(1, n, x.len()), n)
     }
 
     /// Commands for the log₂(banks) partial-sum merge rounds within one
@@ -508,6 +516,20 @@ impl C2mEngine {
             + (self.cfg.timing.t_rcd + self.cfg.timing.t_rp)
     }
 
+    /// Energy to stream `rows` mask rows back into the CIM subarrays —
+    /// the joule counterpart of [`Self::mask_reload_ns`], which prices
+    /// the reload in time only. Every row pays its write bursts plus a
+    /// full activate/precharge cycle: row cycles overlap with the next
+    /// row's transfer in *time*, but each still moves charge.
+    #[must_use]
+    pub fn mask_reload_energy_nj(&self, rows: usize) -> f64 {
+        if rows == 0 {
+            return 0.0;
+        }
+        let bursts_per_row = self.cfg.dram.row_bits_per_rank().div_ceil(512).max(1) as f64;
+        rows as f64 * (bursts_per_row * self.cfg.energy.e_wr_nj + self.cfg.energy.e_act_pre_nj)
+    }
+
     /// RD bursts to stream one finished output row (`n` accumulators of
     /// `capacity_bits`) to the host over a 64-byte burst interface.
     fn output_row_bursts(&self, n: usize) -> u64 {
@@ -531,23 +553,38 @@ impl C2mEngine {
     /// after the parallel phase, and commands/energy sum over
     /// everything. With a single-unit plan this is exactly the paper's
     /// single-channel pricing.
+    ///
+    /// `shard_ops` holds one effective-AAP count per plan shard, in
+    /// plan order; besides driving the timing it feeds the
+    /// [`EnergyLedger`]'s per-unit dynamic attribution, and each busy
+    /// rank's compute window (vs the idle remainder of the makespan) is
+    /// booked as a per-rank background interval.
     fn sharded_report(
         &self,
         plan: &ShardPlan,
-        chan_ops: &[f64],
+        shard_ops: &[f64],
         gather_bursts: u64,
         useful: u64,
         n_out: usize,
     ) -> ExecutionReport {
-        let compute_ns = chan_ops
+        debug_assert_eq!(plan.shards.len(), shard_ops.len());
+        let mut chan_ops = vec![0.0f64; self.cfg.dram.channels];
+        for (shard, &ops) in plan.shards.iter().zip(shard_ops) {
+            chan_ops[shard.channel] += ops;
+        }
+        let chan_ns: Vec<f64> = chan_ops
             .iter()
             .enumerate()
             .map(|(c, &ops)| {
                 let ranks_used = plan.on_channel(c).filter(|s| s.len > 0).count().max(1);
                 ops * steady_state_aap_interval_ranked(&self.cfg.timing, self.cfg.banks, ranks_used)
             })
-            .fold(0.0, f64::max);
+            .collect();
+        let compute_ns = chan_ns.iter().copied().fold(0.0, f64::max);
         let mut total_ops: f64 = chan_ops.iter().sum();
+        let mut merge_ops_total = 0.0f64;
+        let mut host_rd = 0u64;
+        let mut host_wr = 0u64;
         let mut stats = CommandStats::default();
         let mut transfer_ns = 0.0;
 
@@ -579,25 +616,47 @@ impl C2mEngine {
                 transfer_ns += merge_ops * merge_interval
                     + pairs as f64 * 2.0 * bursts as f64 * self.cfg.timing.t_burst;
                 total_ops += pairs as f64 * merge_ops;
+                merge_ops_total += pairs as f64 * merge_ops;
                 stats.record_n(CommandKind::Rd, pairs as u64 * bursts);
                 stats.record_n(CommandKind::Wr, pairs as u64 * bursts);
+                host_rd += pairs as u64 * bursts;
+                host_wr += pairs as u64 * bursts;
                 active -= pairs;
             }
         }
         if gather_bursts > 0 {
             transfer_ns += gather_bursts as f64 * self.cfg.timing.t_burst;
             stats.record_n(CommandKind::Rd, gather_bursts);
+            host_rd += gather_bursts;
         }
 
         stats.record_n(CommandKind::Aap, total_ops.round() as u64);
-        ExecutionReport::from_run(
-            compute_ns + transfer_ns,
-            stats,
-            useful,
-            &self.cfg.energy,
-            &self.cfg.area,
-            &self.cfg.dram,
-        )
+        let elapsed_ns = compute_ns + transfer_ns;
+
+        // Stream the run into the energy ledger: per-shard dynamic AAP
+        // work (scaled so the attribution sums to the aggregate integer
+        // command count exactly), host-mediated merge work and bus
+        // transfers, and each busy rank's compute window.
+        let mut ledger = EnergyLedger::new(self.cfg.energy, self.cfg.dram.clone());
+        let scale = if total_ops > 0.0 {
+            total_ops.round() / total_ops
+        } else {
+            0.0
+        };
+        for (shard, &ops) in plan.shards.iter().zip(shard_ops) {
+            ledger.record_unit(shard.channel, shard.rank, CommandKind::Aap, ops * scale);
+        }
+        ledger.record_host(CommandKind::Aap, merge_ops_total * scale);
+        ledger.record_host(CommandKind::Rd, host_rd as f64);
+        ledger.record_host(CommandKind::Wr, host_wr as f64);
+        let busy: Vec<(usize, usize, f64)> = plan
+            .shards
+            .iter()
+            .filter(|s| s.len > 0)
+            .map(|s| (s.channel, s.rank, chan_ns[s.channel]))
+            .collect();
+        ledger.close(elapsed_ns, stats, &busy);
+        ExecutionReport::from_ledger(&ledger, useful, &self.cfg.area)
     }
 }
 
@@ -1019,5 +1078,93 @@ mod tests {
         let one = C2mEngine::new(cfg_with_channels(1, 1)).ternary_gemv(&xs, 4096);
         let eight = C2mEngine::new(cfg_with_channels(4, 2)).ternary_gemv(&xs, 4096);
         assert!((eight.area_mm2 - 8.0 * one.area_mm2).abs() < 1e-9);
+    }
+
+    // ---- the energy ledger threaded through launches ----
+
+    /// Conservation: the per-shard dynamic + per-rank background
+    /// attribution sums to the exact `system_energy_nj` total, across
+    /// kernels and topologies.
+    #[test]
+    fn ledger_attribution_is_conserved_across_kernels_and_topologies() {
+        let planes: Vec<(u32, bool)> = (0..5u32).flat_map(|e| [(e, false), (e, true)]).collect();
+        for &(channels, ranks) in &[(1usize, 1usize), (4, 1), (2, 2), (4, 2)] {
+            let e = C2mEngine::new(cfg_with_channels(channels, ranks));
+            let xs = int8_stream(2048, 70 + channels as u64 * 8 + ranks as u64);
+            let batch: Vec<Vec<i64>> = (0..6).map(|s| int8_stream(512, 80 + s)).collect();
+            let reports = [
+                e.ternary_gemv(&xs, 4096),
+                e.ternary_gemm(16, 2048, &xs),
+                e.binary_gemm(8, 1024, &xs),
+                e.int_gemv(&xs, 1024, &planes),
+                e.ternary_gemv_batch(&batch, 1024),
+            ];
+            for r in &reports {
+                assert_eq!(r.energy.total_nj, r.energy_nj, "{channels}x{ranks}");
+                let rel = ((r.energy.attributed_nj() - r.energy_nj) / r.energy_nj).abs();
+                assert!(
+                    rel < 1e-9,
+                    "{channels}x{ranks}: attributed {} vs total {} (rel {rel})",
+                    r.energy.attributed_nj(),
+                    r.energy_nj
+                );
+                // One attribution entry per rank of the topology.
+                assert_eq!(r.energy.shards.len(), channels * ranks);
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_splits_background_busy_vs_idle_on_stragglers() {
+        // 1x1: the single rank is busy for the whole compute phase, so
+        // idle background only accrues over the transfer phase (none
+        // for a single-unit GEMV).
+        let xs = int8_stream(2048, 90);
+        let one = C2mEngine::new(cfg_with_channels(1, 1)).ternary_gemv(&xs, 4096);
+        assert_eq!(one.energy.background_idle_nj, 0.0);
+        assert!(one.energy.background_busy_nj > 0.0);
+        // Multi-channel: the merge tree serialises after the parallel
+        // phase, so every rank idles through it and idle energy shows.
+        let four = C2mEngine::new(cfg_with_channels(4, 1)).ternary_gemv(&xs, 4096);
+        assert!(four.energy.background_idle_nj > 0.0);
+        assert!(four.energy.host_nj > 0.0, "merge traffic is host energy");
+        // Dynamic attribution lands on the units that computed.
+        for s in &four.energy.shards {
+            assert!(s.dynamic_nj > 0.0, "unit ({},{})", s.channel, s.rank);
+        }
+    }
+
+    #[test]
+    fn ledger_attributes_more_dynamic_energy_to_slower_backends() {
+        // On a mixed module the FCDRAM channel burns more commands per
+        // increment, and the per-shard attribution shows it.
+        let xs: Vec<Vec<i64>> = (0..8).map(|s| int8_stream(1024, 95 + s)).collect();
+        let e = C2mEngine::with_backends(
+            cfg_with_channels(2, 1),
+            BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]),
+        );
+        let r = e.ternary_gemv_batch(&xs, 2048);
+        let ambit = r.energy.shards.iter().find(|s| s.channel == 0).unwrap();
+        let fcdram = r.energy.shards.iter().find(|s| s.channel == 1).unwrap();
+        assert!(
+            fcdram.dynamic_nj > ambit.dynamic_nj,
+            "fcdram {} vs ambit {}",
+            fcdram.dynamic_nj,
+            ambit.dynamic_nj
+        );
+    }
+
+    #[test]
+    fn mask_reload_energy_is_linear_in_rows_and_pairs_with_time() {
+        let e = C2mEngine::new(EngineConfig::c2m(16));
+        assert_eq!(e.mask_reload_energy_nj(0), 0.0);
+        let one = e.mask_reload_energy_nj(1);
+        assert!(one > 0.0);
+        assert!((e.mask_reload_energy_nj(1000) - 1000.0 * one).abs() < 1e-6);
+        // The reload's implied power (J over its own wall-clock) is a
+        // plausible active-write figure: above zero, below 100 W.
+        let rows = e.tenant_mask_rows(4096, 2048);
+        let p = e.mask_reload_energy_nj(rows) / e.mask_reload_ns(rows);
+        assert!(p > 0.0 && p < 100.0, "reload power {p} W");
     }
 }

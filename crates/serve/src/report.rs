@@ -1,6 +1,17 @@
 //! Serving metrics: per-request and per-class latency percentiles,
-//! deadline-miss rates, throughput, batch shapes, residency reloads and
-//! queue-depth timelines.
+//! deadline-miss rates, throughput, batch shapes, residency reloads,
+//! queue-depth timelines, and — via the engine's energy ledger —
+//! per-batch/per-request energy with a rolling-window power timeline.
+//!
+//! Energy accounting covers the busy window of the trace
+//! (first arrival → last completion): each dispatched batch carries the
+//! energy of its pipeline occupancy (engine launch energy from the
+//! [`c2m_dram::EnergyBreakdown`], mask-reload energy for residency
+//! misses, and module background power over the reload/dispatch
+//! overhead), and the gaps between batches burn the module's idle
+//! background floor ([`ServeReport::idle_floor_w`]). J/request figures
+//! apportion a batch's energy equally over its requests and the idle
+//! burn equally over the whole trace.
 
 use serde::Serialize;
 
@@ -70,6 +81,40 @@ pub struct BatchRecord {
     pub exec_start_ns: f64,
     /// Execution finished at, ns.
     pub exec_done_ns: f64,
+    /// Energy of the batch's pipeline occupancy
+    /// (`exec_start_ns..exec_done_ns`), nJ: engine launch energy
+    /// (dynamic + all-rank background over the launch), mask-reload
+    /// energy, and background power over the reload/dispatch overhead.
+    pub energy_nj: f64,
+    /// Mask-reload share of `energy_nj` (0 on a residency hit), nJ.
+    pub reload_energy_nj: f64,
+}
+
+impl BatchRecord {
+    /// The batch's busy-interval length, ns.
+    #[must_use]
+    pub fn busy_ns(&self) -> f64 {
+        self.exec_done_ns - self.exec_start_ns
+    }
+
+    /// Average power over the batch's busy interval, W (0 degenerate).
+    #[must_use]
+    pub fn power_w(&self) -> f64 {
+        if self.busy_ns() <= 0.0 {
+            return 0.0;
+        }
+        self.energy_nj / self.busy_ns()
+    }
+}
+
+/// Rolling-window average power sampled at a batch completion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PowerSample {
+    /// Sample instant (a batch's completion), ns.
+    pub t_ns: f64,
+    /// Average power over the preceding
+    /// [`ServeReport::power_window_ns`], W.
+    pub power_w: f64,
 }
 
 /// Queue depth sampled at a pipeline event.
@@ -107,8 +152,17 @@ pub struct ServeReport {
     pub batches: Vec<BatchRecord>,
     /// Queue depth at each batch completion.
     pub queue_depth: Vec<QueueSample>,
+    /// Rolling-window average power at each batch completion — the
+    /// power timeline alongside the queue-depth timeline.
+    pub power_timeline: Vec<PowerSample>,
     /// Row-buffer hit rate of the host fetch path over the whole run.
     pub host_hit_rate: f64,
+    /// Static background power of the served module
+    /// (`p_static_w × channels × ranks`), burned between batches, W.
+    pub idle_floor_w: f64,
+    /// The rolling window the power timeline (and any power cap)
+    /// averages over, ns.
+    pub power_window_ns: f64,
 }
 
 /// Percentiles of `lat` (consumed and sorted in place).
@@ -311,6 +365,91 @@ impl ServeReport {
         self.outcomes.len() as f64 * 1e9 / span
     }
 
+    /// Total time the engine pipeline was occupied by batches, ns.
+    #[must_use]
+    pub fn busy_ns_total(&self) -> f64 {
+        self.batches.iter().map(BatchRecord::busy_ns).sum()
+    }
+
+    /// Module idle time inside the busy window (first arrival → last
+    /// completion) not covered by any batch, ns.
+    #[must_use]
+    pub fn idle_ns_total(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        (self.makespan_ns() - self.first_arrival_ns() - self.busy_ns_total()).max(0.0)
+    }
+
+    /// Total energy of the run, nJ: every batch's attributed energy
+    /// plus the idle background burn between batches.
+    #[must_use]
+    pub fn total_energy_nj(&self) -> f64 {
+        self.batches.iter().map(|b| b.energy_nj).sum::<f64>()
+            + self.idle_floor_w * self.idle_ns_total()
+    }
+
+    /// Energy per served request, J (0 with no outcomes).
+    #[must_use]
+    pub fn joules_per_request(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.total_energy_nj() * 1e-9 / self.outcomes.len() as f64
+    }
+
+    /// Energy per served request of one priority class, J: the class's
+    /// batch-energy shares (a batch's energy splits equally over its
+    /// requests) plus an equal per-request share of the idle burn.
+    /// Returns 0 when the class is empty.
+    #[must_use]
+    pub fn class_joules_per_request(&self, priority: u8) -> f64 {
+        let members: Vec<&RequestOutcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.priority == priority)
+            .collect();
+        if members.is_empty() {
+            return 0.0;
+        }
+        let idle_share = self.idle_floor_w * self.idle_ns_total() / self.outcomes.len() as f64;
+        let busy: f64 = members
+            .iter()
+            .map(|o| {
+                let b = &self.batches[o.batch];
+                b.energy_nj / b.size as f64
+            })
+            .sum();
+        (busy / members.len() as f64 + idle_share) * 1e-9
+    }
+
+    /// Average power over the busy window, W (0 degenerate).
+    #[must_use]
+    pub fn mean_power_w(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let span = self.makespan_ns() - self.first_arrival_ns();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.total_energy_nj() / span
+    }
+
+    /// Worst rolling-window average power over the sampled timeline, W
+    /// (0 with no samples). A run under a *feasible* power cap keeps
+    /// this at or below the cap; an infeasible cap — one a lone
+    /// request breaches even with a drained window — saturates
+    /// instead of stalling, and the breach shows here as a peak above
+    /// the cap.
+    #[must_use]
+    pub fn peak_window_power_w(&self) -> f64 {
+        self.power_timeline
+            .iter()
+            .map(|s| s.power_w)
+            .fold(0.0, f64::max)
+    }
+
     /// Mean requests per dispatched batch.
     #[must_use]
     pub fn mean_batch_size(&self) -> f64 {
@@ -444,6 +583,8 @@ mod tests {
             exec_ns: 1.0,
             exec_start_ns: 0.0,
             exec_done_ns: 1.0,
+            energy_nj: 0.0,
+            reload_energy_nj: 0.0,
         };
         let rep = ServeReport {
             batches: vec![batch(0, 0.0), batch(100, 5.0), batch(200, 7.0)],
@@ -451,5 +592,90 @@ mod tests {
         };
         assert_eq!(rep.reload_count(), 2);
         assert!((rep.reload_ns_total() - 12.0).abs() < 1e-12);
+    }
+
+    fn energy_batch(start: f64, done: f64, energy_nj: f64, size: usize) -> BatchRecord {
+        BatchRecord {
+            size,
+            tenant: 0,
+            formed_ns: start,
+            fetch_done_ns: start,
+            plan_ns: 0.0,
+            reload_rows: 0,
+            reload_ns: 0.0,
+            exec_ns: done - start,
+            exec_start_ns: start,
+            exec_done_ns: done,
+            energy_nj,
+            reload_energy_nj: 0.0,
+        }
+    }
+
+    #[test]
+    fn energy_totals_add_batches_and_idle_floor() {
+        // Two requests; two batches of 100 nJ over [0,100] and
+        // [200,300]; idle floor 0.5 W over the 100 ns gap = 50 nJ.
+        let mut rep = ServeReport {
+            outcomes: vec![outcome(0, 0.0, 100.0), outcome(1, 0.0, 300.0)],
+            batches: vec![
+                energy_batch(0.0, 100.0, 100.0, 1),
+                energy_batch(200.0, 300.0, 100.0, 1),
+            ],
+            idle_floor_w: 0.5,
+            ..ServeReport::default()
+        };
+        rep.outcomes[1].batch = 1;
+        assert!((rep.busy_ns_total() - 200.0).abs() < 1e-12);
+        assert!((rep.idle_ns_total() - 100.0).abs() < 1e-12);
+        assert!((rep.total_energy_nj() - 250.0).abs() < 1e-12);
+        assert!((rep.joules_per_request() - 125.0e-9).abs() < 1e-18);
+        // Single class: the class figure equals the overall figure.
+        assert!((rep.class_joules_per_request(0) - rep.joules_per_request()).abs() < 1e-18);
+        assert_eq!(rep.class_joules_per_request(7), 0.0);
+        // Mean power over the 300 ns span.
+        assert!((rep.mean_power_w() - 250.0 / 300.0).abs() < 1e-12);
+        // Per-batch power.
+        assert!((rep.batches[0].power_w() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_energy_splits_batches_equally_per_request() {
+        // One batch of 4 requests, 400 nJ: 3 of class 0, 1 of class 9.
+        let mut outcomes: Vec<RequestOutcome> = (0..4).map(|i| outcome(i, 0.0, 100.0)).collect();
+        outcomes[3].priority = 9;
+        let rep = ServeReport {
+            outcomes,
+            batches: vec![energy_batch(0.0, 100.0, 400.0, 4)],
+            idle_floor_w: 0.0,
+            ..ServeReport::default()
+        };
+        assert!((rep.class_joules_per_request(9) - 100.0e-9).abs() < 1e-18);
+        assert!((rep.class_joules_per_request(0) - 100.0e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn peak_window_power_scans_the_timeline() {
+        let rep = ServeReport {
+            power_timeline: vec![
+                PowerSample {
+                    t_ns: 1.0,
+                    power_w: 0.5,
+                },
+                PowerSample {
+                    t_ns: 2.0,
+                    power_w: 2.5,
+                },
+                PowerSample {
+                    t_ns: 3.0,
+                    power_w: 1.0,
+                },
+            ],
+            ..ServeReport::default()
+        };
+        assert!((rep.peak_window_power_w() - 2.5).abs() < 1e-12);
+        assert_eq!(ServeReport::default().peak_window_power_w(), 0.0);
+        assert_eq!(ServeReport::default().total_energy_nj(), 0.0);
+        assert_eq!(ServeReport::default().joules_per_request(), 0.0);
+        assert_eq!(ServeReport::default().mean_power_w(), 0.0);
     }
 }

@@ -49,8 +49,26 @@
 //! ([`C2mEngine::mask_reload_ns`]) on the engine's critical path — the
 //! serving-layer analogue of a row-buffer conflict. The scheduler
 //! therefore faces a genuine affinity-vs-deadline trade-off.
+//!
+//! **Energy accounting** rides the engine's per-launch
+//! [`c2m_dram::EnergyBreakdown`]: every batch records the joules of its
+//! pipeline occupancy (launch energy, mask-reload energy for residency
+//! misses — priced in *joules* here, not just time — and background
+//! power over the dispatch overhead), gaps between batches burn the
+//! module's static idle floor, and the report carries a rolling-window
+//! power timeline alongside the queue-depth timeline.
+//!
+//! **Power-capped admission** ([`ServeConfig::power_budget_w`]): before
+//! committing a batch, the scheduler projects the rolling-window
+//! average power at the batch's completion. If it would exceed the cap
+//! the batch *shrinks* (latest-arriving coalesced mates return to the
+//! ready set; the policy-chosen seed is kept, so capping composes with
+//! every [`SchedPolicy`]), and if even a lone request would breach it
+//! the dispatch is *deferred* until enough of the window has drained.
+//! With `power_budget_w: None` the pipeline is byte-identical to the
+//! uncapped runtime.
 
-use crate::report::{BatchRecord, QueueSample, RequestOutcome, ServeReport};
+use crate::report::{BatchRecord, PowerSample, QueueSample, RequestOutcome, ServeReport};
 use crate::request::ServeRequest;
 use crate::traffic::{request_input, ClosedLoopConfig};
 use c2m_core::engine::C2mEngine;
@@ -106,6 +124,23 @@ pub struct ServeConfig {
     /// resident for free. [`C2mEngine::residency_capacity_rows`] derives
     /// the budget from the engine's actual geometry.
     pub residency_rows: Option<usize>,
+    /// Rolling window the power timeline (and the power cap) averages
+    /// over, ns.
+    pub power_window_ns: f64,
+    /// Power-capped admission: `Some(cap)` defers or shrinks a batch
+    /// whenever the rolling-window average power at its completion
+    /// would exceed `cap` watts. Must sit above the module's static
+    /// idle floor
+    /// ([`c2m_dram::EnergyModel::system_background_power_w`]) — below
+    /// it no schedule complies. A cap that even a *lone* request
+    /// breaches with a fully drained window is infeasible for the
+    /// workload: the scheduler saturates (waits out the window, then
+    /// runs the request anyway) rather than stall forever, and the
+    /// breach is visible as
+    /// [`ServeReport::peak_window_power_w`](crate::report::ServeReport::peak_window_power_w)
+    /// exceeding the cap. `None` (seed-faithful) admits on latency
+    /// policy alone.
+    pub power_budget_w: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +156,8 @@ impl Default for ServeConfig {
             async_planner: false,
             policy: SchedPolicy::Fifo,
             residency_rows: None,
+            power_window_ns: 1e6,
+            power_budget_w: None,
         }
     }
 }
@@ -141,6 +178,52 @@ struct Pipeline {
     hits: u64,
     accesses: u64,
     residency: Option<ResidencyModel>,
+    /// Committed busy intervals `(exec_start, exec_done, energy_nj)`,
+    /// in dispatch order — the integrand of the rolling power window.
+    busy: Vec<(f64, f64, f64)>,
+    /// Power governor: no dispatch may be admitted before this instant.
+    defer_until: f64,
+}
+
+/// One batch's priced pipeline traversal, before commitment.
+#[derive(Debug, Clone, Copy)]
+struct Priced {
+    fetch_done: f64,
+    plan_ns: f64,
+    reload_rows: usize,
+    reload_ns: f64,
+    reload_energy_nj: f64,
+    exec_ns: f64,
+    exec_energy_nj: f64,
+    hits: u64,
+    accesses: u64,
+}
+
+/// Average power over the rolling window `[t−window, t]`: committed
+/// busy intervals (plus an optional uncommitted candidate) contribute
+/// their energy pro-rata to the overlap, everything else — including
+/// the pre-trace history before t = 0, when the module sat powered but
+/// idle — burns the idle floor. The window is always full-width, so
+/// compliance means the same thing at the start of a trace as in
+/// steady state.
+fn window_avg_power_w(
+    busy: &[(f64, f64, f64)],
+    candidate: Option<(f64, f64, f64)>,
+    idle_floor_w: f64,
+    window_ns: f64,
+    t: f64,
+) -> f64 {
+    let lo = t - window_ns;
+    let mut energy = 0.0;
+    let mut busy_in = 0.0;
+    for &(s, d, e) in busy.iter().chain(candidate.iter()) {
+        let ov = (d.min(t) - s.max(lo)).max(0.0);
+        if ov > 0.0 && d > s {
+            energy += e * ov / (d - s);
+            busy_in += ov;
+        }
+    }
+    (energy + idle_floor_w * (window_ns - busy_in).max(0.0)) / window_ns
 }
 
 /// Min-heap key: requests ordered by arrival time, ties by id.
@@ -221,8 +304,10 @@ impl ServeRuntime {
     ///
     /// # Panics
     ///
-    /// Panics on a zero batch cap, negative window, or zero residency
-    /// budget.
+    /// Panics on a zero batch cap, negative window, zero residency
+    /// budget, non-positive power window, or a power cap at or below
+    /// the module's static idle floor (no schedule can comply: the
+    /// ranks burn that much doing nothing).
     #[must_use]
     pub fn new(engine: C2mEngine, cfg: ServeConfig) -> Self {
         assert!(cfg.max_batch >= 1, "batches hold at least one request");
@@ -234,7 +319,28 @@ impl ServeRuntime {
             cfg.residency_rows != Some(0),
             "residency budget must be positive"
         );
+        assert!(
+            cfg.power_window_ns > 0.0 && cfg.power_window_ns.is_finite(),
+            "power window must be positive and finite"
+        );
+        if let Some(cap) = cfg.power_budget_w {
+            let ecfg = engine.config();
+            let floor = ecfg.energy.system_background_power_w(&ecfg.dram);
+            assert!(
+                cap > floor,
+                "power budget {cap} W is not above the module's static idle \
+                 floor {floor} W — no schedule can comply"
+            );
+        }
         Self { engine, cfg }
+    }
+
+    /// Static background power of the served module, W: every rank of
+    /// the engine's topology burns it whether or not it computes.
+    #[must_use]
+    pub fn idle_floor_w(&self) -> f64 {
+        let ecfg = self.engine.config();
+        ecfg.energy.system_background_power_w(&ecfg.dram)
     }
 
     /// The engine being served.
@@ -261,10 +367,9 @@ impl ServeRuntime {
 
         let mut fetch_q = self.fetch_queue();
         let mut pipe = self.pipeline();
-        let mut report = ServeReport::default();
+        let mut report = self.report_shell();
         while !q.is_empty() {
-            let (batch, formed) = self.form_batch(&mut q, pipe.planner_free);
-            self.dispatch(&batch, formed, &mut fetch_q, &mut pipe, &mut report);
+            self.admit_and_dispatch(&mut q, &mut fetch_q, &mut pipe, &mut report);
             let done = report.batches.last().expect("batch recorded").exec_done_ns;
             let arrived = arrivals.partition_point(|&a| a <= done);
             report.queue_depth.push(QueueSample {
@@ -322,11 +427,10 @@ impl ServeRuntime {
 
         let mut fetch_q = self.fetch_queue();
         let mut pipe = self.pipeline();
-        let mut report = ServeReport::default();
+        let mut report = self.report_shell();
         while !q.is_empty() {
-            let (batch, formed) = self.form_batch(&mut q, pipe.planner_free);
+            let batch = self.admit_and_dispatch(&mut q, &mut fetch_q, &mut pipe, &mut report);
             let clients: Vec<usize> = batch.iter().map(|r| client_of[r.id as usize]).collect();
-            self.dispatch(&batch, formed, &mut fetch_q, &mut pipe, &mut report);
             let done = report.batches.last().expect("batch recorded").exec_done_ns;
             // Served clients think, then issue their next request.
             for &c in &clients {
@@ -366,6 +470,17 @@ impl ServeRuntime {
             hits: 0,
             accesses: 0,
             residency: self.cfg.residency_rows.map(ResidencyModel::new),
+            busy: Vec::new(),
+            defer_until: 0.0,
+        }
+    }
+
+    /// A report shell carrying the run's energy-accounting constants.
+    fn report_shell(&self) -> ServeReport {
+        ServeReport {
+            idle_floor_w: self.idle_floor_w(),
+            power_window_ns: self.cfg.power_window_ns,
+            ..ServeReport::default()
         }
     }
 
@@ -380,7 +495,11 @@ impl ServeRuntime {
     /// — the fix for the seed batcher's clairvoyance bug, which let a
     /// batch seeded on an idle engine coalesce requests arriving up to
     /// `window_ns` later.
-    fn form_batch(&self, q: &mut PendingQueue, t_free: f64) -> (Vec<ServeRequest>, f64) {
+    ///
+    /// Returns the batch (FCFS order), the admission instant, and the
+    /// id of the policy-chosen seed (the member a shrinking power
+    /// governor must keep).
+    fn form_batch(&self, q: &mut PendingQueue, t_free: f64) -> (Vec<ServeRequest>, f64, u64) {
         debug_assert!(!q.is_empty());
         let formed = t_free.max(q.earliest_arrival());
         q.admit_until(formed);
@@ -388,6 +507,7 @@ impl ServeRuntime {
 
         let seed_idx = self.pick_seed(&q.ready, formed);
         let seed = q.ready.swap_remove(seed_idx);
+        let seed_id = seed.id;
         let mut mates: Vec<(f64, u64)> = q
             .ready
             .iter()
@@ -416,7 +536,7 @@ impl ServeRuntime {
             }
         }
         batch.sort_by(fcfs);
-        (batch, formed)
+        (batch, formed, seed_id)
     }
 
     /// The policy's choice of batch seed among the ready requests at
@@ -453,16 +573,82 @@ impl ServeRuntime {
         }
     }
 
-    /// Prices one batch through fetch → plan → [reload] → execute and
-    /// records the outcomes.
-    fn dispatch(
+    /// Forms and dispatches the next batch, governing admission by the
+    /// power cap when one is configured. Returns the served batch.
+    fn admit_and_dispatch(
         &self,
-        batch: &[ServeRequest],
-        formed_ns: f64,
+        q: &mut PendingQueue,
         fetch_q: &mut RequestQueue,
         pipe: &mut Pipeline,
         report: &mut ServeReport,
-    ) {
+    ) -> Vec<ServeRequest> {
+        let Some(cap) = self.cfg.power_budget_w else {
+            // Uncapped: price against the live pipeline state directly
+            // — the exact pre-governor sequence of operations.
+            let (batch, formed, _) = self.form_batch(q, pipe.planner_free);
+            let priced = self.price(&batch, fetch_q, &mut pipe.residency);
+            self.commit(&batch, formed, &priced, pipe, report);
+            return batch;
+        };
+
+        let window = self.cfg.power_window_ns;
+        loop {
+            let t_free = pipe.planner_free.max(pipe.defer_until);
+            let (mut batch, formed, seed_id) = self.form_batch(q, t_free);
+            loop {
+                // Trial-price against clones: a rejected candidate must
+                // not advance the fetch queue's row state or the LRU.
+                let mut trial_fetch = fetch_q.clone();
+                let mut trial_res = pipe.residency.clone();
+                let priced = self.price(&batch, &mut trial_fetch, &mut trial_res);
+                let (_, exec_start, exec_done) = self.place(&priced, formed, pipe);
+                let energy = self.batch_energy_nj(&priced);
+                let p = window_avg_power_w(
+                    &pipe.busy,
+                    Some((exec_start, exec_done, energy)),
+                    self.idle_floor_w(),
+                    window,
+                    exec_done,
+                );
+                // Once the window has slid past every committed burst,
+                // no amount of waiting lowers it further: a lone
+                // request that still breaches runs anyway (the cap is
+                // infeasible for this workload, and stalling forever
+                // serves no one).
+                let drained = pipe.busy.last().is_none_or(|b| exec_done - window >= b.1);
+                if p <= cap || (batch.len() == 1 && drained) {
+                    *fetch_q = trial_fetch;
+                    pipe.residency = trial_res;
+                    self.commit(&batch, formed, &priced, pipe, report);
+                    return batch;
+                }
+                if batch.len() > 1 {
+                    // Shrink: return the latest-arriving coalesced mate
+                    // (never the policy-chosen seed) to the ready set.
+                    let drop_idx = (0..batch.len())
+                        .rev()
+                        .find(|&i| batch[i].id != seed_id)
+                        .expect("a batch of 2+ holds a non-seed member");
+                    q.ready.push(batch.remove(drop_idx));
+                    continue;
+                }
+                // Defer: hand the request back and retry once part of
+                // the window has drained.
+                q.ready.append(&mut batch);
+                pipe.defer_until = formed + window / 8.0;
+                break;
+            }
+        }
+    }
+
+    /// Prices one batch through fetch → plan → [reload] → execute
+    /// against the given queue/residency state (live or trial clones).
+    fn price(
+        &self,
+        batch: &[ServeRequest],
+        fetch_q: &mut RequestQueue,
+        residency: &mut Option<ResidencyModel>,
+    ) -> Priced {
         debug_assert!(!batch.is_empty());
         // Host fetch: stream every request's input vector through the
         // batched FR-FCFS queue. Same-tenant requests share buffer rows,
@@ -475,8 +661,8 @@ impl ServeRuntime {
                 max_wait_ns: self.cfg.max_wait_ns,
             },
         );
-        pipe.accesses += fetch.completions.len() as u64;
-        pipe.hits += fetch
+        let accesses = fetch.completions.len() as u64;
+        let hits = fetch
             .completions
             .iter()
             .filter(|c| c.kind == c2m_dram::AccessKind::RowHit)
@@ -492,51 +678,123 @@ impl ServeRuntime {
             * self.cfg.host_ns_per_seq;
 
         // Tenant residency: dispatching a non-resident tenant streams
-        // its mask planes back into the CIM subarrays before execution.
-        let (reload_rows, reload_ns) = match pipe.residency.as_mut() {
+        // its mask planes back into the CIM subarrays before execution
+        // — spending time *and* joules.
+        let (reload_rows, reload_ns, reload_energy_nj) = match residency.as_mut() {
             Some(res) => {
                 let rows = self.engine.tenant_mask_rows(batch[0].n, batch[0].k());
                 match res.touch(batch[0].tenant, rows) {
-                    ResidencyOutcome::Hit => (0, 0.0),
-                    ResidencyOutcome::Reload { rows } => (rows, self.engine.mask_reload_ns(rows)),
+                    ResidencyOutcome::Hit => (0, 0.0, 0.0),
+                    ResidencyOutcome::Reload { rows } => (
+                        rows,
+                        self.engine.mask_reload_ns(rows),
+                        self.engine.mask_reload_energy_nj(rows),
+                    ),
                 }
             }
-            None => (0, 0.0),
+            None => (0, 0.0, 0.0),
         };
 
         // Engine execution: the seed GEMV path for a lone request (bit
         // compatible with the paper model), the row-sharded batch entry
-        // point otherwise.
-        let exec_ns = if batch.len() == 1 {
-            self.engine.ternary_gemv(&batch[0].x, batch[0].n).elapsed_ns
+        // point otherwise. The launch report's ledger total carries the
+        // batch's execution energy.
+        let exec = if batch.len() == 1 {
+            self.engine.ternary_gemv(&batch[0].x, batch[0].n)
         } else {
             let xs: Vec<&[i64]> = batch.iter().map(|r| r.x.as_slice()).collect();
-            self.engine.ternary_gemv_batch(&xs, batch[0].n).elapsed_ns
+            self.engine.ternary_gemv_batch(&xs, batch[0].n)
         };
 
-        let plan_start = fetch_done.max(pipe.planner_free);
-        let plan_done = plan_start + plan_ns;
+        Priced {
+            fetch_done,
+            plan_ns,
+            reload_rows,
+            reload_ns,
+            reload_energy_nj,
+            exec_ns: exec.elapsed_ns,
+            exec_energy_nj: exec.energy_nj,
+            hits,
+            accesses,
+        }
+    }
+
+    /// Where a priced batch lands on the pipeline clocks:
+    /// `(plan_done, exec_start, exec_done)`. `formed_ns` lower-bounds
+    /// the plan start so a power-deferred dispatch actually waits.
+    fn place(&self, priced: &Priced, formed_ns: f64, pipe: &Pipeline) -> (f64, f64, f64) {
+        let plan_start = priced.fetch_done.max(pipe.planner_free).max(formed_ns);
+        let plan_done = plan_start + priced.plan_ns;
         let exec_start = plan_done.max(pipe.engine_free);
-        let exec_done = exec_start + reload_ns + self.cfg.dispatch_ns + exec_ns;
+        let exec_done = exec_start + priced.reload_ns + self.cfg.dispatch_ns + priced.exec_ns;
+        (plan_done, exec_start, exec_done)
+    }
+
+    /// Energy attributed to a priced batch's busy interval, nJ: the
+    /// engine launch (dynamic + all-rank background over the launch),
+    /// the mask reload, and the module's background floor over the
+    /// reload/dispatch overhead the launch energy does not cover.
+    fn batch_energy_nj(&self, priced: &Priced) -> f64 {
+        priced.exec_energy_nj
+            + priced.reload_energy_nj
+            + self.idle_floor_w() * (priced.reload_ns + self.cfg.dispatch_ns)
+    }
+
+    /// Commits a priced batch: advances the pipeline clocks, books the
+    /// busy interval into the power ledger, samples the power timeline
+    /// and records batch + outcomes.
+    fn commit(
+        &self,
+        batch: &[ServeRequest],
+        formed_ns: f64,
+        priced: &Priced,
+        pipe: &mut Pipeline,
+        report: &mut ServeReport,
+    ) {
+        let (plan_done, exec_start, exec_done) = self.place(priced, formed_ns, pipe);
         pipe.engine_free = exec_done;
         pipe.planner_free = if self.cfg.async_planner {
             plan_done
         } else {
             exec_done
         };
+        pipe.hits += priced.hits;
+        pipe.accesses += priced.accesses;
+
+        let energy_nj = self.batch_energy_nj(priced);
+        // Intervals that ended before the window's reach contribute
+        // zero overlap to every future query (commit times are
+        // monotone), so drop them — the scan stays bounded by the
+        // window occupancy instead of the whole dispatch history.
+        let horizon = exec_done - self.cfg.power_window_ns;
+        let expired = pipe.busy.partition_point(|&(_, end, _)| end <= horizon);
+        pipe.busy.drain(..expired);
+        pipe.busy.push((exec_start, exec_done, energy_nj));
+        report.power_timeline.push(PowerSample {
+            t_ns: exec_done,
+            power_w: window_avg_power_w(
+                &pipe.busy,
+                None,
+                self.idle_floor_w(),
+                self.cfg.power_window_ns,
+                exec_done,
+            ),
+        });
 
         let batch_idx = report.batches.len();
         report.batches.push(BatchRecord {
             size: batch.len(),
             tenant: batch[0].tenant,
             formed_ns,
-            fetch_done_ns: fetch_done,
-            plan_ns,
-            reload_rows,
-            reload_ns,
-            exec_ns,
+            fetch_done_ns: priced.fetch_done,
+            plan_ns: priced.plan_ns,
+            reload_rows: priced.reload_rows,
+            reload_ns: priced.reload_ns,
+            exec_ns: priced.exec_ns,
             exec_start_ns: exec_start,
             exec_done_ns: exec_done,
+            energy_nj,
+            reload_energy_nj: priced.reload_energy_nj,
         });
         for r in batch {
             report.outcomes.push(RequestOutcome {
@@ -888,6 +1146,181 @@ mod tests {
             engine(1),
             ServeConfig {
                 residency_rows: Some(0),
+                ..ServeConfig::default()
+            },
+        );
+    }
+
+    // ---- energy accounting and power-capped admission ----
+
+    #[test]
+    fn reports_carry_energy_and_a_power_timeline() {
+        let reqs = trace(24, 1);
+        let rep = ServeRuntime::new(engine(1), cfg(4, 1e6)).run(&reqs);
+        assert!(rep.total_energy_nj() > 0.0);
+        assert!(rep.joules_per_request() > 0.0);
+        assert!(rep.idle_floor_w > 0.0);
+        assert_eq!(rep.power_timeline.len(), rep.batches.len());
+        for b in &rep.batches {
+            assert!(b.energy_nj > 0.0, "every batch costs joules");
+            assert!(b.power_w() > rep.idle_floor_w, "active power above floor");
+        }
+        // Every sample sits between the idle floor and the worst
+        // single-batch power.
+        let max_batch_w = rep
+            .batches
+            .iter()
+            .map(BatchRecord::power_w)
+            .fold(0.0, f64::max);
+        for s in &rep.power_timeline {
+            assert!(s.power_w >= rep.idle_floor_w * (1.0 - 1e-9));
+            assert!(s.power_w <= max_batch_w * (1.0 + 1e-9));
+        }
+        // Single class: per-class J/request equals the overall figure.
+        let j = rep.class_joules_per_request(0);
+        assert!((j - rep.joules_per_request()).abs() / j < 1e-9);
+    }
+
+    #[test]
+    fn residency_reloads_cost_joules_only_when_modelled() {
+        let reqs: Vec<ServeRequest> = (0..6)
+            .map(|i| req(i, i as f64, (i % 2) as usize, ServiceClass::BEST_EFFORT))
+            .collect();
+        let e = engine(1);
+        let rows = e.tenant_mask_rows(256, 64);
+        let tight = ServeRuntime::new(
+            e.clone(),
+            ServeConfig {
+                residency_rows: Some(rows),
+                ..cfg(1, 0.0)
+            },
+        )
+        .run(&reqs);
+        let free = ServeRuntime::new(e, cfg(1, 0.0)).run(&reqs);
+        let reload_j: f64 = tight.batches.iter().map(|b| b.reload_energy_nj).sum();
+        assert!(reload_j > 0.0, "thrashing tenants pay reload energy");
+        assert!(free.batches.iter().all(|b| b.reload_energy_nj == 0.0));
+        assert!(tight.total_energy_nj() > free.total_energy_nj());
+    }
+
+    #[test]
+    fn power_cap_holds_the_window_and_trades_latency() {
+        let reqs = trace(32, 1);
+        for &policy in &[
+            SchedPolicy::Fifo,
+            SchedPolicy::EarliestDeadlineFirst,
+            SchedPolicy::PriorityWeighted,
+        ] {
+            let base_cfg = ServeConfig {
+                policy,
+                ..cfg(8, 1e9)
+            };
+            let e = engine(1);
+            let uncapped = ServeRuntime::new(e.clone(), base_cfg.clone()).run(&reqs);
+            let peak = uncapped.peak_window_power_w();
+            assert!(peak > uncapped.idle_floor_w);
+            // A cap halfway between the idle floor and the uncapped
+            // peak must bind.
+            let cap = uncapped.idle_floor_w + 0.5 * (peak - uncapped.idle_floor_w);
+            let capped = ServeRuntime::new(
+                e,
+                ServeConfig {
+                    power_budget_w: Some(cap),
+                    ..base_cfg
+                },
+            )
+            .run(&reqs);
+            assert!(
+                capped.peak_window_power_w() <= cap * (1.0 + 1e-9),
+                "{policy:?}: window peak {} exceeds cap {cap}",
+                capped.peak_window_power_w()
+            );
+            assert!(
+                capped.makespan_ns() > uncapped.makespan_ns(),
+                "{policy:?}: cap compliance must cost wall-clock"
+            );
+            // Work is conserved: every request still completes once.
+            assert_eq!(capped.outcomes.len(), reqs.len());
+            let mut ids: Vec<u64> = capped.outcomes.iter().map(|o| o.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), reqs.len());
+        }
+    }
+
+    #[test]
+    fn power_cap_shrinks_batches_before_deferring() {
+        // Backlogged single-tenant traffic coalesces to the cap when
+        // unconstrained; a binding power cap must shrink batches.
+        let reqs = trace(32, 1);
+        let e = engine(1);
+        let uncapped = ServeRuntime::new(e.clone(), cfg(8, 1e9)).run(&reqs);
+        let peak = uncapped.peak_window_power_w();
+        let cap = uncapped.idle_floor_w + 0.4 * (peak - uncapped.idle_floor_w);
+        let capped = ServeRuntime::new(
+            e,
+            ServeConfig {
+                power_budget_w: Some(cap),
+                ..cfg(8, 1e9)
+            },
+        )
+        .run(&reqs);
+        assert!(
+            capped.mean_batch_size() < uncapped.mean_batch_size(),
+            "capped {} vs uncapped {}",
+            capped.mean_batch_size(),
+            uncapped.mean_batch_size()
+        );
+    }
+
+    #[test]
+    fn uncapped_config_is_unaffected_by_power_plumbing() {
+        // power_budget_w: None must leave latency/throughput identical
+        // to the default pipeline (the acceptance bar for the ledger
+        // refactor) — trivially true here because None skips the
+        // governor, but pinned so a regression screams.
+        let reqs = trace(24, 2);
+        let a = ServeRuntime::new(engine(1), cfg(4, 1e6)).run(&reqs);
+        let b = ServeRuntime::new(
+            engine(1),
+            ServeConfig {
+                power_budget_w: None,
+                power_window_ns: 5e5,
+                ..cfg(4, 1e6)
+            },
+        )
+        .run(&reqs);
+        assert_eq!(a.makespan_ns(), b.makespan_ns());
+        assert_eq!(a.throughput_rps(), b.throughput_rps());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.completion_ns, y.completion_ns);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "idle")]
+    fn power_cap_below_the_idle_floor_is_rejected() {
+        let e = engine(4);
+        let floor = e
+            .config()
+            .energy
+            .system_background_power_w(&e.config().dram);
+        let _ = ServeRuntime::new(
+            e,
+            ServeConfig {
+                power_budget_w: Some(floor * 0.5),
+                ..ServeConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power window")]
+    fn non_positive_power_window_is_rejected() {
+        let _ = ServeRuntime::new(
+            engine(1),
+            ServeConfig {
+                power_window_ns: 0.0,
                 ..ServeConfig::default()
             },
         );

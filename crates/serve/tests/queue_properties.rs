@@ -13,7 +13,14 @@
 //! 5. the PriorityWeighted starvation cap bounds how long a low-class
 //!    request can wait before admission;
 //! 6. the scheduler is never clairvoyant: every admitted request had
-//!    arrived by its batch's admission instant.
+//!    arrived by its batch's admission instant;
+//! 7. the engine's energy ledger is conserved: the per-shard dynamic +
+//!    per-rank background attribution entries sum to the exact
+//!    `system_energy_nj` total within 1e-9 relative slack, across
+//!    topologies and launch shapes;
+//! 8. batching never costs joules: J/request under batched admission is
+//!    never above J/request of the serial one-at-a-time configuration
+//!    on the same trace.
 
 use c2m_core::engine::{C2mEngine, EngineConfig};
 use c2m_dram::{BatchWindow, MemoryRequest, RequestQueue, TimingParams};
@@ -304,6 +311,88 @@ fn equal_job_trace(requests: usize, gap_ns: f64, deadline_ns: f64, seed: u64) ->
             equal_job(i as u64, arrival, tenant, class)
         })
         .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Invariant 7: energy-ledger conservation. Every launch's
+    /// per-shard dynamic + per-rank busy/idle background entries sum to
+    /// the exact `system_energy_nj` scalar within 1e-9 relative slack,
+    /// for any channel/rank topology and for both the lone-GEMV and the
+    /// row-sharded batch entry points the serving runtime dispatches
+    /// through.
+    #[test]
+    fn energy_ledger_attribution_is_conserved(
+        (channels, ranks) in (1usize..=4, 1usize..=2),
+        k_blocks in 1usize..5,
+        batch in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut cfg = EngineConfig::c2m(16);
+        cfg.dram.channels = channels;
+        cfg.dram.ranks = ranks;
+        let engine = C2mEngine::new(cfg);
+        let reqs = open_loop(&OpenLoopConfig {
+            tenants: vec![TenantSpec::new(1024, 64 * k_blocks)],
+            requests: batch,
+            mean_interarrival_ns: 1_000.0,
+            seed,
+        });
+        let xs: Vec<&[i64]> = reqs.iter().map(|r| r.x.as_slice()).collect();
+        let reports = [
+            engine.ternary_gemv(xs[0], 1024),
+            engine.ternary_gemv_batch(&xs, 1024),
+        ];
+        for r in &reports {
+            prop_assert_eq!(r.energy.total_nj, r.energy_nj);
+            let rel = ((r.energy.attributed_nj() - r.energy_nj) / r.energy_nj).abs();
+            prop_assert!(
+                rel < 1e-9,
+                "{}x{}: attributed {} vs exact {} (rel {})",
+                channels, ranks, r.energy.attributed_nj(), r.energy_nj, rel
+            );
+        }
+    }
+
+    /// Invariant 8: J/request under batched admission never exceeds
+    /// J/request of the serial one-at-a-time configuration on the same
+    /// trace — per request, a coalesced batch pays counter copy-out
+    /// instead of the per-request bank merge, and the shorter makespan
+    /// burns less background energy.
+    #[test]
+    fn batched_joules_per_request_never_above_serial(
+        channels in 1usize..=4,
+        cap in 2usize..=12,
+        requests in 4usize..24,
+        seed in 0u64..500,
+    ) {
+        let mut cfg = EngineConfig::c2m(16);
+        cfg.dram.channels = channels;
+        let engine = C2mEngine::new(cfg);
+        let reqs = open_loop(&OpenLoopConfig {
+            tenants: vec![TenantSpec::new(1024, 256)],
+            requests,
+            mean_interarrival_ns: 2_000.0,
+            seed,
+        });
+        let serial = ServeRuntime::new(engine.clone(), ServeConfig::default()).run(&reqs);
+        let batched = ServeRuntime::new(
+            engine,
+            ServeConfig {
+                window_ns: 1e9,
+                max_batch: cap,
+                ..ServeConfig::default()
+            },
+        )
+        .run(&reqs);
+        prop_assert!(
+            batched.joules_per_request() <= serial.joules_per_request() * (1.0 + 1e-9),
+            "batched {} J vs serial {} J",
+            batched.joules_per_request(),
+            serial.joules_per_request()
+        );
+    }
 }
 
 fn run_policy(policy: SchedPolicy, reqs: &[ServeRequest]) -> ServeReport {

@@ -3,32 +3,81 @@
 //! Implements the walltime-only subset the workspace's bench harness
 //! uses: [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`]
 //! and the [`criterion_group!`] / [`criterion_main!`] macros. Each
-//! benchmark is timed with `std::time::Instant` over an adaptively-sized
-//! batch and reported as ns/iter — no statistics or plots.
+//! benchmark is timed with `std::time::Instant` over several
+//! adaptively-sized batches and reported as ns/iter with per-benchmark
+//! statistics (min / median / stddev over the batch samples) — enough
+//! to tell walltime noise from a real regression, though still no
+//! outlier rejection or plots.
 //!
 //! Two baseline features are supported:
 //!
 //! * `--save-baseline <name>` (as real criterion accepts) dumps every
-//!   benchmark's ns/iter to `<target>/criterion-baselines/<name>.json`
+//!   benchmark's statistics to `<target>/criterion-baselines/<name>.json`
 //!   so CI can diff walltimes between runs:
 //!
 //!   ```json
-//!   {"baseline":"pr","benchmarks":{"scheduler/10k_aaps_16banks":123.4}}
+//!   {"baseline":"pr","benchmarks":{"scheduler/10k_aaps_16banks":
+//!    {"median":123.4,"min":119.9,"stddev":2.1}}}
 //!   ```
 //!
+//!   (Legacy dumps that stored a bare ns/iter number still parse.)
+//!
 //! * `--baselines-diff <a> <b>` compares two previously saved dumps
-//!   without running any benchmark, printing per-benchmark ns/iter
-//!   delta and percent (`cargo bench --bench criterion_benches --
-//!   --baselines-diff main pr`).
+//!   without running any benchmark, printing per-benchmark median
+//!   ns/iter delta and percent plus each side's min and stddev
+//!   (`cargo bench --bench criterion_benches -- --baselines-diff main
+//!   pr`).
 
 pub use std::hint::black_box;
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// Per-benchmark walltime statistics over the measured batch samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchStats {
+    /// Median ns/iter over the batch samples — the headline number.
+    pub median: f64,
+    /// Fastest batch's ns/iter (the least-noise estimate).
+    pub min: f64,
+    /// Population standard deviation of the batch samples' ns/iter.
+    pub stddev: f64,
+}
+
+impl BenchStats {
+    /// Statistics of a set of per-iteration samples.
+    ///
+    /// Returns NaNs for an empty set.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return BenchStats {
+                median: f64::NAN,
+                min: f64::NAN,
+                stddev: f64::NAN,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let mid = sorted.len() / 2;
+        let median = if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        };
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let var = sorted.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / sorted.len() as f64;
+        BenchStats {
+            median,
+            min: sorted[0],
+            stddev: var.sqrt(),
+        }
+    }
+}
+
 /// Results accumulated across every group of the process, drained by
 /// [`save_baseline_if_requested`] at the end of `criterion_main!`.
-static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+static RESULTS: Mutex<Vec<(String, BenchStats)>> = Mutex::new(Vec::new());
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -41,14 +90,20 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let mut bencher = Bencher {
-            ns_per_iter: f64::NAN,
+            stats: BenchStats::from_samples(&[]),
         };
         f(&mut bencher);
-        println!("{id:<44} {:>14} ns/iter", format_ns(bencher.ns_per_iter));
+        let s = bencher.stats;
+        println!(
+            "{id:<44} {:>14} ns/iter (min {}, \u{b1}{})",
+            format_ns(s.median),
+            format_ns(s.min),
+            format_ns(s.stddev)
+        );
         RESULTS
             .lock()
             .expect("benchmark results poisoned")
-            .push((id.to_string(), bencher.ns_per_iter));
+            .push((id.to_string(), s));
         self
     }
 }
@@ -74,20 +129,24 @@ fn parse_save_baseline<I: Iterator<Item = String>>(mut args: I) -> Option<String
     None
 }
 
-/// Serialises the collected results as a single-line JSON document.
+/// Serialises the collected results as a single-line JSON document:
+/// one `{"median":…,"min":…,"stddev":…}` object per benchmark.
 /// Benchmark ids in this workspace are `group/case` slugs; escaping
 /// covers quotes and backslashes for safety.
-fn baseline_json(name: &str, results: &[(String, f64)]) -> String {
+fn baseline_json(name: &str, results: &[(String, BenchStats)]) -> String {
     fn escape(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
     let mut out = format!("{{\"baseline\":\"{}\",\"benchmarks\":{{", escape(name));
-    for (i, (id, ns)) in results.iter().enumerate() {
+    for (i, (id, s)) in results.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        let value = if ns.is_finite() {
-            format!("{ns:.3}")
+        let value = if s.median.is_finite() {
+            format!(
+                "{{\"median\":{:.3},\"min\":{:.3},\"stddev\":{:.3}}}",
+                s.median, s.min, s.stddev
+            )
         } else {
             "null".to_string()
         };
@@ -160,11 +219,60 @@ fn parse_baselines_diff<I: Iterator<Item = String>>(mut args: I) -> Option<(Stri
     None
 }
 
+/// Parses one benchmark value: either the current
+/// `{"median":…,"min":…,"stddev":…}` object or a legacy bare ns/iter
+/// number (mapped to `median == min`, stddev 0 — a pre-statistics dump
+/// recorded a single measurement).
+fn parse_bench_value(raw: &str) -> Result<Option<BenchStats>, String> {
+    let raw = raw.trim();
+    if raw == "null" {
+        return Ok(None);
+    }
+    if let Some(body) = raw.strip_prefix('{') {
+        let body = body
+            .strip_suffix('}')
+            .ok_or_else(|| format!("unterminated stats object {raw:?}"))?;
+        let mut median = None;
+        let mut min = None;
+        let mut stddev = None;
+        for field in body.split(',') {
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| format!("bad stats field {field:?}"))?;
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad stats value {value:?}: {e}"))?;
+            match key.trim().trim_matches('"') {
+                "median" => median = Some(value),
+                "min" => min = Some(value),
+                "stddev" => stddev = Some(value),
+                other => return Err(format!("unknown stats field {other:?}")),
+            }
+        }
+        let median = median.ok_or("stats object without median")?;
+        return Ok(Some(BenchStats {
+            median,
+            min: min.unwrap_or(median),
+            stddev: stddev.unwrap_or(0.0),
+        }));
+    }
+    let ns: f64 = raw
+        .parse()
+        .map_err(|e| format!("bad ns/iter {raw:?}: {e}"))?;
+    Ok(Some(BenchStats {
+        median: ns,
+        min: ns,
+        stddev: 0.0,
+    }))
+}
+
 /// Parses a dump produced by [`baseline_json`] back into
-/// `(id, ns_per_iter)` pairs (`None` for benchmarks recorded as
+/// `(id, stats)` pairs (`None` for benchmarks recorded as
 /// `null`). A tiny scanner is enough because the shim wrote the file:
-/// the only string escapes are `\"` and `\\`.
-fn parse_baseline_dump(text: &str) -> Result<Vec<(String, Option<f64>)>, String> {
+/// the only string escapes are `\"` and `\\`, and values are flat
+/// stats objects or legacy numbers.
+fn parse_baseline_dump(text: &str) -> Result<Vec<(String, Option<BenchStats>)>, String> {
     let key = "\"benchmarks\":{";
     let start = text
         .find(key)
@@ -192,30 +300,31 @@ fn parse_baseline_dump(text: &str) -> Result<Vec<(String, Option<f64>)>, String>
         rest = rest[value_from..]
             .strip_prefix(':')
             .ok_or("missing value separator")?;
-        let end = rest
-            .find([',', '}'])
-            .ok_or("unterminated benchmarks object")?;
-        let raw = rest[..end].trim();
-        let ns = if raw == "null" {
-            None
+        // A stats object contains no nested braces, so the value ends
+        // at the first ',' or '}' outside it.
+        let end = if rest.starts_with('{') {
+            rest.find('}').ok_or("unterminated stats object")? + 1
         } else {
-            Some(
-                raw.parse::<f64>()
-                    .map_err(|e| format!("bad ns/iter {raw:?}: {e}"))?,
-            )
+            rest.find([',', '}'])
+                .ok_or("unterminated benchmarks object")?
         };
-        out.push((id, ns));
-        rest = rest[end..].strip_prefix(',').unwrap_or(&rest[end..]);
+        out.push((id, parse_bench_value(&rest[..end])?));
+        rest = rest[end..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest);
     }
     Ok(out)
 }
 
-/// Renders the per-benchmark comparison of two parsed dumps: ns/iter of
-/// each side, delta, and percent relative to `a`. Benchmarks present on
-/// only one side are reported as `n/a`.
-fn diff_lines(a: &[(String, Option<f64>)], b: &[(String, Option<f64>)]) -> Vec<String> {
-    let lookup = |set: &[(String, Option<f64>)], id: &str| -> Option<f64> {
-        set.iter().find(|(i, _)| i == id).and_then(|(_, ns)| *ns)
+/// Renders the per-benchmark comparison of two parsed dumps: median
+/// ns/iter of each side, delta and percent relative to `a`, then each
+/// side's min and stddev so a delta inside the noise band is visible
+/// as such. Benchmarks present on only one side are reported as `n/a`.
+fn diff_lines(
+    a: &[(String, Option<BenchStats>)],
+    b: &[(String, Option<BenchStats>)],
+) -> Vec<String> {
+    let lookup = |set: &[(String, Option<BenchStats>)], id: &str| -> Option<BenchStats> {
+        set.iter().find(|(i, _)| i == id).and_then(|(_, s)| *s)
     };
     let mut ids: Vec<&String> = a.iter().map(|(id, _)| id).collect();
     for (id, _) in b {
@@ -228,21 +337,33 @@ fn diff_lines(a: &[(String, Option<f64>)], b: &[(String, Option<f64>)]) -> Vec<S
             let (x, y) = (lookup(a, id), lookup(b, id));
             match (x, y) {
                 (Some(x), Some(y)) => {
-                    let delta = y - x;
-                    let pct = if x == 0.0 { 0.0 } else { delta / x * 100.0 };
+                    let delta = y.median - x.median;
+                    let pct = if x.median == 0.0 {
+                        0.0
+                    } else {
+                        delta / x.median * 100.0
+                    };
                     format!(
-                        "{id:<44} {:>14} {:>14} {:>14} {pct:>+9.2}%",
-                        format_ns(x),
-                        format_ns(y),
+                        "{id:<44} {:>14} {:>14} {:>14} {pct:>+9.2}% {:>14} {:>14} {:>10} {:>10}",
+                        format_ns(x.median),
+                        format_ns(y.median),
                         format_ns_signed(delta),
+                        format_ns(x.min),
+                        format_ns(y.min),
+                        format_ns(x.stddev),
+                        format_ns(y.stddev),
                     )
                 }
                 _ => format!(
-                    "{id:<44} {:>14} {:>14} {:>14} {:>10}",
-                    x.map_or_else(|| "n/a".into(), format_ns),
-                    y.map_or_else(|| "n/a".into(), format_ns),
+                    "{id:<44} {:>14} {:>14} {:>14} {:>10} {:>14} {:>14} {:>10} {:>10}",
+                    x.map_or_else(|| "n/a".into(), |s| format_ns(s.median)),
+                    y.map_or_else(|| "n/a".into(), |s| format_ns(s.median)),
                     "n/a",
-                    "n/a"
+                    "n/a",
+                    x.map_or_else(|| "n/a".into(), |s| format_ns(s.min)),
+                    y.map_or_else(|| "n/a".into(), |s| format_ns(s.min)),
+                    x.map_or_else(|| "n/a".into(), |s| format_ns(s.stddev)),
+                    y.map_or_else(|| "n/a".into(), |s| format_ns(s.stddev)),
                 ),
             }
         })
@@ -266,7 +387,7 @@ pub fn baselines_diff_if_requested() -> bool {
         return false;
     };
     let dir = target_dir().join("criterion-baselines");
-    let load = |name: &str| -> Vec<(String, Option<f64>)> {
+    let load = |name: &str| -> Vec<(String, Option<BenchStats>)> {
         let path = dir.join(format!("{name}.json"));
         match std::fs::read_to_string(&path) {
             Ok(text) => match parse_baseline_dump(&text) {
@@ -284,12 +405,16 @@ pub fn baselines_diff_if_requested() -> bool {
     };
     let (rows_a, rows_b) = (load(&a), load(&b));
     println!(
-        "{:<44} {:>14} {:>14} {:>14} {:>10}",
+        "{:<44} {:>14} {:>14} {:>14} {:>10} {:>14} {:>14} {:>10} {:>10}",
         "benchmark",
-        format!("{a} ns/iter"),
-        format!("{b} ns/iter"),
+        format!("{a} med"),
+        format!("{b} med"),
         "delta ns",
-        "delta %"
+        "delta %",
+        format!("{a} min"),
+        format!("{b} min"),
+        format!("{a} sd"),
+        format!("{b} sd"),
     );
     for line in diff_lines(&rows_a, &rows_b) {
         println!("{line}");
@@ -318,28 +443,31 @@ fn format_ns(ns: f64) -> String {
 /// Per-benchmark timing handle passed to the closure.
 #[derive(Debug)]
 pub struct Bencher {
-    ns_per_iter: f64,
+    stats: BenchStats,
 }
 
 impl Bencher {
-    /// Times `routine`, growing the batch size until the measurement
-    /// window is long enough to trust (~50 ms or 1M iterations).
+    /// Times `routine`: grows the batch size until one measurement
+    /// window is long enough to trust (~12 ms or 1M iterations), then
+    /// takes several same-sized batches and records min / median /
+    /// stddev over them — so a saved baseline carries the noise floor
+    /// next to the headline number.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up.
         for _ in 0..3 {
             black_box(routine());
         }
-        let target = Duration::from_millis(50);
+        const BATCHES: usize = 5;
+        let target = Duration::from_millis(12);
         let mut iters: u64 = 1;
-        loop {
+        let calibrated = loop {
             let start = Instant::now();
             for _ in 0..iters {
                 black_box(routine());
             }
             let elapsed = start.elapsed();
             if elapsed >= target || iters >= 1_000_000 {
-                self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
-                return;
+                break elapsed.as_nanos() as f64 / iters as f64;
             }
             let grow = if elapsed.is_zero() {
                 iters * 100
@@ -348,7 +476,17 @@ impl Bencher {
                 ((iters as f64 * scale * 1.2) as u64).max(iters + 1)
             };
             iters = grow.min(1_000_000);
+        };
+        // The calibration window is itself a full-size sample.
+        let mut samples = vec![calibrated];
+        for _ in 1..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
         }
+        self.stats = BenchStats::from_samples(&samples);
     }
 }
 
@@ -423,20 +561,34 @@ mod tests {
         assert_eq!(parse_baselines_diff(args(&["--save-baseline", "a"])), None);
     }
 
+    fn stats(median: f64, min: f64, stddev: f64) -> BenchStats {
+        BenchStats {
+            median,
+            min,
+            stddev,
+        }
+    }
+
     #[test]
     fn baseline_dump_round_trips_through_the_parser() {
         let rows = vec![
-            ("scheduler/10k".to_string(), 123.456),
-            ("iarm \"q\\z\"".to_string(), f64::NAN),
-            ("plain".to_string(), 7.0),
+            ("scheduler/10k".to_string(), stats(123.456, 120.5, 2.25)),
+            (
+                "iarm \"q\\z\"".to_string(),
+                stats(f64::NAN, f64::NAN, f64::NAN),
+            ),
+            ("plain".to_string(), stats(7.0, 7.0, 0.0)),
         ];
         let parsed = parse_baseline_dump(&baseline_json("pr", &rows)).expect("parses");
         assert_eq!(
             parsed,
             vec![
-                ("scheduler/10k".to_string(), Some(123.456)),
+                (
+                    "scheduler/10k".to_string(),
+                    Some(stats(123.456, 120.5, 2.25))
+                ),
                 ("iarm \"q\\z\"".to_string(), None),
-                ("plain".to_string(), Some(7.0)),
+                ("plain".to_string(), Some(stats(7.0, 7.0, 0.0))),
             ]
         );
         // Empty dumps parse to nothing.
@@ -448,25 +600,60 @@ mod tests {
     }
 
     #[test]
-    fn diff_reports_delta_and_percent() {
+    fn legacy_scalar_dumps_still_parse() {
+        // Dumps saved before the statistics upgrade stored a bare
+        // ns/iter number; they map to median == min with zero stddev.
+        let parsed = parse_baseline_dump(
+            "{\"baseline\":\"old\",\"benchmarks\":{\"a\":123.456,\"b\":null,\"c\":7.0}}",
+        )
+        .expect("parses");
+        assert_eq!(
+            parsed,
+            vec![
+                ("a".to_string(), Some(stats(123.456, 123.456, 0.0))),
+                ("b".to_string(), None),
+                ("c".to_string(), Some(stats(7.0, 7.0, 0.0))),
+            ]
+        );
+    }
+
+    #[test]
+    fn bench_stats_order_statistics() {
+        let s = BenchStats::from_samples(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        // Population stddev of {1,3,5} = sqrt(8/3).
+        assert!((s.stddev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        // Even-length median averages the middle pair.
+        let e = BenchStats::from_samples(&[4.0, 2.0, 8.0, 6.0]);
+        assert_eq!(e.median, 5.0);
+        assert!(BenchStats::from_samples(&[]).median.is_nan());
+    }
+
+    #[test]
+    fn diff_reports_delta_percent_and_noise_columns() {
         let a = vec![
-            ("k".to_string(), Some(100.0)),
-            ("only_a".to_string(), Some(1.0)),
+            ("k".to_string(), Some(stats(100.0, 95.0, 3.0))),
+            ("only_a".to_string(), Some(stats(1.0, 1.0, 0.0))),
         ];
         let b = vec![
-            ("k".to_string(), Some(150.0)),
-            ("only_b".to_string(), Some(2.0)),
+            ("k".to_string(), Some(stats(150.0, 140.0, 4.5))),
+            ("only_b".to_string(), Some(stats(2.0, 2.0, 0.0))),
         ];
         let lines = diff_lines(&a, &b);
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("+50.00%"), "line: {}", lines[0]);
         assert!(lines[0].contains("+50.0"), "line: {}", lines[0]);
+        // The min and stddev columns ride along.
+        assert!(lines[0].contains("95.00"), "line: {}", lines[0]);
+        assert!(lines[0].contains("140"), "line: {}", lines[0]);
+        assert!(lines[0].contains("4.50"), "line: {}", lines[0]);
         assert!(lines[1].contains("n/a"), "line: {}", lines[1]);
         assert!(lines[2].contains("n/a"), "line: {}", lines[2]);
         // A regression and an improvement carry opposite signs.
         let down = diff_lines(
-            &[("k".to_string(), Some(200.0))],
-            &[("k".to_string(), Some(100.0))],
+            &[("k".to_string(), Some(stats(200.0, 200.0, 0.0)))],
+            &[("k".to_string(), Some(stats(100.0, 100.0, 0.0)))],
         );
         assert!(down[0].contains("-50.00%"), "line: {}", down[0]);
     }
@@ -474,13 +661,18 @@ mod tests {
     #[test]
     fn baseline_json_is_valid_and_ordered() {
         let rows = vec![
-            ("scheduler/10k".to_string(), 123.456),
-            ("iarm \"q\"".to_string(), f64::NAN),
+            ("scheduler/10k".to_string(), stats(123.456, 120.0, 2.5)),
+            (
+                "iarm \"q\"".to_string(),
+                stats(f64::NAN, f64::NAN, f64::NAN),
+            ),
         ];
         let json = baseline_json("pr", &rows);
         assert_eq!(
             json,
-            "{\"baseline\":\"pr\",\"benchmarks\":{\"scheduler/10k\":123.456,\"iarm \\\"q\\\"\":null}}"
+            "{\"baseline\":\"pr\",\"benchmarks\":{\"scheduler/10k\":\
+             {\"median\":123.456,\"min\":120.000,\"stddev\":2.500},\
+             \"iarm \\\"q\\\"\":null}}"
         );
     }
 }

@@ -13,9 +13,12 @@
 //! representation. `vec(...)` strategies shrink too — the *length*
 //! halves toward its lower bound first (dropping trailing elements),
 //! then the surviving elements shrink left to right with their element
-//! strategy. Other strategies (floats, `any`) report the originally
-//! generated value. Generation is deterministic — case `i` of test `f`
-//! always sees the same inputs, so CI failures reproduce locally.
+//! strategy. Float range strategies shrink by halving toward 0.0 (or
+//! toward the range's boundary nearest zero when the range excludes
+//! it), stopping at the range edge or once halving no longer moves the
+//! value. Only `any` still reports the originally generated value.
+//! Generation is deterministic — case `i` of test `f` always sees the
+//! same inputs, so CI failures reproduce locally.
 
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
@@ -148,6 +151,28 @@ macro_rules! impl_float_range_strategy {
 
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, v: &$t) -> Option<$t> {
+                // Halve toward 0.0 — or toward the range boundary
+                // nearest zero when the range excludes zero — so a
+                // failing float reports a small reproducer instead of
+                // the raw generated value. The chain stops once a step
+                // would leave the range or no longer moves the value
+                // (the runner bounds the chain length anyway).
+                let target: $t = if self.start > 0.0 {
+                    self.start
+                } else if self.end <= 0.0 {
+                    // end is exclusive, so aim just inside it.
+                    self.end
+                } else {
+                    0.0
+                };
+                let next = target + (*v - target) / 2.0;
+                if next == *v || !(self.start..self.end).contains(&next) {
+                    return None;
+                }
+                Some(next)
             }
         }
     )*};
@@ -604,6 +629,68 @@ mod tests {
         let inc = 2u32..=64;
         assert_eq!(Strategy::shrink(&inc, &64), Some(33));
         assert_eq!(Strategy::shrink(&inc, &2), None);
+    }
+
+    #[test]
+    fn float_ranges_shrink_toward_zero_by_halving() {
+        // A zero-spanning range halves straight toward 0.0.
+        let s = -1.0e9f64..1.0e9;
+        assert_eq!(Strategy::shrink(&s, &800.0), Some(400.0));
+        assert_eq!(Strategy::shrink(&s, &-800.0), Some(-400.0));
+        let mut v = 6.4e8f64;
+        let mut steps = 0;
+        while let Some(n) = Strategy::shrink(&s, &v) {
+            assert!(n.abs() < v.abs(), "progress: {n} from {v}");
+            assert!((-1.0e9..1.0e9).contains(&n), "stays in range: {n}");
+            v = n;
+            steps += 1;
+            if steps >= 200 {
+                break;
+            }
+        }
+        assert!(v.abs() < 1.0, "chain approaches zero, got {v}");
+
+        // A positive range halves toward its lower bound instead.
+        let pos = 5.0f64..100.0;
+        assert_eq!(Strategy::shrink(&pos, &85.0), Some(45.0));
+        assert_eq!(Strategy::shrink(&pos, &5.0), None);
+        // A negative range halves toward its upper (nearest-zero) edge
+        // and never leaves the exclusive bound.
+        let neg = -100.0f64..-10.0;
+        let n = Strategy::shrink(&neg, &-80.0).expect("shrinks");
+        assert!((-80.0..-10.0).contains(&n), "moved toward -10: {n}");
+        // f32 shrinks the same way.
+        assert_eq!(Strategy::shrink(&(0.0f32..8.0), &4.0f32), Some(2.0f32));
+    }
+
+    #[test]
+    fn failing_float_case_reports_minimised_input() {
+        // Property "|x| < 10" over the full range: the halving chain
+        // from any failing seed lands just at/above the boundary
+        // instead of reporting the raw 8-digit seed.
+        let strategy = (-1.0e9f64..1.0e9,);
+        let case = |vals: &(f64,)| -> Result<(), TestCaseError> {
+            assert!(vals.0.abs() < 10.0, "too big: {}", vals.0);
+            Ok(())
+        };
+        let payload = std::panic::catch_unwind(|| {
+            crate::__shrink_and_fail("float_demo", &strategy, (5.12e8,), &case)
+        })
+        .expect_err("must re-panic after shrinking");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("shim panics with a formatted String");
+        let v: f64 = msg
+            .split("minimal failing input: (")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .expect("payload carries the input")
+            .parse()
+            .expect("a float");
+        assert!(
+            (10.0..20.0).contains(&v),
+            "minimised to the boundary decade, got {v} in {msg}"
+        );
     }
 
     #[test]
