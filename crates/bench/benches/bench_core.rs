@@ -1,0 +1,82 @@
+//! Engine-level pricing benchmarks recording the plan/pricing-cache
+//! trajectory: every kernel is measured twice, once against a warm
+//! shared [`PlanCache`] (the steady state a sweep or serving loop
+//! sees) and once with caching disabled (the seed pricing path). The
+//! committed `BENCH_core.json` at the repository root is this target's
+//! saved baseline:
+//!
+//! ```console
+//! $ CRITERION_BASELINE_DIR=. cargo bench -p c2m_bench --bench bench_core -- --save-baseline BENCH_core
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use c2m_core::cache::PlanCache;
+use c2m_core::engine::{C2mEngine, EngineConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::sync::Arc;
+
+fn stream(k: usize, seed: u64) -> Vec<i64> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    (0..k).map(|_| rng.gen_range(-128i64..128)).collect()
+}
+
+fn cached_engine(cache: &Arc<PlanCache>) -> C2mEngine {
+    let mut cfg = EngineConfig::c2m(16);
+    cfg.dram.channels = 4;
+    C2mEngine::builder(cfg)
+        .shared_cache(Arc::clone(cache))
+        .build()
+}
+
+fn uncached_engine() -> C2mEngine {
+    let mut cfg = EngineConfig::c2m(16);
+    cfg.dram.channels = 4;
+    C2mEngine::builder(cfg).no_cache().build()
+}
+
+fn bench_gemv(c: &mut Criterion) {
+    let xs = stream(2048, 0xC0DE);
+    let cache = Arc::new(PlanCache::default());
+    let warm = cached_engine(&cache);
+    let _ = warm.ternary_gemv(&xs, 1024); // pay the compulsory misses
+    c.bench_function("engine/gemv_2048_warm_cache", |b| {
+        b.iter(|| warm.ternary_gemv(black_box(&xs), 1024))
+    });
+    let cold = uncached_engine();
+    c.bench_function("engine/gemv_2048_uncached", |b| {
+        b.iter(|| cold.ternary_gemv(black_box(&xs), 1024))
+    });
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let xs = stream(2048, 0xD00D);
+    let cache = Arc::new(PlanCache::default());
+    let warm = cached_engine(&cache);
+    let _ = warm.ternary_gemm(16, 1024, &xs);
+    c.bench_function("engine/gemm_16x1024_warm_cache", |b| {
+        b.iter(|| warm.ternary_gemm(16, 1024, black_box(&xs)))
+    });
+    let cold = uncached_engine();
+    c.bench_function("engine/gemm_16x1024_uncached", |b| {
+        b.iter(|| cold.ternary_gemm(16, 1024, black_box(&xs)))
+    });
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mates: Vec<Vec<i64>> = (0..8).map(|i| stream(1024, 0xBA7C + i)).collect();
+    let cache = Arc::new(PlanCache::default());
+    let warm = cached_engine(&cache);
+    let _ = warm.ternary_gemv_batch(&mates, 512);
+    c.bench_function("engine/batch8_1024_warm_cache", |b| {
+        b.iter(|| warm.ternary_gemv_batch(black_box(&mates), 512))
+    });
+    let cold = uncached_engine();
+    c.bench_function("engine/batch8_1024_uncached", |b| {
+        b.iter(|| cold.ternary_gemv_batch(black_box(&mates), 512))
+    });
+}
+
+criterion_group!(benches, bench_gemv, bench_gemm, bench_batch);
+criterion_main!(benches);

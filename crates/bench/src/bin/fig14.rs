@@ -29,7 +29,7 @@ fn main() {
     );
     let gpu = GpuModel::rtx_3090_ti();
     let simdram = SimdramEngine::x(16);
-    let c2m = C2mEngine::new(EngineConfig::c2m(16));
+    let c2m = C2mEngine::builder(EngineConfig::c2m(16)).build();
 
     println!(
         "\n{:>4} | {:>10} {:>10} {:>10} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",

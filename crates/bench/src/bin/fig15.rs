@@ -46,7 +46,7 @@ fn main() {
         let mut c_gops = [0.0; 3];
         for (i, &b) in banks.iter().enumerate() {
             let s = SimdramEngine::x(b).ternary_gemm(shape.m, shape.n, shape.k);
-            let e = C2mEngine::new(EngineConfig::c2m(b));
+            let e = C2mEngine::builder(EngineConfig::c2m(b)).build();
             let c = if shape.is_gemv() {
                 e.ternary_gemv(&x, shape.n)
             } else {

@@ -28,7 +28,7 @@ struct SweepRow {
 fn sweep(shape: c2m_workloads::llama::GemmShape) -> Vec<SweepRow> {
     let gpu = GpuModel::rtx_3090_ti();
     let simdram = SimdramEngine::x(16);
-    let c2m = C2mEngine::new(EngineConfig::c2m(16));
+    let c2m = C2mEngine::builder(EngineConfig::c2m(16)).build();
     let g = gpu.gemm(shape.m, shape.n, shape.k);
     let s = simdram.ternary_gemm(shape.m, shape.n, shape.k);
     let nominal = shape.useful_ops() as f64;

@@ -128,6 +128,7 @@ fn empty_total() -> ExecutionReport {
         useful_ops: 0,
         area_mm2: 0.0,
         energy: EnergyBreakdown::default(),
+        cache: c2m_dram::CacheCounters::default(),
     }
 }
 
@@ -172,8 +173,8 @@ struct Fig18Row {
 
 fn main() {
     header("fig18", "Full workloads incl. protection scheme overhead");
-    let c2m = C2mEngine::new(EngineConfig::c2m(16));
-    let protected = C2mEngine::new(EngineConfig::c2m_protected(16));
+    let c2m = C2mEngine::builder(EngineConfig::c2m(16)).build();
+    let protected = C2mEngine::builder(EngineConfig::c2m_protected(16)).build();
 
     println!(
         "\n{:>9} | {:>11} {:>11} {:>11} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",

@@ -9,11 +9,13 @@
 
 use c2m_bench::{eng, header, maybe_json};
 use c2m_cim::Backend;
+use c2m_core::cache::PlanCache;
 use c2m_core::engine::{C2mEngine, EngineConfig};
 use c2m_core::shard::BackendPolicy;
 use c2m_workloads::distributions::int8_embeddings;
 use c2m_workloads::llama::{GEMM_SHAPES, GEMV_SHAPES};
 use serde::Serialize;
+use std::sync::Arc;
 
 #[derive(Serialize)]
 struct ScalingRow {
@@ -28,7 +30,7 @@ struct ScalingRow {
     gemm_speedup: f64,
 }
 
-fn run(policy: &BackendPolicy, label: &str, rows: &mut Vec<ScalingRow>) {
+fn run(policy: &BackendPolicy, label: &str, cache: &Arc<PlanCache>, rows: &mut Vec<ScalingRow>) {
     let gemv_shape = GEMV_SHAPES[0]; // V0: 1 x 22016 x 8192
     let gemm_shape = GEMM_SHAPES[2]; // M2: 8192 x 8192 x 8192
     let x_gemv = int8_embeddings(gemv_shape.k, 0x5CA1);
@@ -39,7 +41,13 @@ fn run(policy: &BackendPolicy, label: &str, rows: &mut Vec<ScalingRow>) {
     for channels in [1usize, 2, 4, 8] {
         let mut cfg = EngineConfig::c2m(16);
         cfg.dram.channels = channels;
-        let engine = C2mEngine::with_backends(cfg, policy.clone());
+        // All sweep points share one cache: the input streams repeat
+        // across channel counts and policies, so only the first point
+        // pays the IARM planning pass.
+        let engine = C2mEngine::builder(cfg)
+            .backends(policy.clone())
+            .shared_cache(Arc::clone(cache))
+            .build();
         let gemv = engine.ternary_gemv(&x_gemv, gemv_shape.n);
         let gemm = engine.ternary_gemm(gemm_shape.m, gemm_shape.n, &x_gemm);
         if channels == 1 {
@@ -82,15 +90,23 @@ fn main() {
         "dispatch", "ch", "gemv ms", "gops", "speedup", "gemm ms", "gops", "speedup"
     );
     let mut rows = Vec::new();
-    run(&BackendPolicy::Uniform(Backend::Ambit), "Ambit", &mut rows);
+    let cache = Arc::new(PlanCache::default());
+    run(
+        &BackendPolicy::Uniform(Backend::Ambit),
+        "Ambit",
+        &cache,
+        &mut rows,
+    );
     run(
         &BackendPolicy::Uniform(Backend::Fcdram),
         "FCDRAM",
+        &cache,
         &mut rows,
     );
     run(
         &BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]),
         "Ambit+FCDRAM",
+        &cache,
         &mut rows,
     );
 

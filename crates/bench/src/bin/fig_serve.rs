@@ -33,6 +33,7 @@
 
 use c2m_bench::{eng, header, maybe_json};
 use c2m_cim::Backend;
+use c2m_core::cache::PlanCache;
 use c2m_core::engine::{C2mEngine, EngineConfig};
 use c2m_core::shard::BackendPolicy;
 use c2m_serve::{
@@ -40,6 +41,7 @@ use c2m_serve::{
     TenantSpec,
 };
 use serde::Serialize;
+use std::sync::Arc;
 
 #[derive(Serialize)]
 struct ServeRow {
@@ -112,16 +114,25 @@ fn slo_workload() -> Vec<ServeRequest> {
     })
 }
 
-fn engine(channels: usize, policy: &BackendPolicy, weighted: bool) -> C2mEngine {
+/// Every swept engine shares one plan/pricing cache: the trace is the
+/// same across configuration points, so after the first run each
+/// request's IARM pricing is a cache hit (radix/digits are identical
+/// everywhere; plans key on topology/policy/sizing and stay distinct).
+fn engine(
+    channels: usize,
+    policy: &BackendPolicy,
+    weighted: bool,
+    cache: &Arc<PlanCache>,
+) -> C2mEngine {
     let mut cfg = EngineConfig::c2m(16);
     cfg.dram.channels = channels;
-    let e = C2mEngine::with_backends(cfg, policy.clone());
+    let mut b = C2mEngine::builder(cfg)
+        .backends(policy.clone())
+        .shared_cache(Arc::clone(cache));
     if weighted {
-        let w = e.heterogeneity_weights();
-        e.with_shard_sizing(w)
-    } else {
-        e
+        b = b.balanced_sizing();
     }
+    b.build()
 }
 
 fn policy_name(policy: SchedPolicy) -> &'static str {
@@ -138,6 +149,7 @@ fn run(
     channels: usize,
     backend: (&BackendPolicy, &str, bool),
     cfg: ServeConfig,
+    cache: &Arc<PlanCache>,
     rows: &mut Vec<ServeRow>,
 ) {
     let (backend_policy, dispatch, weighted) = backend;
@@ -145,7 +157,7 @@ fn run(
     let max_batch = cfg.max_batch;
     let policy = cfg.policy;
     let cap_w = cfg.power_budget_w.unwrap_or(0.0);
-    let runtime = ServeRuntime::new(engine(channels, backend_policy, weighted), cfg);
+    let runtime = ServeRuntime::new(engine(channels, backend_policy, weighted, cache), cfg);
     let rep = runtime.run(trace);
     let pcts = rep.latency_percentiles_ns(&[50.0, 95.0, 99.0]);
     let classes = rep.class_stats();
@@ -239,6 +251,7 @@ fn main() {
     // policies, not inputs.
     let trace = workload();
     let mut rows = Vec::new();
+    let cache = Arc::new(PlanCache::default());
 
     let batched = |max_batch: usize| ServeConfig {
         window_ns: if max_batch > 1 { 1e9 } else { 0.0 },
@@ -255,6 +268,7 @@ fn main() {
                 channels,
                 (&ambit, "Ambit", false),
                 batched(b),
+                &cache,
                 &mut rows,
             );
         }
@@ -270,6 +284,7 @@ fn main() {
                 async_planner,
                 ..batched(8)
             },
+            &cache,
             &mut rows,
         );
     }
@@ -282,6 +297,7 @@ fn main() {
             4,
             (&mixed, "Ambit+FCDRAM", weighted),
             batched(16),
+            &cache,
             &mut rows,
         );
     }
@@ -307,12 +323,13 @@ fn main() {
                 max_wait_ns: 10e6,
                 ..batched(8)
             },
+            &cache,
             &mut rows,
         );
     }
     // Sweep 5: the same overload with tenant weight residency at a
     // two-tenant mask budget — switches now pay a mask-plane reload.
-    let slo_engine = engine(1, &ambit, false);
+    let slo_engine = engine(1, &ambit, false, &cache);
     let budget = 2 * slo_engine.tenant_mask_rows(1024, 512);
     for &policy in &policies {
         run(
@@ -326,6 +343,7 @@ fn main() {
                 residency_rows: Some(budget),
                 ..batched(8)
             },
+            &cache,
             &mut rows,
         );
     }
@@ -342,7 +360,7 @@ fn main() {
         ..batched(max_batch)
     };
     let probe = ServeRuntime::new(
-        engine(1, &ambit, false),
+        engine(1, &ambit, false, &cache),
         energy_cfg(SchedPolicy::Fifo, 8, None),
     )
     .run(&slo_trace);
@@ -362,6 +380,7 @@ fn main() {
                     1,
                     (&ambit, "Ambit", false),
                     energy_cfg(policy, b, cap),
+                    &cache,
                     &mut rows,
                 );
             }

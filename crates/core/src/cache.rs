@@ -1,0 +1,350 @@
+//! Keyed memoisation of shard plans and stream pricing.
+//!
+//! Fleet-scale traces (ROADMAP direction 3: millions of served
+//! requests) re-price the same (shape, topology, backend-mix) tuple on
+//! every batch, and in steady-state serving the same input streams come
+//! back again and again — through the serve layer's plan pass, the
+//! engine launch, and the power governor's trial-pricing loop. Both
+//! recomputations are *exact* to memoise:
+//!
+//! * **Shard plans** are a pure function of `(axis, extent, topology,
+//!   backend policy, sizing)` — the [`PlanKey`]. The cache stores the
+//!   built [`ShardPlan`] behind an `Arc` and hands it out on repeats.
+//! * **Stream pricing** (the IARM/full-ripple sequence count of
+//!   [`crate::engine::C2mEngine::sequences_for_stream`]) is a pure
+//!   function of `(radix, digits, iarm-flag, stream values)`. Because
+//!   the count depends on the input *values* — the planner really runs
+//!   over them — the cache keys on the full stream content: an entry is
+//!   only served after an exact slice comparison against the stored
+//!   stream, so a cached path can never return anything the uncached
+//!   path would not have computed. (The hash bucketing is just an
+//!   index; correctness never rests on it.)
+//!
+//! A [`PlanCache`] is interior-mutable and thread-safe, so one handle
+//! can be shared by every engine of a sweep (see
+//! [`EngineBuilder::shared_cache`](crate::engine::EngineBuilder::shared_cache))
+//! and by the parallel per-shard pricing loops. Hit/miss tallies are
+//! surfaced through [`CacheCounters`] on every
+//! [`ExecutionReport`](c2m_dram::ExecutionReport).
+
+use crate::shard::{BackendPolicy, ShardAxis, ShardPlan, ShardSizing};
+use c2m_dram::CacheCounters;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sizing limits for a [`PlanCache`]. Both maps use epoch eviction:
+/// when a map would exceed its cap the whole map is cleared — trivially
+/// correct (a cleared entry is just a future miss) and O(1) amortised,
+/// which suits the steady-state traces the cache exists for (a working
+/// set either fits or churns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum distinct shard plans retained.
+    pub max_plans: usize,
+    /// Maximum distinct priced streams retained. Each entry owns a copy
+    /// of its stream, so memory is bounded by `max_streams × longest
+    /// stream`.
+    pub max_streams: usize,
+}
+
+impl Default for CacheConfig {
+    /// 1024 plans / 8192 streams: a steady-state serving working set
+    /// (tens of tenants × shapes) fits with two orders of magnitude to
+    /// spare, while the worst case stays a few hundred MB.
+    fn default() -> Self {
+        Self {
+            max_plans: 1024,
+            max_streams: 8192,
+        }
+    }
+}
+
+/// Cache key of one shard plan: everything
+/// [`ShardPlanner`](crate::shard::ShardPlanner) reads when splitting an
+/// axis. `topology_fp` is the exact packed encoding of
+/// [`Topology::fingerprint`](c2m_dram::Topology::fingerprint), and
+/// `sizing` holds the weight bit patterns of a
+/// [`ShardSizing::Weighted`] (empty for [`ShardSizing::Even`]) so the
+/// key stays hashable without losing any f64 exactness.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Partitioned kernel axis.
+    pub axis: ShardAxis,
+    /// Axis extent (rows, K, or plane count).
+    pub total: usize,
+    /// Packed topology geometry.
+    pub topology_fp: u64,
+    /// Backend dispatch policy.
+    pub policy: BackendPolicy,
+    /// Weight bit patterns (empty = even sizing).
+    pub sizing: Vec<u64>,
+}
+
+impl PlanKey {
+    /// Encodes a sizing policy into the key's weight-bits form.
+    #[must_use]
+    pub fn sizing_bits(sizing: &ShardSizing) -> Vec<u64> {
+        match sizing {
+            ShardSizing::Even => Vec::new(),
+            ShardSizing::Weighted(w) => w.iter().map(|v| v.to_bits()).collect(),
+        }
+    }
+}
+
+/// Identity of a priced stream: the engine parameters
+/// [`sequences_for_stream`](crate::engine::C2mEngine::sequences_for_stream)
+/// reads, plus whether the stream is the doubled ternary form of the
+/// stored values (`x` then `−x`), so ternary callers can key on the
+/// undoubled input and skip materialising the doubled copy on a hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct StreamParams {
+    radix: usize,
+    digits: usize,
+    iarm: bool,
+    doubled: bool,
+}
+
+#[derive(Debug)]
+struct StreamEntry {
+    params: StreamParams,
+    xs: Box<[i64]>,
+    seqs: u64,
+}
+
+/// Thread-safe memo table for shard plans and stream sequence counts.
+///
+/// Cached results are bit-for-bit identical to uncached computation by
+/// construction: plans are served only on full [`PlanKey`] equality,
+/// stream counts only after comparing the stored stream's values (and
+/// parameters) with the query's. Collisions in the index hash therefore
+/// cost a recomputation, never an incorrect answer.
+#[derive(Debug)]
+pub struct PlanCache {
+    cfg: CacheConfig,
+    plans: Mutex<HashMap<PlanKey, Arc<ShardPlan>>>,
+    streams: Mutex<HashMap<u64, StreamEntry>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    stream_hits: AtomicU64,
+    stream_misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new(CacheConfig::default())
+    }
+}
+
+impl PlanCache {
+    /// An empty cache with the given limits.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        Self {
+            cfg,
+            plans: Mutex::new(HashMap::new()),
+            streams: Mutex::new(HashMap::new()),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            stream_hits: AtomicU64::new(0),
+            stream_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The limits in force.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Cumulative hit/miss tallies.
+    #[must_use]
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            stream_hits: self.stream_hits.load(Ordering::Relaxed),
+            stream_misses: self.stream_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every entry (tallies are kept — they count lookups, not
+    /// contents).
+    pub fn clear(&self) {
+        self.plans.lock().expect("plan cache poisoned").clear();
+        self.streams.lock().expect("stream cache poisoned").clear();
+    }
+
+    /// The plan under `key`, building it with `build` on a miss.
+    pub fn plan(&self, key: &PlanKey, build: impl FnOnce() -> ShardPlan) -> Arc<ShardPlan> {
+        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(key) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(plan);
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(build());
+        let mut map = self.plans.lock().expect("plan cache poisoned");
+        if map.len() >= self.cfg.max_plans {
+            map.clear();
+        }
+        map.insert(key.clone(), Arc::clone(&plan));
+        plan
+    }
+
+    /// The sequence count of the stream identified by
+    /// `(radix, digits, iarm, doubled, xs)`, computing it with `compute`
+    /// on a miss. `xs` is the *undoubled* values when `doubled` is true;
+    /// `compute` receives nothing and must price the effective stream.
+    pub fn sequences(
+        &self,
+        radix: usize,
+        digits: usize,
+        iarm: bool,
+        doubled: bool,
+        xs: &[i64],
+        compute: impl FnOnce() -> u64,
+    ) -> u64 {
+        let params = StreamParams {
+            radix,
+            digits,
+            iarm,
+            doubled,
+        };
+        let index = stream_index(params, xs);
+        {
+            let map = self.streams.lock().expect("stream cache poisoned");
+            if let Some(entry) = map.get(&index) {
+                // Exactness gate: serve only on full value equality.
+                if entry.params == params && entry.xs.as_ref() == xs {
+                    self.stream_hits.fetch_add(1, Ordering::Relaxed);
+                    return entry.seqs;
+                }
+            }
+        }
+        self.stream_misses.fetch_add(1, Ordering::Relaxed);
+        let seqs = compute();
+        let mut map = self.streams.lock().expect("stream cache poisoned");
+        if map.len() >= self.cfg.max_streams {
+            map.clear();
+        }
+        map.insert(
+            index,
+            StreamEntry {
+                params,
+                xs: xs.into(),
+                seqs,
+            },
+        );
+        seqs
+    }
+}
+
+/// FNV-1a over the stream parameters and values: the *index* of the
+/// stream map. Collisions degrade to recomputation (the entry fails the
+/// equality gate and is replaced), so this needs to be fast and
+/// well-distributed, not cryptographic.
+fn stream_index(params: StreamParams, xs: &[i64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(params.radix as u64);
+    eat(params.digits as u64);
+    eat(u64::from(params.iarm) << 1 | u64::from(params.doubled));
+    eat(xs.len() as u64);
+    for &x in xs {
+        eat(x as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2m_cim::Backend;
+    use c2m_dram::Topology;
+
+    fn key(total: usize) -> PlanKey {
+        PlanKey {
+            axis: ShardAxis::InnerDim,
+            total,
+            topology_fp: Topology::single(16).fingerprint(),
+            policy: BackendPolicy::Uniform(Backend::Ambit),
+            sizing: PlanKey::sizing_bits(&ShardSizing::Even),
+        }
+    }
+
+    fn plan(total: usize) -> ShardPlan {
+        crate::shard::ShardPlanner::new(Topology::single(16)).plan_inner(total)
+    }
+
+    #[test]
+    fn plan_lookups_count_hits_and_misses() {
+        let c = PlanCache::default();
+        let a = c.plan(&key(64), || plan(64));
+        let b = c.plan(&key(64), || unreachable!("second lookup must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let c64 = c.plan(&key(128), || plan(128));
+        assert_eq!(c64.total, 128);
+        let t = c.counters();
+        assert_eq!((t.plan_hits, t.plan_misses), (1, 2));
+    }
+
+    #[test]
+    fn stream_lookups_serve_only_exact_content() {
+        let c = PlanCache::default();
+        let xs = vec![1i64, -2, 3, 0, 5];
+        let a = c.sequences(4, 32, true, false, &xs, || 42);
+        assert_eq!(a, 42);
+        let b = c.sequences(4, 32, true, false, &xs, || unreachable!());
+        assert_eq!(b, 42);
+        // Different values, params, or doubling flag must all miss.
+        let mut ys = xs.clone();
+        ys[4] = 6;
+        assert_eq!(c.sequences(4, 32, true, false, &ys, || 7), 7);
+        assert_eq!(c.sequences(4, 32, false, false, &xs, || 8), 8);
+        assert_eq!(c.sequences(4, 32, true, true, &xs, || 9), 9);
+        let t = c.counters();
+        assert_eq!((t.stream_hits, t.stream_misses), (1, 4));
+    }
+
+    #[test]
+    fn epoch_eviction_bounds_entries_without_breaking_results() {
+        let c = PlanCache::new(CacheConfig {
+            max_plans: 2,
+            max_streams: 2,
+        });
+        for total in 1..=10usize {
+            let p = c.plan(&key(total), || plan(total));
+            assert_eq!(p.total, total, "evicted caches still build correctly");
+            let s = c.sequences(4, 32, true, false, &[total as i64], || total as u64);
+            assert_eq!(s, total as u64);
+        }
+        assert!(c.plans.lock().unwrap().len() <= 2);
+        assert!(c.streams.lock().unwrap().len() <= 2);
+    }
+
+    #[test]
+    fn clear_keeps_tallies() {
+        let c = PlanCache::default();
+        let _ = c.plan(&key(1), || plan(1));
+        c.clear();
+        let _ = c.plan(&key(1), || plan(1));
+        let t = c.counters();
+        assert_eq!(t.plan_misses, 2, "cleared entry is a future miss");
+    }
+
+    #[test]
+    fn sizing_bits_distinguish_weight_vectors() {
+        let even = PlanKey::sizing_bits(&ShardSizing::Even);
+        let w1 = PlanKey::sizing_bits(&ShardSizing::Weighted(vec![1.0, 2.0]));
+        let w2 = PlanKey::sizing_bits(&ShardSizing::Weighted(vec![1.0, 2.5]));
+        assert!(even.is_empty());
+        assert_ne!(w1, w2);
+    }
+}

@@ -27,18 +27,22 @@
 //! Ambit policy every path reduces bit-for-bit to the paper's
 //! single-channel model.
 
-use crate::shard::{BackendPolicy, ShardPlan, ShardPlanner, ShardSizing};
+use crate::cache::{CacheConfig, PlanCache, PlanKey};
+use crate::shard::{BackendPolicy, ShardAxis, ShardPlan, ShardPlanner, ShardSizing};
 use c2m_cim::Backend;
 use c2m_dram::scheduler::steady_state_aap_interval_ranked;
 use c2m_dram::{
-    AreaModel, CommandKind, CommandStats, DramConfig, EnergyLedger, EnergyModel, ExecutionReport,
-    TimingParams, Topology,
+    AreaModel, CacheCounters, CommandKind, CommandStats, DramConfig, EnergyLedger, EnergyModel,
+    ExecutionReport, TimingParams, Topology,
 };
 use c2m_ecc::protect::{ProtectionAnalysis, ProtectionKind};
 use c2m_jc::codec::JohnsonCode;
 use c2m_jc::cost::digits_for_capacity;
 use c2m_jc::iarm::IarmPlanner;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -105,7 +109,226 @@ impl EngineConfig {
     }
 }
 
+/// A validation failure from [`EngineBuilder::try_build`].
+///
+/// Each variant carries a human-readable message naming the offending
+/// value; [`EngineBuilder::build`] panics with the same message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineBuildError {
+    /// The Johnson-digit radix is not an even number ≥ 2.
+    InvalidRadix(String),
+    /// The DRAM geometry is degenerate (zero channels/ranks/banks, or
+    /// more compute banks than the rank has).
+    InvalidGeometry(String),
+    /// The backend dispatch policy is unusable (empty per-channel list).
+    InvalidBackends(String),
+    /// The shard sizing weights are unusable (empty, non-positive, or
+    /// non-finite).
+    InvalidSizing(String),
+}
+
+impl fmt::Display for EngineBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidRadix(m)
+            | Self::InvalidGeometry(m)
+            | Self::InvalidBackends(m)
+            | Self::InvalidSizing(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for EngineBuildError {}
+
+/// Where a freshly built engine gets its plan/pricing cache from.
+#[derive(Debug, Clone)]
+enum CacheChoice {
+    /// Build a private [`PlanCache`] with this configuration.
+    Private(CacheConfig),
+    /// Share an existing cache handle (e.g. across a sweep's engines).
+    Shared(Arc<PlanCache>),
+    /// No caching: every kernel call re-plans and re-prices from
+    /// scratch (the seed behaviour).
+    Disabled,
+}
+
+/// Typed builder for [`C2mEngine`] — the one construction path.
+///
+/// Collects the configuration, backend policy, shard sizing and cache
+/// choice, then validates everything at [`Self::build`] /
+/// [`Self::try_build`] so the kernel methods cannot fail later:
+///
+/// ```
+/// use c2m_core::{C2mEngine, EngineConfig};
+/// let engine = C2mEngine::builder(EngineConfig::c2m(16)).build();
+/// assert_eq!(engine.config().banks, 16);
+/// ```
+///
+/// Engines cache by default (a private [`PlanCache`] with
+/// [`CacheConfig::default`]); pass [`Self::shared_cache`] to share one
+/// cache across many engines (the fleet-sweep fast path) or
+/// [`Self::no_cache`] to reproduce the seed's uncached execution.
+/// Caching is observational only — cached and uncached engines produce
+/// bit-for-bit identical reports.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    cfg: EngineConfig,
+    backends: BackendPolicy,
+    sizing: ShardSizing,
+    balanced: bool,
+    cache: CacheChoice,
+}
+
+impl EngineBuilder {
+    /// Sets the per-shard backend dispatch policy (§4.6 heterogeneous
+    /// execution). Default: uniform Ambit, the paper's substrate.
+    #[must_use]
+    pub fn backends(mut self, backends: BackendPolicy) -> Self {
+        self.backends = backends;
+        self
+    }
+
+    /// Sets the shard-length sizing policy (see [`ShardSizing`]).
+    /// Default: [`ShardSizing::Even`], the seed behaviour.
+    #[must_use]
+    pub fn sizing(mut self, sizing: ShardSizing) -> Self {
+        self.sizing = sizing;
+        self.balanced = false;
+        self
+    }
+
+    /// Derives the sizing from the backend policy at build time:
+    /// each channel receives work inversely proportional to its
+    /// backend's per-increment cost, equalising per-channel makespan on
+    /// mixed-backend modules (equivalent to feeding
+    /// [`C2mEngine::heterogeneity_weights`] back into
+    /// [`Self::sizing`]).
+    #[must_use]
+    pub fn balanced_sizing(mut self) -> Self {
+        self.balanced = true;
+        self
+    }
+
+    /// Uses a private plan/pricing cache with the given configuration.
+    #[must_use]
+    pub fn cache(mut self, cfg: CacheConfig) -> Self {
+        self.cache = CacheChoice::Private(cfg);
+        self
+    }
+
+    /// Shares an existing plan/pricing cache. Engines sharing a handle
+    /// reuse each other's shard plans and priced streams — the fast
+    /// path for sweeps that rebuild engines per configuration point.
+    #[must_use]
+    pub fn shared_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = CacheChoice::Shared(cache);
+        self
+    }
+
+    /// Disables caching: every kernel call re-plans and re-prices from
+    /// scratch (the seed behaviour; useful for cache-equivalence
+    /// testing).
+    #[must_use]
+    pub fn no_cache(mut self) -> Self {
+        self.cache = CacheChoice::Disabled;
+        self
+    }
+
+    /// Validates and builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineBuildError`] on an odd or sub-2 radix,
+    /// degenerate DRAM geometry (zero channels/ranks/banks or more
+    /// compute banks than the rank has), an empty per-channel backend
+    /// list, or empty/non-positive/non-finite sizing weights.
+    pub fn try_build(self) -> Result<C2mEngine, EngineBuildError> {
+        let cfg = self.cfg;
+        if cfg.radix < 2 || !cfg.radix.is_multiple_of(2) {
+            return Err(EngineBuildError::InvalidRadix(format!(
+                "Johnson-digit radix must be an even number >= 2, got {}",
+                cfg.radix
+            )));
+        }
+        if cfg.dram.channels == 0 || cfg.dram.ranks == 0 {
+            return Err(EngineBuildError::InvalidGeometry(format!(
+                "degenerate DRAM geometry: {} channels x {} ranks",
+                cfg.dram.channels, cfg.dram.ranks
+            )));
+        }
+        if cfg.banks == 0 {
+            return Err(EngineBuildError::InvalidGeometry(
+                "at least one compute bank is required".into(),
+            ));
+        }
+        if cfg.banks > cfg.dram.banks {
+            return Err(EngineBuildError::InvalidGeometry(format!(
+                "{} compute banks exceed the {} banks per rank",
+                cfg.banks, cfg.dram.banks
+            )));
+        }
+        if let BackendPolicy::PerChannel(list) = &self.backends {
+            if list.is_empty() {
+                return Err(EngineBuildError::InvalidBackends(
+                    "per-channel backend policy needs at least one backend".into(),
+                ));
+            }
+        }
+        if let ShardSizing::Weighted(w) = &self.sizing {
+            if w.is_empty() {
+                return Err(EngineBuildError::InvalidSizing(
+                    "shard sizing weights must be non-empty".into(),
+                ));
+            }
+            if !w.iter().all(|&x| x.is_finite() && x > 0.0) {
+                return Err(EngineBuildError::InvalidSizing(format!(
+                    "shard sizing weights must be positive and finite, got {w:?}"
+                )));
+            }
+        }
+        let code = JohnsonCode::for_radix(cfg.radix);
+        let digits = digits_for_capacity(cfg.radix, cfg.capacity_bits);
+        let cache = match self.cache {
+            CacheChoice::Private(c) => Some(Arc::new(PlanCache::new(c))),
+            CacheChoice::Shared(h) => Some(h),
+            CacheChoice::Disabled => None,
+        };
+        let mut engine = C2mEngine {
+            cfg,
+            code,
+            digits,
+            backends: self.backends,
+            sizing: self.sizing,
+            cache,
+        };
+        if self.balanced {
+            // Backend factors are positive and finite, so the derived
+            // weights need no further validation.
+            engine.sizing = engine.heterogeneity_weights();
+        }
+        Ok(engine)
+    }
+
+    /// Validates and builds the engine, panicking on invalid input.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`EngineBuildError`] message on any validation
+    /// failure — see [`Self::try_build`] for the exact conditions.
+    #[must_use]
+    pub fn build(self) -> C2mEngine {
+        match self.try_build() {
+            Ok(engine) => engine,
+            Err(e) => panic!("invalid engine configuration: {e}"),
+        }
+    }
+}
+
 /// The analytic Count2Multiply engine.
+///
+/// Construct via [`C2mEngine::builder`]. Cloning an engine shares its
+/// plan/pricing cache handle (an [`Arc<PlanCache>`]), so clones warm
+/// each other's cache.
 #[derive(Debug, Clone)]
 pub struct C2mEngine {
     cfg: EngineConfig,
@@ -113,18 +336,34 @@ pub struct C2mEngine {
     digits: usize,
     backends: BackendPolicy,
     sizing: ShardSizing,
+    cache: Option<Arc<PlanCache>>,
 }
 
 impl C2mEngine {
+    /// Starts a builder over `cfg` — the one construction path.
+    /// Defaults: uniform Ambit backends, even shard sizing, a private
+    /// plan/pricing cache with [`CacheConfig::default`].
+    #[must_use]
+    pub fn builder(cfg: EngineConfig) -> EngineBuilder {
+        EngineBuilder {
+            cfg,
+            backends: BackendPolicy::default(),
+            sizing: ShardSizing::default(),
+            balanced: false,
+            cache: CacheChoice::Private(CacheConfig::default()),
+        }
+    }
+
     /// Creates an engine from a configuration, dispatching every shard
     /// to Ambit (the paper's substrate).
     ///
     /// # Panics
     ///
     /// Panics on invalid radix/capacity combinations.
+    #[deprecated(since = "0.6.0", note = "use `C2mEngine::builder(cfg).build()`")]
     #[must_use]
     pub fn new(cfg: EngineConfig) -> Self {
-        Self::with_backends(cfg, BackendPolicy::default())
+        Self::builder(cfg).build()
     }
 
     /// Creates an engine with an explicit per-shard backend dispatch
@@ -136,18 +375,13 @@ impl C2mEngine {
     /// DRAM geometry (zero channels/ranks, or more compute banks than
     /// the rank has) — the same checks as [`Topology::from_config`],
     /// applied at construction so the kernel methods cannot fail later.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `C2mEngine::builder(cfg).backends(policy).build()`"
+    )]
     #[must_use]
     pub fn with_backends(cfg: EngineConfig, backends: BackendPolicy) -> Self {
-        let code = JohnsonCode::for_radix(cfg.radix);
-        let digits = digits_for_capacity(cfg.radix, cfg.capacity_bits);
-        let _ = Topology::from_config(&cfg.dram, cfg.banks);
-        Self {
-            cfg,
-            code,
-            digits,
-            backends,
-            sizing: ShardSizing::default(),
-        }
+        Self::builder(cfg).backends(backends).build()
     }
 
     /// Replaces the shard-length sizing policy (see [`ShardSizing`]).
@@ -159,6 +393,10 @@ impl C2mEngine {
     /// # Panics
     ///
     /// Panics on an empty or non-positive weight vector.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `C2mEngine::builder(cfg).sizing(s).build()` (or `.balanced_sizing()`)"
+    )]
     #[must_use]
     pub fn with_shard_sizing(mut self, sizing: ShardSizing) -> Self {
         // Validate eagerly through the planner's checks.
@@ -288,6 +526,80 @@ impl C2mEngine {
         self.sequences_for_stream(xs) as f64 * self.ops_per_sequence()
     }
 
+    /// The engine's plan/pricing cache handle, if caching is enabled.
+    /// Hand this to [`EngineBuilder::shared_cache`] to warm another
+    /// engine from this one's entries.
+    #[must_use]
+    pub fn cache(&self) -> Option<&Arc<PlanCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Cumulative cache hit/miss tallies (all zeros when caching is
+    /// disabled). Every [`ExecutionReport`] carries a snapshot of these
+    /// in its `cache` field.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheCounters {
+        self.cache
+            .as_ref()
+            .map_or_else(CacheCounters::default, |c| c.counters())
+    }
+
+    /// [`Self::sequences_for_stream`] through the pricing cache:
+    /// bit-for-bit the same count, memoised on the stream content.
+    #[must_use]
+    pub fn cached_sequences_for_stream(&self, xs: &[i64]) -> u64 {
+        match &self.cache {
+            Some(c) => c.sequences(
+                self.cfg.radix,
+                self.digits,
+                self.cfg.iarm,
+                false,
+                xs,
+                || self.sequences_for_stream(xs),
+            ),
+            None => self.sequences_for_stream(xs),
+        }
+    }
+
+    /// Sequence count for the doubled ternary stream of `x`
+    /// ([`doubled_ternary`]), through the pricing cache. Keyed on the
+    /// *undoubled* input, so a hit skips materialising the doubled
+    /// stream entirely.
+    #[must_use]
+    pub fn cached_sequences_for_doubled(&self, x: &[i64]) -> u64 {
+        match &self.cache {
+            Some(c) => c.sequences(self.cfg.radix, self.digits, self.cfg.iarm, true, x, || {
+                self.sequences_for_stream(&doubled_ternary(x))
+            }),
+            None => self.sequences_for_stream(&doubled_ternary(x)),
+        }
+    }
+
+    /// Shard plan for `total` elements along `axis`, through the plan
+    /// cache when one is enabled. The key covers everything the planner
+    /// reads: the axis, the element count, the topology fingerprint,
+    /// the backend policy and the sizing weights.
+    fn plan_for(&self, axis: ShardAxis, total: usize) -> Arc<ShardPlan> {
+        let build = || match axis {
+            ShardAxis::OutputRows => self.planner().plan_rows(total),
+            ShardAxis::InnerDim => self.planner().plan_inner(total),
+            ShardAxis::CsdPlanes => self.planner().plan_planes(total),
+        };
+        match &self.cache {
+            Some(c) => {
+                let key = PlanKey {
+                    axis,
+                    total,
+                    topology_fp: self.topology().fingerprint(),
+                    policy: self.backends.clone(),
+                    sizing: PlanKey::sizing_bits(&self.sizing),
+                };
+                c.plan(&key, build)
+            }
+            None => Arc::new(build()),
+        }
+    }
+
     /// Ternary GEMV report: `y[1×N] = x[1×K] · Z[K×N]` with ternary Z.
     /// Every non-zero `x_i` is accumulated on the +1 plane and
     /// subtracted on the −1 plane, so the command stream sees `x` twice.
@@ -298,15 +610,15 @@ impl C2mEngine {
     /// `⌈log₂(units)⌉` cross-unit counter-addition rounds.
     #[must_use]
     pub fn ternary_gemv(&self, x: &[i64], n: usize) -> ExecutionReport {
-        let plan = self.planner().plan_inner(x.len());
+        let plan = self.plan_for(ShardAxis::InnerDim, x.len());
         let shard_ops: Vec<f64> = plan
             .shards
-            .iter()
+            .par_iter()
             .map(|shard| {
-                let doubled = doubled_ternary(&x[shard.start..shard.end()]);
+                let seqs = self.cached_sequences_for_doubled(&x[shard.start..shard.end()]);
                 // Accumulation and the unit's own bank-level merge both
                 // execute on the shard's backend.
-                (self.ops_for_stream(&doubled) + self.reduction_ops())
+                (seqs as f64 * self.ops_per_sequence() + self.reduction_ops())
                     * self.backend_factor(shard.backend)
             })
             .collect();
@@ -323,20 +635,32 @@ impl C2mEngine {
     /// launch pays one host gather of the B finished outputs. This is
     /// the engine entry point of the `c2m_serve` batching runtime.
     #[must_use]
-    pub fn ternary_gemv_batch<S: AsRef<[i64]>>(&self, xs: &[S], n: usize) -> ExecutionReport {
-        let plan = self.planner().plan_rows(xs.len());
+    pub fn ternary_gemv_batch<S: AsRef<[i64]> + Sync>(
+        &self,
+        xs: &[S],
+        n: usize,
+    ) -> ExecutionReport {
+        let plan = self.plan_for(ShardAxis::OutputRows, xs.len());
         let copy_out = self.copy_out_ops(n);
-        let mut shard_ops = vec![0.0f64; plan.shards.len()];
-        let mut useful = 0u64;
-        for (shard, ops) in plan.shards.iter().zip(shard_ops.iter_mut()) {
-            for x in &xs[shard.start..shard.end()] {
-                let x = x.as_ref();
-                let doubled = doubled_ternary(x);
-                *ops +=
-                    self.ops_for_stream(&doubled) * self.backend_factor(shard.backend) + copy_out;
-                useful += useful_ops(1, n, x.len());
-            }
-        }
+        let priced: Vec<(f64, u64)> = plan
+            .shards
+            .par_iter()
+            .map(|shard| {
+                let mut ops = 0.0f64;
+                let mut useful = 0u64;
+                for x in &xs[shard.start..shard.end()] {
+                    let x = x.as_ref();
+                    let seqs = self.cached_sequences_for_doubled(x);
+                    ops +=
+                        seqs as f64 * self.ops_per_sequence() * self.backend_factor(shard.backend)
+                            + copy_out;
+                    useful += useful_ops(1, n, x.len());
+                }
+                (ops, useful)
+            })
+            .collect();
+        let shard_ops: Vec<f64> = priced.iter().map(|&(ops, _)| ops).collect();
+        let useful: u64 = priced.iter().map(|&(_, u)| u).sum();
         let gather_bursts = if plan.units_used() > 1 {
             xs.len() as u64 * self.output_row_bursts(n)
         } else {
@@ -354,7 +678,7 @@ impl C2mEngine {
     /// finished output rows (RD bursts, serialised at the host).
     #[must_use]
     pub fn ternary_gemm(&self, m: usize, n: usize, x_sample: &[i64]) -> ExecutionReport {
-        self.rows_report(m, n, &doubled_ternary(x_sample), x_sample.len())
+        self.rows_report(m, n, x_sample, true, x_sample.len())
     }
 
     /// Integer×binary GEMM report: like [`Self::ternary_gemm`] but Z has
@@ -362,14 +686,27 @@ impl C2mEngine {
     /// row's input stream is accumulated once — no subtraction pass.
     #[must_use]
     pub fn binary_gemm(&self, m: usize, n: usize, x_sample: &[i64]) -> ExecutionReport {
-        self.rows_report(m, n, x_sample, x_sample.len())
+        self.rows_report(m, n, x_sample, false, x_sample.len())
     }
 
-    /// Shared row-sharded GEMM pricing: `per_row_stream` is the command
-    /// stream each output row accumulates (already doubled for ternary).
-    fn rows_report(&self, m: usize, n: usize, per_row_stream: &[i64], k: usize) -> ExecutionReport {
-        let plan = self.planner().plan_rows(m);
-        let accum = self.ops_for_stream(per_row_stream);
+    /// Shared row-sharded GEMM pricing: each output row accumulates
+    /// `sample` (doubled with the negated pass when `doubled` — the
+    /// ternary case).
+    fn rows_report(
+        &self,
+        m: usize,
+        n: usize,
+        sample: &[i64],
+        doubled: bool,
+        k: usize,
+    ) -> ExecutionReport {
+        let plan = self.plan_for(ShardAxis::OutputRows, m);
+        let seqs = if doubled {
+            self.cached_sequences_for_doubled(sample)
+        } else {
+            self.cached_sequences_for_stream(sample)
+        };
+        let accum = seqs as f64 * self.ops_per_sequence();
         let copy_out = self.copy_out_ops(n);
         let shard_ops: Vec<f64> = plan
             .shards
@@ -404,10 +741,10 @@ impl C2mEngine {
         n: usize,
         plane_exponents: &[(u32, bool)],
     ) -> ExecutionReport {
-        let plan = self.planner().plan_planes(plane_exponents.len());
+        let plan = self.plan_for(ShardAxis::CsdPlanes, plane_exponents.len());
         let shard_ops: Vec<f64> = plan
             .shards
-            .iter()
+            .par_iter()
             .map(|shard| {
                 let mut ops = 0.0f64;
                 for &(e, neg) in &plane_exponents[shard.start..shard.end()] {
@@ -422,7 +759,8 @@ impl C2mEngine {
                             }
                         })
                         .collect();
-                    ops += self.ops_for_stream(&stream);
+                    ops +=
+                        self.cached_sequences_for_stream(&stream) as f64 * self.ops_per_sequence();
                 }
                 (ops + self.reduction_ops()) * self.backend_factor(shard.backend)
             })
@@ -656,7 +994,11 @@ impl C2mEngine {
             .map(|s| (s.channel, s.rank, chan_ns[s.channel]))
             .collect();
         ledger.close(elapsed_ns, stats, &busy);
-        ExecutionReport::from_ledger(&ledger, useful, &self.cfg.area)
+        let mut report = ExecutionReport::from_ledger(&ledger, useful, &self.cfg.area);
+        // Observational only: a snapshot of the engine's cumulative
+        // cache tallies at report time. Never feeds back into pricing.
+        report.cache = self.cache_stats();
+        report
     }
 }
 
@@ -690,7 +1032,7 @@ mod tests {
 
     #[test]
     fn zero_skipping() {
-        let e = C2mEngine::new(EngineConfig::c2m(1));
+        let e = C2mEngine::builder(EngineConfig::c2m(1)).build();
         let dense = int8_stream(1024, 1);
         let mut sparse = dense.clone();
         for v in sparse.iter_mut().take(900) {
@@ -707,15 +1049,17 @@ mod tests {
         let mut without = EngineConfig::c2m(1);
         without.iarm = false;
         let xs = int8_stream(2048, 2);
-        let a = C2mEngine::new(with).sequences_for_stream(&xs);
-        let b = C2mEngine::new(without).sequences_for_stream(&xs);
+        let a = C2mEngine::builder(with).build().sequences_for_stream(&xs);
+        let b = C2mEngine::builder(without)
+            .build()
+            .sequences_for_stream(&xs);
         assert!(a < b, "IARM {a} vs full ripple {b}");
     }
 
     #[test]
     fn protection_increases_ops() {
-        let plain = C2mEngine::new(EngineConfig::c2m(16));
-        let prot = C2mEngine::new(EngineConfig::c2m_protected(16));
+        let plain = C2mEngine::builder(EngineConfig::c2m(16)).build();
+        let prot = C2mEngine::builder(EngineConfig::c2m_protected(16)).build();
         assert!(prot.ops_per_sequence() > 1.5 * plain.ops_per_sequence());
         // §7.3.2: recompute overhead ~20% on top of the 13n+16 detection
         // cost at fault 1e-4.
@@ -734,8 +1078,12 @@ mod tests {
     #[test]
     fn bank_scaling_improves_gemv_latency() {
         let xs = int8_stream(8192, 3);
-        let t1 = C2mEngine::new(EngineConfig::c2m(1)).ternary_gemv(&xs, 22016);
-        let t16 = C2mEngine::new(EngineConfig::c2m(16)).ternary_gemv(&xs, 22016);
+        let t1 = C2mEngine::builder(EngineConfig::c2m(1))
+            .build()
+            .ternary_gemv(&xs, 22016);
+        let t16 = C2mEngine::builder(EngineConfig::c2m(16))
+            .build()
+            .ternary_gemv(&xs, 22016);
         let speedup = t1.elapsed_ns / t16.elapsed_ns;
         assert!((6.0..16.0).contains(&speedup), "16-bank speedup {speedup}");
     }
@@ -746,7 +1094,9 @@ mod tests {
         // ternary kernels (abstract: up to 10x).
         use c2m_dram::TimingParams;
         let xs = int8_stream(8192, 4);
-        let c2m = C2mEngine::new(EngineConfig::c2m(16)).ternary_gemv(&xs, 8192);
+        let c2m = C2mEngine::builder(EngineConfig::c2m(16))
+            .build()
+            .ternary_gemv(&xs, 8192);
         // SIMDRAM ops: 2K sequences of 64-bit RCA (17 ops/bit).
         let simdram_ops = 2.0 * 8192.0 * (17.0 * 64.0);
         let interval = steady_state_aap_interval(&TimingParams::ddr5_4400(), 16);
@@ -761,7 +1111,7 @@ mod tests {
     #[test]
     fn gemm_scales_linearly_in_m() {
         let xs = int8_stream(4096, 5);
-        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let e = C2mEngine::builder(EngineConfig::c2m(16)).build();
         let one = e.ternary_gemm(1, 4096, &xs);
         let many = e.ternary_gemm(64, 4096, &xs);
         let ratio = many.elapsed_ns / one.elapsed_ns;
@@ -775,7 +1125,7 @@ mod tests {
         // RCAs. Worst-case 8-bit weights need 14 CSD planes.
         let planes: Vec<(u32, bool)> = (0..7u32).flat_map(|e| [(e, false), (e, true)]).collect();
         let xs = int8_stream(4096, 9);
-        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let e = C2mEngine::builder(EngineConfig::c2m(16)).build();
         let c2m = e.int_gemv(&xs, 4096, &planes);
         // Bit-serial baseline: K multiplications, each 8 additions of a
         // 16-bit partial into a 64-bit accumulator (12 AAP/bit as in the
@@ -792,7 +1142,7 @@ mod tests {
     #[test]
     fn int_gemv_scales_with_plane_count() {
         let xs = int8_stream(1024, 10);
-        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let e = C2mEngine::builder(EngineConfig::c2m(16)).build();
         let few = e.int_gemv(&xs, 1024, &[(0, false), (2, false)]);
         let many: Vec<(u32, bool)> = (0..7u32).flat_map(|p| [(p, false), (p, true)]).collect();
         let all = e.int_gemv(&xs, 1024, &many);
@@ -802,7 +1152,9 @@ mod tests {
     #[test]
     fn reports_have_positive_metrics() {
         let xs = int8_stream(1024, 6);
-        let r = C2mEngine::new(EngineConfig::c2m(16)).ternary_gemv(&xs, 4096);
+        let r = C2mEngine::builder(EngineConfig::c2m(16))
+            .build()
+            .ternary_gemv(&xs, 4096);
         assert!(r.gops() > 0.0);
         assert!(r.gops_per_watt() > 0.0);
         assert!(r.gops_per_mm2() > 0.0);
@@ -824,7 +1176,7 @@ mod tests {
         // single-channel model: (accumulation + bank merge) x the
         // steady-state interval, all-AAP stats, rank-level area/energy.
         let xs = int8_stream(4096, 21);
-        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let e = C2mEngine::builder(EngineConfig::c2m(16)).build();
         let doubled: Vec<i64> = xs.iter().copied().chain(xs.iter().map(|&v| -v)).collect();
         let expect_ops = e.ops_for_stream(&doubled) + e.reduction_ops();
         let interval = steady_state_aap_interval(&TimingParams::ddr5_4400(), 16);
@@ -850,8 +1202,12 @@ mod tests {
         // the single-channel latency (gather of finished rows is serial
         // at the host).
         let xs = int8_stream(4096, 22);
-        let one = C2mEngine::new(cfg_with_channels(1, 1)).ternary_gemm(64, 4096, &xs);
-        let four = C2mEngine::new(cfg_with_channels(4, 1)).ternary_gemm(64, 4096, &xs);
+        let one = C2mEngine::builder(cfg_with_channels(1, 1))
+            .build()
+            .ternary_gemm(64, 4096, &xs);
+        let four = C2mEngine::builder(cfg_with_channels(4, 1))
+            .build()
+            .ternary_gemm(64, 4096, &xs);
         assert!(four.elapsed_ns < one.elapsed_ns);
         assert!(
             four.elapsed_ns > one.elapsed_ns / 4.0,
@@ -866,8 +1222,12 @@ mod tests {
     #[test]
     fn gemv_channel_sharding_pays_cross_unit_merge() {
         let xs = int8_stream(8192, 23);
-        let one = C2mEngine::new(cfg_with_channels(1, 1)).ternary_gemv(&xs, 22016);
-        let four = C2mEngine::new(cfg_with_channels(4, 1)).ternary_gemv(&xs, 22016);
+        let one = C2mEngine::builder(cfg_with_channels(1, 1))
+            .build()
+            .ternary_gemv(&xs, 22016);
+        let four = C2mEngine::builder(cfg_with_channels(4, 1))
+            .build()
+            .ternary_gemv(&xs, 22016);
         assert!(four.elapsed_ns < one.elapsed_ns);
         assert!(four.elapsed_ns > one.elapsed_ns / 4.0);
         // 4 units -> 2 merge rounds of counter traffic through the host.
@@ -881,8 +1241,12 @@ mod tests {
     #[test]
     fn rank_interleaving_improves_latency_with_bus_floor() {
         let xs = int8_stream(8192, 24);
-        let r1 = C2mEngine::new(cfg_with_channels(1, 1)).ternary_gemv(&xs, 8192);
-        let r2 = C2mEngine::new(cfg_with_channels(1, 2)).ternary_gemv(&xs, 8192);
+        let r1 = C2mEngine::builder(cfg_with_channels(1, 1))
+            .build()
+            .ternary_gemv(&xs, 8192);
+        let r2 = C2mEngine::builder(cfg_with_channels(1, 2))
+            .build()
+            .ternary_gemv(&xs, 8192);
         assert!(
             r2.elapsed_ns < r1.elapsed_ns,
             "2 ranks {} vs 1 rank {}",
@@ -897,8 +1261,12 @@ mod tests {
     fn int_gemv_shards_planes_across_channels() {
         let planes: Vec<(u32, bool)> = (0..7u32).flat_map(|e| [(e, false), (e, true)]).collect();
         let xs = int8_stream(4096, 25);
-        let one = C2mEngine::new(cfg_with_channels(1, 1)).int_gemv(&xs, 4096, &planes);
-        let four = C2mEngine::new(cfg_with_channels(4, 1)).int_gemv(&xs, 4096, &planes);
+        let one = C2mEngine::builder(cfg_with_channels(1, 1))
+            .build()
+            .int_gemv(&xs, 4096, &planes);
+        let four = C2mEngine::builder(cfg_with_channels(4, 1))
+            .build()
+            .int_gemv(&xs, 4096, &planes);
         assert!(four.elapsed_ns < one.elapsed_ns);
         assert!(four.elapsed_ns > one.elapsed_ns / 4.0);
     }
@@ -909,17 +1277,23 @@ mod tests {
         // FCDRAM run pays the generic-lowering premium over Ambit.
         let xs = int8_stream(4096, 26);
         let cfg = cfg_with_channels(4, 1);
-        let ambit = C2mEngine::new(cfg.clone()).ternary_gemv(&xs, 8192);
-        let fcdram = C2mEngine::with_backends(cfg.clone(), BackendPolicy::Uniform(Backend::Fcdram))
+        let ambit = C2mEngine::builder(cfg.clone())
+            .build()
+            .ternary_gemv(&xs, 8192);
+        let fcdram = C2mEngine::builder(cfg.clone())
+            .backends(BackendPolicy::Uniform(Backend::Fcdram))
+            .build()
             .ternary_gemv(&xs, 8192);
         assert!(fcdram.elapsed_ns > ambit.elapsed_ns);
 
         // A mixed module prices between the two uniform extremes.
-        let mixed = C2mEngine::with_backends(
-            cfg,
-            BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]),
-        )
-        .ternary_gemv(&xs, 8192);
+        let mixed = C2mEngine::builder(cfg)
+            .backends(BackendPolicy::PerChannel(vec![
+                Backend::Ambit,
+                Backend::Fcdram,
+            ]))
+            .build()
+            .ternary_gemv(&xs, 8192);
         assert!(mixed.elapsed_ns >= ambit.elapsed_ns);
         assert!(mixed.elapsed_ns <= fcdram.elapsed_ns);
     }
@@ -931,7 +1305,7 @@ mod tests {
         // binary path must price strictly below ternary (and within
         // [1x, 2x] of half the ternary accumulation).
         let xs = vec![1i64; 512];
-        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let e = C2mEngine::builder(EngineConfig::c2m(16)).build();
         let bin = e.binary_gemm(32, 1024, &xs);
         let ter = e.ternary_gemm(32, 1024, &xs);
         assert!(bin.elapsed_ns < ter.elapsed_ns);
@@ -943,7 +1317,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceed")]
     fn engine_rejects_more_banks_than_the_rank_has() {
-        let _ = C2mEngine::new(EngineConfig::c2m(64));
+        let _ = C2mEngine::builder(EngineConfig::c2m(64)).build();
     }
 
     // ---- batched GEMV + heterogeneity-aware sizing ----
@@ -953,7 +1327,7 @@ mod tests {
         // A batch is row-sharded, so a single-request batch prices like
         // a one-row GEMM over the same stream (accumulation + copy-out).
         let xs = int8_stream(2048, 30);
-        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let e = C2mEngine::builder(EngineConfig::c2m(16)).build();
         let batch = e.ternary_gemv_batch(std::slice::from_ref(&xs), 4096);
         let gemm = e.ternary_gemm(1, 4096, &xs);
         assert_eq!(batch.elapsed_ns, gemm.elapsed_ns);
@@ -966,7 +1340,7 @@ mod tests {
         // cleanly instead of paying cross-unit merges per request.
         let xs: Vec<Vec<i64>> = (0..8).map(|s| int8_stream(2048, 31 + s)).collect();
         for &channels in &[1usize, 4] {
-            let e = C2mEngine::new(cfg_with_channels(channels, 1));
+            let e = C2mEngine::builder(cfg_with_channels(channels, 1)).build();
             let batched = e.ternary_gemv_batch(&xs, 4096).elapsed_ns;
             let serial: f64 = xs.iter().map(|x| e.ternary_gemv(x, 4096).elapsed_ns).sum();
             assert!(
@@ -978,7 +1352,7 @@ mod tests {
 
     #[test]
     fn empty_batch_prices_to_zero() {
-        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let e = C2mEngine::builder(EngineConfig::c2m(16)).build();
         let r = e.ternary_gemv_batch::<Vec<i64>>(&[], 4096);
         assert_eq!(r.elapsed_ns, 0.0);
         assert_eq!(r.useful_ops, 0);
@@ -989,12 +1363,13 @@ mod tests {
         let xs: Vec<Vec<i64>> = (0..16).map(|s| int8_stream(2048, 40 + s)).collect();
         let cfg = cfg_with_channels(4, 1);
         let policy = BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]);
-        let even = C2mEngine::with_backends(cfg.clone(), policy.clone());
-        let weighted = {
-            let e = C2mEngine::with_backends(cfg, policy);
-            let w = e.heterogeneity_weights();
-            e.with_shard_sizing(w)
-        };
+        let even = C2mEngine::builder(cfg.clone())
+            .backends(policy.clone())
+            .build();
+        let weighted = C2mEngine::builder(cfg)
+            .backends(policy)
+            .balanced_sizing()
+            .build();
         let t_even = even.ternary_gemv_batch(&xs, 4096).elapsed_ns;
         let t_weighted = weighted.ternary_gemv_batch(&xs, 4096).elapsed_ns;
         assert!(
@@ -1005,15 +1380,16 @@ mod tests {
 
     #[test]
     fn heterogeneity_weights_are_even_on_uniform_policies() {
-        let e = C2mEngine::new(cfg_with_channels(4, 1));
+        let e = C2mEngine::builder(cfg_with_channels(4, 1)).build();
         let ShardSizing::Weighted(w) = e.heterogeneity_weights() else {
             panic!("weights expected");
         };
         assert!(w.iter().all(|&x| x == 1.0));
         // And a uniform weighted engine plans identically to the seed.
         let xs = int8_stream(4096, 50);
-        let sized =
-            C2mEngine::new(cfg_with_channels(4, 1)).with_shard_sizing(ShardSizing::Weighted(w));
+        let sized = C2mEngine::builder(cfg_with_channels(4, 1))
+            .sizing(ShardSizing::Weighted(w))
+            .build();
         assert_eq!(
             sized.ternary_gemv(&xs, 8192).elapsed_ns,
             e.ternary_gemv(&xs, 8192).elapsed_ns
@@ -1022,7 +1398,7 @@ mod tests {
 
     #[test]
     fn backend_factor_is_exactly_one_for_ambit() {
-        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let e = C2mEngine::builder(EngineConfig::c2m(16)).build();
         assert_eq!(e.backend_factor(Backend::Ambit), 1.0);
         assert!(e.backend_factor(Backend::Fcdram) > 1.0);
         assert!(e.backend_factor(Backend::Pinatubo) < 1.0);
@@ -1032,18 +1408,18 @@ mod tests {
 
     #[test]
     fn residency_capacity_reserves_counter_rows_and_scales() {
-        let one = C2mEngine::new(cfg_with_channels(1, 1));
+        let one = C2mEngine::builder(cfg_with_channels(1, 1)).build();
         let cap1 = one.residency_capacity_rows();
         // 16 CIM subarrays x 1024 rows minus the counter reservation.
         assert!(cap1 < 16 * 1024);
         assert!(cap1 > 8 * 1024, "counters must not eat the subarray");
-        let eight = C2mEngine::new(cfg_with_channels(4, 2));
+        let eight = C2mEngine::builder(cfg_with_channels(4, 2)).build();
         assert_eq!(eight.residency_capacity_rows(), 8 * cap1);
     }
 
     #[test]
     fn mask_reload_is_bus_bound_and_linear_in_rows() {
-        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let e = C2mEngine::builder(EngineConfig::c2m(16)).build();
         assert_eq!(e.mask_reload_ns(0), 0.0);
         let one = e.mask_reload_ns(1);
         let thousand = e.mask_reload_ns(1000);
@@ -1064,7 +1440,7 @@ mod tests {
 
     #[test]
     fn tenant_mask_rows_match_residency_module() {
-        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let e = C2mEngine::builder(EngineConfig::c2m(16)).build();
         let row_bits = e.config().dram.row_bits_per_rank();
         assert_eq!(
             e.tenant_mask_rows(4096, 2048),
@@ -1075,8 +1451,12 @@ mod tests {
     #[test]
     fn topology_capacity_and_area_aggregate_in_reports() {
         let xs = int8_stream(1024, 27);
-        let one = C2mEngine::new(cfg_with_channels(1, 1)).ternary_gemv(&xs, 4096);
-        let eight = C2mEngine::new(cfg_with_channels(4, 2)).ternary_gemv(&xs, 4096);
+        let one = C2mEngine::builder(cfg_with_channels(1, 1))
+            .build()
+            .ternary_gemv(&xs, 4096);
+        let eight = C2mEngine::builder(cfg_with_channels(4, 2))
+            .build()
+            .ternary_gemv(&xs, 4096);
         assert!((eight.area_mm2 - 8.0 * one.area_mm2).abs() < 1e-9);
     }
 
@@ -1089,7 +1469,7 @@ mod tests {
     fn ledger_attribution_is_conserved_across_kernels_and_topologies() {
         let planes: Vec<(u32, bool)> = (0..5u32).flat_map(|e| [(e, false), (e, true)]).collect();
         for &(channels, ranks) in &[(1usize, 1usize), (4, 1), (2, 2), (4, 2)] {
-            let e = C2mEngine::new(cfg_with_channels(channels, ranks));
+            let e = C2mEngine::builder(cfg_with_channels(channels, ranks)).build();
             let xs = int8_stream(2048, 70 + channels as u64 * 8 + ranks as u64);
             let batch: Vec<Vec<i64>> = (0..6).map(|s| int8_stream(512, 80 + s)).collect();
             let reports = [
@@ -1120,12 +1500,16 @@ mod tests {
         // idle background only accrues over the transfer phase (none
         // for a single-unit GEMV).
         let xs = int8_stream(2048, 90);
-        let one = C2mEngine::new(cfg_with_channels(1, 1)).ternary_gemv(&xs, 4096);
+        let one = C2mEngine::builder(cfg_with_channels(1, 1))
+            .build()
+            .ternary_gemv(&xs, 4096);
         assert_eq!(one.energy.background_idle_nj, 0.0);
         assert!(one.energy.background_busy_nj > 0.0);
         // Multi-channel: the merge tree serialises after the parallel
         // phase, so every rank idles through it and idle energy shows.
-        let four = C2mEngine::new(cfg_with_channels(4, 1)).ternary_gemv(&xs, 4096);
+        let four = C2mEngine::builder(cfg_with_channels(4, 1))
+            .build()
+            .ternary_gemv(&xs, 4096);
         assert!(four.energy.background_idle_nj > 0.0);
         assert!(four.energy.host_nj > 0.0, "merge traffic is host energy");
         // Dynamic attribution lands on the units that computed.
@@ -1139,10 +1523,12 @@ mod tests {
         // On a mixed module the FCDRAM channel burns more commands per
         // increment, and the per-shard attribution shows it.
         let xs: Vec<Vec<i64>> = (0..8).map(|s| int8_stream(1024, 95 + s)).collect();
-        let e = C2mEngine::with_backends(
-            cfg_with_channels(2, 1),
-            BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]),
-        );
+        let e = C2mEngine::builder(cfg_with_channels(2, 1))
+            .backends(BackendPolicy::PerChannel(vec![
+                Backend::Ambit,
+                Backend::Fcdram,
+            ]))
+            .build();
         let r = e.ternary_gemv_batch(&xs, 2048);
         let ambit = r.energy.shards.iter().find(|s| s.channel == 0).unwrap();
         let fcdram = r.energy.shards.iter().find(|s| s.channel == 1).unwrap();
@@ -1154,9 +1540,136 @@ mod tests {
         );
     }
 
+    // ---- builder validation, caching and deprecated shims ----
+
+    #[test]
+    fn try_build_reports_each_validation_failure() {
+        let mut bad_radix = EngineConfig::c2m(16);
+        bad_radix.radix = 3;
+        assert!(matches!(
+            C2mEngine::builder(bad_radix).try_build(),
+            Err(EngineBuildError::InvalidRadix(_))
+        ));
+        assert!(matches!(
+            C2mEngine::builder(EngineConfig::c2m(64)).try_build(),
+            Err(EngineBuildError::InvalidGeometry(_))
+        ));
+        let mut zero_ch = EngineConfig::c2m(16);
+        zero_ch.dram.channels = 0;
+        assert!(matches!(
+            C2mEngine::builder(zero_ch).try_build(),
+            Err(EngineBuildError::InvalidGeometry(_))
+        ));
+        assert!(matches!(
+            C2mEngine::builder(EngineConfig::c2m(16))
+                .backends(BackendPolicy::PerChannel(vec![]))
+                .try_build(),
+            Err(EngineBuildError::InvalidBackends(_))
+        ));
+        assert!(matches!(
+            C2mEngine::builder(EngineConfig::c2m(16))
+                .sizing(ShardSizing::Weighted(vec![1.0, -2.0]))
+                .try_build(),
+            Err(EngineBuildError::InvalidSizing(_))
+        ));
+        assert!(matches!(
+            C2mEngine::builder(EngineConfig::c2m(16))
+                .sizing(ShardSizing::Weighted(vec![]))
+                .try_build(),
+            Err(EngineBuildError::InvalidSizing(_))
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_the_builder() {
+        let xs = int8_stream(1024, 101);
+        let old = C2mEngine::new(EngineConfig::c2m(16)).ternary_gemv(&xs, 2048);
+        let new = C2mEngine::builder(EngineConfig::c2m(16))
+            .build()
+            .ternary_gemv(&xs, 2048);
+        assert_eq!(old.elapsed_ns, new.elapsed_ns);
+        assert_eq!(old.energy_nj, new.energy_nj);
+
+        let policy = BackendPolicy::Uniform(Backend::Fcdram);
+        let old = C2mEngine::with_backends(cfg_with_channels(2, 1), policy.clone())
+            .ternary_gemv(&xs, 2048);
+        let new = C2mEngine::builder(cfg_with_channels(2, 1))
+            .backends(policy.clone())
+            .build()
+            .ternary_gemv(&xs, 2048);
+        assert_eq!(old.elapsed_ns, new.elapsed_ns);
+
+        let w = ShardSizing::Weighted(vec![2.0, 1.0]);
+        let old = C2mEngine::with_backends(cfg_with_channels(2, 1), policy.clone())
+            .with_shard_sizing(w.clone())
+            .ternary_gemv(&xs, 2048);
+        let new = C2mEngine::builder(cfg_with_channels(2, 1))
+            .backends(policy)
+            .sizing(w)
+            .build()
+            .ternary_gemv(&xs, 2048);
+        assert_eq!(old.elapsed_ns, new.elapsed_ns);
+    }
+
+    #[test]
+    fn cached_and_uncached_engines_price_identically() {
+        for cfg in [cfg_with_channels(1, 1), cfg_with_channels(4, 2)] {
+            let cached = C2mEngine::builder(cfg.clone()).build();
+            let uncached = C2mEngine::builder(cfg).no_cache().build();
+            let xs = int8_stream(2048, 111);
+            // The second round exercises the hit path.
+            for _ in 0..2 {
+                let a = cached.ternary_gemv(&xs, 4096);
+                let b = uncached.ternary_gemv(&xs, 4096);
+                assert_eq!(a.elapsed_ns, b.elapsed_ns);
+                assert_eq!(a.energy_nj, b.energy_nj);
+                assert_eq!(
+                    a.stats.count(CommandKind::Aap),
+                    b.stats.count(CommandKind::Aap)
+                );
+            }
+            let tallies = cached.cache_stats();
+            assert!(tallies.plan_hits + tallies.stream_hits > 0);
+            assert_eq!(uncached.cache_stats(), CacheCounters::default());
+        }
+    }
+
+    #[test]
+    fn reports_carry_cache_counter_snapshots() {
+        let e = C2mEngine::builder(EngineConfig::c2m(16)).build();
+        let xs = int8_stream(512, 131);
+        let first = e.ternary_gemv(&xs, 1024);
+        assert_eq!(first.cache.plan_misses, 1);
+        assert_eq!(first.cache.stream_misses, 1);
+        let second = e.ternary_gemv(&xs, 1024);
+        assert_eq!(second.cache.plan_hits, 1);
+        assert_eq!(second.cache.stream_hits, 1);
+        assert!(second.cache.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn clones_and_shared_handles_warm_one_cache() {
+        let e = C2mEngine::builder(EngineConfig::c2m(16)).build();
+        let xs = int8_stream(1024, 121);
+        let _ = e.ternary_gemv(&xs, 2048);
+        let misses_after_first = e.cache_stats().stream_misses;
+        let clone = e.clone();
+        let _ = clone.ternary_gemv(&xs, 2048);
+        assert_eq!(clone.cache_stats().stream_misses, misses_after_first);
+        assert!(clone.cache_stats().stream_hits > 0);
+        // A separately built engine sharing the handle also hits.
+        let shared = C2mEngine::builder(EngineConfig::c2m(16))
+            .shared_cache(Arc::clone(e.cache().unwrap()))
+            .build();
+        let before = shared.cache_stats().stream_hits;
+        let _ = shared.ternary_gemv(&xs, 2048);
+        assert!(shared.cache_stats().stream_hits > before);
+    }
+
     #[test]
     fn mask_reload_energy_is_linear_in_rows_and_pairs_with_time() {
-        let e = C2mEngine::new(EngineConfig::c2m(16));
+        let e = C2mEngine::builder(EngineConfig::c2m(16)).build();
         assert_eq!(e.mask_reload_energy_nj(0), 0.0);
         let one = e.mask_reload_energy_nj(1);
         assert!(one > 0.0);

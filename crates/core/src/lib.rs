@@ -15,7 +15,12 @@
 //!   examples and the fault-accuracy studies).
 //! * [`engine`] — the analytic performance engine: IARM-planned command
 //!   counts → `tRRD`/`tFAW`-scheduled latency, energy and area reports
-//!   for the paper-scale shapes of Table 3 (§7.2).
+//!   for the paper-scale shapes of Table 3 (§7.2). Built via
+//!   [`C2mEngine::builder`].
+//! * [`cache`] — the plan/pricing cache behind the engine: memoised
+//!   shard plans and priced command streams, bit-for-bit identical to
+//!   uncached execution, shareable across engines for fleet-scale
+//!   sweeps.
 //! * [`shard`] — topology-aware work partitioning: GEMM rows, GEMV
 //!   inner dimension and CSD planes split over channels → ranks → banks,
 //!   with per-shard backend dispatch (§4.6).
@@ -27,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cosim;
 pub mod csd;
 pub mod engine;
@@ -37,7 +43,8 @@ pub mod placement;
 pub mod residency;
 pub mod shard;
 
-pub use engine::{C2mEngine, EngineConfig};
+pub use cache::{CacheConfig, PlanCache, PlanKey};
+pub use engine::{C2mEngine, EngineBuildError, EngineBuilder, EngineConfig};
 pub use matrix::{BinaryMatrix, TernaryMatrix};
 pub use nn::{AttentionShape, ConvShape};
 pub use placement::{CounterSpec, KernelShape, MaskEncoding, PlacementPlan};

@@ -34,7 +34,7 @@ use c2m_dram::Topology;
 use serde::{Deserialize, Serialize};
 
 /// Which axis of the kernel a plan partitions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ShardAxis {
     /// GEMM output rows (M): independent, no reduction needed.
     OutputRows,
@@ -136,7 +136,7 @@ impl ShardPlan {
 }
 
 /// How shards map to compute backends.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum BackendPolicy {
     /// Every shard runs on the same technology (the paper's setup, with
     /// [`Backend::Ambit`]).

@@ -10,7 +10,7 @@ fn engine(channels: usize, ranks: usize, banks: usize) -> C2mEngine {
     let mut cfg = EngineConfig::c2m(banks);
     cfg.dram.channels = channels;
     cfg.dram.ranks = ranks;
-    C2mEngine::new(cfg)
+    C2mEngine::builder(cfg).build()
 }
 
 fn stream(k: usize, seed: u64) -> Vec<i64> {

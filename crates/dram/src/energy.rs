@@ -133,17 +133,6 @@ impl EnergyModel {
         self.system_energy_nj(stats, elapsed_ns, cfg) / elapsed_ns
     }
 
-    /// Average power (W) over `elapsed_ns`.
-    ///
-    /// Returns 0 for a zero-length interval.
-    #[deprecated(note = "rank-level only, a trap next to `system_energy_nj` — call \
-                `rank_average_power_w` (one rank) or `system_average_power_w` \
-                (whole topology) explicitly")]
-    #[must_use]
-    pub fn average_power_w(&self, stats: &CommandStats, elapsed_ns: f64) -> f64 {
-        self.rank_average_power_w(stats, elapsed_ns)
-    }
-
     /// Static background power (W) of the whole system described by
     /// `cfg`: every rank on every channel burns [`Self::p_static_w`]
     /// whether or not it computes — the floor any power-capped serving
@@ -536,18 +525,6 @@ mod tests {
         // No commands: average power equals static power.
         assert!((e.rank_average_power_w(&s, 1000.0) - e.p_static_w).abs() < 1e-9);
         assert_eq!(e.rank_average_power_w(&s, 0.0), 0.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_average_power_aliases_rank_level() {
-        let e = EnergyModel::ddr5_4400();
-        let mut s = CommandStats::default();
-        s.record(CommandKind::Aap);
-        assert_eq!(
-            e.average_power_w(&s, 1000.0),
-            e.rank_average_power_w(&s, 1000.0)
-        );
     }
 
     #[test]

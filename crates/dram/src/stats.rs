@@ -90,6 +90,45 @@ impl CommandStats {
     }
 }
 
+/// Hit/miss tallies of the engine-side memoisation layers (plan cache
+/// and stream-pricing cache), snapshotted onto every
+/// [`ExecutionReport`] so callers can audit cache effectiveness without
+/// reaching into the engine. All-zero when the producing engine runs
+/// uncached (or predates the caches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Shard-plan lookups served from the plan cache.
+    pub plan_hits: u64,
+    /// Shard-plan lookups that had to run the planner.
+    pub plan_misses: u64,
+    /// Command-stream pricings served from the stream cache.
+    pub stream_hits: u64,
+    /// Command-stream pricings that had to run the IARM planner.
+    pub stream_misses: u64,
+}
+
+impl CacheCounters {
+    /// Fraction of all lookups (both layers) that hit, `0.0` when no
+    /// lookup happened.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.plan_hits + self.stream_hits;
+        let total = hits + self.plan_misses + self.stream_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        hits as f64 / total as f64
+    }
+
+    /// Adds another snapshot's tallies into this one.
+    pub fn merge(&mut self, other: &CacheCounters) {
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.stream_hits += other.stream_hits;
+        self.stream_misses += other.stream_misses;
+    }
+}
+
 /// A complete execution report: time, commands, energy, derived metrics.
 ///
 /// Produced by the higher-level engines after running a kernel through the
@@ -113,6 +152,11 @@ pub struct ExecutionReport {
     /// site, background split busy vs idle). `energy_nj` equals
     /// `energy.total_nj` bit-for-bit.
     pub energy: EnergyBreakdown,
+    /// Cumulative engine cache hit/miss tallies at the time this report
+    /// was produced (all-zero for uncached producers). Purely
+    /// observational: two runs that differ only in `cache` priced the
+    /// same work.
+    pub cache: CacheCounters,
 }
 
 impl ExecutionReport {
@@ -131,6 +175,7 @@ impl ExecutionReport {
             useful_ops,
             area_mm2: area.total_area_mm2(ledger.config()),
             energy: ledger.breakdown(),
+            cache: CacheCounters::default(),
         }
     }
 
@@ -236,6 +281,7 @@ mod tests {
             useful_ops: 2000,
             area_mm2: 100.0,
             energy: EnergyBreakdown::default(),
+            cache: CacheCounters::default(),
         };
         assert!((r.gops() - 2.0).abs() < 1e-12); // 2000 ops / 1000 ns = 2 GOPS
         assert!((r.power_w() - 0.5).abs() < 1e-12);
@@ -252,6 +298,7 @@ mod tests {
             useful_ops: 10,
             area_mm2: 0.0,
             energy: EnergyBreakdown::default(),
+            cache: CacheCounters::default(),
         };
         assert_eq!(r.gops(), 0.0);
         assert_eq!(r.power_w(), 0.0);

@@ -83,6 +83,25 @@ impl Topology {
     pub fn is_single(&self) -> bool {
         self.channels == 1 && self.ranks == 1
     }
+
+    /// Compact, **exact** encoding of the geometry for use in cache
+    /// keys: 21 bits per dimension, packed. Not a hash — two topologies
+    /// collide only if a dimension exceeds 2²¹ (two million channels),
+    /// at which point the debug assertion fires first. Plan caches key
+    /// on this fingerprint so a cache handle shared across engines of
+    /// different geometry can never serve a stale plan.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const WIDTH: u32 = 21;
+        const MASK: usize = (1 << WIDTH) - 1;
+        debug_assert!(
+            self.channels <= MASK && self.ranks <= MASK && self.banks <= MASK,
+            "topology dimension exceeds fingerprint field width"
+        );
+        ((self.channels & MASK) as u64) << (2 * WIDTH)
+            | ((self.ranks & MASK) as u64) << WIDTH
+            | (self.banks & MASK) as u64
+    }
 }
 
 /// Per-channel schedulers driven concurrently.
@@ -177,6 +196,24 @@ mod tests {
         assert_eq!(t.total_banks(), 128);
         assert!(!t.is_single());
         assert!(Topology::single(16).is_single());
+    }
+
+    #[test]
+    fn fingerprint_is_injective_over_distinct_geometries() {
+        let mut seen = std::collections::HashSet::new();
+        for channels in 1..=8 {
+            for ranks in 1..=4 {
+                for banks in [1, 8, 16, 32] {
+                    let t = Topology {
+                        channels,
+                        ranks,
+                        banks,
+                    };
+                    assert!(seen.insert(t.fingerprint()), "collision at {t:?}");
+                    assert_eq!(t.fingerprint(), t.fingerprint());
+                }
+            }
+        }
     }
 
     #[test]

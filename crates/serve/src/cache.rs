@@ -1,0 +1,202 @@
+//! Priced-batch cache for the serving runtime.
+//!
+//! The runtime's `price()` pass decomposes per batch into a *stateful*
+//! part (the FR-FCFS fetch queue and the residency LRU, whose answers
+//! depend on every batch dispatched before) and a *pure* part: host
+//! planning cost and engine execution, which depend only on the batch's
+//! own content — tenant, output width and the member input vectors.
+//! This cache memoises the pure part, keyed on the batch signature.
+//!
+//! Exactness contract: entries are indexed by a 64-bit FNV-1a hash of
+//! the signature, but a lookup only *hits* after comparing the stored
+//! signature for full equality (tenant, shape, mate count and every
+//! input value). A hash collision therefore degrades to a recompute —
+//! it can never return another batch's pricing — and cached serving is
+//! bit-for-bit identical to uncached serving.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What identifies a batch's pure pricing: tenant, output width and the
+/// member input vectors in dispatch (FCFS) order. The mate count is the
+/// vector length, so a lone request (priced through the seed GEMV path)
+/// can never alias a one-member batch of a different composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BatchSig {
+    tenant: usize,
+    n: usize,
+    xs: Vec<Box<[i64]>>,
+}
+
+/// The memoised pure pricing of one batch composition.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPrice {
+    /// Σ over members of the planned sequence count, as the f64 sum the
+    /// runtime folds (multiply by `host_ns_per_seq` for plan time).
+    pub plan_seqs: f64,
+    /// Engine launch latency, ns.
+    pub exec_ns: f64,
+    /// Engine launch energy, nJ.
+    pub exec_energy_nj: f64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    sig: BatchSig,
+    price: BatchPrice,
+}
+
+/// Content-addressed map from batch signature to pure pricing, with
+/// hit/miss tallies. Shared across runtime clones (each [`crate::ServeRuntime`]
+/// holds it behind an `Arc`); interior mutability keeps the pricing
+/// path `&self`.
+#[derive(Debug)]
+pub struct BatchPriceCache {
+    entries: Mutex<HashMap<u64, Entry>>,
+    max_entries: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for BatchPriceCache {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_MAX_ENTRIES)
+    }
+}
+
+impl BatchPriceCache {
+    /// Default entry cap; on overflow the map is cleared wholesale
+    /// (epoch eviction — O(1) amortised, trivially correct, and a full
+    /// epoch is far larger than any steady-state working set).
+    pub const DEFAULT_MAX_ENTRIES: usize = 4096;
+
+    /// A cache bounded to `max_entries` compositions.
+    #[must_use]
+    pub fn new(max_entries: usize) -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            max_entries: max_entries.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The memoised pricing for the batch `(tenant, n, xs)`, computing
+    /// and storing it on a miss. `xs` must be in dispatch (FCFS) order —
+    /// the same order the uncached pricing folds.
+    pub fn price(
+        &self,
+        tenant: usize,
+        n: usize,
+        xs: &[&[i64]],
+        compute: impl FnOnce() -> BatchPrice,
+    ) -> BatchPrice {
+        let index = Self::index(tenant, n, xs);
+        {
+            let entries = self.entries.lock().expect("batch cache poisoned");
+            if let Some(e) = entries.get(&index) {
+                // Equality gate: the hash only indexes; content decides.
+                if e.sig.tenant == tenant
+                    && e.sig.n == n
+                    && e.sig.xs.len() == xs.len()
+                    && e.sig.xs.iter().zip(xs).all(|(a, b)| a.as_ref() == *b)
+                {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return e.price;
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let price = compute();
+        let sig = BatchSig {
+            tenant,
+            n,
+            xs: xs.iter().map(|x| Box::from(*x)).collect(),
+        };
+        let mut entries = self.entries.lock().expect("batch cache poisoned");
+        if entries.len() >= self.max_entries {
+            entries.clear();
+        }
+        entries.insert(index, Entry { sig, price });
+        price
+    }
+
+    /// FNV-1a over the signature: tenant, n, mate count, then each
+    /// member's length and values.
+    fn index(tenant: usize, n: usize, xs: &[&[i64]]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(tenant as u64);
+        mix(n as u64);
+        mix(xs.len() as u64);
+        for x in xs {
+            mix(x.len() as u64);
+            for &v in *x {
+                mix(v as u64);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn price(v: f64) -> BatchPrice {
+        BatchPrice {
+            plan_seqs: v,
+            exec_ns: 2.0 * v,
+            exec_energy_nj: 3.0 * v,
+        }
+    }
+
+    #[test]
+    fn hits_only_on_identical_composition() {
+        let c = BatchPriceCache::default();
+        let a: &[i64] = &[1, 2, 3];
+        let b: &[i64] = &[1, 2, 4];
+        let first = c.price(0, 64, &[a, b], || price(1.0));
+        assert_eq!(c.misses(), 1);
+        let again = c.price(0, 64, &[a, b], || unreachable!("must hit"));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(first.exec_ns, again.exec_ns);
+        // Different tenant, width, order or membership all miss.
+        let _ = c.price(1, 64, &[a, b], || price(2.0));
+        let _ = c.price(0, 32, &[a, b], || price(3.0));
+        let _ = c.price(0, 64, &[b, a], || price(4.0));
+        let _ = c.price(0, 64, &[a], || price(5.0));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 5);
+    }
+
+    #[test]
+    fn epoch_eviction_bounds_the_map() {
+        let c = BatchPriceCache::new(4);
+        for i in 0..20i64 {
+            let x = [i];
+            let xs: &[&[i64]] = &[&x];
+            let _ = c.price(0, 8, xs, || price(i as f64));
+        }
+        assert_eq!(c.misses(), 20);
+        assert!(c.entries.lock().unwrap().len() <= 4);
+    }
+}

@@ -163,6 +163,16 @@ pub struct ServeReport {
     /// The rolling window the power timeline (and any power cap)
     /// averages over, ns.
     pub power_window_ns: f64,
+    /// Priced-batch cache hits at report time (cumulative over the
+    /// runtime's lifetime, like the engine tallies; zero when the cache
+    /// is disabled). Observational only — caching never changes
+    /// results.
+    pub batch_cache_hits: u64,
+    /// Priced-batch cache misses at report time.
+    pub batch_cache_misses: u64,
+    /// Engine plan/stream cache tallies at report time (all zeros when
+    /// the engine was built with caching disabled).
+    pub engine_cache: c2m_dram::CacheCounters,
 }
 
 /// Percentiles of `lat` (consumed and sorted in place).
@@ -180,6 +190,18 @@ fn percentiles_ns(mut lat: Vec<f64>, ps: &[f64]) -> Vec<f64> {
 }
 
 impl ServeReport {
+    /// Fraction of priced-batch cache lookups that hit, in [0, 1]
+    /// (0.0 when the cache is disabled or never consulted).
+    #[must_use]
+    pub fn batch_cache_hit_rate(&self) -> f64 {
+        let total = self.batch_cache_hits + self.batch_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.batch_cache_hits as f64 / total as f64
+        }
+    }
+
     /// Latencies at each percentile of `ps` (values in [0, 100]), ns —
     /// sorts the outcomes once however many percentiles are asked for.
     /// All zeros when there are no outcomes.

@@ -68,6 +68,7 @@
 //! With `power_budget_w: None` the pipeline is byte-identical to the
 //! uncapped runtime.
 
+use crate::cache::{BatchPrice, BatchPriceCache};
 use crate::report::{BatchRecord, PowerSample, QueueSample, RequestOutcome, ServeReport};
 use crate::request::ServeRequest;
 use crate::traffic::{request_input, ClosedLoopConfig};
@@ -77,6 +78,7 @@ use c2m_dram::{BatchWindow, MemoryRequest, RequestQueue};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Batch admission policy: which arrived request seeds the next batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -141,11 +143,32 @@ pub struct ServeConfig {
     /// exceeding the cap. `None` (seed-faithful) admits on latency
     /// policy alone.
     pub power_budget_w: Option<f64>,
+    /// Memoise the pure part of batch pricing (host planning cost and
+    /// engine execution) on the batch signature — tenant, output width
+    /// and member input vectors (see [`crate::cache::BatchPriceCache`]).
+    /// Observational only: cached and uncached serving are bit-for-bit
+    /// identical, because the stateful fetch-queue and residency pricing
+    /// always run live. Disable for cache-equivalence testing.
+    pub batch_cache: bool,
 }
 
 impl Default for ServeConfig {
-    /// The seed-faithful configuration: no batching (one request per
-    /// dispatch), synchronous planning, FIFO admission, free residency.
+    /// The seed-faithful configuration — the single place field
+    /// defaults live (the builder starts from it):
+    ///
+    /// | field | default | meaning |
+    /// |---|---|---|
+    /// | `window_ns` | `0.0` | no coalescing window |
+    /// | `max_batch` | `1` | one request per dispatch |
+    /// | `max_wait_ns` | [`BatchWindow::DEFAULT_MAX_WAIT_NS`] | FR-FCFS starvation cap |
+    /// | `host_ns_per_seq` | `25.0` | host planning cost per sequence |
+    /// | `dispatch_ns` | `2_000.0` | per-batch launch overhead |
+    /// | `async_planner` | `false` | planning serialises with execution |
+    /// | `policy` | [`SchedPolicy::Fifo`] | oldest arrival first |
+    /// | `residency_rows` | `None` | tenants stay resident for free |
+    /// | `power_window_ns` | `1e6` | rolling power window, 1 ms |
+    /// | `power_budget_w` | `None` | no power cap |
+    /// | `batch_cache` | `true` | memoise pure batch pricing |
     fn default() -> Self {
         Self {
             window_ns: 0.0,
@@ -158,16 +181,191 @@ impl Default for ServeConfig {
             residency_rows: None,
             power_window_ns: 1e6,
             power_budget_w: None,
+            batch_cache: true,
         }
+    }
+}
+
+/// A validation failure from [`ServeConfigBuilder::try_build`],
+/// carrying a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfigError(String);
+
+impl std::fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+/// Typed builder for [`ServeConfig`]: starts from
+/// [`ServeConfig::default`] (the seed-faithful configuration — see its
+/// table of defaults), applies the setters, and validates every
+/// engine-independent invariant at [`Self::build`] /
+/// [`Self::try_build`]. The one engine-*dependent* check — a power cap
+/// must sit above the module's static idle floor — still happens in
+/// [`ServeRuntime::new`], where the engine is known.
+///
+/// ```
+/// use c2m_serve::{SchedPolicy, ServeConfig};
+/// let cfg = ServeConfig::builder()
+///     .max_batch(8)
+///     .window_ns(1e6)
+///     .policy(SchedPolicy::EarliestDeadlineFirst)
+///     .build();
+/// assert_eq!(cfg.max_batch, 8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the batch coalescing window, ns.
+    #[must_use]
+    pub fn window_ns(mut self, v: f64) -> Self {
+        self.cfg.window_ns = v;
+        self
+    }
+
+    /// Sets the hard cap on requests per batch.
+    #[must_use]
+    pub fn max_batch(mut self, v: usize) -> Self {
+        self.cfg.max_batch = v;
+        self
+    }
+
+    /// Sets the starvation cap, ns.
+    #[must_use]
+    pub fn max_wait_ns(mut self, v: f64) -> Self {
+        self.cfg.max_wait_ns = v;
+        self
+    }
+
+    /// Sets the host planning cost per broadcast sequence, ns.
+    #[must_use]
+    pub fn host_ns_per_seq(mut self, v: f64) -> Self {
+        self.cfg.host_ns_per_seq = v;
+        self
+    }
+
+    /// Sets the fixed per-batch launch overhead, ns.
+    #[must_use]
+    pub fn dispatch_ns(mut self, v: f64) -> Self {
+        self.cfg.dispatch_ns = v;
+        self
+    }
+
+    /// Double-buffers the planner (plan batch *i+1* during execution of
+    /// batch *i*).
+    #[must_use]
+    pub fn async_planner(mut self, v: bool) -> Self {
+        self.cfg.async_planner = v;
+        self
+    }
+
+    /// Sets the admission policy.
+    #[must_use]
+    pub fn policy(mut self, v: SchedPolicy) -> Self {
+        self.cfg.policy = v;
+        self
+    }
+
+    /// Models an LRU mask-plane residency budget of `rows` CIM subarray
+    /// rows.
+    #[must_use]
+    pub fn residency_rows(mut self, rows: usize) -> Self {
+        self.cfg.residency_rows = Some(rows);
+        self
+    }
+
+    /// Sets the rolling power window, ns.
+    #[must_use]
+    pub fn power_window_ns(mut self, v: f64) -> Self {
+        self.cfg.power_window_ns = v;
+        self
+    }
+
+    /// Caps rolling-window average power at `watts`.
+    #[must_use]
+    pub fn power_budget_w(mut self, watts: f64) -> Self {
+        self.cfg.power_budget_w = Some(watts);
+        self
+    }
+
+    /// Enables or disables the priced-batch cache (default on).
+    #[must_use]
+    pub fn batch_cache(mut self, v: bool) -> Self {
+        self.cfg.batch_cache = v;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeConfigError`] on a zero batch cap, a negative
+    /// or NaN window, a zero residency budget, or a non-positive /
+    /// non-finite power window — the same engine-independent invariants
+    /// [`ServeRuntime::new`] asserts.
+    pub fn try_build(self) -> Result<ServeConfig, ServeConfigError> {
+        self.cfg.validate().map_err(ServeConfigError)?;
+        Ok(self.cfg)
+    }
+
+    /// Validates and returns the configuration, panicking on invalid
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ServeConfigError`] message on any validation
+    /// failure — see [`Self::try_build`] for the exact conditions.
+    #[must_use]
+    pub fn build(self) -> ServeConfig {
+        match self.try_build() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("invalid serve configuration: {e}"),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Starts a builder from the seed-faithful defaults.
+    #[must_use]
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::default()
+    }
+
+    /// The engine-independent invariants shared by
+    /// [`ServeConfigBuilder::try_build`] and [`ServeRuntime::new`].
+    fn validate(&self) -> Result<(), String> {
+        if self.max_batch < 1 {
+            return Err("batches hold at least one request".into());
+        }
+        if self.window_ns.is_nan() || self.window_ns < 0.0 {
+            return Err("window must be non-negative".into());
+        }
+        if self.residency_rows == Some(0) {
+            return Err("residency budget must be positive".into());
+        }
+        if self.power_window_ns <= 0.0 || !self.power_window_ns.is_finite() {
+            return Err("power window must be positive and finite".into());
+        }
+        Ok(())
     }
 }
 
 /// The serving runtime: owns a configured engine and prices request
 /// traces through the admit → fetch → plan → execute pipeline.
+///
+/// Clones share the priced-batch cache (and, through the engine, the
+/// plan/pricing cache), so clones warm each other.
 #[derive(Debug, Clone)]
 pub struct ServeRuntime {
     engine: C2mEngine,
     cfg: ServeConfig,
+    batch_cache: Option<Arc<BatchPriceCache>>,
 }
 
 /// Pipeline clock state threaded through batch dispatches.
@@ -310,19 +508,9 @@ impl ServeRuntime {
     /// ranks burn that much doing nothing).
     #[must_use]
     pub fn new(engine: C2mEngine, cfg: ServeConfig) -> Self {
-        assert!(cfg.max_batch >= 1, "batches hold at least one request");
-        assert!(
-            cfg.window_ns >= 0.0 && !cfg.window_ns.is_nan(),
-            "window must be non-negative"
-        );
-        assert!(
-            cfg.residency_rows != Some(0),
-            "residency budget must be positive"
-        );
-        assert!(
-            cfg.power_window_ns > 0.0 && cfg.power_window_ns.is_finite(),
-            "power window must be positive and finite"
-        );
+        if let Err(m) = cfg.validate() {
+            panic!("{m}");
+        }
         if let Some(cap) = cfg.power_budget_w {
             let ecfg = engine.config();
             let floor = ecfg.energy.system_background_power_w(&ecfg.dram);
@@ -332,7 +520,14 @@ impl ServeRuntime {
                  floor {floor} W — no schedule can comply"
             );
         }
-        Self { engine, cfg }
+        let batch_cache = cfg
+            .batch_cache
+            .then(|| Arc::new(BatchPriceCache::default()));
+        Self {
+            engine,
+            cfg,
+            batch_cache,
+        }
     }
 
     /// Static background power of the served module, W: every rank of
@@ -382,6 +577,7 @@ impl ServeRuntime {
         } else {
             pipe.hits as f64 / pipe.accesses as f64
         };
+        self.stamp_cache_counters(&mut report);
         report
     }
 
@@ -452,7 +648,18 @@ impl ServeRuntime {
         } else {
             pipe.hits as f64 / pipe.accesses as f64
         };
+        self.stamp_cache_counters(&mut report);
         report
+    }
+
+    /// Snapshots the cumulative cache tallies (priced-batch and engine
+    /// plan/stream) into a finished report. Observational only.
+    fn stamp_cache_counters(&self, report: &mut ServeReport) {
+        if let Some(c) = &self.batch_cache {
+            report.batch_cache_hits = c.hits();
+            report.batch_cache_misses = c.misses();
+        }
+        report.engine_cache = self.engine.cache_stats();
     }
 
     /// A fresh FR-FCFS queue over the engine's host-visible banks.
@@ -669,13 +876,12 @@ impl ServeRuntime {
             .count() as u64;
         let fetch_done = fetch.makespan_ns();
 
-        // Host planning: the real IARM pass over each request's doubled
-        // ternary stream, costed per emitted sequence.
-        let plan_ns = batch
-            .iter()
-            .map(|r| self.engine.sequences_for_stream(&r.ternary_stream()) as f64)
-            .sum::<f64>()
-            * self.cfg.host_ns_per_seq;
+        // The pure part of the pricing — host planning sequences and
+        // the engine launch — depends only on the batch's own content,
+        // so it memoises on the batch signature. The stateful parts
+        // (fetch queue, residency LRU) always run live above/below.
+        let pure = self.pure_price(batch);
+        let plan_ns = pure.plan_seqs * self.cfg.host_ns_per_seq;
 
         // Tenant residency: dispatching a non-resident tenant streams
         // its mask planes back into the CIM subarrays before execution
@@ -695,27 +901,53 @@ impl ServeRuntime {
             None => (0, 0.0, 0.0),
         };
 
-        // Engine execution: the seed GEMV path for a lone request (bit
-        // compatible with the paper model), the row-sharded batch entry
-        // point otherwise. The launch report's ledger total carries the
-        // batch's execution energy.
-        let exec = if batch.len() == 1 {
-            self.engine.ternary_gemv(&batch[0].x, batch[0].n)
-        } else {
-            let xs: Vec<&[i64]> = batch.iter().map(|r| r.x.as_slice()).collect();
-            self.engine.ternary_gemv_batch(&xs, batch[0].n)
-        };
-
         Priced {
             fetch_done,
             plan_ns,
             reload_rows,
             reload_ns,
             reload_energy_nj,
-            exec_ns: exec.elapsed_ns,
-            exec_energy_nj: exec.energy_nj,
+            exec_ns: pure.exec_ns,
+            exec_energy_nj: pure.exec_energy_nj,
             hits,
             accesses,
+        }
+    }
+
+    /// The content-only part of a batch's pricing: the host planning
+    /// sequence count and the engine launch — the seed GEMV path for a
+    /// lone request (bit compatible with the paper model), the
+    /// row-sharded batch entry point otherwise. Memoised on the batch
+    /// signature when the priced-batch cache is enabled.
+    fn pure_price(&self, batch: &[ServeRequest]) -> BatchPrice {
+        let compute = || {
+            // Host planning: the real IARM pass over each request's
+            // doubled ternary stream (through the engine's stream
+            // cache), costed per emitted sequence by the caller.
+            let plan_seqs = batch
+                .iter()
+                .map(|r| self.engine.cached_sequences_for_doubled(&r.x) as f64)
+                .sum::<f64>();
+            // The launch report's ledger total carries the batch's
+            // execution energy.
+            let exec = if batch.len() == 1 {
+                self.engine.ternary_gemv(&batch[0].x, batch[0].n)
+            } else {
+                let xs: Vec<&[i64]> = batch.iter().map(|r| r.x.as_slice()).collect();
+                self.engine.ternary_gemv_batch(&xs, batch[0].n)
+            };
+            BatchPrice {
+                plan_seqs,
+                exec_ns: exec.elapsed_ns,
+                exec_energy_nj: exec.energy_nj,
+            }
+        };
+        match &self.batch_cache {
+            Some(c) => {
+                let xs: Vec<&[i64]> = batch.iter().map(|r| r.x.as_slice()).collect();
+                c.price(batch[0].tenant, batch[0].n, &xs, compute)
+            }
+            None => compute(),
         }
     }
 
@@ -835,7 +1067,7 @@ mod tests {
     fn engine(channels: usize) -> C2mEngine {
         let mut cfg = EngineConfig::c2m(16);
         cfg.dram.channels = channels;
-        C2mEngine::new(cfg)
+        C2mEngine::builder(cfg).build()
     }
 
     fn trace(requests: usize, tenants: usize) -> Vec<ServeRequest> {
@@ -1324,5 +1556,107 @@ mod tests {
                 ..ServeConfig::default()
             },
         );
+    }
+
+    // ---- config builder and priced-batch cache ----
+
+    #[test]
+    fn config_builder_mirrors_struct_literals() {
+        let built = ServeConfig::builder()
+            .window_ns(5e5)
+            .max_batch(8)
+            .max_wait_ns(2e6)
+            .host_ns_per_seq(40.0)
+            .dispatch_ns(1_500.0)
+            .async_planner(true)
+            .policy(SchedPolicy::EarliestDeadlineFirst)
+            .residency_rows(4096)
+            .power_window_ns(2e6)
+            .power_budget_w(12.0)
+            .batch_cache(false)
+            .build();
+        let literal = ServeConfig {
+            window_ns: 5e5,
+            max_batch: 8,
+            max_wait_ns: 2e6,
+            host_ns_per_seq: 40.0,
+            dispatch_ns: 1_500.0,
+            async_planner: true,
+            policy: SchedPolicy::EarliestDeadlineFirst,
+            residency_rows: Some(4096),
+            power_window_ns: 2e6,
+            power_budget_w: Some(12.0),
+            batch_cache: false,
+        };
+        assert_eq!(format!("{built:?}"), format!("{literal:?}"));
+    }
+
+    #[test]
+    fn config_builder_reports_each_validation_failure() {
+        let cases: [(ServeConfigBuilder, &str); 4] = [
+            (ServeConfig::builder().max_batch(0), "at least one request"),
+            (ServeConfig::builder().window_ns(-1.0), "non-negative"),
+            (ServeConfig::builder().residency_rows(0), "positive"),
+            (ServeConfig::builder().power_window_ns(0.0), "power window"),
+        ];
+        for (builder, needle) in cases {
+            let err = builder.try_build().expect_err("must be rejected");
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_cache_on_and_off_serve_identically() {
+        // The cache memoises only the content-pure pricing, so every
+        // observable number — latencies, energy, power, batch shapes —
+        // must be bit-for-bit the same with it on or off.
+        let reqs = trace(48, 2);
+        for channels in [1usize, 4] {
+            let cached = ServeRuntime::new(engine(channels), cfg(4, 1e6)).run(&reqs);
+            let uncached_cfg = ServeConfig {
+                batch_cache: false,
+                ..cfg(4, 1e6)
+            };
+            let uncached = ServeRuntime::new(engine(channels), uncached_cfg).run(&reqs);
+            assert!(cached.batch_cache_hits + cached.batch_cache_misses > 0);
+            assert_eq!(uncached.batch_cache_hits, 0);
+            assert_eq!(uncached.batch_cache_misses, 0);
+            for (a, b) in cached.outcomes.iter().zip(&uncached.outcomes) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.completion_ns.to_bits(), b.completion_ns.to_bits());
+            }
+            for (a, b) in cached.batches.iter().zip(&uncached.batches) {
+                assert_eq!(a.size, b.size);
+                assert_eq!(a.exec_ns.to_bits(), b.exec_ns.to_bits());
+                assert_eq!(a.energy_nj.to_bits(), b.energy_nj.to_bits());
+            }
+            assert_eq!(
+                cached.joules_per_request().to_bits(),
+                uncached.joules_per_request().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_compositions_hit_the_batch_cache() {
+        // Equal-cost jobs from one tenant: after the first composition
+        // of each batch size is priced, repeats are hits.
+        let reqs: Vec<ServeRequest> = (0..32)
+            .map(|i| req(i, i as f64 * 10.0, 0, ServiceClass::BEST_EFFORT))
+            .collect();
+        let rep = ServeRuntime::new(engine(1), cfg(4, 1e6)).run(&reqs);
+        assert!(
+            rep.batch_cache_hits > 0,
+            "identical compositions must hit (hits {}, misses {})",
+            rep.batch_cache_hits,
+            rep.batch_cache_misses
+        );
+        assert!(rep.batch_cache_hit_rate() > 0.5);
+        // The engine-level stream cache warms too: the plan pass and
+        // the exec pass share per-request stream entries.
+        assert!(rep.engine_cache.stream_hits > 0);
     }
 }

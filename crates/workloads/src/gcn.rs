@@ -60,7 +60,7 @@ pub fn aggregation_shape() -> GemmShape {
 #[must_use]
 pub fn sweep_aggregation(cfg: &EngineConfig) -> (GemmShape, ExecutionReport) {
     let shape = aggregation_shape();
-    let engine = C2mEngine::new(cfg.clone());
+    let engine = C2mEngine::builder(cfg.clone()).build();
     let ones = vec![1i64; shape.k];
     let report = engine.binary_gemm(shape.m, shape.n, &ones);
     (shape, report)

@@ -129,7 +129,7 @@ pub fn all_shapes() -> Vec<GemmShape> {
 /// an 8-channel module.
 #[must_use]
 pub fn sweep_table3(cfg: &EngineConfig) -> Vec<(GemmShape, ExecutionReport)> {
-    let engine = C2mEngine::new(cfg.clone());
+    let engine = C2mEngine::builder(cfg.clone()).build();
     all_shapes()
         .into_iter()
         .map(|shape| {

@@ -144,7 +144,7 @@ pub fn sweep_network(
     layers: &[ConvLayer],
     cfg: &EngineConfig,
 ) -> Vec<(GemmShape, ExecutionReport)> {
-    let engine = C2mEngine::new(cfg.clone());
+    let engine = C2mEngine::builder(cfg.clone()).build();
     layers
         .iter()
         .map(|layer| {

@@ -38,7 +38,7 @@ fn main() {
     );
 
     // 5. Project the same kernel at LLaMA scale on the Table 2 module.
-    let engine = C2mEngine::new(EngineConfig::c2m(16));
+    let engine = C2mEngine::builder(EngineConfig::c2m(16)).build();
     let big_x: Vec<i64> = (0..8192).map(|_| rng.gen_range(-128i64..128)).collect();
     let report = engine.ternary_gemv(&big_x, 22016);
     println!(
@@ -53,7 +53,9 @@ fn main() {
     //    concurrently, and pays the cross-channel partial-sum merge.
     let mut quad_cfg = EngineConfig::c2m(16);
     quad_cfg.dram.channels = 4;
-    let quad = C2mEngine::new(quad_cfg).ternary_gemv(&big_x, 22016);
+    let quad = C2mEngine::builder(quad_cfg)
+        .build()
+        .ternary_gemv(&big_x, 22016);
     println!(
         "same kernel on 4 channels          -> {:.2} ms ({:.2}x, sublinear: merge rounds)",
         quad.elapsed_ms(),

@@ -21,6 +21,7 @@ use count2multiply::serve::{
     open_loop, OpenLoopConfig, SchedPolicy, ServeConfig, ServeReport, ServeRuntime, ServiceClass,
     TenantSpec,
 };
+use std::sync::Arc;
 
 fn show(label: &str, rep: &ServeReport) {
     println!(
@@ -54,22 +55,30 @@ fn main() {
     let mut cfg = EngineConfig::c2m(16);
     cfg.dram.channels = 4;
     let policy = BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]);
-    let engine = C2mEngine::with_backends(cfg, policy);
+    let engine = C2mEngine::builder(cfg.clone())
+        .backends(policy.clone())
+        .build();
 
     // Seed-faithful serving: one request per dispatch, synchronous
     // planning, even shard sizing, FIFO admission.
     let serial = ServeRuntime::new(engine.clone(), ServeConfig::default()).run(&trace);
 
     // Tuned serving: batch up to 8 same-tenant requests, double-buffer
-    // the planner, weight shard lengths by backend throughput.
-    let weights = engine.heterogeneity_weights();
-    let tuned_cfg = ServeConfig {
-        window_ns: 1e9,
-        max_batch: 8,
-        async_planner: true,
-        ..ServeConfig::default()
-    };
-    let engine = engine.with_shard_sizing(weights);
+    // the planner, weight shard lengths by backend throughput. The
+    // weighted engine shares the first engine's plan/pricing cache, so
+    // the trace's IARM planning passes are already warm.
+    let tuned_cfg = ServeConfig::builder()
+        .window_ns(1e9)
+        .max_batch(8)
+        .async_planner(true)
+        .build();
+    let engine = C2mEngine::builder(cfg)
+        .backends(policy)
+        .balanced_sizing()
+        .shared_cache(Arc::clone(
+            engine.cache().expect("caching is on by default"),
+        ))
+        .build();
     let tuned = ServeRuntime::new(engine.clone(), tuned_cfg.clone()).run(&trace);
 
     // SLO-aware serving with tenant residency: EDF admission pulls the

@@ -20,7 +20,7 @@ fn main() {
 
     let gpu = GpuModel::rtx_3090_ti();
     let simdram = SimdramEngine::x(16);
-    let c2m = C2mEngine::new(EngineConfig::c2m(16));
+    let c2m = C2mEngine::builder(EngineConfig::c2m(16)).build();
 
     let x = int8_embeddings(shape.k, 99);
     let g = gpu.gemv(shape.n, shape.k);
@@ -60,7 +60,7 @@ fn main() {
     for channels in [1usize, 2, 4] {
         let mut cfg = EngineConfig::c2m(16);
         cfg.dram.channels = channels;
-        let r = C2mEngine::new(cfg).ternary_gemv(&x, shape.n);
+        let r = C2mEngine::builder(cfg).build().ternary_gemv(&x, shape.n);
         println!(
             "  {channels} channel{} -> {:>8.3} ms, {:>7.0} GOPS",
             if channels == 1 { " " } else { "s" },

@@ -137,7 +137,7 @@ fn cmd_gemv(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("  Ambit macro commands   : {}", result.stats.ambit_ops);
 
     // Project at module scale: 16 banks, one subarray each.
-    let engine = C2mEngine::new(EngineConfig::c2m(16));
+    let engine = C2mEngine::builder(EngineConfig::c2m(16)).build();
     let report = engine.ternary_gemv(&x, n);
     println!(
         "  projected on Table 2   : {:.3} ms, {:.1} GOPS, {:.2} GOPS/W",

@@ -77,7 +77,7 @@ fn every_reexport_is_reachable_and_sane() {
     assert!(!circuit.outputs.is_empty());
 
     // arch (c2m_core)
-    let engine = C2mEngine::new(EngineConfig::c2m(4));
+    let engine = C2mEngine::builder(EngineConfig::c2m(4)).build();
     let gemm = engine.ternary_gemm(4, 4, &[1, -2, 3, -4]);
     assert!(gemm.elapsed_ns > 0.0);
     assert_ne!(MaskEncoding::Binary, MaskEncoding::Ternary);
@@ -123,7 +123,7 @@ fn every_reexport_is_reachable_and_sane() {
         mean_interarrival_ns: 1_000.0,
         seed: 1,
     });
-    let serve_engine = C2mEngine::new(EngineConfig::c2m(4));
+    let serve_engine = C2mEngine::builder(EngineConfig::c2m(4)).build();
     let residency_rows = serve_engine.residency_capacity_rows();
     let runtime = ServeRuntime::new(
         serve_engine,

@@ -102,7 +102,9 @@ fn kernels_match_references() {
 #[test]
 fn performance_ordering_on_paper_shapes() {
     let x = int8_embeddings(8192, 1);
-    let c2m = C2mEngine::new(EngineConfig::c2m(16)).ternary_gemv(&x, 8192);
+    let c2m = C2mEngine::builder(EngineConfig::c2m(16))
+        .build()
+        .ternary_gemv(&x, 8192);
     let simdram = SimdramEngine::x(16).ternary_gemv(8192, 8192);
     let gpu = GpuModel::rtx_3090_ti().gemm(8192, 8192, 8192);
 
@@ -180,7 +182,7 @@ fn dna_filter_backends_and_fault_tolerance() {
 #[test]
 fn sparsity_monotonicity() {
     use count2multiply::workloads::sparsity::sparse_int8_stream;
-    let engine = C2mEngine::new(EngineConfig::c2m(16));
+    let engine = C2mEngine::builder(EngineConfig::c2m(16)).build();
     let mut last = f64::INFINITY;
     for s in [0.0, 0.3, 0.6, 0.9, 0.99] {
         let x = sparse_int8_stream(8192, s, 11);

@@ -26,7 +26,14 @@
 //!   without running any benchmark, printing per-benchmark median
 //!   ns/iter delta and percent plus each side's min and stddev
 //!   (`cargo bench --bench criterion_benches -- --baselines-diff main
-//!   pr`).
+//!   pr`). With `--fail-threshold <pct>` the diff **exits with status
+//!   1** when any benchmark's median regressed by more than `pct`
+//!   percent of side `a` — the CI regression gate.
+//!
+//! The dump directory defaults to `<target>/criterion-baselines/` and
+//! can be pointed anywhere with the `CRITERION_BASELINE_DIR`
+//! environment variable — CI uses it to save and diff against the
+//! `BENCH_*.json` baselines committed at the repository root.
 
 pub use std::hint::black_box;
 
@@ -178,8 +185,19 @@ fn target_dir() -> std::path::PathBuf {
         .unwrap_or_else(|| "target".into())
 }
 
-/// Writes `<target>/criterion-baselines/<name>.json` when the process
-/// was invoked with `--save-baseline <name>` (e.g.
+/// The directory baseline dumps are written to and read from:
+/// `CRITERION_BASELINE_DIR` when set (relative paths resolve against
+/// the process cwd — for bench binaries, the package directory), else
+/// `<target>/criterion-baselines`.
+fn baselines_dir() -> std::path::PathBuf {
+    match std::env::var("CRITERION_BASELINE_DIR") {
+        Ok(dir) if !dir.is_empty() => std::path::PathBuf::from(dir),
+        _ => target_dir().join("criterion-baselines"),
+    }
+}
+
+/// Writes `<baselines-dir>/<name>.json` when the process was invoked
+/// with `--save-baseline <name>` (e.g.
 /// `cargo bench --bench criterion_benches -- --save-baseline pr`).
 /// Called automatically at the end of [`criterion_main!`]; a no-op
 /// otherwise.
@@ -187,7 +205,7 @@ pub fn save_baseline_if_requested() {
     let Some(name) = parse_save_baseline(std::env::args()) else {
         return;
     };
-    let dir = target_dir().join("criterion-baselines");
+    let dir = baselines_dir();
     let results = RESULTS.lock().expect("benchmark results poisoned");
     let payload = baseline_json(&name, &results);
     let path = dir.join(format!("{name}.json"));
@@ -370,13 +388,62 @@ fn diff_lines(
         .collect()
 }
 
+/// Extracts `--fail-threshold <pct>` from the argument stream. `Err`
+/// marks a malformed invocation (missing, non-numeric, negative or
+/// non-finite percentage).
+fn parse_fail_threshold<I: Iterator<Item = String>>(mut args: I) -> Result<Option<f64>, String> {
+    while let Some(arg) = args.next() {
+        let raw = match arg.strip_prefix("--fail-threshold=") {
+            Some(rest) => rest.to_string(),
+            None if arg == "--fail-threshold" => args
+                .next()
+                .ok_or("--fail-threshold needs a percentage".to_string())?,
+            None => continue,
+        };
+        return match raw.parse::<f64>() {
+            Ok(pct) if pct.is_finite() && pct >= 0.0 => Ok(Some(pct)),
+            _ => Err(format!("--fail-threshold needs a percentage, got {raw:?}")),
+        };
+    }
+    Ok(None)
+}
+
+/// The benchmarks of `b` whose median regressed by more than `pct`
+/// percent over side `a`, rendered one complaint per line. Benchmarks
+/// on only one side never fail the gate — adding or retiring a
+/// benchmark is not a regression.
+fn regressions(
+    a: &[(String, Option<BenchStats>)],
+    b: &[(String, Option<BenchStats>)],
+    pct: f64,
+) -> Vec<String> {
+    a.iter()
+        .filter_map(|(id, x)| {
+            let x = (*x)?;
+            let y = b.iter().find(|(i, _)| i == id).and_then(|(_, s)| *s)?;
+            if x.median > 0.0 && y.median > x.median * (1.0 + pct / 100.0) {
+                Some(format!(
+                    "{id}: {} -> {} ns/iter (+{:.2}% > {pct}%)",
+                    format_ns(x.median),
+                    format_ns(y.median),
+                    (y.median - x.median) / x.median * 100.0
+                ))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
 /// Handles `--baselines-diff <a> <b>` if present: loads both dumps from
-/// `<target>/criterion-baselines/`, prints the per-benchmark ns/iter
-/// delta and percent, and returns `true` so `criterion_main!` skips the
+/// the baselines directory, prints the per-benchmark ns/iter delta and
+/// percent, and returns `true` so `criterion_main!` skips the
 /// benchmark groups entirely. Returns `false` when the flag is absent.
 /// A malformed invocation or an unreadable/corrupt dump **exits with
 /// status 1** — a CI step invoking the diff must fail loudly rather
-/// than succeed having compared nothing.
+/// than succeed having compared nothing — and so does any median
+/// regression beyond `--fail-threshold <pct>` when the gate was
+/// requested.
 pub fn baselines_diff_if_requested() -> bool {
     let Some((a, b)) = parse_baselines_diff(std::env::args()) else {
         if std::env::args().any(|arg| arg == "--baselines-diff") {
@@ -386,7 +453,14 @@ pub fn baselines_diff_if_requested() -> bool {
         }
         return false;
     };
-    let dir = target_dir().join("criterion-baselines");
+    let threshold = match parse_fail_threshold(std::env::args()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("criterion shim: {e}");
+            std::process::exit(1);
+        }
+    };
+    let dir = baselines_dir();
     let load = |name: &str| -> Vec<(String, Option<BenchStats>)> {
         let path = dir.join(format!("{name}.json"));
         match std::fs::read_to_string(&path) {
@@ -418,6 +492,17 @@ pub fn baselines_diff_if_requested() -> bool {
     );
     for line in diff_lines(&rows_a, &rows_b) {
         println!("{line}");
+    }
+    if let Some(pct) = threshold {
+        let bad = regressions(&rows_a, &rows_b, pct);
+        if !bad.is_empty() {
+            eprintln!("criterion shim: {} regression(s) beyond {pct}%:", bad.len());
+            for line in &bad {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+        println!("no benchmark regressed beyond {pct}% of {a:?}");
     }
     true
 }
@@ -615,6 +700,60 @@ mod tests {
                 ("c".to_string(), Some(stats(7.0, 7.0, 0.0))),
             ]
         );
+    }
+
+    #[test]
+    fn parses_fail_threshold_forms() {
+        assert_eq!(
+            parse_fail_threshold(args(&["--fail-threshold", "25"])).unwrap(),
+            Some(25.0)
+        );
+        assert_eq!(
+            parse_fail_threshold(args(&["--fail-threshold=12.5"])).unwrap(),
+            Some(12.5)
+        );
+        assert_eq!(parse_fail_threshold(args(&["bench"])).unwrap(), None);
+        assert!(parse_fail_threshold(args(&["--fail-threshold"])).is_err());
+        assert!(parse_fail_threshold(args(&["--fail-threshold", "x"])).is_err());
+        assert!(parse_fail_threshold(args(&["--fail-threshold", "-3"])).is_err());
+        assert!(parse_fail_threshold(args(&["--fail-threshold", "inf"])).is_err());
+    }
+
+    #[test]
+    fn regression_gate_flags_only_real_regressions() {
+        let a = vec![
+            ("fast".to_string(), Some(stats(100.0, 100.0, 0.0))),
+            ("slow".to_string(), Some(stats(100.0, 100.0, 0.0))),
+            ("gone".to_string(), Some(stats(100.0, 100.0, 0.0))),
+            ("skipped".to_string(), None),
+        ];
+        let b = vec![
+            ("fast".to_string(), Some(stats(50.0, 50.0, 0.0))),
+            ("slow".to_string(), Some(stats(140.0, 140.0, 0.0))),
+            ("new".to_string(), Some(stats(9e9, 9e9, 0.0))),
+            ("skipped".to_string(), Some(stats(1.0, 1.0, 0.0))),
+        ];
+        // 40% over on "slow" trips a 25% gate; improvements, one-sided
+        // and null benchmarks never do.
+        let bad = regressions(&a, &b, 25.0);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].starts_with("slow:"), "{}", bad[0]);
+        // A 50% gate lets the same diff through.
+        assert!(regressions(&a, &b, 50.0).is_empty());
+    }
+
+    #[test]
+    fn baseline_dir_honours_the_environment_override() {
+        // Serialised within this test: set, read, restore.
+        std::env::set_var("CRITERION_BASELINE_DIR", "/tmp/bench-dumps");
+        assert_eq!(
+            baselines_dir(),
+            std::path::PathBuf::from("/tmp/bench-dumps")
+        );
+        std::env::set_var("CRITERION_BASELINE_DIR", "");
+        assert!(baselines_dir().ends_with("criterion-baselines"));
+        std::env::remove_var("CRITERION_BASELINE_DIR");
+        assert!(baselines_dir().ends_with("criterion-baselines"));
     }
 
     #[test]

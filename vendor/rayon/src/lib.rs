@@ -1,0 +1,217 @@
+//! Offline shim for the `rayon` crate: the exact API subset the
+//! workspace uses, implemented with `std::thread::scope`.
+//!
+//! The real rayon is a work-stealing deque runtime; the engine only
+//! needs order-preserving `par_iter().map(..).collect()` over slices
+//! (per-shard pricing, per-config figure sweeps), so this shim splits
+//! the slice into one contiguous chunk per worker thread and joins them
+//! in index order. Guarantees relied upon by the engine:
+//!
+//! - **Order preservation**: `collect()` yields results in input order,
+//!   regardless of which thread computed them — parallel pricing must
+//!   fold channel costs in the same order as the serial path so figure
+//!   JSON stays bit-for-bit identical.
+//! - **Panic propagation**: a panicking closure panics the caller (as
+//!   rayon does), so assertion failures inside shard pricing surface.
+//! - **`RAYON_NUM_THREADS`**: honoured like the real crate; `1` forces
+//!   the serial path (no threads spawned), which tests use to compare
+//!   serial and parallel pricing bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Everything a `use rayon::prelude::*;` caller expects.
+pub mod prelude {
+    pub use crate::{ParIter, ParMap, ParallelSlice};
+}
+
+/// Number of worker threads the pool would use: `RAYON_NUM_THREADS` if
+/// set and positive, else [`std::thread::available_parallelism`].
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Extension trait adding `par_iter` to slices (the only entry point
+/// the workspace uses; the real crate derives it from `IntoParallelRefIterator`).
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over `&T` items, in order.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice. Only `map` is provided — the engine
+/// prices shards by mapping each shard to its projected cost.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f`, to be materialised by
+    /// [`ParMap::collect`].
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            min_len: 1,
+        }
+    }
+}
+
+/// A mapped parallel iterator; terminal operation is [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+    min_len: usize,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Sets the minimum number of items a worker must receive before an
+    /// extra thread is spawned (rayon's `with_min_len`): callers use it
+    /// to keep tiny shard lists on the calling thread.
+    #[must_use]
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Runs the map and gathers results **in input order**.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    fn run(self) -> Vec<R> {
+        let n = self.items.len();
+        let workers = current_num_threads().min(n / self.min_len.max(1)).max(1);
+        if workers <= 1 || n <= 1 {
+            return self.items.iter().map(self.f).collect();
+        }
+        // One contiguous chunk per worker, sized by largest remainder so
+        // chunk lengths differ by at most one.
+        let base = n / workers;
+        let extra = n % workers;
+        let f = &self.f;
+        let mut chunks: Vec<Vec<R>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            let mut start = 0usize;
+            for w in 0..workers {
+                let len = base + usize::from(w < extra);
+                let part = &self.items[start..start + len];
+                start += len;
+                handles.push(scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(v) => chunks.push(v),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = items.par_iter().map(|v| v * 2).collect();
+        assert_eq!(out, (0..1000).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: Vec<i32> = Vec::new();
+        let out: Vec<i32> = none.par_iter().map(|v| *v).collect();
+        assert!(out.is_empty());
+        let one = [7];
+        let out: Vec<i32> = one.par_iter().map(|v| v + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn borrows_non_static_data() {
+        let base = vec![1.5f64, 2.5, 3.5];
+        let scale = 2.0;
+        let out: Vec<f64> = base.par_iter().map(|v| v * scale).collect();
+        assert_eq!(out, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn min_len_keeps_small_inputs_serial() {
+        let items = [1, 2, 3];
+        let out: Vec<i32> = items.par_iter().map(|v| v * 10).with_min_len(64).collect();
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        let _: Vec<usize> = items
+            .par_iter()
+            .map(|v| {
+                assert!(*v != 63, "boom");
+                *v
+            })
+            .collect();
+    }
+
+    #[test]
+    fn matches_serial_fold_bit_for_bit() {
+        // The engine folds f64 costs computed per shard; parallel
+        // pricing must produce the identical Vec so downstream folds
+        // are unchanged.
+        let items: Vec<f64> = (0..257).map(|i| f64::from(i) * 0.3).collect();
+        let par: Vec<f64> = items.par_iter().map(|v| v.sin() * v).collect();
+        let ser: Vec<f64> = items.iter().map(|v| v.sin() * v).collect();
+        assert_eq!(
+            par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            ser.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
