@@ -6,8 +6,11 @@
 //! saved baseline:
 //!
 //! ```console
-//! $ CRITERION_BASELINE_DIR=. cargo bench -p c2m_bench --bench bench_core -- --save-baseline BENCH_core
+//! $ CRITERION_BASELINE_DIR=$PWD cargo bench -p c2m_bench --bench bench_core -- --save-baseline BENCH_core
 //! ```
+//!
+//! (`CRITERION_BASELINE_DIR` must be absolute: cargo runs bench
+//! binaries from the package directory, not the invocation directory.)
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -64,6 +67,34 @@ fn bench_gemm(c: &mut Criterion) {
     });
 }
 
+fn bench_gemv_salp(c: &mut Criterion) {
+    // Host-side pricing cost of the subarray tier: a 32-stream plan
+    // fans the same stream over ~32x more shards, so this tracks the
+    // per-shard overhead of the fourth partitioning level, warm and
+    // cold.
+    let xs = stream(2048, 0x5A1F);
+    let salp_engine = |cache: Option<&Arc<PlanCache>>| {
+        let mut cfg = EngineConfig::c2m(16);
+        cfg.dram.channels = 4;
+        cfg.subarrays = 32;
+        let builder = C2mEngine::builder(cfg);
+        match cache {
+            Some(cache) => builder.shared_cache(Arc::clone(cache)).build(),
+            None => builder.no_cache().build(),
+        }
+    };
+    let cache = Arc::new(PlanCache::default());
+    let warm = salp_engine(Some(&cache));
+    let _ = warm.ternary_gemv(&xs, 1024);
+    c.bench_function("engine/gemv_salp32_2048_warm_cache", |b| {
+        b.iter(|| warm.ternary_gemv(black_box(&xs), 1024))
+    });
+    let cold = salp_engine(None);
+    c.bench_function("engine/gemv_salp32_2048_uncached", |b| {
+        b.iter(|| cold.ternary_gemv(black_box(&xs), 1024))
+    });
+}
+
 fn bench_batch(c: &mut Criterion) {
     let mates: Vec<Vec<i64>> = (0..8).map(|i| stream(1024, 0xBA7C + i)).collect();
     let cache = Arc::new(PlanCache::default());
@@ -78,5 +109,11 @@ fn bench_batch(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gemv, bench_gemm, bench_batch);
+criterion_group!(
+    benches,
+    bench_gemv,
+    bench_gemm,
+    bench_gemv_salp,
+    bench_batch
+);
 criterion_main!(benches);

@@ -6,8 +6,11 @@
 //! is this target's saved baseline:
 //!
 //! ```console
-//! $ CRITERION_BASELINE_DIR=. cargo bench -p c2m_bench --bench bench_serve -- --save-baseline BENCH_serve
+//! $ CRITERION_BASELINE_DIR=$PWD cargo bench -p c2m_bench --bench bench_serve -- --save-baseline BENCH_serve
 //! ```
+//!
+//! (`CRITERION_BASELINE_DIR` must be absolute: cargo runs bench
+//! binaries from the package directory, not the invocation directory.)
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 

@@ -183,6 +183,7 @@ fn bench_topology(c: &mut Criterion) {
         channels: 4,
         ranks: 2,
         banks: 16,
+        subarrays: 1,
     };
     c.bench_function("topology/10k_aaps_4ch_2rank", |b| {
         b.iter(|| {

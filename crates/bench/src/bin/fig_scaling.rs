@@ -1,11 +1,15 @@
 //! Channel/rank scaling curves (extension of §7.2 beyond Table 2's
 //! single channel): ternary GEMV (V0) and GEMM (M2) latency and
 //! throughput as the engine shards over 1→8 channels, for uniform Ambit
-//! and FCDRAM dispatch plus a mixed Ambit+FCDRAM module.
+//! and FCDRAM dispatch plus a mixed Ambit+FCDRAM module, then over
+//! 1→128 SALP streams per bank (`Ambit/SALP` rows) at 1 and 4 channels.
 //!
 //! GEMV shards the inner dimension (cross-unit partial-sum merges cap
 //! the gain); GEMM shards output rows (only the host gather is shared),
-//! so both curves are sublinear in channels, GEMM less so.
+//! so both curves are sublinear in channels, GEMM less so. The SALP
+//! rows shard below the rank: concurrent per-subarray AAP streams
+//! multiply per-module throughput until the shared-bank command gate
+//! caps the stream count.
 
 use c2m_bench::{eng, header, maybe_json};
 use c2m_cim::Backend;
@@ -22,6 +26,7 @@ struct ScalingRow {
     dispatch: String,
     channels: usize,
     ranks: usize,
+    subarrays: usize,
     gemv_ms: f64,
     gemv_gops: f64,
     gemv_speedup: f64,
@@ -58,6 +63,7 @@ fn run(policy: &BackendPolicy, label: &str, cache: &Arc<PlanCache>, rows: &mut V
             dispatch: label.to_string(),
             channels,
             ranks: 1,
+            subarrays: 1,
             gemv_ms: gemv.elapsed_ms(),
             gemv_gops: gemv.gops(),
             gemv_speedup: base_gemv / gemv.elapsed_ns,
@@ -65,29 +71,82 @@ fn run(policy: &BackendPolicy, label: &str, cache: &Arc<PlanCache>, rows: &mut V
             gemm_gops: gemm.gops(),
             gemm_speedup: base_gemm / gemm.elapsed_ns,
         };
-        println!(
-            "{:>14} | {:>3} | {:>9} {:>8} {:>7} | {:>9} {:>8} {:>7}",
-            row.dispatch,
-            row.channels,
-            eng(row.gemv_ms),
-            eng(row.gemv_gops),
-            eng(row.gemv_speedup),
-            eng(row.gemm_ms),
-            eng(row.gemm_gops),
-            eng(row.gemm_speedup),
-        );
+        print_row(&row);
         rows.push(row);
+    }
+}
+
+fn print_row(row: &ScalingRow) {
+    println!(
+        "{:>14} | {:>3} {:>4} | {:>9} {:>8} {:>7} | {:>9} {:>8} {:>7}",
+        row.dispatch,
+        row.channels,
+        row.subarrays,
+        eng(row.gemv_ms),
+        eng(row.gemv_gops),
+        eng(row.gemv_speedup),
+        eng(row.gemm_ms),
+        eng(row.gemm_gops),
+        eng(row.gemm_speedup),
+    );
+}
+
+/// The SALP sweep: shard below the rank. Subarray counts past the
+/// DDR5 geometry (128) are modelled by widening `subarrays_per_bank`;
+/// the engine still clamps the granted streams at the channel-gate
+/// cap, so the curve saturates instead of rising without bound.
+/// Speedups are relative to the 1-stream point at the same channel
+/// count, making the per-module multiplier directly readable.
+fn run_salp(cache: &Arc<PlanCache>, rows: &mut Vec<ScalingRow>) {
+    let gemv_shape = GEMV_SHAPES[0];
+    let gemm_shape = GEMM_SHAPES[2];
+    let x_gemv = int8_embeddings(gemv_shape.k, 0x5CA1);
+    let x_gemm = int8_embeddings(gemm_shape.k, 0x5CA2);
+
+    for channels in [1usize, 4] {
+        let mut base_gemv = 0.0;
+        let mut base_gemm = 0.0;
+        for subarrays in [1usize, 8, 32, 128] {
+            let mut cfg = EngineConfig::c2m(16);
+            cfg.dram.channels = channels;
+            cfg.dram.subarrays_per_bank = cfg.dram.subarrays_per_bank.max(subarrays);
+            cfg.subarrays = subarrays;
+            let engine = C2mEngine::builder(cfg)
+                .backends(BackendPolicy::Uniform(Backend::Ambit))
+                .shared_cache(Arc::clone(cache))
+                .build();
+            let gemv = engine.ternary_gemv(&x_gemv, gemv_shape.n);
+            let gemm = engine.ternary_gemm(gemm_shape.m, gemm_shape.n, &x_gemm);
+            if subarrays == 1 {
+                base_gemv = gemv.elapsed_ns;
+                base_gemm = gemm.elapsed_ns;
+            }
+            let row = ScalingRow {
+                dispatch: "Ambit/SALP".to_string(),
+                channels,
+                ranks: 1,
+                subarrays,
+                gemv_ms: gemv.elapsed_ms(),
+                gemv_gops: gemv.gops(),
+                gemv_speedup: base_gemv / gemv.elapsed_ns,
+                gemm_ms: gemm.elapsed_ms(),
+                gemm_gops: gemm.gops(),
+                gemm_speedup: base_gemm / gemm.elapsed_ns,
+            };
+            print_row(&row);
+            rows.push(row);
+        }
     }
 }
 
 fn main() {
     header(
         "fig_scaling",
-        "Topology scaling: V0 GEMV / M2 GEMM over 1-8 channels",
+        "Topology scaling: V0 GEMV / M2 GEMM over channels and SALP streams",
     );
     println!(
-        "\n{:>14} | {:>3} | {:>9} {:>8} {:>7} | {:>9} {:>8} {:>7}",
-        "dispatch", "ch", "gemv ms", "gops", "speedup", "gemm ms", "gops", "speedup"
+        "\n{:>14} | {:>3} {:>4} | {:>9} {:>8} {:>7} | {:>9} {:>8} {:>7}",
+        "dispatch", "ch", "sub", "gemv ms", "gops", "speedup", "gemm ms", "gops", "speedup"
     );
     let mut rows = Vec::new();
     let cache = Arc::new(PlanCache::default());
@@ -109,8 +168,11 @@ fn main() {
         &cache,
         &mut rows,
     );
+    run_salp(&cache, &mut rows);
 
     println!("\nGEMV shards K (pays cross-unit merges); GEMM shards rows (pays host gather);");
     println!("speedups are sublinear in channels, and FCDRAM pays the generic-lowering premium.");
+    println!("SALP rows shard below the rank too: streams saturate at the channel-gate cap,");
+    println!("so the 32- and 128-subarray points coincide once the cap binds.");
     maybe_json(&rows);
 }

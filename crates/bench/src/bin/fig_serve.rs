@@ -30,6 +30,11 @@
 //!   ([`ServeConfig::power_budget_w`], set at two fractions of the
 //!   uncapped excursion above the idle floor) trades latency for cap
 //!   compliance under every admission policy.
+//! * **salp_residency** — the residency overload on an 8-stream SALP
+//!   module, flat (1-slot) vs per-subarray-slot residency
+//!   ([`ServeConfig::residency_slots`]): slotted accounting reloads
+//!   each missing slot's rounded-up mask share, so tenant switches are
+//!   never priced cheaper than the whole-mask model.
 
 use c2m_bench::{eng, header, maybe_json};
 use c2m_cim::Backend;
@@ -47,6 +52,10 @@ use std::sync::Arc;
 struct ServeRow {
     sweep: String,
     channels: usize,
+    // SALP streams requested per bank and residency slots in force
+    // (both 1 outside the salp_residency sweep).
+    subarrays: usize,
+    residency_slots: usize,
     dispatch: String,
     sizing: String,
     mode: String,
@@ -120,12 +129,14 @@ fn slo_workload() -> Vec<ServeRequest> {
 /// everywhere; plans key on topology/policy/sizing and stay distinct).
 fn engine(
     channels: usize,
+    subarrays: usize,
     policy: &BackendPolicy,
     weighted: bool,
     cache: &Arc<PlanCache>,
 ) -> C2mEngine {
     let mut cfg = EngineConfig::c2m(16);
     cfg.dram.channels = channels;
+    cfg.subarrays = subarrays;
     let mut b = C2mEngine::builder(cfg)
         .backends(policy.clone())
         .shared_cache(Arc::clone(cache));
@@ -152,12 +163,30 @@ fn run(
     cache: &Arc<PlanCache>,
     rows: &mut Vec<ServeRow>,
 ) {
+    run_salp(trace, sweep, channels, 1, backend, cfg, cache, rows);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_salp(
+    trace: &[ServeRequest],
+    sweep: &str,
+    channels: usize,
+    subarrays: usize,
+    backend: (&BackendPolicy, &str, bool),
+    cfg: ServeConfig,
+    cache: &Arc<PlanCache>,
+    rows: &mut Vec<ServeRow>,
+) {
     let (backend_policy, dispatch, weighted) = backend;
     let async_planner = cfg.async_planner;
     let max_batch = cfg.max_batch;
     let policy = cfg.policy;
     let cap_w = cfg.power_budget_w.unwrap_or(0.0);
-    let runtime = ServeRuntime::new(engine(channels, backend_policy, weighted, cache), cfg);
+    let residency_slots = cfg.residency_slots;
+    let runtime = ServeRuntime::new(
+        engine(channels, subarrays, backend_policy, weighted, cache),
+        cfg,
+    );
     let rep = runtime.run(trace);
     let pcts = rep.latency_percentiles_ns(&[50.0, 95.0, 99.0]);
     let classes = rep.class_stats();
@@ -168,6 +197,8 @@ fn run(
     let row = ServeRow {
         sweep: sweep.to_string(),
         channels,
+        subarrays,
+        residency_slots,
         dispatch: dispatch.to_string(),
         sizing: if weighted { "weighted" } else { "even" }.to_string(),
         mode: if async_planner { "async" } else { "sync" }.to_string(),
@@ -329,7 +360,7 @@ fn main() {
     }
     // Sweep 5: the same overload with tenant weight residency at a
     // two-tenant mask budget — switches now pay a mask-plane reload.
-    let slo_engine = engine(1, &ambit, false, &cache);
+    let slo_engine = engine(1, 1, &ambit, false, &cache);
     let budget = 2 * slo_engine.tenant_mask_rows(1024, 512);
     for &policy in &policies {
         run(
@@ -360,7 +391,7 @@ fn main() {
         ..batched(max_batch)
     };
     let probe = ServeRuntime::new(
-        engine(1, &ambit, false, &cache),
+        engine(1, 1, &ambit, false, &cache),
         energy_cfg(SchedPolicy::Fifo, 8, None),
     )
     .run(&slo_trace);
@@ -387,12 +418,43 @@ fn main() {
         }
     }
 
+    // Sweep 7: the same oversubscribed overload on an 8-stream SALP
+    // module, pricing residency per subarray slot. The flat (1-slot)
+    // point prices a tenant switch as one whole-mask reload; the
+    // slotted point (one slot per shard slot) spreads the mask over
+    // the unit's subarrays and reloads each missing slot's rounded-up
+    // share, so slotted reload time is never cheaper.
+    let salp_engine = engine(1, 8, &ambit, false, &cache);
+    let salp_budget = 2 * salp_engine.tenant_mask_rows(1024, 512);
+    let salp_slots = salp_engine.residency_slots();
+    for &policy in &policies {
+        for &slots in &[1usize, salp_slots] {
+            run_salp(
+                &slo_trace,
+                "salp_residency",
+                1,
+                8,
+                (&ambit, "Ambit", false),
+                ServeConfig {
+                    policy,
+                    max_wait_ns: 10e6,
+                    residency_rows: Some(salp_budget),
+                    residency_slots: slots,
+                    ..batched(8)
+                },
+                &cache,
+                &mut rows,
+            );
+        }
+    }
+
     println!("\nBatching coalesces same-tenant GEMVs into row-sharded launches (cap 1 = the");
     println!("seed one-at-a-time host path); async planning overlaps IARM with execution;");
     println!("weighted sizing rebalances the mixed Ambit+FCDRAM module's makespan; EDF and");
     println!("priority admission pull the critical class's p99/miss rate down under overload;");
     println!("residency prices tenant-switch mask reloads at a 2-tenant budget; the energy");
     println!("sweep reports J/request off the ledger and holds a rolling-window power cap");
-    println!("by shrinking/deferring batches, trading latency for cap compliance.");
+    println!("by shrinking/deferring batches, trading latency for cap compliance; the SALP");
+    println!("residency sweep prices reloads per subarray slot, never under the flat model.");
     maybe_json(&rows);
 }

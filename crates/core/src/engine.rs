@@ -30,7 +30,9 @@
 use crate::cache::{CacheConfig, PlanCache, PlanKey};
 use crate::shard::{BackendPolicy, ShardAxis, ShardPlan, ShardPlanner, ShardSizing};
 use c2m_cim::Backend;
-use c2m_dram::scheduler::steady_state_aap_interval_ranked;
+use c2m_dram::scheduler::{
+    salp_stream_cap, steady_state_aap_interval_ranked, steady_state_aap_interval_salp,
+};
 use c2m_dram::{
     AreaModel, CacheCounters, CommandKind, CommandStats, DramConfig, EnergyLedger, EnergyModel,
     ExecutionReport, TimingParams, Topology,
@@ -53,6 +55,14 @@ pub struct EngineConfig {
     pub capacity_bits: u32,
     /// Banks computing in parallel (C2M:X).
     pub banks: usize,
+    /// Concurrent SALP streams per bank the engine shards over
+    /// (PRADA-style subarray-level parallelism). 1 — the default and the
+    /// paper's setup — disables the subarray tier and reproduces the
+    /// pre-SALP model bit for bit. Values above the part's
+    /// serialization-floor cap
+    /// ([`c2m_dram::scheduler::salp_stream_cap`]) or the config's
+    /// `subarrays_per_bank` are clamped/rejected at build time.
+    pub subarrays: usize,
     /// Fault-tolerance scheme (affects ops per increment and the
     /// recompute overhead).
     pub protection: ProtectionKind,
@@ -83,6 +93,7 @@ impl EngineConfig {
             radix: 4,
             capacity_bits: 64,
             banks,
+            subarrays: 1,
             protection: ProtectionKind::None,
             fault_rate: 0.0,
             ecc_row_bits: 512,
@@ -267,6 +278,17 @@ impl EngineBuilder {
                 cfg.banks, cfg.dram.banks
             )));
         }
+        if cfg.subarrays == 0 {
+            return Err(EngineBuildError::InvalidGeometry(
+                "at least one SALP stream (subarray) per bank is required".into(),
+            ));
+        }
+        if cfg.subarrays > cfg.dram.subarrays_per_bank {
+            return Err(EngineBuildError::InvalidGeometry(format!(
+                "{} SALP streams exceed the {} subarrays per bank",
+                cfg.subarrays, cfg.dram.subarrays_per_bank
+            )));
+        }
         if let BackendPolicy::PerChannel(list) = &self.backends {
             if list.is_empty() {
                 return Err(EngineBuildError::InvalidBackends(
@@ -439,7 +461,12 @@ impl C2mEngine {
     }
 
     /// The compute topology the engine shards over: the DRAM config's
-    /// channels × ranks, with `banks` CIM banks per rank.
+    /// channels × ranks, with `banks` CIM banks per rank and
+    /// [`Self::salp_streams`] concurrent subarray streams per bank.
+    ///
+    /// The *effective* (clamped) stream count is baked into the
+    /// topology, so [`Topology::fingerprint`] — and hence every
+    /// [`PlanKey`] — covers the subarray sizing exactly.
     ///
     /// # Panics
     ///
@@ -447,7 +474,30 @@ impl C2mEngine {
     /// channels/ranks) or `banks` exceeds the banks per rank.
     #[must_use]
     pub fn topology(&self) -> Topology {
-        Topology::from_config(&self.cfg.dram, self.cfg.banks)
+        let base = Topology::from_config(&self.cfg.dram, self.cfg.banks);
+        if self.cfg.subarrays <= 1 {
+            return base;
+        }
+        base.with_subarrays(self.cfg.subarrays.min(self.salp_stream_limit()))
+    }
+
+    /// The serialization-floor cap on concurrent SALP streams for this
+    /// engine's timing and geometry: granting more streams than this
+    /// cannot raise throughput (the shared-bank
+    /// [`TimingParams::t_subarray_gate`] slot is already saturated), and
+    /// *would* strand partial sums in extra merge rounds, so
+    /// [`Self::topology`] clamps the configured `subarrays` here.
+    #[must_use]
+    pub fn salp_stream_limit(&self) -> usize {
+        salp_stream_cap(&self.cfg.timing, self.cfg.banks, self.cfg.dram.ranks)
+    }
+
+    /// Effective concurrent SALP streams per bank after clamping the
+    /// configured `subarrays` to [`Self::salp_stream_limit`]. 1 on a
+    /// pre-SALP configuration.
+    #[must_use]
+    pub fn salp_streams(&self) -> usize {
+        self.topology().subarrays
     }
 
     /// A shard planner over [`Self::topology`] with this engine's
@@ -611,15 +661,20 @@ impl C2mEngine {
     #[must_use]
     pub fn ternary_gemv(&self, x: &[i64], n: usize) -> ExecutionReport {
         let plan = self.plan_for(ShardAxis::InnerDim, x.len());
-        let shard_ops: Vec<f64> = plan
-            .shards
+        // The unit's intra-unit merge (banks × SALP streams) rides on
+        // its first shard; accumulation and merge both execute on the
+        // shard's backend.
+        let work: Vec<(usize, f64)> = self
+            .unit_reduction_extras(&plan)
+            .into_iter()
+            .enumerate()
+            .collect();
+        let shard_ops: Vec<f64> = work
             .par_iter()
-            .map(|shard| {
+            .map(|&(i, red)| {
+                let shard = &plan.shards[i];
                 let seqs = self.cached_sequences_for_doubled(&x[shard.start..shard.end()]);
-                // Accumulation and the unit's own bank-level merge both
-                // execute on the shard's backend.
-                (seqs as f64 * self.ops_per_sequence() + self.reduction_ops())
-                    * self.backend_factor(shard.backend)
+                (seqs as f64 * self.ops_per_sequence() + red) * self.backend_factor(shard.backend)
             })
             .collect();
         self.sharded_report(&plan, &shard_ops, 0, useful_ops(1, n, x.len()), n)
@@ -661,7 +716,7 @@ impl C2mEngine {
             .collect();
         let shard_ops: Vec<f64> = priced.iter().map(|&(ops, _)| ops).collect();
         let useful: u64 = priced.iter().map(|&(_, u)| u).sum();
-        let gather_bursts = if plan.units_used() > 1 {
+        let gather_bursts = if plan.cr_units_used() > 1 {
             xs.len() as u64 * self.output_row_bursts(n)
         } else {
             0
@@ -716,7 +771,7 @@ impl C2mEngine {
                 per_row * shard.len as f64
             })
             .collect();
-        let gather_bursts = if plan.units_used() > 1 {
+        let gather_bursts = if plan.cr_units_used() > 1 {
             m as u64 * self.output_row_bursts(n)
         } else {
             0
@@ -742,10 +797,15 @@ impl C2mEngine {
         plane_exponents: &[(u32, bool)],
     ) -> ExecutionReport {
         let plan = self.plan_for(ShardAxis::CsdPlanes, plane_exponents.len());
-        let shard_ops: Vec<f64> = plan
-            .shards
+        let work: Vec<(usize, f64)> = self
+            .unit_reduction_extras(&plan)
+            .into_iter()
+            .enumerate()
+            .collect();
+        let shard_ops: Vec<f64> = work
             .par_iter()
-            .map(|shard| {
+            .map(|&(i, red)| {
+                let shard = &plan.shards[i];
                 let mut ops = 0.0f64;
                 for &(e, neg) in &plane_exponents[shard.start..shard.end()] {
                     let stream: Vec<i64> = x
@@ -762,7 +822,7 @@ impl C2mEngine {
                     ops +=
                         self.cached_sequences_for_stream(&stream) as f64 * self.ops_per_sequence();
                 }
-                (ops + self.reduction_ops()) * self.backend_factor(shard.backend)
+                (ops + red) * self.backend_factor(shard.backend)
             })
             .collect();
         self.sharded_report(&plan, &shard_ops, 0, useful_ops(1, n, x.len()), n)
@@ -770,14 +830,50 @@ impl C2mEngine {
 
     /// Commands for the log₂(banks) partial-sum merge rounds within one
     /// (channel, rank) unit (Algorithm 2: 2n unit increments per digit
-    /// per round, plus mask staging).
+    /// per round, plus mask staging). Equal to
+    /// [`Self::reduction_ops_salp`] with a single stream.
     #[must_use]
     pub fn reduction_ops(&self) -> f64 {
-        if self.cfg.banks <= 1 {
+        self.reduction_ops_salp(1)
+    }
+
+    /// Commands for the intra-unit partial-sum merge when `streams`
+    /// concurrent SALP shards each accumulated across the unit's banks:
+    /// `banks × streams` partials collapse in ⌈log₂(banks·streams)⌉
+    /// pairwise counter-to-counter rounds, all in-DRAM (subarray streams
+    /// share the bank's bitlines, so their merges never cross the host
+    /// bus). With one stream this is the pre-SALP bank-level
+    /// [`Self::reduction_ops`], bit for bit.
+    #[must_use]
+    pub fn reduction_ops_salp(&self, streams: usize) -> f64 {
+        let partials = self.cfg.banks * streams.max(1);
+        if partials <= 1 {
             return 0.0;
         }
-        let rounds = (self.cfg.banks as f64).log2().ceil();
+        let rounds = (partials as f64).log2().ceil();
         rounds * self.merge_round_ops()
+    }
+
+    /// Per-shard extra reduction commands for a K/plane-sharded plan:
+    /// the first shard of each (channel, rank) unit in plan order
+    /// carries the unit's whole intra-unit merge (its banks × its SALP
+    /// streams), the unit's remaining subarray shards carry none. On a
+    /// 1-subarray plan every unit holds exactly one shard, so this
+    /// degenerates to the pre-SALP "every shard pays
+    /// [`Self::reduction_ops`]" attribution, bit for bit.
+    fn unit_reduction_extras(&self, plan: &ShardPlan) -> Vec<f64> {
+        let mut extras = vec![0.0f64; plan.shards.len()];
+        let mut i = 0;
+        while i < plan.shards.len() {
+            let unit = (plan.shards[i].channel, plan.shards[i].rank);
+            let mut j = i + 1;
+            while j < plan.shards.len() && (plan.shards[j].channel, plan.shards[j].rank) == unit {
+                j += 1;
+            }
+            extras[i] = self.reduction_ops_salp(j - i);
+            i = j;
+        }
+        extras
     }
 
     /// Commands for one pairwise counter-to-counter merge round
@@ -817,6 +913,27 @@ impl C2mEngine {
     #[must_use]
     pub fn tenant_mask_rows(&self, n: usize, k: usize) -> usize {
         crate::residency::ternary_mask_rows(n, k, self.cfg.dram.row_bits_per_rank())
+    }
+
+    /// Independent residency slots on this engine's geometry: one per
+    /// (channel, rank, SALP stream) — the granularity
+    /// [`ResidencyModel::with_slots`](crate::residency::ResidencyModel::with_slots)
+    /// tracks when the serving layer prices per-subarray reloads. 1 on
+    /// a single-channel, single-rank, 1-subarray engine.
+    #[must_use]
+    pub fn residency_slots(&self) -> usize {
+        self.topology().shard_slots()
+    }
+
+    /// Mask rows one residency slot of a `K×N` ternary tenant occupies:
+    /// the inner dimension shards evenly across
+    /// [`Self::residency_slots`], so each slot holds the planes of its
+    /// own K-slice. With a single slot this is exactly
+    /// [`Self::tenant_mask_rows`].
+    #[must_use]
+    pub fn tenant_mask_slot_rows(&self, n: usize, k: usize) -> usize {
+        let slots = self.residency_slots().max(1);
+        crate::residency::ternary_mask_rows(n, k.div_ceil(slots), self.cfg.dram.row_bits_per_rank())
     }
 
     /// Mask rows the CIM subarrays can hold after reserving the Johnson
@@ -914,8 +1031,30 @@ impl C2mEngine {
             .iter()
             .enumerate()
             .map(|(c, &ops)| {
-                let ranks_used = plan.on_channel(c).filter(|s| s.len > 0).count().max(1);
-                ops * steady_state_aap_interval_ranked(&self.cfg.timing, self.cfg.banks, ranks_used)
+                // Interleave rate of the ranks and SALP streams the
+                // channel actually occupies; on a 1-subarray plan every
+                // busy shard is a distinct rank, so this is exactly the
+                // pre-SALP ranked interval.
+                let mut ranks: Vec<usize> = plan
+                    .on_channel(c)
+                    .filter(|s| s.len > 0)
+                    .map(|s| s.rank)
+                    .collect();
+                ranks.sort_unstable();
+                ranks.dedup();
+                let mut subs: Vec<usize> = plan
+                    .on_channel(c)
+                    .filter(|s| s.len > 0)
+                    .map(|s| s.subarray)
+                    .collect();
+                subs.sort_unstable();
+                subs.dedup();
+                ops * steady_state_aap_interval_salp(
+                    &self.cfg.timing,
+                    self.cfg.banks,
+                    ranks.len().max(1),
+                    subs.len().max(1),
+                )
             })
             .collect();
         let compute_ns = chan_ns.iter().copied().fold(0.0, f64::max);
@@ -926,7 +1065,11 @@ impl C2mEngine {
         let mut stats = CommandStats::default();
         let mut transfer_ns = 0.0;
 
-        let units = plan.units_used();
+        // The cross-unit merge tree and the host gather operate at
+        // (channel, rank) granularity: SALP streams inside one unit were
+        // already collapsed by the intra-unit merge, so they never add
+        // host-bus legs.
+        let units = plan.cr_units_used();
         if plan.axis.needs_reduction() && units > 1 {
             // Pairwise merge tree over the partial-sum units: round r
             // halves the survivors, so U units take ⌈log₂U⌉ rounds and
@@ -987,11 +1130,20 @@ impl C2mEngine {
         ledger.record_host(CommandKind::Aap, merge_ops_total * scale);
         ledger.record_host(CommandKind::Rd, host_rd as f64);
         ledger.record_host(CommandKind::Wr, host_wr as f64);
-        let busy: Vec<(usize, usize, f64)> = plan
+        // One busy window per distinct (channel, rank): the ledger sums
+        // windows per rank, so a unit's SALP shards must not each book
+        // the whole channel makespan.
+        let mut busy_units: Vec<(usize, usize)> = plan
             .shards
             .iter()
             .filter(|s| s.len > 0)
-            .map(|s| (s.channel, s.rank, chan_ns[s.channel]))
+            .map(|s| (s.channel, s.rank))
+            .collect();
+        busy_units.sort_unstable();
+        busy_units.dedup();
+        let busy: Vec<(usize, usize, f64)> = busy_units
+            .into_iter()
+            .map(|(c, r)| (c, r, chan_ns[c]))
             .collect();
         ledger.close(elapsed_ns, stats, &busy);
         let mut report = ExecutionReport::from_ledger(&ledger, useful, &self.cfg.area);

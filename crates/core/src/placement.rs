@@ -250,6 +250,109 @@ pub fn max_k_per_subarray(cfg: &DramConfig, spec: &CounterSpec, encoding: MaskEn
     rows_available.saturating_sub(fixed) / encoding.rows_per_index()
 }
 
+/// PRADA-style row-address decomposition for subarray-level
+/// parallelism: a bank's global row address splits into a *subarray id*
+/// (the upper bits, selected by [`SubarrayMap::subarray_mask`]) and a
+/// *local row* within that subarray's mat. The memory controller keys
+/// its per-subarray row-buffer state — and the SALP scheduler its
+/// per-stream windows — on the id field, so the split must be a pure
+/// bitmask: both dimensions are required to be powers of two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubarrayMap {
+    subarrays_per_bank: usize,
+    rows_per_subarray: usize,
+    local_bits: u32,
+}
+
+impl SubarrayMap {
+    /// Builds the map for `subarrays_per_bank` subarrays of
+    /// `rows_per_subarray` rows each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or not a power of two (the
+    /// decomposition must be a bitmask, not a division).
+    #[must_use]
+    pub fn new(subarrays_per_bank: usize, rows_per_subarray: usize) -> Self {
+        assert!(
+            subarrays_per_bank.is_power_of_two(),
+            "subarrays per bank must be a power of two, got {subarrays_per_bank}"
+        );
+        assert!(
+            rows_per_subarray.is_power_of_two(),
+            "rows per subarray must be a power of two, got {rows_per_subarray}"
+        );
+        Self {
+            subarrays_per_bank,
+            rows_per_subarray,
+            local_bits: rows_per_subarray.trailing_zeros(),
+        }
+    }
+
+    /// The map for a [`DramConfig`]'s bank organisation.
+    #[must_use]
+    pub fn from_config(cfg: &DramConfig) -> Self {
+        Self::new(cfg.subarrays_per_bank, cfg.rows_per_subarray)
+    }
+
+    /// Total rows per bank the map addresses.
+    #[must_use]
+    pub fn rows_per_bank(&self) -> usize {
+        self.subarrays_per_bank * self.rows_per_subarray
+    }
+
+    /// Bitmask selecting the subarray-id field of a global row address.
+    #[must_use]
+    pub fn subarray_mask(&self) -> usize {
+        (self.subarrays_per_bank - 1) << self.local_bits
+    }
+
+    /// Bitmask selecting the local-row field of a global row address.
+    #[must_use]
+    pub fn local_mask(&self) -> usize {
+        self.rows_per_subarray - 1
+    }
+
+    /// Splits a global row address into `(subarray id, local row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_row` is outside the bank.
+    #[must_use]
+    pub fn decompose(&self, global_row: usize) -> (usize, usize) {
+        assert!(
+            global_row < self.rows_per_bank(),
+            "row {global_row} outside the {}-row bank",
+            self.rows_per_bank()
+        );
+        (
+            (global_row & self.subarray_mask()) >> self.local_bits,
+            global_row & self.local_mask(),
+        )
+    }
+
+    /// Rebuilds a global row address from `(subarray id, local row)` —
+    /// the inverse of [`Self::decompose`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either field is out of range.
+    #[must_use]
+    pub fn compose(&self, subarray: usize, local_row: usize) -> usize {
+        assert!(
+            subarray < self.subarrays_per_bank,
+            "subarray {subarray} outside the {}-subarray bank",
+            self.subarrays_per_bank
+        );
+        assert!(
+            local_row < self.rows_per_subarray,
+            "local row {local_row} outside the {}-row subarray",
+            self.rows_per_subarray
+        );
+        (subarray << self.local_bits) | local_row
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +482,7 @@ mod tests {
             channels: 4,
             ranks: 1,
             banks: 16,
+            subarrays: 1,
         })
         .plan_inner(shape.k);
         let plans = plan_sharded(&cfg(), &spec, &shape, &shards).expect("shards fit");
@@ -389,9 +493,38 @@ mod tests {
             channels: 4,
             ranks: 1,
             banks: 16,
+            subarrays: 1,
         })
         .plan_rows(128);
         assert!(plan_sharded(&cfg(), &spec, &shape, &row_shards).is_err());
+    }
+
+    #[test]
+    fn subarray_map_round_trips_every_row() {
+        let map = SubarrayMap::from_config(&cfg());
+        assert_eq!(map.rows_per_bank(), 32 * 1024);
+        // PRADA decomposition: id field sits directly above the 10
+        // local-row bits.
+        assert_eq!(map.local_mask(), 0x3FF);
+        assert_eq!(map.subarray_mask(), 0x1F << 10);
+        for row in [0, 1, 1023, 1024, 4097, 32 * 1024 - 1] {
+            let (sa, local) = map.decompose(row);
+            assert_eq!(map.compose(sa, local), row);
+            assert_eq!(sa, row >> 10);
+            assert_eq!(local, row & 0x3FF);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn subarray_map_rejects_non_pow2_geometry() {
+        let _ = SubarrayMap::new(12, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn subarray_map_rejects_out_of_bank_rows() {
+        let _ = SubarrayMap::from_config(&cfg()).decompose(32 * 1024);
     }
 
     #[test]

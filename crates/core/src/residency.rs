@@ -12,10 +12,14 @@
 //! priced through
 //! [`C2mEngine::mask_reload_ns`](crate::engine::C2mEngine::mask_reload_ns).
 //!
-//! [`ResidencyModel`] is the bookkeeping half: an LRU set of resident
-//! tenants over a fixed row budget. It is deliberately engine-agnostic —
-//! the serving runtime owns one per run and asks the engine to price the
-//! reloads it reports.
+//! [`ResidencyModel`] is the bookkeeping half: per-subarray LRU sets of
+//! resident tenants, one per (channel, rank, SALP stream) *slot*, each
+//! over its own row budget — reloads are priced per subarray, so a
+//! tenant whose planes survive in most slots only restreams the missing
+//! ones. With a single slot ([`ResidencyModel::new`]) it degenerates to
+//! the flat module-wide budget of the pre-SALP model. It is
+//! deliberately engine-agnostic — the serving runtime owns one per run
+//! and asks the engine to price the reloads it reports.
 
 use serde::Serialize;
 
@@ -26,82 +30,28 @@ pub enum ResidencyOutcome {
     Hit,
     /// The tenant had to be (re)loaded: `rows` mask rows streamed into
     /// the CIM subarrays, after evicting least-recently-used tenants.
+    /// On a multi-slot model this is the sum over the slots that
+    /// actually missed.
     Reload {
         /// Mask rows written by the reload.
         rows: usize,
     },
 }
 
-/// LRU residency tracker for tenant mask planes over a row budget.
-///
-/// # Examples
-///
-/// ```
-/// use c2m_core::residency::{ResidencyModel, ResidencyOutcome};
-///
-/// let mut res = ResidencyModel::new(1000);
-/// assert_eq!(res.touch(0, 600), ResidencyOutcome::Reload { rows: 600 });
-/// assert_eq!(res.touch(0, 600), ResidencyOutcome::Hit);
-/// // Tenant 1 doesn't fit alongside tenant 0: 0 is evicted.
-/// assert_eq!(res.touch(1, 600), ResidencyOutcome::Reload { rows: 600 });
-/// assert!(!res.is_resident(0));
-/// ```
+/// One subarray slot's LRU set over its own row budget.
 #[derive(Debug, Clone)]
-pub struct ResidencyModel {
+struct SlotLru {
     capacity_rows: usize,
     /// Resident tenants in LRU order: front = coldest, back = hottest.
     resident: Vec<(usize, usize)>,
 }
 
-impl ResidencyModel {
-    /// A model with `capacity_rows` mask-capable rows.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a zero capacity — a module with no mask rows cannot
-    /// serve any tenant.
-    #[must_use]
-    pub fn new(capacity_rows: usize) -> Self {
-        assert!(capacity_rows > 0, "residency capacity must be positive");
-        Self {
-            capacity_rows,
-            resident: Vec::new(),
-        }
-    }
-
-    /// The row budget.
-    #[must_use]
-    pub fn capacity_rows(&self) -> usize {
-        self.capacity_rows
-    }
-
-    /// Mask rows currently occupied.
-    #[must_use]
-    pub fn used_rows(&self) -> usize {
+impl SlotLru {
+    fn used_rows(&self) -> usize {
         self.resident.iter().map(|&(_, rows)| rows).sum()
     }
 
-    /// Whether `tenant`'s mask planes are resident right now.
-    #[must_use]
-    pub fn is_resident(&self, tenant: usize) -> bool {
-        self.resident.iter().any(|&(t, _)| t == tenant)
-    }
-
-    /// Resident tenants, coldest first.
-    #[must_use]
-    pub fn resident_tenants(&self) -> Vec<usize> {
-        self.resident.iter().map(|&(t, _)| t).collect()
-    }
-
-    /// Dispatches `tenant` needing `rows` mask rows: a resident tenant
-    /// with an unchanged footprint is refreshed to most-recently-used
-    /// and hits; a non-resident one (or one whose footprint changed —
-    /// its planes must be restreamed) evicts least-recently-used
-    /// tenants until it fits and reports the reload. A tenant larger
-    /// than the whole budget still runs — it evicts everything and
-    /// reloads every dispatch (permanent thrashing), mirroring a row
-    /// that can never stay open.
-    pub fn touch(&mut self, tenant: usize, rows: usize) -> ResidencyOutcome {
+    fn touch(&mut self, tenant: usize, rows: usize) -> ResidencyOutcome {
         if let Some(pos) = self.resident.iter().position(|&(t, _)| t == tenant) {
             if self.resident[pos].1 == rows {
                 let entry = self.resident.remove(pos);
@@ -118,6 +68,170 @@ impl ResidencyModel {
             self.resident.push((tenant, rows));
         }
         ResidencyOutcome::Reload { rows }
+    }
+}
+
+/// LRU residency tracker for tenant mask planes: one independent LRU
+/// set per subarray slot, reloads priced per slot.
+///
+/// # Examples
+///
+/// ```
+/// use c2m_core::residency::{ResidencyModel, ResidencyOutcome};
+///
+/// let mut res = ResidencyModel::new(1000);
+/// assert_eq!(res.touch(0, 600), ResidencyOutcome::Reload { rows: 600 });
+/// assert_eq!(res.touch(0, 600), ResidencyOutcome::Hit);
+/// // Tenant 1 doesn't fit alongside tenant 0: 0 is evicted.
+/// assert_eq!(res.touch(1, 600), ResidencyOutcome::Reload { rows: 600 });
+/// assert!(!res.is_resident(0));
+/// ```
+///
+/// Per-subarray masks (the SALP serving path): a tenant that misses in
+/// some slots only restreams those slots' rows.
+///
+/// ```
+/// use c2m_core::residency::{ResidencyModel, ResidencyOutcome};
+///
+/// let mut res = ResidencyModel::with_slots(4, 100);
+/// let all: Vec<(usize, usize)> = (0..4).map(|s| (s, 50)).collect();
+/// assert_eq!(res.touch_slots(0, &all), ResidencyOutcome::Reload { rows: 200 });
+/// assert_eq!(res.touch_slots(0, &all), ResidencyOutcome::Hit);
+/// // Another tenant overwrites slot 2 only: tenant 0 restreams 50
+/// // rows, not 200.
+/// assert_eq!(res.touch_slots(7, &[(2, 80)]), ResidencyOutcome::Reload { rows: 80 });
+/// assert_eq!(res.touch_slots(0, &all), ResidencyOutcome::Reload { rows: 50 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResidencyModel {
+    slots: Vec<SlotLru>,
+}
+
+impl ResidencyModel {
+    /// A single-slot model with `capacity_rows` mask-capable rows — the
+    /// flat module-wide budget of the pre-SALP serving model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity — a module with no mask rows cannot
+    /// serve any tenant.
+    #[must_use]
+    pub fn new(capacity_rows: usize) -> Self {
+        Self::with_slots(1, capacity_rows)
+    }
+
+    /// A model with `slots` independent subarray slots of
+    /// `rows_per_slot` mask-capable rows each (one slot per (channel,
+    /// rank, SALP stream); see
+    /// [`C2mEngine::residency_slots`](crate::engine::C2mEngine::residency_slots)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` or `rows_per_slot` is zero.
+    #[must_use]
+    pub fn with_slots(slots: usize, rows_per_slot: usize) -> Self {
+        assert!(slots > 0, "residency model needs at least one slot");
+        assert!(rows_per_slot > 0, "residency capacity must be positive");
+        Self {
+            slots: (0..slots)
+                .map(|_| SlotLru {
+                    capacity_rows: rows_per_slot,
+                    resident: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of independent subarray slots.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The total row budget across all slots.
+    #[must_use]
+    pub fn capacity_rows(&self) -> usize {
+        self.slots.iter().map(|s| s.capacity_rows).sum()
+    }
+
+    /// Mask rows currently occupied across all slots.
+    #[must_use]
+    pub fn used_rows(&self) -> usize {
+        self.slots.iter().map(SlotLru::used_rows).sum()
+    }
+
+    /// Whether `tenant`'s mask planes are resident in at least one slot.
+    #[must_use]
+    pub fn is_resident(&self, tenant: usize) -> bool {
+        self.slots
+            .iter()
+            .any(|s| s.resident.iter().any(|&(t, _)| t == tenant))
+    }
+
+    /// Resident tenants, coldest first (first occurrence across slots).
+    #[must_use]
+    pub fn resident_tenants(&self) -> Vec<usize> {
+        let mut tenants = Vec::new();
+        for slot in &self.slots {
+            for &(t, _) in &slot.resident {
+                if !tenants.contains(&t) {
+                    tenants.push(t);
+                }
+            }
+        }
+        tenants
+    }
+
+    /// Dispatches `tenant` needing `rows` mask rows spread evenly over
+    /// every slot (`⌈rows/slots⌉` each): a resident tenant with an
+    /// unchanged footprint is refreshed to most-recently-used and hits;
+    /// a non-resident one (or one whose footprint changed — its planes
+    /// must be restreamed) evicts least-recently-used tenants until it
+    /// fits and reports the reload. A tenant larger than the whole
+    /// budget still runs — it evicts everything and reloads every
+    /// dispatch (permanent thrashing), mirroring a row that can never
+    /// stay open. On a single-slot model this is exactly the pre-SALP
+    /// flat-budget behaviour.
+    pub fn touch(&mut self, tenant: usize, rows: usize) -> ResidencyOutcome {
+        if self.slots.len() == 1 {
+            return self.slots[0].touch(tenant, rows);
+        }
+        let per_slot = rows.div_ceil(self.slots.len());
+        let needs: Vec<(usize, usize)> = (0..self.slots.len()).map(|s| (s, per_slot)).collect();
+        self.touch_slots(tenant, &needs)
+    }
+
+    /// Dispatches `tenant` against an explicit list of `(slot, rows)`
+    /// needs — the per-subarray path: each listed slot runs its own LRU
+    /// dispatch, the outcome is [`ResidencyOutcome::Hit`] only if
+    /// *every* listed slot hit, and a reload's row count sums over the
+    /// slots that missed (only those restream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listed slot index is out of range.
+    pub fn touch_slots(&mut self, tenant: usize, needs: &[(usize, usize)]) -> ResidencyOutcome {
+        let mut reload_rows = 0usize;
+        let mut missed = false;
+        for &(slot, rows) in needs {
+            assert!(
+                slot < self.slots.len(),
+                "slot {slot} outside the {}-slot residency model",
+                self.slots.len()
+            );
+            match self.slots[slot].touch(tenant, rows) {
+                ResidencyOutcome::Hit => {}
+                ResidencyOutcome::Reload { rows } => {
+                    missed = true;
+                    reload_rows += rows;
+                }
+            }
+        }
+        if missed {
+            ResidencyOutcome::Reload { rows: reload_rows }
+        } else {
+            ResidencyOutcome::Hit
+        }
     }
 }
 
@@ -207,5 +321,69 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_is_rejected() {
         let _ = ResidencyModel::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_are_rejected() {
+        let _ = ResidencyModel::with_slots(0, 100);
+    }
+
+    #[test]
+    fn one_slot_model_is_the_flat_model() {
+        // The flat constructor and an explicit 1-slot model must agree
+        // on every dispatch — the pre-SALP reduction of the slot model.
+        let mut flat = ResidencyModel::new(100);
+        let mut slotted = ResidencyModel::with_slots(1, 100);
+        for (tenant, rows) in [(0, 40), (1, 40), (0, 40), (2, 40), (9, 500), (0, 40)] {
+            assert_eq!(
+                flat.touch(tenant, rows),
+                slotted.touch_slots(tenant, &[(0, rows)]),
+                "tenant {tenant} rows {rows}"
+            );
+        }
+        assert_eq!(flat.used_rows(), slotted.used_rows());
+        assert_eq!(flat.resident_tenants(), slotted.resident_tenants());
+        assert_eq!(slotted.slots(), 1);
+        assert_eq!(slotted.capacity_rows(), 100);
+    }
+
+    #[test]
+    fn partial_slot_miss_reloads_only_the_missing_slots() {
+        let mut res = ResidencyModel::with_slots(4, 100);
+        let all: Vec<(usize, usize)> = (0..4).map(|s| (s, 50)).collect();
+        assert_eq!(
+            res.touch_slots(0, &all),
+            ResidencyOutcome::Reload { rows: 200 }
+        );
+        assert_eq!(res.touch_slots(0, &all), ResidencyOutcome::Hit);
+        // Evict tenant 0 from slots 1 and 3 only.
+        assert_eq!(
+            res.touch_slots(5, &[(1, 80), (3, 80)]),
+            ResidencyOutcome::Reload { rows: 160 }
+        );
+        assert!(res.is_resident(0), "slots 0 and 2 still hold tenant 0");
+        // The re-dispatch restreams exactly the two missing slots.
+        assert_eq!(
+            res.touch_slots(0, &all),
+            ResidencyOutcome::Reload { rows: 100 }
+        );
+        assert_eq!(res.touch_slots(0, &all), ResidencyOutcome::Hit);
+    }
+
+    #[test]
+    fn flat_touch_spreads_over_slots() {
+        let mut res = ResidencyModel::with_slots(4, 100);
+        assert_eq!(res.touch(0, 200), ResidencyOutcome::Reload { rows: 200 });
+        assert_eq!(res.touch(0, 200), ResidencyOutcome::Hit);
+        assert_eq!(res.used_rows(), 200);
+        assert_eq!(res.capacity_rows(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_slot_is_rejected() {
+        let mut res = ResidencyModel::with_slots(2, 100);
+        let _ = res.touch_slots(0, &[(2, 10)]);
     }
 }

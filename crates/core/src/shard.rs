@@ -16,6 +16,14 @@
 //!   independent accumulation passes, so they distribute like K-slices
 //!   and merge the same way.
 //!
+//! Each axis additionally splits below the rank when the topology
+//! carries more than one concurrent subarray stream (SALP): the
+//! partitioning hierarchy is channels → ranks → (banks ×) subarray
+//! streams, and each [`Shard`] is pinned to one
+//! (channel, rank, subarray) slot. Streams within one unit merge their
+//! partials in-DRAM; only whole (channel, rank) units exchange data
+//! over the host bus (see [`ShardPlan::cr_units_used`]).
+//!
 //! Each [`Shard`] also carries the [`Backend`] that executes it, so a
 //! single plan can dispatch shards to heterogeneous substrates (§4.6):
 //! an Ambit channel next to an FCDRAM channel prices each shard with
@@ -55,13 +63,16 @@ impl ShardAxis {
 }
 
 /// One contiguous slice of the partitioned axis, pinned to a
-/// (channel, rank) unit and a compute backend.
+/// (channel, rank, subarray-stream) slot and a compute backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Shard {
     /// Channel executing this shard.
     pub channel: usize,
     /// Rank within the channel.
     pub rank: usize,
+    /// Concurrent SALP stream within the rank's banks (always 0 on a
+    /// topology without subarray-level parallelism).
+    pub subarray: usize,
     /// CIM technology pricing this shard's μPrograms.
     pub backend: Backend,
     /// First index of the slice on the partitioned axis.
@@ -90,10 +101,28 @@ pub struct ShardPlan {
 }
 
 impl ShardPlan {
-    /// Number of (channel, rank) units holding work.
+    /// Number of (channel, rank, subarray-stream) slots holding work.
     #[must_use]
     pub fn units_used(&self) -> usize {
         self.shards.iter().filter(|s| s.len > 0).count()
+    }
+
+    /// Number of distinct (channel, rank) units holding work — the
+    /// granularity of cross-unit host traffic (partial-sum merge trees,
+    /// output gathers). Subarray streams within one unit merge in-DRAM,
+    /// so they never add host-bus legs. Equals [`Self::units_used`] on
+    /// a plan without subarray-level parallelism.
+    #[must_use]
+    pub fn cr_units_used(&self) -> usize {
+        let mut units: Vec<(usize, usize)> = self
+            .shards
+            .iter()
+            .filter(|s| s.len > 0)
+            .map(|s| (s.channel, s.rank))
+            .collect();
+        units.sort_unstable();
+        units.dedup();
+        units.len()
     }
 
     /// Number of distinct channels holding work.
@@ -263,22 +292,27 @@ impl ShardPlanner {
         self.split(ShardAxis::CsdPlanes, planes)
     }
 
-    /// Splits `total` into at most `channels × ranks` contiguous chunks,
-    /// channel-major (channel 0 rank 0, channel 0 rank 1, …), with
-    /// lengths chosen by the sizing policy. A zero-extent axis still
-    /// yields one empty shard on unit (0, 0) so per-unit fixed costs
-    /// (the bank-level partial-sum merge a single unit already pays)
-    /// stay attributed.
+    /// Splits `total` into at most `channels × ranks × subarrays`
+    /// contiguous chunks, channel-major (channel 0 rank 0 stream 0,
+    /// channel 0 rank 0 stream 1, …), with lengths chosen by the sizing
+    /// policy. A zero-extent axis still yields one empty shard on slot
+    /// (0, 0, 0) so per-unit fixed costs (the bank-level partial-sum
+    /// merge a single unit already pays) stay attributed. With one
+    /// subarray stream this is bit-for-bit the pre-SALP split.
     fn split(&self, axis: ShardAxis, total: usize) -> ShardPlan {
-        let units = self.topology.units();
+        let subarrays = self.topology.subarrays.max(1);
+        let units = self.topology.shard_slots();
+        let ranks_x_subs = self.topology.ranks * subarrays;
         let lens = match &self.sizing {
             ShardSizing::Even => even_lengths(total, units),
             // Equal weights must reproduce the even split bit-for-bit,
             // so route them through the same integer path.
             ShardSizing::Weighted(w) if uniform_weights(w) => even_lengths(total, units),
             ShardSizing::Weighted(w) => {
+                // Weights are per channel: every rank and subarray
+                // stream of a channel shares its channel's weight.
                 let per_unit: Vec<f64> = (0..units)
-                    .map(|u| w[(u / self.topology.ranks) % w.len()])
+                    .map(|u| w[(u / ranks_x_subs) % w.len()])
                     .collect();
                 weighted_lengths(total, &per_unit)
             }
@@ -289,11 +323,13 @@ impl ShardPlanner {
             if len == 0 && !(unit == 0 && total == 0) {
                 continue;
             }
-            let channel = unit / self.topology.ranks;
-            let rank = unit % self.topology.ranks;
+            let channel = unit / ranks_x_subs;
+            let rank = (unit / subarrays) % self.topology.ranks;
+            let subarray = unit % subarrays;
             shards.push(Shard {
                 channel,
                 rank,
+                subarray,
                 backend: self.policy.backend_for(channel),
                 start,
                 len,
@@ -356,6 +392,7 @@ mod tests {
             channels,
             ranks,
             banks: 16,
+            subarrays: 1,
         }
     }
 
@@ -475,6 +512,54 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn non_positive_weights_are_rejected() {
         let _ = ShardPlanner::new(topo(2, 1)).with_sizing(ShardSizing::Weighted(vec![1.0, 0.0]));
+    }
+
+    // ---- subarray tier ----
+
+    #[test]
+    fn subarray_tier_multiplies_shard_slots() {
+        let plan = ShardPlanner::new(topo(2, 2).with_subarrays(4)).plan_inner(1600);
+        assert_eq!(plan.shards.len(), 16);
+        assert_eq!(plan.units_used(), 16);
+        assert_eq!(plan.cr_units_used(), 4, "host traffic stays per unit");
+        let mut cursor = 0;
+        for s in &plan.shards {
+            assert_eq!(s.start, cursor, "contiguous");
+            cursor = s.end();
+            assert!(s.subarray < 4);
+        }
+        assert_eq!(cursor, 1600);
+        // Channel-major, rank-major, stream-minor order.
+        let coords: Vec<(usize, usize, usize)> = plan
+            .shards
+            .iter()
+            .map(|s| (s.channel, s.rank, s.subarray))
+            .collect();
+        let mut sorted = coords.clone();
+        sorted.sort_unstable();
+        assert_eq!(coords, sorted);
+    }
+
+    #[test]
+    fn single_subarray_plans_match_pre_salp_shape() {
+        for total in [0usize, 1, 3, 8193] {
+            let plan = ShardPlanner::new(topo(4, 2).with_subarrays(1)).plan_inner(total);
+            assert!(plan.shards.iter().all(|s| s.subarray == 0));
+            assert_eq!(plan.units_used(), plan.cr_units_used());
+        }
+    }
+
+    #[test]
+    fn weights_share_across_subarray_streams() {
+        let plan = ShardPlanner::new(topo(2, 1).with_subarrays(2))
+            .with_sizing(ShardSizing::Weighted(vec![3.0, 1.0]))
+            .plan_rows(16);
+        // Channel 0 (weight 3) holds 12 rows over its two streams,
+        // channel 1 (weight 1) holds 4.
+        let per_channel: Vec<usize> = (0..2)
+            .map(|c| plan.on_channel(c).map(|s| s.len).sum())
+            .collect();
+        assert_eq!(per_channel, vec![12, 4]);
     }
 
     #[test]

@@ -54,6 +54,57 @@ fn policies() -> Vec<BackendPolicy> {
     ]
 }
 
+/// Two configs that differ ONLY in the SALP stream count must never
+/// share a cache entry: `Topology::fingerprint` folds `subarrays` into
+/// every `PlanKey`, so the second geometry's first lookup through a
+/// shared cache is a plan MISS, and each cached price still equals its
+/// uncached twin bit-for-bit.
+#[test]
+fn subarray_count_is_part_of_every_cache_key() {
+    use c2m_core::cache::{CacheConfig, PlanCache};
+    use std::sync::Arc;
+    let shared = Arc::new(PlanCache::new(CacheConfig::default()));
+    let build = |subarrays: usize, cache: Option<Arc<PlanCache>>| {
+        let mut cfg = EngineConfig::c2m(16);
+        cfg.subarrays = subarrays;
+        let builder = C2mEngine::builder(cfg);
+        match cache {
+            Some(c) => builder.shared_cache(c).build(),
+            None => builder.no_cache().build(),
+        }
+    };
+    let xs = stream(512, 7);
+    let flat = build(1, Some(shared.clone()));
+    let salp = build(8, Some(shared.clone()));
+
+    let flat_report = flat.ternary_gemv(&xs, 256);
+    let after_flat = shared.counters();
+    let salp_report = salp.ternary_gemv(&xs, 256);
+    let after_salp = shared.counters();
+    assert!(
+        after_salp.plan_misses > after_flat.plan_misses,
+        "a geometry differing only in subarrays must MISS the shared plan cache \
+         ({} -> {} misses)",
+        after_flat.plan_misses,
+        after_salp.plan_misses
+    );
+
+    assert_reports_identical(
+        &flat_report,
+        &build(1, None).ternary_gemv(&xs, 256),
+        "flat engine through shared cache",
+    );
+    assert_reports_identical(
+        &salp_report,
+        &build(8, None).ternary_gemv(&xs, 256),
+        "SALP engine through shared cache",
+    );
+    assert!(
+        salp_report.elapsed_ns < flat_report.elapsed_ns,
+        "sharing a plan entry would have hidden the SALP speedup"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 

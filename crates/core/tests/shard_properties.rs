@@ -19,6 +19,21 @@ fn stream(k: usize, seed: u64) -> Vec<i64> {
     (0..k).map(|_| rng.gen_range(-128i64..128)).collect()
 }
 
+fn salp_engine(
+    channels: usize,
+    ranks: usize,
+    banks: usize,
+    subarrays: usize,
+    iarm: bool,
+) -> C2mEngine {
+    let mut cfg = EngineConfig::c2m(banks);
+    cfg.dram.channels = channels;
+    cfg.dram.ranks = ranks;
+    cfg.subarrays = subarrays;
+    cfg.iarm = iarm;
+    C2mEngine::builder(cfg).build()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -84,6 +99,112 @@ proptest! {
         }
     }
 
+    /// One SALP stream per bank IS the pre-SALP model: an engine with
+    /// `subarrays = 1` prices every kernel bit-for-bit like the default
+    /// engine, and the four-level planner collapses to the three-level
+    /// plan (every shard in subarray 0, same boundaries).
+    #[test]
+    fn one_stream_salp_is_bit_for_bit_the_flat_model(
+        channels in 1usize..=4,
+        ranks in 1usize..=2,
+        k in 256usize..2048,
+        n in 64usize..512,
+        seed in 0u64..1000,
+    ) {
+        let xs = stream(k, seed);
+        let flat = engine(channels, ranks, 16);
+        let one = salp_engine(channels, ranks, 16, 1, true);
+        for (a, b) in [
+            (flat.ternary_gemv(&xs, n), one.ternary_gemv(&xs, n)),
+            (flat.ternary_gemm(8, n, &xs), one.ternary_gemm(8, n, &xs)),
+        ] {
+            prop_assert_eq!(a.elapsed_ns.to_bits(), b.elapsed_ns.to_bits());
+            prop_assert_eq!(a.energy_nj.to_bits(), b.energy_nj.to_bits());
+            prop_assert_eq!(a.stats.count(CommandKind::Aap), b.stats.count(CommandKind::Aap));
+        }
+        let base = Topology { channels, ranks, banks: 16, subarrays: 1 };
+        let three = ShardPlanner::new(base).plan_inner(k);
+        let four = ShardPlanner::new(base.with_subarrays(1)).plan_inner(k);
+        prop_assert_eq!(three.shards.len(), four.shards.len());
+        for (a, b) in three.shards.iter().zip(&four.shards) {
+            prop_assert_eq!((a.channel, a.rank, a.start, a.len), (b.channel, b.rank, b.start, b.len));
+            prop_assert_eq!(b.subarray, 0);
+        }
+    }
+
+    /// Subarray sharding moves accumulation work, it does not create or
+    /// destroy it: with per-shard replanning disabled (`iarm = false`,
+    /// so sequence counts are additive over any K split) the AAP count
+    /// net of the deeper intra-unit merge tree is invariant in the
+    /// stream count (±1 for the aggregate integer rounding).
+    #[test]
+    fn accumulation_aap_count_invariant_under_subarray_sharding(
+        k in 512usize..4096,
+        n in 64usize..512,
+        seed in 0u64..1000,
+    ) {
+        let xs = stream(k, seed);
+        let flat = salp_engine(1, 1, 16, 1, false);
+        let base = flat.ternary_gemv(&xs, n);
+        let base_accum = base.stats.count(CommandKind::Aap) as f64 - flat.reduction_ops_salp(1);
+        for subarrays in [2usize, 4, 8, 32] {
+            let eng = salp_engine(1, 1, 16, subarrays, false);
+            let r = eng.ternary_gemv(&xs, n);
+            let accum = r.stats.count(CommandKind::Aap) as f64
+                - eng.reduction_ops_salp(eng.salp_streams());
+            prop_assert!(
+                (accum - base_accum).abs() <= 1.0,
+                "subarrays={}: accumulation AAPs {} vs flat {}", subarrays, accum, base_accum
+            );
+        }
+    }
+
+    /// More SALP streams never slow a kernel down: elapsed time is
+    /// monotonically non-increasing up the pow2 subarray ladder (the
+    /// engine clamps requests past the channel-gate stream cap, so the
+    /// tail of the ladder is flat, never rising).
+    #[test]
+    fn gemv_elapsed_non_increasing_in_subarrays(
+        k in 1024usize..4096,
+        n in 64usize..512,
+        seed in 0u64..1000,
+    ) {
+        let xs = stream(k, seed);
+        let mut prev = f64::INFINITY;
+        for subarrays in [1usize, 2, 4, 8, 16, 32] {
+            let r = salp_engine(1, 1, 16, subarrays, false).ternary_gemv(&xs, n);
+            prop_assert!(
+                r.elapsed_ns <= prev,
+                "subarrays={} elapsed {} > prev {}", subarrays, r.elapsed_ns, prev
+            );
+            prev = r.elapsed_ns;
+        }
+    }
+
+    /// The cache stays an index with the fourth tier: a SALP engine
+    /// prices bit-for-bit identically with and without its plan cache,
+    /// cold and warm.
+    #[test]
+    fn salp_cached_pricing_is_bit_for_bit_uncached(
+        subarrays in 2usize..=32,
+        k in 256usize..2048,
+        n in 64usize..512,
+        seed in 0u64..1000,
+    ) {
+        let xs = stream(k, seed);
+        let mut cfg = EngineConfig::c2m(16);
+        cfg.subarrays = subarrays;
+        let cached = C2mEngine::builder(cfg.clone()).build();
+        let uncached = C2mEngine::builder(cfg).no_cache().build();
+        for round in 0..2 {
+            let a = cached.ternary_gemv(&xs, n);
+            let b = uncached.ternary_gemv(&xs, n);
+            prop_assert_eq!(a.elapsed_ns.to_bits(), b.elapsed_ns.to_bits(), "round {}", round);
+            prop_assert_eq!(a.energy_nj.to_bits(), b.energy_nj.to_bits(), "round {}", round);
+            prop_assert_eq!(a.useful_ops, b.useful_ops, "round {}", round);
+        }
+    }
+
     /// Shard plans partition their axis exactly: contiguous, disjoint,
     /// complete, balanced to within one element, and confined to the
     /// topology's units.
@@ -93,7 +214,7 @@ proptest! {
         ranks in 1usize..=4,
         total in 1usize..10_000,
     ) {
-        let planner = ShardPlanner::new(Topology { channels, ranks, banks: 16 });
+        let planner = ShardPlanner::new(Topology { channels, ranks, banks: 16, subarrays: 1 });
         for plan in [planner.plan_rows(total), planner.plan_inner(total), planner.plan_planes(total)] {
             let mut cursor = 0usize;
             let mut min_len = usize::MAX;

@@ -49,20 +49,38 @@ impl CommandKind {
     }
 }
 
-/// A command addressed to a specific bank.
+/// A command addressed to a specific bank (and, for SALP streams, a
+/// specific subarray within it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DramCommand {
     /// Which bank the command targets.
     pub bank: usize,
+    /// Which subarray stream of the bank the command targets. Always 0
+    /// on a scheduler without subarray-level parallelism.
+    pub subarray: usize,
     /// The command kind.
     pub kind: CommandKind,
 }
 
 impl DramCommand {
-    /// Convenience constructor.
+    /// Convenience constructor (subarray stream 0).
     #[must_use]
     pub fn new(bank: usize, kind: CommandKind) -> Self {
-        Self { bank, kind }
+        Self {
+            bank,
+            subarray: 0,
+            kind,
+        }
+    }
+
+    /// Constructor addressing a specific subarray stream of `bank`.
+    #[must_use]
+    pub fn at_subarray(bank: usize, subarray: usize, kind: CommandKind) -> Self {
+        Self {
+            bank,
+            subarray,
+            kind,
+        }
     }
 }
 

@@ -30,13 +30,17 @@ use crate::timing::TimingParams;
 pub struct ChannelScheduler {
     timing: TimingParams,
     banks_per_rank: usize,
-    /// Earliest time each bank (global index, rank-major) can accept its
-    /// next macro command.
+    /// Concurrent SALP streams per bank (1 = no subarray parallelism).
+    subarrays: usize,
+    /// Earliest time each per-bank subarray stream can accept its next
+    /// macro command, indexed `bank * subarrays + subarray` with `bank`
+    /// the global rank-major index.
     bank_ready: Vec<f64>,
-    /// Issue time of the most recent activation, per rank.
+    /// Issue time of the most recent activation, per (rank, subarray)
+    /// lane — SALP streams have independent activation windows.
     last_act: Vec<f64>,
-    /// Ring buffer of the last four activation issue times per rank
-    /// (for the per-rank tFAW window).
+    /// Ring buffer of the last four activation issue times per
+    /// (rank, subarray) lane (for the per-lane tFAW window).
     act_window: Vec<[f64; 4]>,
     act_window_pos: Vec<usize>,
     /// Rank addressed by the most recent command, if any.
@@ -66,15 +70,38 @@ impl ChannelScheduler {
     /// Panics if `banks_per_rank` or `ranks` is zero.
     #[must_use]
     pub fn with_ranks(timing: TimingParams, banks_per_rank: usize, ranks: usize) -> Self {
+        Self::with_subarrays(timing, banks_per_rank, ranks, 1)
+    }
+
+    /// Creates a scheduler with `subarrays` concurrent SALP streams per
+    /// bank. Each stream has its own row buffer (so bank occupancy and
+    /// the activation windows split per stream), but all streams share
+    /// the channel's command-distribution slot: with more than one
+    /// stream, consecutive commands serialize at
+    /// [`TimingParams::t_subarray_gate`]. With `subarrays == 1` this is
+    /// exactly [`Self::with_ranks`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks_per_rank`, `ranks` or `subarrays` is zero.
+    #[must_use]
+    pub fn with_subarrays(
+        timing: TimingParams,
+        banks_per_rank: usize,
+        ranks: usize,
+        subarrays: usize,
+    ) -> Self {
         assert!(banks_per_rank > 0, "a rank must have at least one bank");
         assert!(ranks > 0, "a channel must have at least one rank");
+        assert!(subarrays > 0, "a bank must have at least one subarray");
         Self {
             timing,
             banks_per_rank,
-            bank_ready: vec![0.0; banks_per_rank * ranks],
-            last_act: vec![f64::NEG_INFINITY; ranks],
-            act_window: vec![[f64::NEG_INFINITY; 4]; ranks],
-            act_window_pos: vec![0; ranks],
+            subarrays,
+            bank_ready: vec![0.0; banks_per_rank * ranks * subarrays],
+            last_act: vec![f64::NEG_INFINITY; ranks * subarrays],
+            act_window: vec![[f64::NEG_INFINITY; 4]; ranks * subarrays],
+            act_window_pos: vec![0; ranks * subarrays],
             last_rank: None,
             now: 0.0,
             stats: CommandStats::default(),
@@ -90,13 +117,19 @@ impl ChannelScheduler {
     /// Total number of banks on the channel (all ranks).
     #[must_use]
     pub fn banks(&self) -> usize {
-        self.bank_ready.len()
+        self.bank_ready.len() / self.subarrays
     }
 
     /// Ranks on the channel.
     #[must_use]
     pub fn ranks(&self) -> usize {
-        self.last_act.len()
+        self.last_act.len() / self.subarrays
+    }
+
+    /// Concurrent SALP streams per bank.
+    #[must_use]
+    pub fn subarrays(&self) -> usize {
+        self.subarrays
     }
 
     /// Total elapsed simulated time (ns) — completion time of the latest
@@ -116,10 +149,16 @@ impl ChannelScheduler {
     /// issue time in ns.
     pub fn issue(&mut self, cmd: DramCommand) -> f64 {
         assert!(
-            cmd.bank < self.bank_ready.len(),
+            cmd.bank < self.banks(),
             "bank {} out of range ({} banks)",
             cmd.bank,
-            self.bank_ready.len()
+            self.banks()
+        );
+        assert!(
+            cmd.subarray < self.subarrays,
+            "subarray {} out of range ({} streams)",
+            cmd.subarray,
+            self.subarrays
         );
         let t = self.earliest_issue(cmd);
         self.commit(cmd, t);
@@ -143,6 +182,23 @@ impl ChannelScheduler {
         self.issue(DramCommand::new(rank * self.banks_per_rank + bank, kind))
     }
 
+    /// Issues a macro command to subarray stream `subarray` of bank
+    /// `bank` of rank `rank` (convenience wrapper for SALP streams).
+    pub fn issue_salp(
+        &mut self,
+        rank: usize,
+        bank: usize,
+        subarray: usize,
+        kind: CommandKind,
+    ) -> f64 {
+        assert!(bank < self.banks_per_rank, "bank {bank} out of rank");
+        self.issue(DramCommand::at_subarray(
+            rank * self.banks_per_rank + bank,
+            subarray,
+            kind,
+        ))
+    }
+
     /// Issues the same macro command to every bank in `banks` (broadcast),
     /// as the memory controller does when replicating a μProgram step over
     /// several CIM subarrays. Returns the issue time of the last copy.
@@ -156,33 +212,46 @@ impl ChannelScheduler {
 
     fn earliest_issue(&self, cmd: DramCommand) -> f64 {
         let rank = cmd.bank / self.banks_per_rank;
+        // SALP streams split the per-rank activation windows and the
+        // bank occupancy per (rank, subarray) lane / per-stream slot.
+        let lane = rank * self.subarrays + cmd.subarray;
+        let stream = cmd.bank * self.subarrays + cmd.subarray;
         let mut t = self.now;
         // Bus turnaround when the channel switches ranks.
         if self.last_rank.is_some_and(|r| r != rank) {
             t = t.max(self.now + self.timing.t_rank_switch);
         }
+        // Shared-bank serialization point: with concurrent subarray
+        // streams every command claims the channel's subarray-select /
+        // global-bitline slot for `t_subarray_gate`. A single-stream
+        // scheduler has no slot contention (bit-identical to pre-SALP).
+        if self.subarrays > 1 && self.last_rank.is_some() {
+            t = t.max(self.now + self.timing.t_subarray_gate);
+        }
         if cmd.kind.activations() > 0 {
-            // Inter-activation spacing (per rank).
-            t = t.max(self.last_act[rank] + self.timing.t_rrd);
-            // Four-activation window: the 4th-previous ACT on this rank
+            // Inter-activation spacing (per lane).
+            t = t.max(self.last_act[lane] + self.timing.t_rrd);
+            // Four-activation window: the 4th-previous ACT on this lane
             // gates us.
-            let oldest = self.act_window[rank][self.act_window_pos[rank]];
+            let oldest = self.act_window[lane][self.act_window_pos[lane]];
             t = t.max(oldest + self.timing.t_faw);
         }
         if cmd.kind.is_macro() || cmd.kind == CommandKind::Act {
-            t = t.max(self.bank_ready[cmd.bank]);
+            t = t.max(self.bank_ready[stream]);
         }
         t
     }
 
     fn commit(&mut self, cmd: DramCommand, t: f64) {
         let rank = cmd.bank / self.banks_per_rank;
+        let lane = rank * self.subarrays + cmd.subarray;
+        let stream = cmd.bank * self.subarrays + cmd.subarray;
         self.now = t;
         self.last_rank = Some(rank);
         if cmd.kind.activations() > 0 {
-            self.last_act[rank] = t;
-            self.act_window[rank][self.act_window_pos[rank]] = t;
-            self.act_window_pos[rank] = (self.act_window_pos[rank] + 1) % 4;
+            self.last_act[lane] = t;
+            self.act_window[lane][self.act_window_pos[lane]] = t;
+            self.act_window_pos[lane] = (self.act_window_pos[lane] + 1) % 4;
         }
         let occupancy = match cmd.kind {
             CommandKind::Aap => self.timing.t_aap() + self.timing.t_rrd,
@@ -191,7 +260,7 @@ impl ChannelScheduler {
             CommandKind::Pre => self.timing.t_rp,
             CommandKind::Rd | CommandKind::Wr => self.timing.t_burst,
         };
-        self.bank_ready[cmd.bank] = t + occupancy;
+        self.bank_ready[stream] = t + occupancy;
         self.stats.record(cmd.kind);
     }
 
@@ -248,6 +317,62 @@ pub fn steady_state_aap_interval_ranked(
         .max(rrd_bound)
         .max(faw_bound)
         .max(timing.t_rank_switch)
+}
+
+/// Closed-form steady-state AAP issue interval with `subarrays`
+/// concurrent SALP streams per bank, in ns.
+///
+/// Each subarray stream has its own local row buffer, so bank occupancy
+/// and the per-rank `tRRD`/`tFAW` activation windows split across the
+/// streams, but every command still claims the shared global-bitline /
+/// command-distribution slot: the channel can never issue faster than
+/// one command per [`TimingParams::t_subarray_gate`] (nor, on a
+/// multi-rank channel, faster than the rank-switch gap).
+///
+/// With `subarrays == 1` this is exactly
+/// [`steady_state_aap_interval_ranked`].
+#[must_use]
+pub fn steady_state_aap_interval_salp(
+    timing: &TimingParams,
+    banks_per_rank: usize,
+    ranks: usize,
+    subarrays: usize,
+) -> f64 {
+    if subarrays <= 1 {
+        return steady_state_aap_interval_ranked(timing, banks_per_rank, ranks);
+    }
+    let s = subarrays as f64;
+    let per_bank = timing.t_aap() + timing.t_rrd;
+    let occ_bound = per_bank / (banks_per_rank * ranks) as f64 / s;
+    let rrd_bound = timing.t_rrd / ranks as f64 / s;
+    let faw_bound = timing.t_faw / (4.0 * ranks as f64) / s;
+    let mut interval = occ_bound
+        .max(rrd_bound)
+        .max(faw_bound)
+        .max(timing.t_subarray_gate);
+    if ranks > 1 {
+        interval = interval.max(timing.t_rank_switch);
+    }
+    interval
+}
+
+/// Largest number of concurrent SALP streams that still speeds up the
+/// steady-state AAP cadence: past this, the shared serialization floor
+/// ([`TimingParams::t_subarray_gate`], plus the rank-switch gap on
+/// multi-rank channels) binds and extra streams only add merge work.
+/// The cap keeps elapsed time monotone non-increasing in the stream
+/// count (every granted stream still divides the pre-SALP interval).
+#[must_use]
+pub fn salp_stream_cap(timing: &TimingParams, banks_per_rank: usize, ranks: usize) -> usize {
+    let base = steady_state_aap_interval_ranked(timing, banks_per_rank, ranks);
+    let mut floor = timing.t_subarray_gate;
+    if ranks > 1 {
+        floor = floor.max(timing.t_rank_switch);
+    }
+    if floor <= 0.0 || !floor.is_finite() {
+        return 1;
+    }
+    ((base / floor).floor() as usize).max(1)
 }
 
 #[cfg(test)]
@@ -460,6 +585,123 @@ mod tests {
                 steady_state_aap_interval(&t, banks)
             );
         }
+    }
+
+    // ---- subarray-level parallelism (SALP) ----
+
+    #[test]
+    fn single_subarray_scheduler_matches_ranked_constructor() {
+        let t = TimingParams::ddr5_4400();
+        let mut a = ChannelScheduler::with_ranks(t, 8, 2);
+        let mut b = ChannelScheduler::with_subarrays(t, 8, 2, 1);
+        for i in 0..200 {
+            let rank = i % 2;
+            let bank = (i / 2) % 8;
+            let ta = a.issue_ranked(rank, bank, CommandKind::Aap);
+            let tb = b.issue_salp(rank, bank, 0, CommandKind::Aap);
+            assert_eq!(ta, tb, "command {i}");
+        }
+        assert_eq!(a.elapsed_ns(), b.elapsed_ns());
+    }
+
+    #[test]
+    fn salp_streams_overlap_within_one_bank() {
+        let t = TimingParams::ddr5_4400();
+        let mut s = ChannelScheduler::with_subarrays(t, 1, 1, 2);
+        let t0 = s.issue_salp(0, 0, 0, CommandKind::Aap);
+        // Same bank, different subarray: only the shared slot binds,
+        // not the bank's tAAP occupancy.
+        let t1 = s.issue_salp(0, 0, 1, CommandKind::Aap);
+        assert!((t1 - t0 - t.t_subarray_gate).abs() < 1e-9);
+        // Same stream again: full occupancy.
+        let t2 = s.issue_salp(0, 0, 0, CommandKind::Aap);
+        assert!((t2 - t0 - (t.t_aap() + t.t_rrd)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn salp_interleaving_matches_salp_closed_form() {
+        let t = TimingParams::ddr5_4400();
+        for &(banks, subs) in &[(1usize, 2usize), (4, 4), (16, 4), (16, 16), (8, 8)] {
+            let mut s = ChannelScheduler::with_subarrays(t, banks, 1, subs);
+            let n = 800;
+            let mut first = 0.0;
+            let mut last = 0.0;
+            for i in 0..n {
+                let sub = i % subs;
+                let bank = (i / subs) % banks;
+                let ti = s.issue_salp(0, bank, sub, CommandKind::Aap);
+                if i == 0 {
+                    first = ti;
+                }
+                last = ti;
+            }
+            let measured = (last - first) / (n - 1) as f64;
+            let analytic = steady_state_aap_interval_salp(&t, banks, 1, subs);
+            assert!(
+                (measured - analytic).abs() / analytic < 0.02,
+                "banks={banks} subs={subs}: measured {measured} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn salp_closed_form_reduces_to_ranked() {
+        let t = TimingParams::ddr5_4400();
+        for &banks in &[1usize, 4, 16] {
+            for &ranks in &[1usize, 2, 4] {
+                assert_eq!(
+                    steady_state_aap_interval_salp(&t, banks, ranks, 1),
+                    steady_state_aap_interval_ranked(&t, banks, ranks)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_subarrays_never_slower() {
+        for t in [TimingParams::ddr5_4400(), TimingParams::ddr4_2400()] {
+            for &banks in &[1usize, 4, 16] {
+                for &ranks in &[1usize, 2] {
+                    let mut prev = f64::INFINITY;
+                    for &subs in &[1usize, 2, 4, 8, 16, 32, 64, 128] {
+                        let iv = steady_state_aap_interval_salp(&t, banks, ranks, subs);
+                        assert!(
+                            iv <= prev + 1e-12,
+                            "banks={banks} ranks={ranks} subs={subs}: {iv} > {prev}"
+                        );
+                        prev = iv;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_cap_saturates_at_the_serialization_floor() {
+        let t = TimingParams::ddr5_4400();
+        for &banks in &[1usize, 4, 16] {
+            for &ranks in &[1usize, 2, 4] {
+                let cap = salp_stream_cap(&t, banks, ranks);
+                assert!(cap >= 1);
+                // Every granted stream still divides the pre-SALP
+                // interval: the capped interval sits above the floor.
+                let capped = steady_state_aap_interval_salp(&t, banks, ranks, cap);
+                let mut floor = t.t_subarray_gate;
+                if ranks > 1 {
+                    floor = floor.max(t.t_rank_switch);
+                }
+                assert!(capped >= floor - 1e-12, "banks={banks} ranks={ranks}");
+                // Beyond the cap the floor binds, so doubling the
+                // streams cannot beat the capped cadence.
+                let beyond = steady_state_aap_interval_salp(&t, banks, ranks, cap * 2);
+                assert!(beyond >= floor - 1e-12);
+            }
+        }
+        // DDR5 single rank, 16 banks: the half-tCK slot grants 15
+        // streams (3.625 ns cadence / 0.227 ns slot).
+        assert_eq!(salp_stream_cap(&t, 16, 1), 15);
+        // Multi-rank channels are already at the rank-switch floor.
+        assert_eq!(salp_stream_cap(&t, 16, 2), 1);
     }
 
     #[test]

@@ -33,6 +33,15 @@ pub struct TimingParams {
     /// (`tCCD_S`/`tRTRS`-style). Interleaving ranks relaxes the per-rank
     /// `tRRD`/`tFAW` windows but can never beat this floor.
     pub t_rank_switch: f64,
+    /// Shared-bank serialization window for subarray-level parallelism
+    /// (ns): row activations in *distinct subarrays of the same bank*
+    /// overlap (SALP — each subarray has its own local row buffer), but
+    /// every activation still claims the bank's shared global-bitline /
+    /// command-distribution slot for this long. Concurrent per-subarray
+    /// AAP streams therefore serialize at one command per
+    /// `t_subarray_gate`, the subarray analogue of
+    /// [`TimingParams::t_rank_switch`].
+    pub t_subarray_gate: f64,
 }
 
 impl TimingParams {
@@ -47,8 +56,9 @@ impl TimingParams {
             t_rrd: 3.6,  // 8 tCK
             t_faw: 14.5, // conservative estimate quoted in §7.2.2
             t_ccd: 2.5,
-            t_burst: 3.6,       // BL16 @ 4400 MT/s
-            t_rank_switch: 2.5, // ~5.5 tCK bus turnaround between ranks
+            t_burst: 3.6,               // BL16 @ 4400 MT/s
+            t_rank_switch: 2.5,         // ~5.5 tCK bus turnaround between ranks
+            t_subarray_gate: 0.5 / 2.2, // half-tCK subarray-select slot
         }
     }
 
@@ -66,8 +76,9 @@ impl TimingParams {
             t_rrd: 4.9, // tRRD_L
             t_faw: 21.0,
             t_ccd: 5.0,
-            t_burst: 6.67,      // BL8 @ 2400 MT/s
-            t_rank_switch: 3.3, // ~4 tCK bus turnaround between ranks
+            t_burst: 6.67,              // BL8 @ 2400 MT/s
+            t_rank_switch: 3.3,         // ~4 tCK bus turnaround between ranks
+            t_subarray_gate: 0.5 / 1.2, // half-tCK subarray-select slot
         }
     }
 
@@ -120,6 +131,18 @@ mod tests {
         let t = TimingParams::ddr5_4400();
         assert!(t.t_faw < t.t_aap());
         assert!(t.t_faw >= 4.0 * t.t_rrd);
+    }
+
+    #[test]
+    fn subarray_gate_is_shorter_than_every_other_window() {
+        // SALP only pays off if the shared-bank slot is narrower than
+        // the windows it bypasses; it is a sub-tCK command-bus slot.
+        for t in [TimingParams::ddr5_4400(), TimingParams::ddr4_2400()] {
+            assert!(t.t_subarray_gate > 0.0);
+            assert!(t.t_subarray_gate < t.t_ck);
+            assert!(t.t_subarray_gate < t.t_rrd);
+            assert!(t.t_subarray_gate < t.t_rank_switch);
+        }
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub struct Topology {
     pub ranks: usize,
     /// Banks per rank enabled for CIM compute (C2M:X).
     pub banks: usize,
+    /// Concurrent SALP streams per bank: row activations in distinct
+    /// subarrays of the same bank overlap except for the shared
+    /// global-bitline/command-bus slot
+    /// ([`crate::TimingParams::t_subarray_gate`]). 1 = no subarray-level
+    /// parallelism (the pre-SALP model, bit-for-bit).
+    pub subarrays: usize,
 }
 
 impl Topology {
@@ -39,10 +45,13 @@ impl Topology {
             channels: 1,
             ranks: 1,
             banks,
+            subarrays: 1,
         }
     }
 
-    /// Topology of a [`DramConfig`], computing on `banks` banks per rank.
+    /// Topology of a [`DramConfig`], computing on `banks` banks per rank
+    /// with a single AAP stream per bank (no subarray-level
+    /// parallelism; see [`Self::with_subarrays`]).
     ///
     /// # Panics
     ///
@@ -62,13 +71,34 @@ impl Topology {
             channels: cfg.channels,
             ranks: cfg.ranks,
             banks,
+            subarrays: 1,
         }
+    }
+
+    /// The same geometry with `subarrays` concurrent SALP streams per
+    /// bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subarrays` is zero.
+    #[must_use]
+    pub fn with_subarrays(mut self, subarrays: usize) -> Self {
+        assert!(subarrays > 0, "a bank must have at least one subarray");
+        self.subarrays = subarrays;
+        self
     }
 
     /// Independent partial-sum units: one per (channel, rank).
     #[must_use]
     pub fn units(&self) -> usize {
         self.channels * self.ranks
+    }
+
+    /// Independent shard slots: one per (channel, rank, subarray
+    /// stream) — the granularity the shard planner partitions over.
+    #[must_use]
+    pub fn shard_slots(&self) -> usize {
+        self.channels * self.ranks * self.subarrays
     }
 
     /// Total compute banks across the whole system.
@@ -85,22 +115,28 @@ impl Topology {
     }
 
     /// Compact, **exact** encoding of the geometry for use in cache
-    /// keys: 21 bits per dimension, packed. Not a hash — two topologies
-    /// collide only if a dimension exceeds 2²¹ (two million channels),
-    /// at which point the debug assertion fires first. Plan caches key
-    /// on this fingerprint so a cache handle shared across engines of
-    /// different geometry can never serve a stale plan.
+    /// keys: 16 bits per dimension (channels, ranks, banks, subarray
+    /// streams), packed. Not a hash — two topologies collide only if a
+    /// dimension exceeds 2¹⁶, at which point the debug assertion fires
+    /// first. Plan caches key on this fingerprint so a cache handle
+    /// shared across engines of different geometry — including engines
+    /// differing only in their subarray sizing — can never serve a
+    /// stale plan.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
-        const WIDTH: u32 = 21;
+        const WIDTH: u32 = 16;
         const MASK: usize = (1 << WIDTH) - 1;
         debug_assert!(
-            self.channels <= MASK && self.ranks <= MASK && self.banks <= MASK,
+            self.channels <= MASK
+                && self.ranks <= MASK
+                && self.banks <= MASK
+                && self.subarrays <= MASK,
             "topology dimension exceeds fingerprint field width"
         );
-        ((self.channels & MASK) as u64) << (2 * WIDTH)
-            | ((self.ranks & MASK) as u64) << WIDTH
-            | (self.banks & MASK) as u64
+        ((self.channels & MASK) as u64) << (3 * WIDTH)
+            | ((self.ranks & MASK) as u64) << (2 * WIDTH)
+            | ((self.banks & MASK) as u64) << WIDTH
+            | (self.subarrays & MASK) as u64
     }
 }
 
@@ -111,12 +147,21 @@ pub struct SystemScheduler {
 }
 
 impl SystemScheduler {
-    /// Builds one rank-aware [`ChannelScheduler`] per channel.
+    /// Builds one rank-aware (and, when the topology carries more than
+    /// one subarray stream, SALP-aware) [`ChannelScheduler`] per
+    /// channel.
     #[must_use]
     pub fn new(timing: TimingParams, topology: &Topology) -> Self {
         Self {
             channels: (0..topology.channels)
-                .map(|_| ChannelScheduler::with_ranks(timing, topology.banks, topology.ranks))
+                .map(|_| {
+                    ChannelScheduler::with_subarrays(
+                        timing,
+                        topology.banks,
+                        topology.ranks,
+                        topology.subarrays,
+                    )
+                })
                 .collect(),
         }
     }
@@ -204,16 +249,33 @@ mod tests {
         for channels in 1..=8 {
             for ranks in 1..=4 {
                 for banks in [1, 8, 16, 32] {
-                    let t = Topology {
-                        channels,
-                        ranks,
-                        banks,
-                    };
-                    assert!(seen.insert(t.fingerprint()), "collision at {t:?}");
-                    assert_eq!(t.fingerprint(), t.fingerprint());
+                    for subarrays in [1, 8, 32, 128] {
+                        let t = Topology {
+                            channels,
+                            ranks,
+                            banks,
+                            subarrays,
+                        };
+                        assert!(seen.insert(t.fingerprint()), "collision at {t:?}");
+                        assert_eq!(t.fingerprint(), t.fingerprint());
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn subarray_sizing_changes_the_fingerprint() {
+        // Cache-correctness regression: two topologies differing only
+        // in their subarray stream count must never share a plan key.
+        let base = Topology::single(16);
+        assert_eq!(base.subarrays, 1);
+        assert_ne!(
+            base.fingerprint(),
+            base.with_subarrays(8).fingerprint(),
+            "subarray field must be covered by the fingerprint"
+        );
+        assert_eq!(base.with_subarrays(8).shard_slots(), 8);
     }
 
     #[test]
@@ -229,6 +291,7 @@ mod tests {
             channels: 2,
             ranks: 1,
             banks: 1,
+            subarrays: 1,
         };
         let mut sys = SystemScheduler::new(TimingParams::ddr5_4400(), &topo);
         // 10 AAPs on channel 0, 1 on channel 1: makespan is channel 0's.
@@ -248,6 +311,7 @@ mod tests {
             channels: 3,
             ranks: 1,
             banks: 2,
+            subarrays: 1,
         };
         let mut sys = SystemScheduler::new(TimingParams::ddr5_4400(), &topo);
         for c in 0..3 {

@@ -126,6 +126,16 @@ pub struct ServeConfig {
     /// resident for free. [`C2mEngine::residency_capacity_rows`] derives
     /// the budget from the engine's actual geometry.
     pub residency_rows: Option<usize>,
+    /// Independent residency slots the budget splits over — one per
+    /// (channel, rank, SALP stream) when the engine runs with
+    /// subarray-level parallelism
+    /// ([`C2mEngine::residency_slots`] derives the count from the
+    /// engine's topology). Each slot runs its own LRU over
+    /// `residency_rows / slots` rows and a dispatched tenant only
+    /// restreams the slots it actually missed. 1 (the default, and the
+    /// pre-SALP behaviour bit for bit) keeps the single module-wide
+    /// budget. Ignored when `residency_rows` is `None`.
+    pub residency_slots: usize,
     /// Rolling window the power timeline (and the power cap) averages
     /// over, ns.
     pub power_window_ns: f64,
@@ -166,6 +176,7 @@ impl Default for ServeConfig {
     /// | `async_planner` | `false` | planning serialises with execution |
     /// | `policy` | [`SchedPolicy::Fifo`] | oldest arrival first |
     /// | `residency_rows` | `None` | tenants stay resident for free |
+    /// | `residency_slots` | `1` | one flat module-wide budget |
     /// | `power_window_ns` | `1e6` | rolling power window, 1 ms |
     /// | `power_budget_w` | `None` | no power cap |
     /// | `batch_cache` | `true` | memoise pure batch pricing |
@@ -179,6 +190,7 @@ impl Default for ServeConfig {
             async_planner: false,
             policy: SchedPolicy::Fifo,
             residency_rows: None,
+            residency_slots: 1,
             power_window_ns: 1e6,
             power_budget_w: None,
             batch_cache: true,
@@ -280,6 +292,14 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Splits the residency budget over `slots` independent per-subarray
+    /// LRU slots (see [`ServeConfig::residency_slots`]).
+    #[must_use]
+    pub fn residency_slots(mut self, slots: usize) -> Self {
+        self.cfg.residency_slots = slots;
+        self
+    }
+
     /// Sets the rolling power window, ns.
     #[must_use]
     pub fn power_window_ns(mut self, v: f64) -> Self {
@@ -348,6 +368,9 @@ impl ServeConfig {
         }
         if self.residency_rows == Some(0) {
             return Err("residency budget must be positive".into());
+        }
+        if self.residency_slots == 0 {
+            return Err("residency slots must be positive".into());
         }
         if self.power_window_ns <= 0.0 || !self.power_window_ns.is_finite() {
             return Err("power window must be positive and finite".into());
@@ -676,7 +699,12 @@ impl ServeRuntime {
             engine_free: 0.0,
             hits: 0,
             accesses: 0,
-            residency: self.cfg.residency_rows.map(ResidencyModel::new),
+            residency: self.cfg.residency_rows.map(|rows| {
+                // The budget is module-wide; each slot owns an even
+                // share. One slot reproduces the flat pre-SALP model.
+                let slots = self.cfg.residency_slots;
+                ResidencyModel::with_slots(slots, (rows / slots).max(1))
+            }),
             busy: Vec::new(),
             defer_until: 0.0,
         }
@@ -889,7 +917,19 @@ impl ServeRuntime {
         let (reload_rows, reload_ns, reload_energy_nj) = match residency.as_mut() {
             Some(res) => {
                 let rows = self.engine.tenant_mask_rows(batch[0].n, batch[0].k());
-                match res.touch(batch[0].tenant, rows) {
+                let outcome = if res.slots() == 1 {
+                    // The flat path, bit-for-bit the pre-SALP pricing.
+                    res.touch(batch[0].tenant, rows)
+                } else {
+                    // Per-subarray masks: the tenant's K-slices spread
+                    // over every slot; a dispatch only restreams the
+                    // slots whose planes were evicted.
+                    let per_slot = rows.div_ceil(res.slots());
+                    let needs: Vec<(usize, usize)> =
+                        (0..res.slots()).map(|s| (s, per_slot)).collect();
+                    res.touch_slots(batch[0].tenant, &needs)
+                };
+                match outcome {
                     ResidencyOutcome::Hit => (0, 0.0, 0.0),
                     ResidencyOutcome::Reload { rows } => (
                         rows,
@@ -1339,6 +1379,30 @@ mod tests {
     }
 
     #[test]
+    fn slotted_residency_reduces_to_flat_and_prices_per_slot() {
+        let reqs: Vec<ServeRequest> = (0..8)
+            .map(|i| req(i, i as f64, (i % 2) as usize, ServiceClass::BEST_EFFORT))
+            .collect();
+        let e = engine(1);
+        let rows = e.tenant_mask_rows(256, 64);
+        let roomy = |slots: usize| ServeConfig {
+            residency_rows: Some(2 * rows),
+            residency_slots: slots,
+            ..cfg(1, 0.0)
+        };
+        // One slot is the flat pre-SALP model, bit for bit.
+        let flat = ServeRuntime::new(e.clone(), roomy(1)).run(&reqs);
+        assert_eq!(flat.reload_count(), 2, "only the two cold loads");
+        // Four slots with the same total budget: both tenants still fit
+        // every slot, so the reload *count* is unchanged; each cold
+        // load's rows restream slot by slot (⌈rows/slots⌉ each), so the
+        // total reload time can only round up.
+        let slotted = ServeRuntime::new(e, roomy(4)).run(&reqs);
+        assert_eq!(slotted.reload_count(), 2);
+        assert!(slotted.reload_ns_total() >= flat.reload_ns_total());
+    }
+
+    #[test]
     fn closed_loop_serves_every_client_quota() {
         let ccfg = ClosedLoopConfig {
             tenants: vec![TenantSpec::new(512, 256)],
@@ -1571,6 +1635,7 @@ mod tests {
             .async_planner(true)
             .policy(SchedPolicy::EarliestDeadlineFirst)
             .residency_rows(4096)
+            .residency_slots(4)
             .power_window_ns(2e6)
             .power_budget_w(12.0)
             .batch_cache(false)
@@ -1584,6 +1649,7 @@ mod tests {
             async_planner: true,
             policy: SchedPolicy::EarliestDeadlineFirst,
             residency_rows: Some(4096),
+            residency_slots: 4,
             power_window_ns: 2e6,
             power_budget_w: Some(12.0),
             batch_cache: false,
@@ -1593,10 +1659,11 @@ mod tests {
 
     #[test]
     fn config_builder_reports_each_validation_failure() {
-        let cases: [(ServeConfigBuilder, &str); 4] = [
+        let cases: [(ServeConfigBuilder, &str); 5] = [
             (ServeConfig::builder().max_batch(0), "at least one request"),
             (ServeConfig::builder().window_ns(-1.0), "non-negative"),
             (ServeConfig::builder().residency_rows(0), "positive"),
+            (ServeConfig::builder().residency_slots(0), "slots"),
             (ServeConfig::builder().power_window_ns(0.0), "power window"),
         ];
         for (builder, needle) in cases {

@@ -1,7 +1,8 @@
 //! `c2m` — command-line front end to the Count2Multiply simulator.
 //!
 //! ```text
-//! c2m plan   [--radix R] [--capacity BITS] [--k K] [--n N] [--encoding binary|ternary|csd8]
+//! c2m plan   [--radix R] [--capacity BITS] [--k K] [--n N] [--subarrays S]
+//!            [--encoding binary|ternary|csd8]
 //! c2m gemv   [--k K] [--n N] [--sparsity S] [--radix R] [--seed SEED]
 //! c2m radix-sweep [--max-radix R]
 //! c2m experiments
@@ -57,6 +58,7 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     let capacity: u32 = get(flags, "capacity", 64)?;
     let k: usize = get(flags, "k", 512)?;
     let n: usize = get(flags, "n", 8192)?;
+    let subarrays: usize = get(flags, "subarrays", 1)?;
     let encoding = match flags.get("encoding").map(String::as_str) {
         None | Some("ternary") => MaskEncoding::Ternary,
         Some("binary") => MaskEncoding::Binary,
@@ -89,7 +91,33 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
             );
             println!("  columns per subarray  : {}", p.columns_per_subarray);
             println!("  subarrays needed      : {}", p.subarrays_needed);
-            println!("  concurrent subarrays  : {}", p.parallel_subarrays);
+            // "Concurrent subarrays" comes from the engine's real shard
+            // plan (channels x ranks x granted SALP streams), not from
+            // the placement heuristic: the engine clamps the request to
+            // the channel-gate stream cap before any shard exists.
+            let mut ecfg = EngineConfig::c2m(16);
+            ecfg.subarrays = subarrays;
+            let engine = C2mEngine::builder(ecfg)
+                .try_build()
+                .map_err(|e| e.to_string())?;
+            let topo = engine.topology();
+            let shard_plan = engine.planner().plan_inner(k);
+            println!(
+                "  SALP streams / bank   : {} (requested {subarrays}, cap {})",
+                engine.salp_streams(),
+                engine.salp_stream_limit()
+            );
+            println!(
+                "  shard slots           : {} ({}ch x {}rk x {} streams)",
+                topo.shard_slots(),
+                topo.channels,
+                topo.ranks,
+                topo.subarrays
+            );
+            println!(
+                "  concurrent subarrays  : {}",
+                shard_plan.units_used() * topo.banks
+            );
         }
         Err(deficit) => {
             let max_k = placement::max_k_per_subarray(&cfg, &spec, encoding);
@@ -292,5 +320,12 @@ mod tests {
     fn plan_and_sweep_run_on_defaults() {
         assert!(cmd_plan(&flags(&[("k", "64"), ("n", "128")])).is_ok());
         assert!(cmd_radix_sweep(&flags(&[("max-radix", "6")])).is_ok());
+    }
+
+    #[test]
+    fn plan_accepts_salp_requests_and_rejects_bad_geometry() {
+        assert!(cmd_plan(&flags(&[("k", "64"), ("n", "128"), ("subarrays", "8")])).is_ok());
+        assert!(cmd_plan(&flags(&[("k", "64"), ("n", "128"), ("subarrays", "0")])).is_err());
+        assert!(cmd_plan(&flags(&[("k", "64"), ("n", "128"), ("subarrays", "1000")])).is_err());
     }
 }

@@ -84,13 +84,18 @@ fn every_reexport_is_reachable_and_sane() {
     // topology + sharding surface
     assert!(Topology::single(4).is_single());
     assert_eq!(engine.topology().units(), 1);
-    let plan = ShardPlanner::new(Topology {
-        channels: 2,
-        ranks: 2,
-        banks: 4,
-    })
+    let plan = ShardPlanner::new(
+        Topology {
+            channels: 2,
+            ranks: 2,
+            banks: 4,
+            subarrays: 1,
+        }
+        .with_subarrays(2),
+    )
     .plan_inner(64);
-    assert_eq!(plan.units_used(), 4);
+    assert_eq!(plan.units_used(), 8);
+    assert_eq!(plan.cr_units_used(), 4);
     let _policy = BackendPolicy::Uniform(Backend::Fcdram);
     let mut rng = ChaCha12Rng::seed_from_u64(9);
     let z = BinaryMatrix::random(4, 4, 0.5, &mut rng);
