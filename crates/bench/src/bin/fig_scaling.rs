@@ -11,7 +11,7 @@
 //! multiply per-module throughput until the shared-bank command gate
 //! caps the stream count.
 
-use c2m_bench::{eng, header, maybe_json};
+use c2m_bench::{eng, header, maybe_json, trace_flag};
 use c2m_cim::Backend;
 use c2m_core::cache::PlanCache;
 use c2m_core::engine::{C2mEngine, EngineConfig};
@@ -139,6 +139,46 @@ fn run_salp(cache: &Arc<PlanCache>, rows: &mut Vec<ScalingRow>) {
     }
 }
 
+/// `--trace <out.json>`: replay the V0 GEMV on fresh private-cache
+/// engines — once bare, once with a recording sink — assert the traced
+/// [`c2m_dram::ExecutionReport`] serialises bit-identically to the
+/// untraced one, and export the Chrome-trace JSON of the engine launch
+/// (launch span, per-channel shard spans, merge rounds, cache
+/// counters). The analytic launch never drives a command scheduler or
+/// fetch queue, so the trace carries `core` events only.
+fn trace_export(path: &str) {
+    let shape = GEMV_SHAPES[0];
+    let x = int8_embeddings(shape.k, 0x5CA1);
+    let build = |sink: Option<Arc<dyn c2m_trace::TraceSink>>| {
+        let mut cfg = EngineConfig::c2m(16);
+        cfg.dram.channels = 4;
+        let mut b = C2mEngine::builder(cfg).backends(BackendPolicy::Uniform(Backend::Ambit));
+        if let Some(s) = sink {
+            b = b.trace(s);
+        }
+        b.build()
+    };
+    let plain = build(None).ternary_gemv(&x, shape.n);
+    let sink = Arc::new(c2m_trace::RecordingSink::default());
+    let traced = build(Some(sink.clone())).ternary_gemv(&x, shape.n);
+    assert_eq!(
+        serde_json::to_string(&plain).expect("report serialises"),
+        serde_json::to_string(&traced).expect("report serialises"),
+        "tracing must not change the execution report"
+    );
+    let json = sink.chrome_trace_json();
+    let check = c2m_trace::validate_chrome_trace(&json).expect("recorded trace is valid");
+    assert!(
+        check.cats.iter().any(|c| c == "core"),
+        "engine trace must carry core events"
+    );
+    std::fs::write(path, &json).expect("trace output path is writable");
+    println!(
+        "\n--trace: {path} — {} events, {} spans, {} tracks; traced report bit-equal to untraced",
+        check.events, check.spans, check.tracks
+    );
+}
+
 fn main() {
     header(
         "fig_scaling",
@@ -174,5 +214,8 @@ fn main() {
     println!("speedups are sublinear in channels, and FCDRAM pays the generic-lowering premium.");
     println!("SALP rows shard below the rank too: streams saturate at the channel-gate cap,");
     println!("so the 32- and 128-subarray points coincide once the cap binds.");
+    if let Some(path) = trace_flag() {
+        trace_export(&path);
+    }
     maybe_json(&rows);
 }

@@ -36,7 +36,7 @@
 //!   each missing slot's rounded-up mask share, so tenant switches are
 //!   never priced cheaper than the whole-mask model.
 
-use c2m_bench::{eng, header, maybe_json};
+use c2m_bench::{eng, header, maybe_json, trace_flag};
 use c2m_cim::Backend;
 use c2m_core::cache::PlanCache;
 use c2m_core::engine::{C2mEngine, EngineConfig};
@@ -250,6 +250,51 @@ fn run_salp(
     rows.push(row);
 }
 
+/// `--trace <out.json>`: replay the residency overload twice on fresh
+/// private-cache engines — once bare, once with a recording sink wired
+/// through serve → core → dram — assert the traced report serialises
+/// bit-identically to the untraced one (tracing is observational), and
+/// export the Chrome-trace JSON.
+fn trace_export(slo_trace: &[ServeRequest], ambit: &BackendPolicy, path: &str) {
+    let fresh = || {
+        // Private caches on both sides: shared warm state would make
+        // the cumulative cache tallies differ between the two runs.
+        engine(1, 1, ambit, false, &Arc::new(PlanCache::default()))
+    };
+    let budget = 2 * fresh().tenant_mask_rows(1024, 512);
+    let cfg = || ServeConfig {
+        policy: SchedPolicy::EarliestDeadlineFirst,
+        max_wait_ns: 10e6,
+        residency_rows: Some(budget),
+        window_ns: 1e9,
+        max_batch: 8,
+        ..ServeConfig::default()
+    };
+    let plain = ServeRuntime::new(fresh(), cfg()).run(slo_trace);
+
+    let sink = Arc::new(c2m_trace::RecordingSink::default());
+    let traced = ServeRuntime::new(fresh(), cfg()).with_trace(sink.clone());
+    let traced_rep = traced.run(slo_trace);
+
+    let a = serde_json::to_string(&plain).expect("report serialises");
+    let b = serde_json::to_string(&traced_rep).expect("report serialises");
+    assert_eq!(a, b, "tracing must not change the serving report");
+
+    let json = sink.chrome_trace_json();
+    let check = c2m_trace::validate_chrome_trace(&json).expect("recorded trace is valid");
+    for cat in ["dram", "core", "serve"] {
+        assert!(
+            check.cats.iter().any(|c| c == cat),
+            "trace is missing `{cat}` events"
+        );
+    }
+    std::fs::write(path, &json).expect("trace output path is writable");
+    println!(
+        "\n--trace: {path} — {} events, {} spans, {} tracks; traced report bit-equal to untraced",
+        check.events, check.spans, check.tracks
+    );
+}
+
 fn main() {
     header(
         "fig_serve",
@@ -456,5 +501,8 @@ fn main() {
     println!("sweep reports J/request off the ledger and holds a rolling-window power cap");
     println!("by shrinking/deferring batches, trading latency for cap compliance; the SALP");
     println!("residency sweep prices reloads per subarray slot, never under the flat model.");
+    if let Some(path) = trace_flag() {
+        trace_export(&slo_trace, &ambit, &path);
+    }
     maybe_json(&rows);
 }

@@ -31,6 +31,18 @@ pub fn geomean(values: &[f64]) -> f64 {
     (s / values.len() as f64).exp()
 }
 
+/// The output path of a `--trace <out.json>` flag, when one was passed:
+/// bench binaries that support it re-run one representative
+/// configuration with a recording sink, assert the traced report is
+/// bit-identical to the untraced one, and export the Chrome-trace JSON.
+#[must_use]
+pub fn trace_flag() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 /// Dumps a serialisable result as pretty JSON when `--json` was passed.
 pub fn maybe_json<T: Serialize>(value: &T) {
     if std::env::args().any(|a| a == "--json") {

@@ -41,10 +41,58 @@ use c2m_ecc::protect::{ProtectionAnalysis, ProtectionKind};
 use c2m_jc::codec::JohnsonCode;
 use c2m_jc::cost::digits_for_capacity;
 use c2m_jc::iarm::IarmPlanner;
+use c2m_trace::{TraceEvent, TraceSink, Track};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Trace hook shared by an engine and its clones: the sink plus a
+/// synthetic monotonic clock that tiles launch spans sequentially.
+///
+/// The engine prices kernels analytically — a launch has a *duration*
+/// (`elapsed_ns`) but no wall-clock start — so the handle assigns each
+/// launch the next free slot on a shared core timeline. Trace
+/// timestamps are therefore launch-order, not aligned with any serving
+/// timeline. The clock is `f64` bits in an atomic so concurrent clones
+/// reserve disjoint slots without locking.
+#[derive(Debug, Clone)]
+struct TraceHandle {
+    sink: Arc<dyn TraceSink>,
+    clock: Arc<AtomicU64>,
+}
+
+impl TraceHandle {
+    fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Self {
+            sink,
+            clock: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+        }
+    }
+
+    /// Reserves a `dur_ns`-long slot on the core timeline, returning
+    /// its start instant.
+    fn advance(&self, dur_ns: f64) -> f64 {
+        loop {
+            let cur = self.clock.load(Ordering::Relaxed);
+            let t0 = f64::from_bits(cur);
+            let next = (t0 + dur_ns).to_bits();
+            if self
+                .clock
+                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return t0;
+            }
+        }
+    }
+
+    /// The current frontier of the core timeline.
+    fn now(&self) -> f64 {
+        f64::from_bits(self.clock.load(Ordering::Relaxed))
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -188,6 +236,7 @@ pub struct EngineBuilder {
     sizing: ShardSizing,
     balanced: bool,
     cache: CacheChoice,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl EngineBuilder {
@@ -242,6 +291,18 @@ impl EngineBuilder {
     #[must_use]
     pub fn no_cache(mut self) -> Self {
         self.cache = CacheChoice::Disabled;
+        self
+    }
+
+    /// Attaches a trace sink: every kernel launch emits launch /
+    /// per-channel shard-exec / merge-round spans plus cache counter
+    /// samples on the core tracks. Tracing is observational only — a
+    /// traced engine's reports are bit-for-bit identical to an untraced
+    /// one's. Default: no sink (and no per-launch overhead beyond one
+    /// branch).
+    #[must_use]
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
         self
     }
 
@@ -322,6 +383,7 @@ impl EngineBuilder {
             backends: self.backends,
             sizing: self.sizing,
             cache,
+            trace: self.trace.map(TraceHandle::new),
         };
         if self.balanced {
             // Backend factors are positive and finite, so the derived
@@ -359,6 +421,9 @@ pub struct C2mEngine {
     backends: BackendPolicy,
     sizing: ShardSizing,
     cache: Option<Arc<PlanCache>>,
+    /// Optional trace hook (shared clock across clones). Observational
+    /// only — never read by any pricing path.
+    trace: Option<TraceHandle>,
 }
 
 impl C2mEngine {
@@ -373,7 +438,15 @@ impl C2mEngine {
             sizing: ShardSizing::default(),
             balanced: false,
             cache: CacheChoice::Private(CacheConfig::default()),
+            trace: None,
         }
+    }
+
+    /// Attaches a trace sink to an already-built engine (fresh launch
+    /// clock) — the serving runtime uses this to thread its sink down
+    /// into the engine it was handed. See [`EngineBuilder::trace`].
+    pub fn set_trace(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = Some(TraceHandle::new(sink));
     }
 
     /// Creates an engine from a configuration, dispatching every shard
@@ -644,7 +717,24 @@ impl C2mEngine {
                     policy: self.backends.clone(),
                     sizing: PlanKey::sizing_bits(&self.sizing),
                 };
-                c.plan(&key, build)
+                match &self.trace {
+                    Some(tr) => {
+                        let hits_before = c.counters().plan_hits;
+                        let plan = c.plan(&key, build);
+                        tr.sink.record(TraceEvent::Instant {
+                            t_ns: tr.now(),
+                            name: if c.counters().plan_hits > hits_before {
+                                "plan_cached"
+                            } else {
+                                "plan_built"
+                            },
+                            cat: "core",
+                            track: Track::core(0),
+                        });
+                        plan
+                    }
+                    None => c.plan(&key, build),
+                }
             }
             None => Arc::new(build()),
         }
@@ -1064,6 +1154,10 @@ impl C2mEngine {
         let mut host_wr = 0u64;
         let mut stats = CommandStats::default();
         let mut transfer_ns = 0.0;
+        // Per-round merge durations, collected only when tracing (an
+        // empty `Vec` never allocates, so the untraced path stays
+        // allocation-free here).
+        let mut merge_rounds: Vec<f64> = Vec::new();
 
         // The cross-unit merge tree and the host gather operate at
         // (channel, rank) granularity: SALP streams inside one unit were
@@ -1094,8 +1188,12 @@ impl C2mEngine {
             let mut active = units;
             while active > 1 {
                 let pairs = active / 2;
-                transfer_ns += merge_ops * merge_interval
+                let round_ns = merge_ops * merge_interval
                     + pairs as f64 * 2.0 * bursts as f64 * self.cfg.timing.t_burst;
+                transfer_ns += round_ns;
+                if self.trace.is_some() {
+                    merge_rounds.push(round_ns);
+                }
                 total_ops += pairs as f64 * merge_ops;
                 merge_ops_total += pairs as f64 * merge_ops;
                 stats.record_n(CommandKind::Rd, pairs as u64 * bursts);
@@ -1150,7 +1248,70 @@ impl C2mEngine {
         // Observational only: a snapshot of the engine's cumulative
         // cache tallies at report time. Never feeds back into pricing.
         report.cache = self.cache_stats();
+        if self.trace.is_some() {
+            let gather_ns = gather_bursts as f64 * self.cfg.timing.t_burst;
+            self.trace_launch(&chan_ns, compute_ns, &merge_rounds, gather_ns, &report);
+        }
         report
+    }
+
+    /// Emits one launch's spans onto the core tracks: the launch span
+    /// on the launch track, a shard-exec span per busy channel, the
+    /// sequential merge rounds and host gather after the parallel
+    /// phase, and cache counter samples from the report's snapshot.
+    fn trace_launch(
+        &self,
+        chan_ns: &[f64],
+        compute_ns: f64,
+        merge_rounds: &[f64],
+        gather_ns: f64,
+        report: &ExecutionReport,
+    ) {
+        let Some(tr) = &self.trace else { return };
+        let t0 = tr.advance(report.elapsed_ns);
+        let sink = tr.sink.as_ref();
+        sink.record(TraceEvent::Begin {
+            t_ns: t0,
+            name: "launch",
+            cat: "core",
+            track: Track::core(0),
+        });
+        let cache = &report.cache;
+        for (name, value) in [
+            ("plan_cache_hits", cache.plan_hits),
+            ("plan_cache_misses", cache.plan_misses),
+            ("stream_cache_hits", cache.stream_hits),
+            ("stream_cache_misses", cache.stream_misses),
+        ] {
+            sink.record(TraceEvent::Counter {
+                t_ns: t0,
+                name,
+                cat: "core",
+                track: Track::core(0),
+                value: value as f64,
+            });
+        }
+        for (c, &ns) in chan_ns.iter().enumerate() {
+            if ns > 0.0 {
+                sink.span(Track::core(1 + c as u32), "shard_exec", "core", t0, t0 + ns);
+            }
+        }
+        let mut t = t0 + compute_ns;
+        for &round_ns in merge_rounds {
+            sink.span(Track::core(0), "merge_round", "core", t, t + round_ns);
+            t += round_ns;
+        }
+        if gather_ns > 0.0 {
+            sink.span(Track::core(0), "host_gather", "core", t, t + gather_ns);
+        }
+        sink.record(TraceEvent::End {
+            t_ns: t0 + report.elapsed_ns,
+            track: Track::core(0),
+        });
+        if let Some(m) = sink.metrics() {
+            m.inc("core.launches", 1);
+            m.observe_ns("core.launch_ns", report.elapsed_ns);
+        }
     }
 }
 

@@ -57,11 +57,7 @@ impl BankStats {
     /// Row-buffer hit rate in [0, 1] (zero when no accesses occurred).
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        if self.total() == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.total() as f64
-        }
+        crate::stats::hit_fraction(self.hits, self.total())
     }
 }
 

@@ -47,6 +47,20 @@ impl CommandKind {
     pub fn is_macro(self) -> bool {
         matches!(self, CommandKind::Aap | CommandKind::Ap | CommandKind::Apa)
     }
+
+    /// The command mnemonic, as shown on trace timelines.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CommandKind::Act => "ACT",
+            CommandKind::Pre => "PRE",
+            CommandKind::Aap => "AAP",
+            CommandKind::Ap => "AP",
+            CommandKind::Apa => "APA",
+            CommandKind::Rd => "RD",
+            CommandKind::Wr => "WR",
+        }
+    }
 }
 
 /// A command addressed to a specific bank (and, for SALP streams, a

@@ -59,6 +59,6 @@ pub use energy::{
 pub use refresh::RefreshModel;
 pub use request::{BatchWindow, MemoryRequest, RequestQueue, ScheduleReport};
 pub use scheduler::ChannelScheduler;
-pub use stats::{CacheCounters, CommandStats, ExecutionReport};
+pub use stats::{hit_fraction, CacheCounters, CommandStats, ExecutionReport};
 pub use timing::TimingParams;
 pub use topology::{SystemScheduler, Topology};

@@ -21,8 +21,11 @@
 //! baseline it is compared against.
 
 use crate::bank_state::{AccessKind, BankState};
+use crate::stats::hit_fraction;
 use crate::timing::TimingParams;
+use c2m_trace::{TraceSink, Track};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One host memory request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -115,15 +118,12 @@ impl ScheduleReport {
     /// Fraction of requests that hit an open row.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        if self.completions.is_empty() {
-            return 0.0;
-        }
         let hits = self
             .completions
             .iter()
             .filter(|c| c.kind == AccessKind::RowHit)
             .count();
-        hits as f64 / self.completions.len() as f64
+        hit_fraction(hits as u64, self.completions.len() as u64)
     }
 
     /// Completion time of the last request, ns.
@@ -199,6 +199,10 @@ pub struct RequestQueue {
     bank_ready: Vec<f64>,
     /// Earliest time the shared command/data bus is free, ns.
     bus_ready: f64,
+    /// Optional trace hook emitting per-completion fetch spans on
+    /// per-bank lanes; `None` (the default) costs one branch per
+    /// completion.
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl RequestQueue {
@@ -215,6 +219,39 @@ impl RequestQueue {
             banks: vec![BankState::new(); banks],
             bank_ready: vec![0.0; banks],
             bus_ready: 0.0,
+            trace: None,
+        }
+    }
+
+    /// Attaches a trace sink; every serviced request then emits a span
+    /// on its bank's fetch lane (named by row-buffer outcome) plus
+    /// fetch counters/latency metrics. Never changes scheduling.
+    pub fn set_trace(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Detaches any trace sink (e.g. for throwaway trial clones).
+    pub fn clear_trace(&mut self) {
+        self.trace = None;
+    }
+
+    fn trace_completion(&self, c: &Completion) {
+        let Some(sink) = &self.trace else { return };
+        let name = match c.kind {
+            AccessKind::RowHit => "fetch_hit",
+            AccessKind::RowMiss => "fetch_miss",
+            AccessKind::RowConflict => "fetch_conflict",
+        };
+        sink.span(
+            Track::dram_fetch(c.request.bank as u32),
+            name,
+            "dram",
+            c.issue_ns,
+            c.finish_ns,
+        );
+        if let Some(m) = sink.metrics() {
+            m.inc("dram.fetch_requests", 1);
+            m.observe_ns("dram.fetch_latency_ns", c.latency_ns());
         }
     }
 
@@ -268,12 +305,16 @@ impl RequestQueue {
             self.bank_ready[req.bank] = finish;
             self.bus_ready = issue + self.timing.t_burst;
             prev_finish = finish;
-            report.completions.push(Completion {
+            let done = Completion {
                 request: req,
                 issue_ns: issue,
                 finish_ns: finish,
                 kind,
-            });
+            };
+            if self.trace.is_some() {
+                self.trace_completion(&done);
+            }
+            report.completions.push(done);
         }
         report
     }
@@ -361,12 +402,16 @@ impl RequestQueue {
                 let finish = issue + kind.latency_ns(&self.timing);
                 self.bank_ready[req.bank] = finish;
                 self.bus_ready = issue + self.timing.t_burst;
-                report.completions.push(Completion {
+                let done = Completion {
                     request: req,
                     issue_ns: issue,
                     finish_ns: finish,
                     kind,
-                });
+                };
+                if self.trace.is_some() {
+                    self.trace_completion(&done);
+                }
+                report.completions.push(done);
             }
         }
         report

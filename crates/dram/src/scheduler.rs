@@ -20,6 +20,8 @@
 use crate::command::{CommandKind, DramCommand};
 use crate::stats::CommandStats;
 use crate::timing::TimingParams;
+use c2m_trace::{TraceEvent, TraceSink, Track};
+use std::sync::Arc;
 
 /// Event-driven scheduler for one DRAM channel with one or more ranks.
 ///
@@ -47,6 +49,11 @@ pub struct ChannelScheduler {
     last_rank: Option<usize>,
     now: f64,
     stats: CommandStats,
+    /// Channel index stamped on trace tracks (0 when untraced).
+    channel_id: u32,
+    /// Optional trace hook; `None` (the default) adds one branch per
+    /// issue and nothing else.
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl ChannelScheduler {
@@ -105,7 +112,23 @@ impl ChannelScheduler {
             last_rank: None,
             now: 0.0,
             stats: CommandStats::default(),
+            channel_id: 0,
+            trace: None,
         }
+    }
+
+    /// Attaches a trace sink; every subsequent issue emits a command
+    /// span on the `(channel_id, rank, subarray)` lane track, plus
+    /// stall instants when the rank-switch or subarray-gate bound is
+    /// what delayed the command. Tracing never changes issue times.
+    pub fn set_trace(&mut self, sink: Arc<dyn TraceSink>, channel_id: u32) {
+        self.channel_id = channel_id;
+        self.trace = Some(sink);
+    }
+
+    /// Detaches any trace sink.
+    pub fn clear_trace(&mut self) {
+        self.trace = None;
     }
 
     /// The timing parameters this scheduler enforces.
@@ -161,8 +184,49 @@ impl ChannelScheduler {
             self.subarrays
         );
         let t = self.earliest_issue(cmd);
+        if self.trace.is_some() {
+            self.trace_issue(cmd, t);
+        }
         self.commit(cmd, t);
         t
+    }
+
+    /// Emits the trace events for one issued command. Read-only: runs
+    /// between [`Self::earliest_issue`] and [`Self::commit`], so the
+    /// pre-commit state still describes what delayed the command.
+    fn trace_issue(&self, cmd: DramCommand, t: f64) {
+        let Some(sink) = &self.trace else { return };
+        let rank = cmd.bank / self.banks_per_rank;
+        let track = Track::dram_lane(self.channel_id, rank as u32, cmd.subarray as u32);
+        if self.last_rank.is_some_and(|r| r != rank) && t == self.now + self.timing.t_rank_switch {
+            sink.record(TraceEvent::Instant {
+                t_ns: t,
+                name: "rank_switch_stall",
+                cat: "dram",
+                track,
+            });
+        }
+        if self.subarrays > 1
+            && self.last_rank.is_some()
+            && t == self.now + self.timing.t_subarray_gate
+        {
+            sink.record(TraceEvent::Instant {
+                t_ns: t,
+                name: "gate_stall",
+                cat: "dram",
+                track,
+            });
+        }
+        sink.span(
+            track,
+            cmd.kind.name(),
+            "dram",
+            t,
+            t + self.occupancy_ns(cmd.kind),
+        );
+        if let Some(m) = sink.metrics() {
+            m.inc("dram.commands", 1);
+        }
     }
 
     /// Issues an AAP macro command to `bank` (convenience wrapper).
@@ -253,15 +317,21 @@ impl ChannelScheduler {
             self.act_window[lane][self.act_window_pos[lane]] = t;
             self.act_window_pos[lane] = (self.act_window_pos[lane] + 1) % 4;
         }
-        let occupancy = match cmd.kind {
+        self.bank_ready[stream] = t + self.occupancy_ns(cmd.kind);
+        self.stats.record(cmd.kind);
+    }
+
+    /// How long a command of `kind` occupies its subarray stream after
+    /// issue — the same figure [`Self::commit`] books into `bank_ready`
+    /// and tracing shows as the command span's duration.
+    fn occupancy_ns(&self, kind: CommandKind) -> f64 {
+        match kind {
             CommandKind::Aap => self.timing.t_aap() + self.timing.t_rrd,
             CommandKind::Ap | CommandKind::Apa => self.timing.t_ap() + self.timing.t_rrd,
             CommandKind::Act => self.timing.t_ras,
             CommandKind::Pre => self.timing.t_rp,
             CommandKind::Rd | CommandKind::Wr => self.timing.t_burst,
-        };
-        self.bank_ready[stream] = t + occupancy;
-        self.stats.record(cmd.kind);
+        }
     }
 
     /// Resets the clock and statistics, keeping timing and geometry.

@@ -6,6 +6,21 @@ use crate::config::DramConfig;
 use crate::energy::{EnergyBreakdown, EnergyLedger, EnergyModel};
 use serde::{Deserialize, Serialize};
 
+/// Fraction `hits / total`, defined as `0.0` when `total` is zero.
+///
+/// The one hit-rate definition shared by every layer (row-buffer
+/// schedule reports, engine cache counters, the serve runtime's host
+/// and batch-cache rates, and the bench JSON emitters), so an idle
+/// component always reports `0.0` rather than `NaN`.
+#[must_use]
+pub fn hit_fraction(hits: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
 /// Running tally of issued commands by kind.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommandStats {
@@ -113,11 +128,7 @@ impl CacheCounters {
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
         let hits = self.plan_hits + self.stream_hits;
-        let total = hits + self.plan_misses + self.stream_misses;
-        if total == 0 {
-            return 0.0;
-        }
-        hits as f64 / total as f64
+        hit_fraction(hits, hits + self.plan_misses + self.stream_misses)
     }
 
     /// Adds another snapshot's tallies into this one.
@@ -259,6 +270,14 @@ impl ExecutionReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hit_fraction_zero_over_zero_is_zero_not_nan() {
+        assert_eq!(hit_fraction(0, 0), 0.0);
+        assert_eq!(hit_fraction(3, 4), 0.75);
+        assert_eq!(CacheCounters::default().hit_rate(), 0.0);
+        assert!(!CacheCounters::default().hit_rate().is_nan());
+    }
 
     #[test]
     fn merge_adds_counts() {

@@ -224,6 +224,15 @@ impl SystemScheduler {
     pub fn reset(&mut self) {
         self.channels.iter_mut().for_each(ChannelScheduler::reset);
     }
+
+    /// Attaches a trace sink to every channel scheduler, stamping each
+    /// with its channel index so command spans land on per-
+    /// `(channel, rank, subarray)` tracks.
+    pub fn set_trace(&mut self, sink: &std::sync::Arc<dyn c2m_trace::TraceSink>) {
+        for (c, ch) in self.channels.iter_mut().enumerate() {
+            ch.set_trace(std::sync::Arc::clone(sink), c as u32);
+        }
+    }
 }
 
 #[cfg(test)]

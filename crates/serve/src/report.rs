@@ -126,6 +126,45 @@ pub struct QueueSample {
     pub depth: usize,
 }
 
+/// One request's end-to-end latency split into pipeline components,
+/// ns. By construction `queue_ns + plan_ns + reload_ns + exec_ns ==
+/// total_ns` exactly: the queue share is derived subtractively, so the
+/// decomposition never drifts from the end-to-end figure it explains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LatencyComponents {
+    /// Time not attributable to work on the request's own batch:
+    /// pre-admission waiting, the host fetch, and stalls behind the
+    /// planner/engine clocks, ns.
+    pub queue_ns: f64,
+    /// Host planning (digit unpack + IARM) of the request's batch, ns.
+    pub plan_ns: f64,
+    /// Tenant mask-plane reload on the batch's critical path, ns.
+    pub reload_ns: f64,
+    /// Engine occupancy after the reload — dispatch overhead plus the
+    /// launch itself, ns.
+    pub exec_ns: f64,
+    /// End-to-end latency (arrival → completion), ns.
+    pub total_ns: f64,
+}
+
+/// Per-priority-class latency decomposition: component means and p99s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ClassBreakdown {
+    /// The priority this row aggregates.
+    pub priority: u8,
+    /// Requests served in the class.
+    pub count: usize,
+    /// Mean of each component over the class. Sums to the mean
+    /// end-to-end latency exactly (the queue mean is derived
+    /// subtractively, like the per-request split).
+    pub mean: LatencyComponents,
+    /// 99th percentile of each component over the class, taken
+    /// *independently* per component: the p99s need not sum to
+    /// `p99.total_ns`, since the slowest-queued request is rarely also
+    /// the slowest-executing one.
+    pub p99: LatencyComponents,
+}
+
 /// Aggregate latency/SLO statistics of one priority class.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ClassStats {
@@ -194,12 +233,85 @@ impl ServeReport {
     /// (0.0 when the cache is disabled or never consulted).
     #[must_use]
     pub fn batch_cache_hit_rate(&self) -> f64 {
-        let total = self.batch_cache_hits + self.batch_cache_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.batch_cache_hits as f64 / total as f64
+        c2m_dram::hit_fraction(
+            self.batch_cache_hits,
+            self.batch_cache_hits + self.batch_cache_misses,
+        )
+    }
+
+    /// One request's end-to-end latency decomposed against its batch's
+    /// pipeline record: planning, mask reload, engine occupancy
+    /// (dispatch + launch), and — subtractively, so the parts sum to
+    /// the whole exactly — everything else as queueing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o.batch` is out of range for this report's batches —
+    /// outcomes decompose only against the report that produced them.
+    #[must_use]
+    pub fn latency_components(&self, o: &RequestOutcome) -> LatencyComponents {
+        let b = &self.batches[o.batch];
+        let plan_ns = b.plan_ns;
+        let reload_ns = b.reload_ns;
+        let exec_ns = (b.exec_done_ns - b.exec_start_ns) - b.reload_ns;
+        let total_ns = o.completion_ns - o.arrival_ns;
+        let queue_ns = total_ns - plan_ns - reload_ns - exec_ns;
+        LatencyComponents {
+            queue_ns,
+            plan_ns,
+            reload_ns,
+            exec_ns,
+            total_ns,
         }
+    }
+
+    /// Per-class latency decomposition, ascending by priority: mean and
+    /// p99 of the queue/plan/reload/exec components. Each class's mean
+    /// components sum to its mean end-to-end latency exactly; the p99s
+    /// are per-component order statistics and carry no such identity
+    /// (see [`ClassBreakdown::p99`]).
+    #[must_use]
+    pub fn latency_breakdown(&self) -> Vec<ClassBreakdown> {
+        self.priorities()
+            .into_iter()
+            .map(|priority| {
+                let comps: Vec<LatencyComponents> = self
+                    .outcomes
+                    .iter()
+                    .filter(|o| o.priority == priority)
+                    .map(|o| self.latency_components(o))
+                    .collect();
+                let n = comps.len() as f64;
+                let mean_of = |f: fn(&LatencyComponents) -> f64| -> f64 {
+                    comps.iter().map(f).sum::<f64>() / n
+                };
+                let p99_of = |f: fn(&LatencyComponents) -> f64| -> f64 {
+                    percentiles_ns(comps.iter().map(f).collect(), &[99.0])[0]
+                };
+                let plan_ns = mean_of(|c| c.plan_ns);
+                let reload_ns = mean_of(|c| c.reload_ns);
+                let exec_ns = mean_of(|c| c.exec_ns);
+                let total_ns = mean_of(|c| c.total_ns);
+                ClassBreakdown {
+                    priority,
+                    count: comps.len(),
+                    mean: LatencyComponents {
+                        queue_ns: total_ns - plan_ns - reload_ns - exec_ns,
+                        plan_ns,
+                        reload_ns,
+                        exec_ns,
+                        total_ns,
+                    },
+                    p99: LatencyComponents {
+                        queue_ns: p99_of(|c| c.queue_ns),
+                        plan_ns: p99_of(|c| c.plan_ns),
+                        reload_ns: p99_of(|c| c.reload_ns),
+                        exec_ns: p99_of(|c| c.exec_ns),
+                        total_ns: p99_of(|c| c.total_ns),
+                    },
+                }
+            })
+            .collect()
     }
 
     /// Latencies at each percentile of `ps` (values in [0, 100]), ns —
@@ -673,6 +785,80 @@ mod tests {
         };
         assert!((rep.class_joules_per_request(9) - 100.0e-9).abs() < 1e-18);
         assert!((rep.class_joules_per_request(0) - 100.0e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn latency_breakdown_components_sum_to_end_to_end() {
+        // Batch 0: plan 10, reload 5, occupancy [100, 175] (exec+dispatch
+        // = 70 after the reload). Batch 1: plan-free, reload-free,
+        // occupancy [200, 260].
+        let mut b0 = energy_batch(100.0, 175.0, 0.0, 2);
+        b0.plan_ns = 10.0;
+        b0.reload_ns = 5.0;
+        let b1 = energy_batch(200.0, 260.0, 0.0, 1);
+        let mut outcomes = vec![
+            outcome(0, 0.0, 175.0),
+            outcome(1, 30.0, 175.0),
+            outcome(2, 180.0, 260.0),
+        ];
+        outcomes[2].batch = 1;
+        outcomes[2].priority = 3;
+        let rep = ServeReport {
+            outcomes,
+            batches: vec![b0, b1],
+            ..ServeReport::default()
+        };
+
+        let c = rep.latency_components(&rep.outcomes[0]);
+        assert!((c.plan_ns - 10.0).abs() < 1e-12);
+        assert!((c.reload_ns - 5.0).abs() < 1e-12);
+        assert!((c.exec_ns - 70.0).abs() < 1e-12);
+        assert!((c.total_ns - 175.0).abs() < 1e-12);
+        assert!((c.queue_ns - 90.0).abs() < 1e-12);
+
+        let rows = rep.latency_breakdown();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            let m = row.mean;
+            assert!(
+                (m.queue_ns + m.plan_ns + m.reload_ns + m.exec_ns - m.total_ns).abs() < 1e-9,
+                "mean components must sum to the mean end-to-end latency"
+            );
+            let per_request: Vec<LatencyComponents> = rep
+                .outcomes
+                .iter()
+                .filter(|o| o.priority == row.priority)
+                .map(|o| rep.latency_components(o))
+                .collect();
+            assert_eq!(per_request.len(), row.count);
+            for c in per_request {
+                assert!(
+                    (c.queue_ns + c.plan_ns + c.reload_ns + c.exec_ns - c.total_ns).abs() < 1e-9
+                );
+            }
+        }
+        // Class 0 (two requests of batch 0): mean total = (175+145)/2.
+        assert_eq!(rows[0].priority, 0);
+        assert!((rows[0].mean.total_ns - 160.0).abs() < 1e-12);
+        // Singleton class: p99 components coincide with the lone split.
+        assert_eq!(rows[1].priority, 3);
+        assert!((rows[1].p99.total_ns - 80.0).abs() < 1e-12);
+        assert!((rows[1].p99.exec_ns - 60.0).abs() < 1e-12);
+        assert!(rep.latency_breakdown().len() == 2);
+        assert!(ServeReport::default().latency_breakdown().is_empty());
+    }
+
+    #[test]
+    fn batch_cache_hit_rate_is_zero_when_never_consulted() {
+        let rep = ServeReport::default();
+        assert_eq!(rep.batch_cache_hit_rate(), 0.0);
+        assert!(!rep.batch_cache_hit_rate().is_nan());
+        let warm = ServeReport {
+            batch_cache_hits: 3,
+            batch_cache_misses: 1,
+            ..ServeReport::default()
+        };
+        assert!((warm.batch_cache_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

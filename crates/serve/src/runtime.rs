@@ -74,7 +74,8 @@ use crate::request::ServeRequest;
 use crate::traffic::{request_input, ClosedLoopConfig};
 use c2m_core::engine::C2mEngine;
 use c2m_core::residency::{ResidencyModel, ResidencyOutcome};
-use c2m_dram::{BatchWindow, MemoryRequest, RequestQueue};
+use c2m_dram::{hit_fraction, BatchWindow, MemoryRequest, RequestQueue};
+use c2m_trace::{TraceEvent, TraceSink, Track};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -231,6 +232,7 @@ impl std::error::Error for ServeConfigError {}
 #[derive(Debug, Clone, Default)]
 pub struct ServeConfigBuilder {
     cfg: ServeConfig,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl ServeConfigBuilder {
@@ -321,6 +323,56 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Attaches a trace sink to the runtime built by
+    /// [`Self::build_runtime`]. The sink observes the full serving
+    /// pipeline: per-request lifecycle and batch spans here, engine
+    /// launch spans, and the host fetch queue's per-bank access spans.
+    /// Ignored by [`Self::build`] / [`Self::try_build`], which return
+    /// the engine-independent [`ServeConfig`] only.
+    #[must_use]
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Validates the configuration and builds a serving runtime over
+    /// `engine`, attaching the builder's trace sink when one was set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ServeConfigError`]s as [`Self::try_build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an engine-dependent invariant violation — a power cap
+    /// at or below the module's static idle floor (see
+    /// [`ServeRuntime::new`]).
+    pub fn try_build_runtime(self, engine: C2mEngine) -> Result<ServeRuntime, ServeConfigError> {
+        let Self { cfg, trace } = self;
+        cfg.validate().map_err(ServeConfigError)?;
+        let mut rt = ServeRuntime::new(engine, cfg);
+        if let Some(sink) = trace {
+            rt = rt.with_trace(sink);
+        }
+        Ok(rt)
+    }
+
+    /// Validates the configuration and builds a serving runtime over
+    /// `engine`, panicking on invalid input.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ServeConfigError`] message on any validation
+    /// failure, or on the engine-dependent invariants of
+    /// [`ServeRuntime::new`].
+    #[must_use]
+    pub fn build_runtime(self, engine: C2mEngine) -> ServeRuntime {
+        match self.try_build_runtime(engine) {
+            Ok(rt) => rt,
+            Err(e) => panic!("invalid serve configuration: {e}"),
+        }
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -389,6 +441,7 @@ pub struct ServeRuntime {
     engine: C2mEngine,
     cfg: ServeConfig,
     batch_cache: Option<Arc<BatchPriceCache>>,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 /// Pipeline clock state threaded through batch dispatches.
@@ -550,7 +603,31 @@ impl ServeRuntime {
             engine,
             cfg,
             batch_cache,
+            trace: None,
         }
+    }
+
+    /// Attaches a trace sink, threading it through every layer the
+    /// runtime drives: serve-pipeline lifecycle spans here, launch
+    /// spans in the owned engine, and per-bank access spans in each
+    /// host fetch queue the runtime spins up. Tracing is observational
+    /// only — reports are bit-identical with or without a sink.
+    ///
+    /// Note that under a power cap the fetch queue's *trial* clones
+    /// keep the sink, so rejected governor candidates are visible in
+    /// the trace as extra fetch spans — deliberately, since the point
+    /// of tracing is to see what the governor actually tried.
+    #[must_use]
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.engine.set_trace(Arc::clone(&sink));
+        self.trace = Some(sink);
+        self
+    }
+
+    /// The attached trace sink, if any.
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.trace.as_ref()
     }
 
     /// Static background power of the served module, W: every rank of
@@ -590,16 +667,15 @@ impl ServeRuntime {
             self.admit_and_dispatch(&mut q, &mut fetch_q, &mut pipe, &mut report);
             let done = report.batches.last().expect("batch recorded").exec_done_ns;
             let arrived = arrivals.partition_point(|&a| a <= done);
-            report.queue_depth.push(QueueSample {
-                t_ns: done,
-                depth: arrived - report.outcomes.len(),
-            });
+            let depth = arrived - report.outcomes.len();
+            self.sample_queue_depth(&mut report, done, depth);
         }
-        report.host_hit_rate = if pipe.accesses == 0 {
-            0.0
-        } else {
-            pipe.hits as f64 / pipe.accesses as f64
-        };
+        if report.batches.len() == 1 {
+            let formed = report.batches[0].formed_ns;
+            let depth = arrivals.partition_point(|&a| a <= formed);
+            self.backfill_formation_sample(&mut report, formed, depth);
+        }
+        report.host_hit_rate = hit_fraction(pipe.hits, pipe.accesses);
         self.stamp_cache_counters(&mut report);
         report
     }
@@ -661,18 +737,59 @@ impl ServeRuntime {
                 }
             }
             let arrived = issued_arrivals.iter().filter(|&&a| a <= done).count();
-            report.queue_depth.push(QueueSample {
-                t_ns: done,
-                depth: arrived - report.outcomes.len(),
-            });
+            let depth = arrived - report.outcomes.len();
+            self.sample_queue_depth(&mut report, done, depth);
         }
-        report.host_hit_rate = if pipe.accesses == 0 {
-            0.0
-        } else {
-            pipe.hits as f64 / pipe.accesses as f64
-        };
+        if report.batches.len() == 1 {
+            let formed = report.batches[0].formed_ns;
+            let depth = issued_arrivals.iter().filter(|&&a| a <= formed).count();
+            self.backfill_formation_sample(&mut report, formed, depth);
+        }
+        report.host_hit_rate = hit_fraction(pipe.hits, pipe.accesses);
         self.stamp_cache_counters(&mut report);
         report
+    }
+
+    /// Books a queue-depth sample, mirroring it onto the trace's
+    /// request-track counter series when a sink is attached.
+    fn sample_queue_depth(&self, report: &mut ServeReport, t_ns: f64, depth: usize) {
+        report.queue_depth.push(QueueSample { t_ns, depth });
+        if let Some(sink) = &self.trace {
+            sink.record(TraceEvent::Counter {
+                t_ns,
+                name: "queue_depth",
+                cat: "serve",
+                track: Track::serve(0),
+                value: depth as f64,
+            });
+        }
+    }
+
+    /// A run that dispatched exactly one batch otherwise samples the
+    /// queue only at that batch's completion — where the depth is
+    /// already drained to the stragglers — leaving
+    /// [`ServeReport::peak_queue_depth`] degenerate (it never sees the
+    /// backlog the batch actually served). Prepend a sample at the
+    /// formation instant, when every admitted request was queued and
+    /// none had completed, so the single-batch timeline is well-defined
+    /// for both the queue-depth peak and the power window it brackets.
+    fn backfill_formation_sample(&self, report: &mut ServeReport, formed_ns: f64, depth: usize) {
+        report.queue_depth.insert(
+            0,
+            QueueSample {
+                t_ns: formed_ns,
+                depth,
+            },
+        );
+        if let Some(sink) = &self.trace {
+            sink.record(TraceEvent::Counter {
+                t_ns: formed_ns,
+                name: "queue_depth",
+                cat: "serve",
+                track: Track::serve(0),
+                value: depth as f64,
+            });
+        }
     }
 
     /// Snapshots the cumulative cache tallies (priced-batch and engine
@@ -685,10 +802,15 @@ impl ServeRuntime {
         report.engine_cache = self.engine.cache_stats();
     }
 
-    /// A fresh FR-FCFS queue over the engine's host-visible banks.
+    /// A fresh FR-FCFS queue over the engine's host-visible banks,
+    /// wired to the runtime's trace sink when one is attached.
     fn fetch_queue(&self) -> RequestQueue {
         let cfg = self.engine.config();
-        RequestQueue::new(cfg.timing, cfg.dram.banks)
+        let mut q = RequestQueue::new(cfg.timing, cfg.dram.banks);
+        if let Some(sink) = &self.trace {
+            q.set_trace(Arc::clone(sink));
+        }
+        q
     }
 
     /// Fresh pipeline clock state, with the residency tracker when the
@@ -1042,19 +1164,20 @@ impl ServeRuntime {
         let expired = pipe.busy.partition_point(|&(_, end, _)| end <= horizon);
         pipe.busy.drain(..expired);
         pipe.busy.push((exec_start, exec_done, energy_nj));
+        let power_w = window_avg_power_w(
+            &pipe.busy,
+            None,
+            self.idle_floor_w(),
+            self.cfg.power_window_ns,
+            exec_done,
+        );
         report.power_timeline.push(PowerSample {
             t_ns: exec_done,
-            power_w: window_avg_power_w(
-                &pipe.busy,
-                None,
-                self.idle_floor_w(),
-                self.cfg.power_window_ns,
-                exec_done,
-            ),
+            power_w,
         });
 
         let batch_idx = report.batches.len();
-        report.batches.push(BatchRecord {
+        let rec = BatchRecord {
             size: batch.len(),
             tenant: batch[0].tenant,
             formed_ns,
@@ -1067,7 +1190,11 @@ impl ServeRuntime {
             exec_done_ns: exec_done,
             energy_nj,
             reload_energy_nj: priced.reload_energy_nj,
-        });
+        };
+        if let Some(sink) = &self.trace {
+            self.trace_commit(sink.as_ref(), batch, &rec, plan_done, power_w);
+        }
+        report.batches.push(rec);
         for r in batch {
             report.outcomes.push(RequestOutcome {
                 id: r.id,
@@ -1078,6 +1205,85 @@ impl ServeRuntime {
                 completion_ns: exec_done,
                 batch: batch_idx,
             });
+        }
+    }
+
+    /// Emits one committed batch's lifecycle onto the serve tracks:
+    /// arrival/completion instants per request (tid 0), the fetch-done
+    /// instant and the planning span (tid 1), and the batch's engine
+    /// occupancy — reload, dispatch and execution nested under one
+    /// `batch` span (tid 2) — plus the rolling-window power counter at
+    /// its completion.
+    fn trace_commit(
+        &self,
+        sink: &dyn TraceSink,
+        batch: &[ServeRequest],
+        rec: &BatchRecord,
+        plan_done: f64,
+        power_w: f64,
+    ) {
+        let requests = Track::serve(0);
+        let planner = Track::serve(1);
+        let engine = Track::serve(2);
+        sink.record(TraceEvent::Instant {
+            t_ns: rec.formed_ns,
+            name: "batch_formed",
+            cat: "serve",
+            track: requests,
+        });
+        sink.record(TraceEvent::Instant {
+            t_ns: rec.fetch_done_ns,
+            name: "fetch_done",
+            cat: "serve",
+            track: planner,
+        });
+        sink.span(planner, "plan", "serve", plan_done - rec.plan_ns, plan_done);
+        sink.record(TraceEvent::Begin {
+            t_ns: rec.exec_start_ns,
+            name: "batch",
+            cat: "serve",
+            track: engine,
+        });
+        let reload_end = rec.exec_start_ns + rec.reload_ns;
+        if rec.reload_ns > 0.0 {
+            sink.span(engine, "reload", "serve", rec.exec_start_ns, reload_end);
+        }
+        let dispatch_end = reload_end + self.cfg.dispatch_ns;
+        if self.cfg.dispatch_ns > 0.0 {
+            sink.span(engine, "dispatch", "serve", reload_end, dispatch_end);
+        }
+        sink.span(engine, "exec", "serve", dispatch_end, rec.exec_done_ns);
+        sink.record(TraceEvent::End {
+            t_ns: rec.exec_done_ns,
+            track: engine,
+        });
+        sink.record(TraceEvent::Counter {
+            t_ns: rec.exec_done_ns,
+            name: "window_power_w",
+            cat: "serve",
+            track: engine,
+            value: power_w,
+        });
+        for r in batch {
+            sink.record(TraceEvent::Instant {
+                t_ns: r.arrival_ns,
+                name: "arrival",
+                cat: "serve",
+                track: requests,
+            });
+            sink.record(TraceEvent::Instant {
+                t_ns: rec.exec_done_ns,
+                name: "completion",
+                cat: "serve",
+                track: requests,
+            });
+        }
+        if let Some(m) = sink.metrics() {
+            m.inc("serve.batches", 1);
+            m.inc("serve.requests", batch.len() as u64);
+            for r in batch {
+                m.observe_ns("serve.e2e_latency_ns", rec.exec_done_ns - r.arrival_ns);
+            }
         }
     }
 
@@ -1172,6 +1378,50 @@ mod tests {
                 .iter()
                 .filter(|o| o.batch == i)
                 .all(|o| o.tenant == b.tenant));
+        }
+    }
+
+    #[test]
+    fn single_batch_run_samples_the_formation_backlog() {
+        // Regression: a run whose whole trace coalesces into ONE batch
+        // used to sample the queue only at that batch's completion —
+        // depth 0, since everyone had completed — so peak_queue_depth
+        // reported an empty queue for a run that served a real backlog,
+        // and the timeline gave the power window nothing to bracket.
+        let reqs = [
+            req(0, 0.0, 0, ServiceClass::BEST_EFFORT),
+            req(1, 10.0, 0, ServiceClass::BEST_EFFORT),
+            req(2, 20.0, 0, ServiceClass::BEST_EFFORT),
+        ];
+        let rt = ServeRuntime::new(engine(1), cfg(8, 1e6));
+        // Hold admission until everyone has arrived: a queue seeded at
+        // t=0 forms immediately, so replay the trace shifted to share
+        // one arrival instant instead.
+        let shifted: Vec<ServeRequest> = reqs
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.arrival_ns = 0.0;
+                r
+            })
+            .collect();
+        let rep = rt.run(&shifted);
+        assert_eq!(rep.batches.len(), 1, "the trace coalesces into one batch");
+        assert!(
+            rep.queue_depth.len() >= 2,
+            "single-batch run still gets a formation sample"
+        );
+        assert_eq!(rep.queue_depth[0].t_ns, rep.batches[0].formed_ns);
+        assert_eq!(
+            rep.peak_queue_depth(),
+            3,
+            "the peak sees the backlog the batch served"
+        );
+        assert_eq!(rep.power_timeline.len(), 1);
+        assert!(rep.peak_window_power_w() > 0.0);
+        // Samples stay time-ordered after the front insertion.
+        for w in rep.queue_depth.windows(2) {
+            assert!(w[0].t_ns <= w[1].t_ns);
         }
     }
 

@@ -1,0 +1,340 @@
+//! Named monotonic counters and log₂-bucketed latency histograms.
+
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of log₂ buckets — covers `[1 ns, 2⁶³ ns)`, i.e. ~292 years.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of nanosecond observations.
+///
+/// Bucket `i` holds observations with `floor(log2(v)) == i` (bucket 0
+/// also takes sub-nanosecond and non-positive values). Quantiles are
+/// resolved to the bucket's upper edge `2^(i+1)`, so `quantile_ns`
+/// over-estimates by at most 2× — plenty for the p50/p99 summaries the
+/// metrics export reports — while exact `count`/`sum_ns`/`min_ns`/
+/// `max_ns` are tracked alongside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0.0,
+            min_ns: f64::INFINITY,
+            max_ns: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(v_ns: f64) -> usize {
+        if v_ns < 1.0 {
+            return 0;
+        }
+        let idx = v_ns.log2().floor();
+        (idx as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn observe(&mut self, v_ns: f64) {
+        if !v_ns.is_finite() {
+            return;
+        }
+        self.buckets[Self::bucket_index(v_ns)] += 1;
+        self.count += 1;
+        self.sum_ns += v_ns;
+        self.min_ns = self.min_ns.min(v_ns);
+        self.max_ns = self.max_ns.max(v_ns);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations, ns.
+    #[must_use]
+    pub fn sum_ns(&self) -> f64 {
+        self.sum_ns
+    }
+
+    /// Mean observation, ns (0.0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns / self.count as f64
+        }
+    }
+
+    /// Smallest observation, ns (0.0 when empty).
+    #[must_use]
+    pub fn min_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest observation, ns (0.0 when empty).
+    #[must_use]
+    pub fn max_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max_ns
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), resolved to the holding bucket's
+    /// upper edge and clamped to the exact observed min/max. 0.0 when
+    /// empty.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = (2.0f64).powi(i as i32 + 1);
+                return upper.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns()
+    }
+
+    /// The exportable summary of this histogram.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum_ns: self.sum_ns(),
+            mean_ns: self.mean_ns(),
+            min_ns: self.min_ns(),
+            max_ns: self.max_ns(),
+            p50_ns: self.quantile_ns(0.50),
+            p99_ns: self.quantile_ns(0.99),
+        }
+    }
+}
+
+/// Exportable summary of one [`LogHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations, ns.
+    pub sum_ns: f64,
+    /// Mean observation, ns.
+    pub mean_ns: f64,
+    /// Smallest observation, ns.
+    pub min_ns: f64,
+    /// Largest observation, ns.
+    pub max_ns: f64,
+    /// Median (bucket-resolved), ns.
+    pub p50_ns: f64,
+    /// 99th percentile (bucket-resolved), ns.
+    pub p99_ns: f64,
+}
+
+/// A registry of named monotonic counters and latency histograms.
+///
+/// Thread-safe; emitters reach it through
+/// [`TraceSink::metrics`](crate::TraceSink::metrics) and only when a
+/// recording sink is attached, so the disabled path never touches it.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, LogHistogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named monotonic counter (creating it at 0).
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut counters = self.counters.lock().expect("metrics counters poisoned");
+        match counters.get_mut(name) {
+            Some(v) => *v += by,
+            None => {
+                counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    /// Current value of a counter (0 if never bumped).
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("metrics counters poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Records one latency observation into the named histogram.
+    pub fn observe_ns(&self, name: &str, v_ns: f64) {
+        let mut hists = self.histograms.lock().expect("metrics histograms poisoned");
+        match hists.get_mut(name) {
+            Some(h) => h.observe(v_ns),
+            None => {
+                let mut h = LogHistogram::new();
+                h.observe(v_ns);
+                hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// A copy of the named histogram, if any observation landed in it.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<LogHistogram> {
+        self.histograms
+            .lock()
+            .expect("metrics histograms poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// A point-in-time snapshot of every counter and histogram summary.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metrics counters poisoned")
+            .clone();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metrics histograms poisoned")
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Flat pretty-printed JSON of the current snapshot.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("metrics snapshot serialises")
+    }
+}
+
+/// A point-in-time export of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Lowers the snapshot to a JSON value (used by the exporters to
+    /// embed metrics alongside other payloads).
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        Serialize::to_value(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.inc("launches", 1);
+        reg.inc("launches", 2);
+        reg.inc("other", 5);
+        assert_eq!(reg.counter_value("launches"), 3);
+        assert_eq!(reg.counter_value("other"), 5);
+        assert_eq!(reg.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_moments() {
+        let mut h = LogHistogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_ns(), 15.0);
+        assert_eq!(h.mean_ns(), 3.75);
+        assert_eq!(h.min_ns(), 1.0);
+        assert_eq!(h.max_ns(), 8.0);
+    }
+
+    #[test]
+    fn quantile_resolves_to_bucket_edge_within_range() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.observe(100.0); // bucket 6: [64, 128)
+        }
+        h.observe(100_000.0); // bucket 16
+        let p50 = h.quantile_ns(0.50);
+        assert!((100.0..=128.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!((100.0..=128.0).contains(&p99), "p99 = {p99}");
+        let p100 = h.quantile_ns(1.0);
+        assert!(p100 <= 100_000.0 + f64::EPSILON, "p100 = {p100}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LogHistogram::new();
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), 0.0);
+        assert_eq!(h.max_ns(), 0.0);
+        assert_eq!(h.quantile_ns(0.99), 0.0);
+    }
+
+    #[test]
+    fn snapshot_exports_flat_json() {
+        let reg = MetricsRegistry::new();
+        reg.inc("serve.batches", 2);
+        reg.observe_ns("serve.e2e_latency_ns", 1500.0);
+        reg.observe_ns("serve.e2e_latency_ns", 2500.0);
+        let json = reg.to_json();
+        let v = serde_json::from_str(&json).expect("metrics JSON parses");
+        let serde::Value::Object(top) = v else {
+            panic!("metrics JSON must be an object");
+        };
+        assert!(top.iter().any(|(k, _)| k == "counters"));
+        assert!(top.iter().any(|(k, _)| k == "histograms"));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["serve.batches"], 2);
+        assert_eq!(snap.histograms["serve.e2e_latency_ns"].count, 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Trace sinks: the hook trait, the no-op sink and the bounded
+//! recording sink.
+
+use crate::event::{TraceEvent, Track};
+use crate::metrics::MetricsRegistry;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// The hook the execution layers call into.
+///
+/// Hot paths hold an `Option<Arc<dyn TraceSink>>` and guard every
+/// emission with the `Option`, so the disabled path is a single branch
+/// — no allocation, no event construction, no arithmetic that could
+/// perturb pricing. Implementations must be `Send + Sync`: the engine's
+/// parallel shard pricing and shared serve runtimes record from
+/// multiple threads.
+pub trait TraceSink: fmt::Debug + Send + Sync {
+    /// Records one event. Implementations must not block for long —
+    /// emitters call this inside scheduling loops.
+    fn record(&self, ev: TraceEvent);
+
+    /// Records a complete `[t0_ns, t1_ns]` span as a begin/end pair.
+    /// [`RecordingSink`] overrides this to push both events under one
+    /// lock so ring eviction can never split the pair.
+    fn span(&self, track: Track, name: &'static str, cat: &'static str, t0_ns: f64, t1_ns: f64) {
+        self.record(TraceEvent::Begin {
+            t_ns: t0_ns,
+            name,
+            cat,
+            track,
+        });
+        self.record(TraceEvent::End { t_ns: t1_ns, track });
+    }
+
+    /// The sink's metrics registry, when it keeps one. Emitters bump
+    /// counters/histograms only when this returns `Some`.
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        None
+    }
+}
+
+/// The explicit do-nothing sink: every event is discarded.
+///
+/// Attaching a `NullSink` must leave every report bit-for-bit identical
+/// to attaching no sink at all (property-tested in the workspace's
+/// trace-invariance suite) — emitters pass values *into* the sink and
+/// never read anything back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _ev: TraceEvent) {}
+
+    fn span(&self, _track: Track, _name: &'static str, _cat: &'static str, _t0: f64, _t1: f64) {}
+}
+
+/// Ring state behind the [`RecordingSink`] lock.
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// A bounded in-memory event recorder with an attached
+/// [`MetricsRegistry`].
+///
+/// Events land in a ring buffer of at most `capacity` entries; when the
+/// ring is full the *oldest* events are evicted (and tallied in
+/// [`Self::dropped`]), so a long run keeps its most recent window.
+/// Span begin/end pairs are pushed under one lock and the exporter
+/// drops any orphaned ends left by eviction, so an exported trace
+/// always has balanced spans per track.
+#[derive(Debug)]
+pub struct RecordingSink {
+    capacity: usize,
+    ring: Mutex<Ring>,
+    metrics: MetricsRegistry,
+}
+
+impl Default for RecordingSink {
+    /// A ring of 2¹⁸ events (~16 MB worst case) — enough for every
+    /// bench sweep's traced run.
+    fn default() -> Self {
+        Self::new(1 << 18)
+    }
+}
+
+impl RecordingSink {
+    /// A recorder keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a recording sink needs room for events");
+        Self {
+            capacity,
+            ring: Mutex::new(Ring::default()),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// The ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace ring poisoned").events.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted so far because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("trace ring poisoned").dropped
+    }
+
+    /// A snapshot of the recorded events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring
+            .lock()
+            .expect("trace ring poisoned")
+            .events
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// The attached metrics registry (also reachable via
+    /// [`TraceSink::metrics`]).
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Exports the recorded events as Chrome-trace/Perfetto JSON.
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        crate::export::chrome_trace_json(&self.events())
+    }
+
+    /// Exports the metrics registry as flat pretty-printed JSON.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.metrics.to_json()
+    }
+
+    fn push_all(&self, evs: &[TraceEvent]) {
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        for &ev in evs {
+            if ring.events.len() == self.capacity {
+                ring.events.pop_front();
+                ring.dropped += 1;
+            }
+            ring.events.push_back(ev);
+        }
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn record(&self, ev: TraceEvent) {
+        self.push_all(&[ev]);
+    }
+
+    fn span(&self, track: Track, name: &'static str, cat: &'static str, t0_ns: f64, t1_ns: f64) {
+        self.push_all(&[
+            TraceEvent::Begin {
+                t_ns: t0_ns,
+                name,
+                cat,
+                track,
+            },
+            TraceEvent::End { t_ns: t1_ns, track },
+        ]);
+    }
+
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        Some(&self.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instant(t: f64) -> TraceEvent {
+        TraceEvent::Instant {
+            t_ns: t,
+            name: "tick",
+            cat: "test",
+            track: Track::core(0),
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let sink = RecordingSink::new(8);
+        sink.record(instant(1.0));
+        sink.span(Track::core(0), "work", "test", 2.0, 3.0);
+        let evs = sink.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].t_ns(), 1.0);
+        assert!(matches!(evs[1], TraceEvent::Begin { .. }));
+        assert!(matches!(evs[2], TraceEvent::End { .. }));
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let sink = RecordingSink::new(4);
+        for i in 0..10 {
+            sink.record(instant(f64::from(i)));
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].t_ns(), 6.0, "oldest events evicted first");
+        assert_eq!(sink.dropped(), 6);
+    }
+
+    #[test]
+    fn null_sink_discards_everything() {
+        let sink = NullSink;
+        sink.record(instant(1.0));
+        sink.span(Track::serve(0), "x", "test", 0.0, 1.0);
+        assert!(sink.metrics().is_none());
+    }
+
+    #[test]
+    fn recording_sink_exposes_metrics() {
+        let sink = RecordingSink::default();
+        let m = TraceSink::metrics(&sink).expect("recording sink keeps metrics");
+        m.inc("events", 3);
+        assert_eq!(sink.registry().counter_value("events"), 3);
+    }
+}

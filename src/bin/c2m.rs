@@ -5,13 +5,17 @@
 //!            [--encoding binary|ternary|csd8]
 //! c2m gemv   [--k K] [--n N] [--sparsity S] [--radix R] [--seed SEED]
 //! c2m radix-sweep [--max-radix R]
+//! c2m trace  --out FILE [--metrics FILE] [--requests N] [--tenants T]
+//! c2m trace  --check FILE [--expect dram,core,serve]
 //! c2m experiments
 //! ```
 //!
 //! `plan` sizes a kernel against the Table 2 DRAM geometry, `gemv` runs
 //! a bit-accurate ternary GEMV and reports command counts and projected
 //! latency, `radix-sweep` reproduces the Fig. 8 cost curves at small
-//! scale, and `experiments` lists the paper-artefact bench binaries.
+//! scale, `trace` records a small serving workload into a
+//! Chrome-trace/Perfetto JSON (or validates an existing one), and
+//! `experiments` lists the paper-artefact bench binaries.
 
 use count2multiply::arch::engine::{C2mEngine, EngineConfig};
 use count2multiply::arch::kernels::{ternary_gemv, KernelConfig};
@@ -19,6 +23,8 @@ use count2multiply::arch::matrix::TernaryMatrix;
 use count2multiply::arch::placement::{self, CounterSpec, KernelShape, MaskEncoding};
 use count2multiply::dram::DramConfig;
 use count2multiply::jc::cost;
+use count2multiply::serve::{open_loop, OpenLoopConfig, ServeConfig, TenantSpec};
+use count2multiply::trace::{validate_chrome_trace, RecordingSink, TraceSink};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use std::collections::HashMap;
@@ -193,6 +199,103 @@ fn cmd_radix_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `c2m trace --check FILE [--expect dram,core,serve]`: validate an
+/// existing Chrome-trace JSON (the CI smoke path).
+fn cmd_trace_check(flags: &HashMap<String, String>, path: &str) -> Result<(), String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("--check {path}: {e}"))?;
+    let check = validate_chrome_trace(&json)?;
+    if let Some(expect) = flags.get("expect") {
+        for want in expect.split(',').filter(|w| !w.is_empty()) {
+            if !check.cats.iter().any(|c| c == want) {
+                return Err(format!(
+                    "trace has no `{want}` events (categories present: {})",
+                    check.cats.join(", ")
+                ));
+            }
+        }
+    }
+    println!(
+        "{path}: valid Chrome trace — {} events, {} spans, {} tracks, categories [{}]",
+        check.events,
+        check.spans,
+        check.tracks,
+        check.cats.join(", ")
+    );
+    Ok(())
+}
+
+/// `c2m trace --out FILE`: serve a small open-loop workload with a
+/// recording sink attached to every layer, export the Perfetto JSON
+/// (and optionally the flat metrics JSON), and print the per-class
+/// latency breakdown the trace explains.
+fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = flags.get("check") {
+        return cmd_trace_check(flags, path);
+    }
+    let out = flags
+        .get("out")
+        .ok_or("trace needs --out FILE (record) or --check FILE (validate)")?;
+    let requests: usize = get(flags, "requests", 24)?;
+    let tenants: usize = get(flags, "tenants", 2)?;
+    if requests == 0 || tenants == 0 {
+        return Err("--requests and --tenants must be positive".into());
+    }
+
+    let sink = std::sync::Arc::new(RecordingSink::default());
+    let engine = C2mEngine::builder(EngineConfig::c2m(16)).build();
+    let runtime = ServeConfig::builder()
+        .max_batch(4)
+        .window_ns(1e6)
+        .trace(sink.clone() as std::sync::Arc<dyn TraceSink>)
+        .build_runtime(engine);
+    let reqs = open_loop(&OpenLoopConfig {
+        tenants: vec![TenantSpec::new(512, 256); tenants],
+        requests,
+        mean_interarrival_ns: 2_000.0,
+        seed: 7,
+    });
+    let report = runtime.run(&reqs);
+
+    let json = sink.chrome_trace_json();
+    let check = validate_chrome_trace(&json)?;
+    std::fs::write(out, &json).map_err(|e| format!("--out {out}: {e}"))?;
+    println!(
+        "{out}: {} events, {} spans, {} tracks, categories [{}] ({} ring-evicted)",
+        check.events,
+        check.spans,
+        check.tracks,
+        check.cats.join(", "),
+        sink.dropped()
+    );
+    if let Some(mpath) = flags.get("metrics") {
+        std::fs::write(mpath, sink.metrics_json())
+            .map_err(|e| format!("--metrics {mpath}: {e}"))?;
+        println!("{mpath}: flat metrics JSON");
+    }
+
+    println!(
+        "{requests} requests over {tenants} tenants: {} batches, p99 {:.1} us",
+        report.batches.len(),
+        report.p99_ns() / 1e3
+    );
+    println!("latency breakdown (mean queue + plan + reload + exec = total, us):");
+    for row in report.latency_breakdown() {
+        let m = row.mean;
+        println!(
+            "  class {}: {:>3} reqs | {:.1} + {:.1} + {:.1} + {:.1} = {:.1} | p99 total {:.1}",
+            row.priority,
+            row.count,
+            m.queue_ns / 1e3,
+            m.plan_ns / 1e3,
+            m.reload_ns / 1e3,
+            m.exec_ns / 1e3,
+            m.total_ns / 1e3,
+            row.p99.total_ns / 1e3
+        );
+    }
+    Ok(())
+}
+
 fn cmd_experiments() {
     println!("paper-artefact bench binaries (cargo run -p c2m-bench --bin <id>):\n");
     for (id, what) in [
@@ -226,7 +329,7 @@ fn cmd_experiments() {
 }
 
 fn usage() -> &'static str {
-    "usage: c2m <plan|gemv|radix-sweep|experiments> [--flag value]...\n\
+    "usage: c2m <plan|gemv|radix-sweep|trace|experiments> [--flag value]...\n\
      try `c2m experiments` for the paper-artefact harness"
 }
 
@@ -247,6 +350,7 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&flags),
         "gemv" => cmd_gemv(&flags),
         "radix-sweep" => cmd_radix_sweep(&flags),
+        "trace" => cmd_trace(&flags),
         "experiments" => {
             cmd_experiments();
             Ok(())
@@ -320,6 +424,23 @@ mod tests {
     fn plan_and_sweep_run_on_defaults() {
         assert!(cmd_plan(&flags(&[("k", "64"), ("n", "128")])).is_ok());
         assert!(cmd_radix_sweep(&flags(&[("max-radix", "6")])).is_ok());
+    }
+
+    #[test]
+    fn trace_records_and_validates_round_trip() {
+        let out = std::env::temp_dir().join("c2m_trace_cli_test.json");
+        let out_s = out.to_string_lossy().into_owned();
+        let record = flags(&[("out", out_s.as_str()), ("requests", "8")]);
+        assert!(cmd_trace(&record).is_ok());
+        let check = flags(&[("check", out_s.as_str()), ("expect", "dram,core,serve")]);
+        assert!(cmd_trace(&check).is_ok());
+        let absent = flags(&[("check", out_s.as_str()), ("expect", "gpu")]);
+        assert!(cmd_trace(&absent).is_err());
+        let _ = std::fs::remove_file(out);
+        assert!(
+            cmd_trace(&flags(&[("requests", "8")])).is_err(),
+            "no --out/--check"
+        );
     }
 
     #[test]

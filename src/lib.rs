@@ -22,6 +22,10 @@
 //! * [`serve`] — batched, async, heterogeneity-aware request-serving
 //!   runtime: multi-tenant traffic, FR-FCFS batched host queue,
 //!   double-buffered planner, latency-percentile reports.
+//! * [`trace`] — zero-cost structured tracing and metrics threaded
+//!   through all three execution layers (DRAM command lanes → engine
+//!   launches → serving pipeline), with a Chrome-trace/Perfetto JSON
+//!   exporter and log-bucketed latency histograms.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
@@ -36,4 +40,5 @@ pub use c2m_ecc as ecc;
 pub use c2m_jc as jc;
 pub use c2m_mig as mig;
 pub use c2m_serve as serve;
+pub use c2m_trace as trace;
 pub use c2m_workloads as workloads;
