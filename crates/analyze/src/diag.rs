@@ -1,0 +1,236 @@
+//! Findings, severities and report rendering (human and JSON).
+
+use serde::Serialize;
+
+/// How a lint's findings are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported in JSON but never printed or counted against the exit
+    /// code. (Suppression with a pragma is preferred — it carries a
+    /// reason — but `allow` in `lint.toml` turns a whole lint off.)
+    Allow,
+    /// Printed; fails the run only under `--deny`.
+    Warn,
+    /// Printed; always fails the run.
+    Deny,
+}
+
+impl Severity {
+    /// Parses a `lint.toml` severity value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending string if it is not one of
+    /// `allow`/`warn`/`deny`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "allow" => Ok(Severity::Allow),
+            "warn" => Ok(Severity::Warn),
+            "deny" => Ok(Severity::Deny),
+            other => Err(format!("unknown severity `{other}`")),
+        }
+    }
+
+    /// Lowercase name, as written in `lint.toml`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One lint hit, anchored to a file and line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Lint that produced this finding.
+    pub lint: String,
+    /// Effective severity (after `lint.toml`).
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The trimmed source line.
+    pub snippet: String,
+}
+
+/// Result of one analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings that survived pragma suppression, ordered by
+    /// (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by `c2m-lint: allow` pragmas.
+    pub suppressed: usize,
+}
+
+/// JSON mirror of [`Finding`] (severity flattened to its name).
+#[derive(Debug, Serialize)]
+struct JsonFinding {
+    lint: String,
+    severity: String,
+    file: String,
+    line: u64,
+    message: String,
+    snippet: String,
+}
+
+/// JSON mirror of [`Report`].
+#[derive(Debug, Serialize)]
+struct JsonReport {
+    version: u64,
+    files_scanned: u64,
+    suppressed: u64,
+    findings: Vec<JsonFinding>,
+}
+
+impl Report {
+    /// Sorts findings into the canonical (file, line, lint) order —
+    /// the report itself must be deterministic.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    }
+
+    /// Findings at or above `Warn`, i.e. everything a human should see.
+    pub fn visible(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity >= Severity::Warn)
+    }
+
+    /// True when the run should exit non-zero: any `Deny` finding, or
+    /// any `Warn` finding when `deny_warnings` is set.
+    #[must_use]
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        let gate = if deny_warnings {
+            Severity::Warn
+        } else {
+            Severity::Deny
+        };
+        self.findings.iter().any(|f| f.severity >= gate)
+    }
+
+    /// Human-readable rendering, one block per finding.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in self.visible() {
+            out.push_str(&format!(
+                "{}: [{}] {}: {}\n    {}:{}: {}\n",
+                f.file,
+                f.severity.name(),
+                f.lint,
+                f.message,
+                f.file,
+                f.line,
+                f.snippet
+            ));
+        }
+        let shown = self.visible().count();
+        out.push_str(&format!(
+            "{} finding(s) in {} file(s); {} suppressed by pragma\n",
+            shown, self.files_scanned, self.suppressed
+        ));
+        out
+    }
+
+    /// Machine-readable rendering: a single JSON document.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let doc = JsonReport {
+            version: 1,
+            files_scanned: self.files_scanned as u64,
+            suppressed: self.suppressed as u64,
+            findings: self
+                .findings
+                .iter()
+                .filter(|f| f.severity >= Severity::Warn)
+                .map(|f| JsonFinding {
+                    lint: f.lint.clone(),
+                    severity: f.severity.name().to_string(),
+                    file: f.file.clone(),
+                    line: u64::from(f.line),
+                    message: f.message.clone(),
+                    snippet: f.snippet.clone(),
+                })
+                .collect(),
+        };
+        serde_json::to_string_pretty(&doc).expect("lint report serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &str, severity: Severity, line: u32) -> Finding {
+        Finding {
+            lint: lint.to_string(),
+            severity,
+            file: "crates/x/src/lib.rs".to_string(),
+            line,
+            message: "m".to_string(),
+            snippet: "s".to_string(),
+        }
+    }
+
+    #[test]
+    fn fails_gates_on_severity() {
+        let r = Report {
+            findings: vec![finding("a", Severity::Warn, 1)],
+            files_scanned: 1,
+            suppressed: 0,
+        };
+        assert!(!r.fails(false));
+        assert!(r.fails(true));
+        let r = Report {
+            findings: vec![finding("a", Severity::Deny, 1)],
+            files_scanned: 1,
+            suppressed: 0,
+        };
+        assert!(r.fails(false));
+    }
+
+    #[test]
+    fn allow_findings_are_invisible() {
+        let r = Report {
+            findings: vec![finding("a", Severity::Allow, 1)],
+            files_scanned: 1,
+            suppressed: 0,
+        };
+        assert_eq!(r.visible().count(), 0);
+        assert!(!r.fails(true));
+        let json = r.render_json();
+        assert!(json.contains("\"findings\""));
+        assert!(!json.contains("\"lint\": \"a\""));
+    }
+
+    #[test]
+    fn json_is_parseable_and_sorted_order_is_stable() {
+        let mut r = Report {
+            findings: vec![
+                finding("b", Severity::Deny, 9),
+                finding("a", Severity::Deny, 9),
+                finding("a", Severity::Deny, 2),
+            ],
+            files_scanned: 3,
+            suppressed: 1,
+        };
+        r.sort();
+        assert_eq!(
+            r.findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+            [2, 9, 9]
+        );
+        assert_eq!(r.findings[1].lint, "a");
+        let v = serde_json::from_str(&r.render_json()).expect("valid JSON");
+        drop(v);
+    }
+}

@@ -1,0 +1,444 @@
+//! A hand-rolled, comment/string-aware Rust lexer.
+//!
+//! The lint engine needs exactly one guarantee from its front end: a
+//! pattern like `.unwrap()` or `HashMap` inside a string literal, raw
+//! string, character literal or comment must never reach a lint. Full
+//! parsing is unnecessary — every lint in the registry works on token
+//! shapes — so this lexer produces a flat token stream with line
+//! numbers and leaves grammar to the individual passes. It handles the
+//! constructs that defeat regex-grade scanners:
+//!
+//! * line comments and **nested** block comments,
+//! * string literals with escapes (`"a \" b"`),
+//! * raw strings with arbitrary hash fences (`r#"..."#`, `br##"…"##`),
+//! * byte strings and byte/char literals,
+//! * lifetimes vs char literals (`'a` vs `'a'`).
+//!
+//! Comments are emitted as [`TokenKind::Comment`] tokens (the pragma
+//! scanner reads them); [`strip_comments`] yields the code-only stream
+//! the lints consume.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String or byte-string literal, escapes resolved past.
+    Str,
+    /// Raw (byte-)string literal, any fence width.
+    RawStr,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`), including the quote.
+    Lifetime,
+    /// Numeric literal (integer or float, suffix included).
+    Number,
+    /// Line or block comment, full text included.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into a token stream, comments included.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+/// Drops [`TokenKind::Comment`] tokens: the stream the lints consume.
+#[must_use]
+pub fn strip_comments(tokens: &[Token]) -> Vec<Token> {
+    tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .cloned()
+        .collect()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, String::new()),
+                '\'' => self.quote(line),
+                'r' | 'b' => self.maybe_prefixed_literal(line),
+                c if is_ident_start(c) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    let c = self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump());
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push(self.bump());
+                text.push(self.bump());
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push(self.bump());
+                text.push(self.bump());
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(self.bump());
+            }
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    /// A `"`-delimited (byte-)string; `prefix` holds any `b` already
+    /// consumed.
+    fn string(&mut self, line: u32, prefix: String) {
+        let mut text = prefix;
+        text.push(self.bump()); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(self.bump());
+                if self.peek(0).is_some() {
+                    text.push(self.bump());
+                }
+            } else if c == '"' {
+                text.push(self.bump());
+                break;
+            } else {
+                text.push(self.bump());
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// A raw (byte-)string starting at `r`; `prefix` holds any `b`
+    /// already consumed.
+    fn raw_string(&mut self, line: u32, prefix: String) {
+        let mut text = prefix;
+        text.push(self.bump()); // the `r`
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            fence += 1;
+            text.push(self.bump());
+        }
+        if self.peek(0) != Some('"') {
+            // Not actually a raw string (e.g. `r#foo` raw identifier):
+            // treat what we consumed as an identifier start.
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(self.bump());
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Ident, text, line);
+            return;
+        }
+        text.push(self.bump()); // opening quote
+        'body: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // A close needs `"` followed by exactly `fence` hashes.
+                let mut ok = true;
+                for i in 0..fence {
+                    if self.peek(1 + i) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    text.push(self.bump());
+                    for _ in 0..fence {
+                        text.push(self.bump());
+                    }
+                    break 'body;
+                }
+            }
+            text.push(self.bump());
+        }
+        self.push(TokenKind::RawStr, text, line);
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime).
+    fn quote(&mut self, line: u32) {
+        if self.peek(1) == Some('\\') {
+            // Escaped char literal: consume to the closing quote. The
+            // character after the backslash is content even when it is
+            // a quote (`'\''`), so take it before scanning for the
+            // close.
+            let mut text = String::new();
+            text.push(self.bump()); // '
+            text.push(self.bump()); // backslash
+            if self.peek(0).is_some() {
+                text.push(self.bump()); // the escaped character
+            }
+            while let Some(c) = self.peek(0) {
+                let done = c == '\'';
+                text.push(self.bump());
+                if done {
+                    break;
+                }
+            }
+            self.push(TokenKind::Char, text, line);
+        } else if self
+            .peek(1)
+            .is_some_and(|c| is_ident_start(c) || c.is_ascii_digit())
+            && self.peek(2) != Some('\'')
+        {
+            // Lifetime: quote + ident, no closing quote.
+            let mut text = String::new();
+            text.push(self.bump());
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(self.bump());
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            // Plain char literal like 'a' or '"'.
+            let mut text = String::new();
+            text.push(self.bump());
+            while let Some(c) = self.peek(0) {
+                let done = c == '\'';
+                text.push(self.bump());
+                if done {
+                    break;
+                }
+            }
+            self.push(TokenKind::Char, text, line);
+        }
+    }
+
+    /// `r`/`b` may open a raw string, byte string, byte literal — or
+    /// just an identifier.
+    fn maybe_prefixed_literal(&mut self, line: u32) {
+        let c = self.peek(0).unwrap_or(' ');
+        match (c, self.peek(1)) {
+            ('r', Some('"' | '#')) => self.raw_string(line, String::new()),
+            ('b', Some('"')) => {
+                let b = self.bump();
+                self.string(line, b.to_string());
+            }
+            ('b', Some('r')) if matches!(self.peek(2), Some('"' | '#')) => {
+                let b = self.bump();
+                self.raw_string(line, b.to_string());
+            }
+            ('b', Some('\'')) => {
+                let mut text = String::new();
+                text.push(self.bump()); // b
+                text.push(self.bump()); // '
+                if self.peek(0) == Some('\\') {
+                    text.push(self.bump());
+                    if self.peek(0).is_some() {
+                        text.push(self.bump()); // escaped char (may be `'`)
+                    }
+                }
+                while let Some(c) = self.peek(0) {
+                    let done = c == '\'';
+                    text.push(self.bump());
+                    if done {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, text, line);
+            }
+            _ => self.ident(line),
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(self.bump());
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // Good enough for lint purposes: digits, underscores, type
+            // suffixes, hex letters, and a decimal point glued to a
+            // digit (so `1..4` stays a number and two dots).
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if take {
+                text.push(self.bump());
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_swallow_escapes_and_quotes() {
+        let toks = kinds(r#"let s = "a \" .unwrap() b";"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("unwrap"));
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_respect_hash_fences() {
+        let src = "let s = r##\"has \"# inner HashMap\"##; let t = 1;";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::RawStr && t.1.contains("HashMap")));
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "HashMap"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Ident && t.1 == "t"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Ident)
+            .map(|t| t.1.clone())
+            .collect();
+        assert_eq!(idents, ["a", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.0 == TokenKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn lines_advance_through_multiline_tokens() {
+        let src = "/* one\ntwo */\nlet x = \"a\nb\";\nfn y() {}";
+        let toks = lex(src);
+        let x = toks.iter().find(|t| t.is_ident("x")).expect("x lexed");
+        assert_eq!(x.line, 3);
+        let y = toks.iter().find(|t| t.is_ident("y")).expect("y lexed");
+        assert_eq!(y.line, 5);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_lex() {
+        let toks =
+            kinds(r##"let a = b"bytes"; let c = br#"raw panic!("x") bytes"#; let d = b'x';"##);
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Str && t.1.starts_with("b\"")));
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::RawStr && t.1.starts_with("br#")));
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "panic"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Char && t.1 == "b'x'"));
+    }
+}

@@ -1,0 +1,211 @@
+//! `c2m_analyze` — the determinism lint engine.
+//!
+//! Count2Multiply's headline reproducibility claim is *bit-for-bit*:
+//! the figure JSON, the trace aggregates and every cached plan must be
+//! a pure function of the configuration. PRs 1–8 defended that contract
+//! dynamically — equality-gated caches, order-preserving parallel
+//! folds, a `NullSink` invariance test. This crate defends it
+//! *statically*: a hand-rolled, comment- and string-aware Rust lexer
+//! (the build environment is offline, so no `syn`), a registry of
+//! token-level lints tuned to this repository's invariants, inline
+//! suppression pragmas with mandatory reasons, and a committed
+//! `lint.toml` for severity and scope.
+//!
+//! Entry points: [`run_root`] scans a workspace directory;
+//! [`run_files`] lints pre-loaded `(path, source)` pairs (the fixture
+//! tests use this).
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod pragma;
+pub mod workspace;
+
+use config::Config;
+use diag::{Finding, Report, Severity};
+use std::path::Path;
+use workspace::SourceFile;
+
+/// Lints every workspace source under `root`, configured by `cfg`.
+///
+/// # Errors
+///
+/// Returns a description if the tree cannot be read or the
+/// configuration maps a lint to an invalid severity.
+pub fn run_root(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let sources = workspace::discover(root)?;
+    run_files(&sources, cfg)
+}
+
+/// Lints pre-loaded `(workspace-relative path, source)` pairs.
+///
+/// # Errors
+///
+/// Returns a description if the configuration maps a lint to an
+/// invalid severity.
+pub fn run_files(sources: &[(String, String)], cfg: &Config) -> Result<Report, String> {
+    let known = lints::known_names();
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(rel, src)| SourceFile::from_source(rel, src, &known))
+        .collect();
+
+    let raw = lints::run_all(&files, cfg);
+
+    // Pragma suppression: a finding is covered when a pragma in the
+    // same file names its lint on the same line or the line directly
+    // above. Track which pragmas fired so unused ones can be reported.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed = 0usize;
+    let mut used: Vec<(String, u32)> = Vec::new(); // (file, pragma line)
+    for r in raw {
+        let severity = cfg.severity(r.lint, default_severity(r.lint))?;
+        let file = files.iter().find(|f| f.rel == r.file);
+        // A pragma covers its own line, or — when the pragma stands
+        // alone on a comment-only line — the line directly below it. A
+        // trailing pragma never leaks onto the next statement.
+        let pragma = file.and_then(|f| {
+            f.pragmas.iter().find(|p| {
+                p.lints.iter().any(|l| l == r.lint)
+                    && (p.line == r.line
+                        || (p.line + 1 == r.line && f.snippet(p.line).starts_with("//")))
+            })
+        });
+        if let Some(p) = pragma {
+            suppressed += 1;
+            used.push((r.file.clone(), p.line));
+            continue;
+        }
+        findings.push(Finding {
+            lint: r.lint.to_string(),
+            severity,
+            file: r.file.clone(),
+            line: r.line,
+            message: r.message,
+            snippet: file.map(|f| f.snippet(r.line)).unwrap_or_default(),
+        });
+    }
+
+    // Meta-lints: pragmas that do not parse, and pragmas that
+    // suppressed nothing.
+    let malformed_sev = cfg.severity("malformed-pragma", default_severity("malformed-pragma"))?;
+    let unused_sev = cfg.severity("unused-pragma", default_severity("unused-pragma"))?;
+    for f in &files {
+        for m in &f.malformed {
+            findings.push(Finding {
+                lint: "malformed-pragma".to_string(),
+                severity: malformed_sev,
+                file: f.rel.clone(),
+                line: m.line,
+                message: format!("malformed c2m-lint pragma: {}", m.message),
+                snippet: f.snippet(m.line),
+            });
+        }
+        for p in &f.pragmas {
+            if !used
+                .iter()
+                .any(|(rel, line)| rel == &f.rel && *line == p.line)
+            {
+                findings.push(Finding {
+                    lint: "unused-pragma".to_string(),
+                    severity: unused_sev,
+                    file: f.rel.clone(),
+                    line: p.line,
+                    message: format!(
+                        "pragma for `{}` suppressed nothing: remove it or move it to \
+                         the offending line",
+                        p.lints.join(", ")
+                    ),
+                    snippet: f.snippet(p.line),
+                });
+            }
+        }
+    }
+
+    let mut report = Report {
+        findings,
+        files_scanned: files.len(),
+        suppressed,
+    };
+    report.sort();
+    Ok(report)
+}
+
+/// The registry default for `lint`; unknown names fail loud as `Deny`.
+fn default_severity(lint: &str) -> Severity {
+    lints::info(lint).map_or(Severity::Deny, |l| l.default_severity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(rel: &str, src: &str) -> Report {
+        let cfg = Config::default();
+        run_files(&[(rel.to_string(), src.to_string())], &cfg).expect("lint run succeeds")
+    }
+
+    #[test]
+    fn pragma_on_same_line_and_line_above_suppresses() {
+        let src = "\
+pub fn f() {
+    let a: Option<u32> = None;
+    // c2m-lint: allow(unwrap-in-lib, reason = \"test invariant\")
+    a.unwrap();
+    a.unwrap(); // c2m-lint: allow(unwrap-in-lib, reason = \"same line\")
+    a.unwrap();
+}
+";
+        let r = run_one("crates/x/src/lib.rs", src);
+        assert_eq!(r.suppressed, 2);
+        let unwraps: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.lint == "unwrap-in-lib")
+            .collect();
+        assert_eq!(unwraps.len(), 1);
+        assert_eq!(unwraps[0].line, 6);
+    }
+
+    #[test]
+    fn unused_pragma_is_reported_as_warn() {
+        let src = "// c2m-lint: allow(unwrap-in-lib, reason = \"nothing here\")\npub fn f() {}\n";
+        let r = run_one("crates/x/src/lib.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].lint, "unused-pragma");
+        assert_eq!(r.findings[0].severity, Severity::Warn);
+        assert!(!r.fails(false));
+        assert!(r.fails(true));
+    }
+
+    #[test]
+    fn malformed_pragma_is_deny() {
+        let src = "// c2m-lint: allow(unwrap-in-lib)\npub fn f() {}\n";
+        let r = run_one("crates/x/src/lib.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].lint, "malformed-pragma");
+        assert!(r.fails(false));
+    }
+
+    #[test]
+    fn severity_override_downgrades_a_lint() {
+        let cfg = Config::parse("[severity]\nunwrap-in-lib = \"warn\"\n").expect("valid");
+        let src = "pub fn f(a: Option<u32>) -> u32 { a.unwrap() }\n";
+        let r = run_files(
+            &[("crates/x/src/lib.rs".to_string(), src.to_string())],
+            &cfg,
+        )
+        .expect("runs");
+        assert_eq!(r.findings[0].severity, Severity::Warn);
+        assert!(!r.fails(false));
+    }
+
+    #[test]
+    fn clean_source_produces_empty_report() {
+        let src = "pub fn f(a: Option<u32>) -> Option<u32> { a.map(|x| x + 1) }\n";
+        let r = run_one("crates/x/src/lib.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(!r.fails(true));
+    }
+}

@@ -1,0 +1,295 @@
+//! `cache-key-completeness`: the semantic pass.
+//!
+//! PR 6's caches are equality-gated, so a cached result is bit-for-bit
+//! correct **if and only if the key covers everything the computation
+//! reads**. PR 7 nearly shipped the counterexample: `Topology` grew a
+//! `subarrays` field, and had it not been folded into
+//! `Topology::fingerprint`, two engines differing only in subarray
+//! count would have shared shard plans (the regression the "configs
+//! differing only in `subarrays` must plan-MISS" test now guards
+//! dynamically). This lint enforces the same property statically, at
+//! the source level, for the next field someone adds:
+//!
+//! * every field of `Topology` must be read (`self.<field>`) inside
+//!   `Topology::fingerprint`;
+//! * every field of `EngineConfig` must carry an entry in
+//!   `lint.toml`'s `[cache-key-completeness.fields]` table — either
+//!   `"covered:<fn>"` (the lint then verifies the field is actually
+//!   read in that function's body, so coverage claims cannot go stale)
+//!   or `"exempt:<reason>"` (a conscious, reviewable decision that the
+//!   field cannot reach any memoised value).
+//!
+//! Adding a field without touching `lint.toml` fails CI; deleting a
+//! field leaves a stale entry, which also fails.
+
+use super::RawFinding;
+use crate::config::Config;
+use crate::lexer::{Token, TokenKind};
+use crate::workspace::SourceFile;
+
+const LINT: &str = "cache-key-completeness";
+const FIELDS_SECTION: &str = "cache-key-completeness.fields";
+
+/// Runs the pass over the workspace. Inactive unless `lint.toml` has a
+/// `[cache-key-completeness]` section naming the files.
+pub fn check(files: &[SourceFile], cfg: &Config, out: &mut Vec<RawFinding>) {
+    let Some(topo_file) = cfg.str(LINT, "topology-file") else {
+        return;
+    };
+    let topo_struct = cfg.str(LINT, "topology-struct").unwrap_or("Topology");
+    let topo_key_fn = cfg.str(LINT, "topology-key-fn").unwrap_or("fingerprint");
+    check_topology(files, topo_file, topo_struct, topo_key_fn, out);
+
+    let Some(engine_file) = cfg.str(LINT, "engine-file") else {
+        return;
+    };
+    let engine_struct = cfg.str(LINT, "engine-struct").unwrap_or("EngineConfig");
+    check_engine_config(files, cfg, engine_file, engine_struct, topo_file, out);
+}
+
+/// Rule T: every `Topology` field appears as `self.<field>` in the key
+/// function's body.
+fn check_topology(
+    files: &[SourceFile],
+    rel: &str,
+    struct_name: &str,
+    key_fn: &str,
+    out: &mut Vec<RawFinding>,
+) {
+    let Some(file) = files.iter().find(|f| f.rel == rel) else {
+        out.push(config_error(format!(
+            "[{LINT}] topology-file `{rel}` is not in the scanned workspace"
+        )));
+        return;
+    };
+    let fields = struct_fields(&file.tokens, struct_name);
+    if fields.is_empty() {
+        out.push(config_error(format!(
+            "[{LINT}] struct `{struct_name}` not found (or has no fields) in `{rel}`"
+        )));
+        return;
+    }
+    let bodies = fn_bodies(&file.tokens, key_fn);
+    if bodies.is_empty() {
+        out.push(config_error(format!(
+            "[{LINT}] key fn `{key_fn}` not found in `{rel}`"
+        )));
+        return;
+    }
+    for (field, line) in fields {
+        let covered = bodies.iter().any(|b| reads_self_field(b, &field));
+        if !covered {
+            out.push(RawFinding {
+                lint: LINT,
+                file: rel.to_string(),
+                line,
+                message: format!(
+                    "field `{field}` of `{struct_name}` is not read by \
+                     `{key_fn}()`: a cache keyed on the fingerprint would serve \
+                     stale results across values of `{field}`"
+                ),
+            });
+        }
+    }
+}
+
+/// Rule E: every `EngineConfig` field has a verified-or-exempt entry.
+fn check_engine_config(
+    files: &[SourceFile],
+    cfg: &Config,
+    rel: &str,
+    struct_name: &str,
+    topo_rel: &str,
+    out: &mut Vec<RawFinding>,
+) {
+    let Some(file) = files.iter().find(|f| f.rel == rel) else {
+        out.push(config_error(format!(
+            "[{LINT}] engine-file `{rel}` is not in the scanned workspace"
+        )));
+        return;
+    };
+    let fields = struct_fields(&file.tokens, struct_name);
+    if fields.is_empty() {
+        out.push(config_error(format!(
+            "[{LINT}] struct `{struct_name}` not found (or has no fields) in `{rel}`"
+        )));
+        return;
+    }
+    let entries = cfg.entries(FIELDS_SECTION);
+    let topo_file = files.iter().find(|f| f.rel == topo_rel);
+    for (field, line) in &fields {
+        let Some((_, value)) = entries.iter().find(|(k, _)| k == field) else {
+            out.push(RawFinding {
+                lint: LINT,
+                file: rel.to_string(),
+                line: *line,
+                message: format!(
+                    "field `{field}` of `{struct_name}` has no entry in \
+                     `[{FIELDS_SECTION}]`: decide whether it reaches a cache key \
+                     (`covered:<fn>`) or cannot affect any memoised value \
+                     (`exempt:<reason>`)"
+                ),
+            });
+            continue;
+        };
+        if let Some(fn_name) = value.strip_prefix("covered:") {
+            let mut bodies = fn_bodies(&file.tokens, fn_name);
+            if let Some(tf) = topo_file {
+                bodies.extend(fn_bodies(&tf.tokens, fn_name));
+            }
+            if bodies.is_empty() {
+                out.push(RawFinding {
+                    lint: LINT,
+                    file: rel.to_string(),
+                    line: *line,
+                    message: format!("field `{field}`: coverage fn `{fn_name}` does not exist"),
+                });
+            } else if !bodies.iter().any(|b| mentions_ident(b, field)) {
+                out.push(RawFinding {
+                    lint: LINT,
+                    file: rel.to_string(),
+                    line: *line,
+                    message: format!(
+                        "field `{field}`: declared covered by `{fn_name}()`, but \
+                         that function never reads it — the coverage claim is stale"
+                    ),
+                });
+            }
+        } else if let Some(reason) = value.strip_prefix("exempt:") {
+            if reason.trim().is_empty() {
+                out.push(RawFinding {
+                    lint: LINT,
+                    file: rel.to_string(),
+                    line: *line,
+                    message: format!("field `{field}`: exempt entries need a reason"),
+                });
+            }
+        } else {
+            out.push(RawFinding {
+                lint: LINT,
+                file: rel.to_string(),
+                line: *line,
+                message: format!(
+                    "field `{field}`: entry must be `covered:<fn>` or \
+                     `exempt:<reason>`, got `{value}`"
+                ),
+            });
+        }
+    }
+    // Stale entries: config rows for fields the struct no longer has.
+    for (key, _) in &entries {
+        if !fields.iter().any(|(f, _)| f == key) {
+            out.push(config_error(format!(
+                "[{FIELDS_SECTION}] `{key}` does not name a field of `{struct_name}`"
+            )));
+        }
+    }
+}
+
+fn config_error(message: String) -> RawFinding {
+    RawFinding {
+        lint: LINT,
+        file: "lint.toml".to_string(),
+        line: 1,
+        message,
+    }
+}
+
+/// `(name, line)` of each named field of `struct struct_name { ... }`.
+fn struct_fields(toks: &[Token], struct_name: &str) -> Vec<(String, u32)> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if !(toks[i].is_ident("struct") && toks[i + 1].is_ident(struct_name)) {
+            i += 1;
+            continue;
+        }
+        // Skip to the struct body (a `;` first means a unit/tuple-ish
+        // struct with no named fields to check).
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('{') {
+            if toks[j].is_punct(';') {
+                return fields;
+            }
+            j += 1;
+        }
+        let mut depth = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1
+                && toks[j].kind == TokenKind::Ident
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                && !toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+                && (toks[j - 1].is_punct('{')
+                    || toks[j - 1].is_punct(',')
+                    || is_field_lead(&toks[j - 1]))
+            {
+                fields.push((toks[j].text.clone(), toks[j].line));
+            }
+            j += 1;
+        }
+        return fields;
+    }
+    fields
+}
+
+/// Tokens that can directly precede a field name: visibility or the
+/// closing bracket of an attribute.
+fn is_field_lead(t: &Token) -> bool {
+    t.is_ident("pub") || t.is_punct(']') || t.is_punct(')')
+}
+
+/// Bodies (token slices) of every `fn name` in the file.
+fn fn_bodies(toks: &[Token], name: &str) -> Vec<Vec<Token>> {
+    let mut bodies = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !(toks[i].is_ident("fn") && toks[i + 1].is_ident(name)) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('{') {
+            if toks[j].is_punct(';') {
+                break; // trait method declaration without a body
+            }
+            j += 1;
+        }
+        let start = j;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if j > start {
+            bodies.push(toks[start..=j.min(toks.len() - 1)].to_vec());
+        }
+        i = j.max(i + 2);
+    }
+    bodies
+}
+
+/// True if the body contains `self.<field>`.
+fn reads_self_field(body: &[Token], field: &str) -> bool {
+    body.windows(3)
+        .any(|w| w[0].is_ident("self") && w[1].is_punct('.') && w[2].is_ident(field))
+}
+
+/// True if the body mentions the ident at all (used for `covered:`
+/// verification, where the read may be `cfg.<field>` or a bare local).
+fn mentions_ident(body: &[Token], ident: &str) -> bool {
+    body.iter().any(|t| t.is_ident(ident))
+}

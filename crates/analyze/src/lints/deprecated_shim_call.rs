@@ -1,0 +1,247 @@
+//! `deprecated-shim-call`: in-repo use of `#[deprecated]` constructors.
+//!
+//! PR 6 moved engine and serve-config construction to builders and left
+//! the old constructors as `#[deprecated]` shims. rustc warns on those,
+//! but a warning inside an `#[allow(deprecated)]` span or a doc example
+//! can linger; this lint makes the policy a first-class CI failure with
+//! the same reporting pipeline as every other determinism rule.
+//!
+//! Two passes: first collect every `#[deprecated]` function in the
+//! workspace (with its `impl` type and whether it takes `self`), then
+//! flag call shapes — `Type::name(...)` for associated functions,
+//! `.name(...)` for methods — outside `#[cfg(test)]` code. Method
+//! matching is name-based (no type inference at token level); shim
+//! names are distinctive enough that collisions are not expected, and a
+//! false positive can carry a pragma.
+
+use super::RawFinding;
+use crate::lexer::Token;
+use crate::workspace::{FileClass, SourceFile};
+
+#[derive(Debug)]
+struct DeprecatedFn {
+    type_name: String,
+    fn_name: String,
+    has_self: bool,
+}
+
+/// Runs the lint over the whole workspace.
+pub fn check(files: &[SourceFile], out: &mut Vec<RawFinding>) {
+    let mut fns = Vec::new();
+    for file in files {
+        collect(&file.tokens, &mut fns);
+    }
+    if fns.is_empty() {
+        return;
+    }
+    for file in files {
+        if file.class == FileClass::Test {
+            continue;
+        }
+        flag_calls(file, &fns, out);
+    }
+}
+
+/// Extents of `impl` blocks as token-index ranges with their type name.
+fn impl_extents(toks: &[Token]) -> Vec<(String, usize, usize)> {
+    let mut extents = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Skip generic parameters directly after `impl`.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0usize;
+            while j < toks.len() {
+                if toks[j].is_punct('<') {
+                    depth += 1;
+                } else if toks[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // The implemented type: the ident after `for` if this is a
+        // trait impl, else the first ident.
+        let mut type_name = String::new();
+        let mut k = j;
+        while k < toks.len() && !toks[k].is_punct('{') {
+            if toks[k].is_ident("for") {
+                type_name.clear();
+            } else if type_name.is_empty() && toks[k].kind == crate::lexer::TokenKind::Ident {
+                type_name = toks[k].text.clone();
+            }
+            k += 1;
+        }
+        // Brace-match the impl body.
+        let start = k;
+        let mut depth = 0usize;
+        while k < toks.len() {
+            if toks[k].is_punct('{') {
+                depth += 1;
+            } else if toks[k].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        if !type_name.is_empty() {
+            extents.push((type_name, start, k));
+        }
+        i = start.max(i + 1);
+    }
+    extents
+}
+
+/// Collects `#[deprecated]` functions with their impl type.
+fn collect(toks: &[Token], fns: &mut Vec<DeprecatedFn>) {
+    let extents = impl_extents(toks);
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        let is_attr = toks[i].is_punct('#')
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].is_ident("deprecated");
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        // Skip to the end of this attribute, then past any further
+        // attributes, to the `fn` keyword (if the item is a function).
+        let mut j = i + 2;
+        let mut depth = 1usize; // inside the `[`
+        while j < toks.len() && depth > 0 {
+            j += 1;
+            if toks.get(j).is_some_and(|t| t.is_punct('[')) {
+                depth += 1;
+            } else if toks.get(j).is_some_and(|t| t.is_punct(']')) {
+                depth -= 1;
+            }
+        }
+        j += 1;
+        while toks.get(j).is_some_and(|t| t.is_punct('#')) {
+            let mut d = 0usize;
+            while j < toks.len() {
+                if toks[j].is_punct('[') {
+                    d += 1;
+                } else if toks[j].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        // Visibility and qualifiers before `fn`.
+        while toks.get(j).is_some_and(|t| {
+            t.is_ident("pub")
+                || t.is_ident("const")
+                || t.is_ident("unsafe")
+                || t.is_ident("crate")
+                || t.is_punct('(')
+                || t.is_punct(')')
+        }) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_ident("fn")) {
+            i = j;
+            continue; // deprecated struct/enum/etc.: call lint not applicable
+        }
+        let Some(name_tok) = toks.get(j + 1) else {
+            break;
+        };
+        let fn_name = name_tok.text.clone();
+        // `self` in the first parameter position?
+        let mut k = j + 2;
+        while k < toks.len() && !toks[k].is_punct('(') {
+            k += 1;
+        }
+        let mut has_self = false;
+        let mut depth = 0usize;
+        while k < toks.len() {
+            if toks[k].is_punct('(') {
+                depth += 1;
+            } else if toks[k].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1 && toks[k].is_punct(',') {
+                break; // only the first parameter can be self
+            } else if depth == 1 && toks[k].is_ident("self") {
+                has_self = true;
+            }
+            k += 1;
+        }
+        let type_name = extents
+            .iter()
+            .find(|(_, lo, hi)| j > *lo && j < *hi)
+            .map(|(name, _, _)| name.clone())
+            .unwrap_or_default();
+        fns.push(DeprecatedFn {
+            type_name,
+            fn_name,
+            has_self,
+        });
+        i = j + 1;
+    }
+}
+
+/// Flags call shapes of the collected deprecated functions.
+fn flag_calls(file: &SourceFile, fns: &[DeprecatedFn], out: &mut Vec<RawFinding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test_region(toks[i].line) {
+            continue;
+        }
+        for f in fns {
+            if f.has_self {
+                // `.name(` — method call.
+                let hit = toks[i].is_ident(&f.fn_name)
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+                if hit {
+                    out.push(finding(file, toks[i].line, f));
+                }
+            } else if !f.type_name.is_empty() {
+                // `Type::name(` — associated call.
+                let hit = toks[i].is_ident(&f.type_name)
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|t| t.is_ident(&f.fn_name))
+                    && toks.get(i + 4).is_some_and(|t| t.is_punct('('));
+                if hit {
+                    out.push(finding(file, toks[i].line, f));
+                }
+            }
+        }
+    }
+}
+
+fn finding(file: &SourceFile, line: u32, f: &DeprecatedFn) -> RawFinding {
+    let qualified = if f.type_name.is_empty() {
+        f.fn_name.clone()
+    } else {
+        format!("{}::{}", f.type_name, f.fn_name)
+    };
+    RawFinding {
+        lint: "deprecated-shim-call",
+        file: file.rel.clone(),
+        line,
+        message: format!(
+            "call to `#[deprecated]` shim `{qualified}`: use the builder API it \
+             forwards to"
+        ),
+    }
+}

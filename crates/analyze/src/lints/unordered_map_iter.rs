@@ -1,0 +1,58 @@
+//! `unordered-map-iter`: hash collections on determinism-critical
+//! paths.
+//!
+//! `HashMap`/`HashSet` iteration order varies per process (the default
+//! hasher is randomly seeded), so any map that is ever iterated on a
+//! pricing, report or export path can silently break the bit-for-bit
+//! contract. Whether a given map is *iterated* is not decidable at
+//! token level, so on the configured paths the lint takes the
+//! conservative position: no hash collections at all. `BTreeMap`/
+//! `BTreeSet` iterate in key order at equivalent cost for these
+//! workloads; a map whose order provably never escapes can carry an
+//! allow-pragma saying why.
+
+use super::{in_scope, RawFinding};
+use crate::config::Config;
+use crate::workspace::{FileClass, SourceFile};
+
+/// Paths linted when `lint.toml` has no `[unordered-map-iter] paths`.
+const DEFAULT_PATHS: &[&str] = &[
+    "crates/core/src",
+    "crates/dram/src",
+    "crates/serve/src",
+    "crates/trace/src",
+    "crates/workloads/src",
+    "crates/bench/src",
+    "src",
+];
+
+const BANNED: &[&str] = &["HashMap", "HashSet"];
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<RawFinding>) {
+    if file.class == FileClass::Test {
+        return;
+    }
+    let mut paths = cfg.list("unordered-map-iter", "paths");
+    if paths.is_empty() {
+        paths = DEFAULT_PATHS.iter().map(|s| (*s).to_string()).collect();
+    }
+    if !in_scope(&file.rel, &paths) {
+        return;
+    }
+    for tok in &file.tokens {
+        if BANNED.iter().any(|b| tok.is_ident(b)) && !file.in_test_region(tok.line) {
+            out.push(RawFinding {
+                lint: "unordered-map-iter",
+                file: file.rel.clone(),
+                line: tok.line,
+                message: format!(
+                    "`{}` on a determinism-critical path: iteration order is \
+                     nondeterministic; use `BTree{}` or collect-and-sort",
+                    tok.text,
+                    tok.text.trim_start_matches("Hash")
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! `unordered-par-fold`: reduction order leaking thread scheduling.
+//!
+//! Floating-point addition does not associate, so folding parallel
+//! results in completion order makes output depend on thread timing.
+//! The vendored rayon shim is deliberately order-preserving: its only
+//! terminal operation is `collect()`, which returns results in input
+//! order so the caller folds serially and deterministically (the PR 6
+//! idiom — see `vendor/rayon`). Chaining `par_iter()` into `sum`,
+//! `fold` or `reduce` is therefore either a compile error waiting to
+//! happen (shim) or, against real rayon, a determinism bug. The lint
+//! flags the chain shape; calls inside closure bodies at deeper paren
+//! nesting are not part of the chain and are ignored.
+
+use super::RawFinding;
+use crate::workspace::{FileClass, SourceFile};
+
+const PAR_SOURCES: &[&str] = &["par_iter", "into_par_iter", "par_iter_mut"];
+const UNORDERED_SINKS: &[&str] = &["sum", "fold", "reduce"];
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    if file.class == FileClass::Test {
+        return;
+    }
+    let toks = &file.tokens;
+    // Paren/bracket depth *before* each token.
+    let mut depth_before = Vec::with_capacity(toks.len());
+    let mut d = 0i32;
+    for t in toks {
+        depth_before.push(d);
+        if t.is_punct('(') || t.is_punct('[') {
+            d += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            d -= 1;
+        }
+    }
+    for i in 0..toks.len() {
+        let starts_chain = PAR_SOURCES.iter().any(|p| toks[i].is_ident(p))
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if !starts_chain || file.in_test_region(toks[i].line) {
+            continue;
+        }
+        let chain_depth = depth_before[i];
+        // Walk the rest of the statement: a `;` or `}` at (or below)
+        // chain depth ends it, as does the enclosing expression closing.
+        for j in (i + 1)..toks.len() {
+            let dj = depth_before[j];
+            if dj < chain_depth
+                || (dj == chain_depth && (toks[j].is_punct(';') || toks[j].is_punct('}')))
+            {
+                break;
+            }
+            let is_sink = dj == chain_depth
+                && UNORDERED_SINKS.iter().any(|s| toks[j].is_ident(s))
+                && toks[j - 1].is_punct('.');
+            if is_sink {
+                out.push(RawFinding {
+                    lint: "unordered-par-fold",
+                    file: file.rel.clone(),
+                    line: toks[j].line,
+                    message: format!(
+                        "`{}()` directly on a `{}()` chain: reduction order depends on \
+                         thread scheduling; `collect()` in input order, then fold \
+                         serially (the order-preserving vendor/rayon idiom)",
+                        toks[j].text, toks[i].text
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}

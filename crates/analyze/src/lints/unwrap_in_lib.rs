@@ -1,0 +1,78 @@
+//! `unwrap-in-lib`: unauditable panic sites in library code.
+//!
+//! Library crates feed long-running serving sweeps; a panic with no
+//! invariant message (`.unwrap()`), a computed message
+//! (`.expect(format!(...))` — unauditable statically) or a bare
+//! `panic!` turns a recoverable condition into an opaque abort. The
+//! sanctioned forms are `Result` propagation and
+//! `.expect("<invariant message>")` with a **string-literal** message
+//! stating why the failure is structurally impossible. A panic that is
+//! genuinely part of a documented contract (e.g. a builder's `build()`)
+//! carries an allow-pragma with its reason.
+
+use super::RawFinding;
+use crate::lexer::TokenKind;
+use crate::workspace::{FileClass, SourceFile};
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    if file.class != FileClass::Lib {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test_region(toks[i].line) {
+            continue;
+        }
+        // `.unwrap()`
+        if toks[i].is_ident("unwrap")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(raw(
+                file,
+                toks[i].line,
+                "`.unwrap()` in library code: propagate the error or use \
+                 `.expect(\"<invariant message>\")`",
+            ));
+        }
+        // `.expect(<non-literal>)`
+        if toks[i].is_ident("expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| !matches!(t.kind, TokenKind::Str | TokenKind::RawStr))
+        {
+            out.push(raw(
+                file,
+                toks[i].line,
+                "`.expect(...)` with a non-literal message: the invariant cannot be \
+                 audited statically; use a string-literal message",
+            ));
+        }
+        // `panic!(...)`
+        if toks[i].is_ident("panic")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(raw(
+                file,
+                toks[i].line,
+                "`panic!` in library code: return a `Result`, or document the panic \
+                 contract and carry an allow-pragma with the reason",
+            ));
+        }
+    }
+}
+
+fn raw(file: &SourceFile, line: u32, message: &str) -> RawFinding {
+    RawFinding {
+        lint: "unwrap-in-lib",
+        file: file.rel.clone(),
+        line,
+        message: message.to_string(),
+    }
+}

@@ -1,0 +1,62 @@
+//! `wallclock-in-sim`: wall-clock reads inside the simulator.
+//!
+//! Everything in this workspace is a discrete-event model: time is
+//! `t_ns` advanced by the schedulers, never the host clock. An
+//! `Instant::now()` or `SystemTime` read makes output depend on the
+//! machine running it — the exact failure the trace-invariance and
+//! figure-JSON contracts exist to rule out. Benches measure wall time
+//! through the vendored criterion shim (not linted); simulator crates
+//! get no wall clock at all.
+
+use super::{in_scope, RawFinding};
+use crate::config::Config;
+use crate::workspace::{FileClass, SourceFile};
+
+/// Scope when `lint.toml` has no `[wallclock-in-sim] paths`: the whole
+/// workspace except benches (criterion owns timing there).
+const DEFAULT_PATHS: &[&str] = &["crates", "src", "examples", "tests"];
+
+const BANNED: &[&str] = &["Instant", "SystemTime"];
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<RawFinding>) {
+    if file.class == FileClass::Bench {
+        return;
+    }
+    let mut paths = cfg.list("wallclock-in-sim", "paths");
+    if paths.is_empty() {
+        paths = DEFAULT_PATHS.iter().map(|s| (*s).to_string()).collect();
+    }
+    if !in_scope(&file.rel, &paths) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !BANNED.iter().any(|b| toks[i].is_ident(b)) || file.in_test_region(toks[i].line) {
+            continue;
+        }
+        // Only the std::time types count; this workspace has its own
+        // `TraceEvent::Instant` variant. A wall-clock use is either a
+        // `time::Instant`/`time::SystemTime` path segment (including
+        // `use std::time::...`) or a `::now(` call on the bare name.
+        let after_time_path = i >= 3
+            && toks[i - 3].is_ident("time")
+            && toks[i - 2].is_punct(':')
+            && toks[i - 1].is_punct(':');
+        let calls_now = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"));
+        if after_time_path || calls_now {
+            out.push(RawFinding {
+                lint: "wallclock-in-sim",
+                file: file.rel.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "`{}` reads the wall clock: simulator output must be a function \
+                     of its inputs alone; use simulated time (`t_ns`)",
+                    toks[i].text
+                ),
+            });
+        }
+    }
+}

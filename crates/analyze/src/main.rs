@@ -1,0 +1,111 @@
+//! `c2m_analyze` CLI.
+//!
+//! ```text
+//! cargo run -p c2m_analyze -- [--root <dir>] [--config <lint.toml>]
+//!                             [--json] [--deny] [--list]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings fail the gate (`Deny`, or `Warn`
+//! under `--deny`), `2` usage or configuration error.
+
+use c2m_analyze::config::Config;
+use c2m_analyze::lints;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    deny: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        deny: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a path")?));
+            }
+            "--json" => args.json = true,
+            "--deny" => args.deny = true,
+            "--list" => args.list = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("c2m_analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        for l in lints::LINTS {
+            println!(
+                "{} [{}]\n    {}",
+                l.name,
+                l.default_severity.name(),
+                l.description
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let cfg = if config_path.is_file() {
+        let src = match std::fs::read_to_string(&config_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("c2m_analyze: cannot read {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Config::parse(&src) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("c2m_analyze: {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else if args.config.is_some() {
+        eprintln!("c2m_analyze: config {} not found", config_path.display());
+        return ExitCode::from(2);
+    } else {
+        Config::default()
+    };
+    let report = match c2m_analyze::run_root(&args.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("c2m_analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.fails(args.deny) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

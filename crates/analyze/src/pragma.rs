@@ -1,0 +1,196 @@
+//! Inline suppression pragmas.
+//!
+//! A finding is suppressed by a comment on the same line or the line
+//! directly above it:
+//!
+//! ```text
+//! // c2m-lint: allow(unwrap-in-lib, reason = "documented panic contract")
+//! Err(e) => panic!("invalid engine configuration: {e}"),
+//! ```
+//!
+//! The `reason` is **mandatory** — a pragma without one (or naming an
+//! unknown lint) is itself reported as `malformed-pragma`, and a pragma
+//! that suppresses nothing is reported as `unused-pragma`, so stale
+//! suppressions cannot accumulate silently.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One parsed `c2m-lint: allow(...)` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Lints this pragma suppresses.
+    pub lints: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line the pragma comment starts on.
+    pub line: u32,
+}
+
+/// A pragma that could not be parsed, with what went wrong.
+#[derive(Debug, Clone)]
+pub struct MalformedPragma {
+    /// 1-based line of the offending comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Scans comment tokens for pragmas. `known_lints` validates the lint
+/// names (an unknown name would otherwise suppress nothing, silently).
+#[must_use]
+pub fn extract(tokens: &[Token], known_lints: &[&str]) -> (Vec<Pragma>, Vec<MalformedPragma>) {
+    let mut pragmas = Vec::new();
+    let mut malformed = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokenKind::Comment {
+            continue;
+        }
+        // Doc comments are prose — mentioning the pragma syntax there
+        // (as this crate's own docs do) must not create a pragma. Only
+        // plain `//` / `/*` comments carry suppressions.
+        if tok.text.starts_with("///")
+            || tok.text.starts_with("//!")
+            || tok.text.starts_with("/**")
+            || tok.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = tok.text.find("c2m-lint:") else {
+            continue;
+        };
+        let rest = tok.text[at + "c2m-lint:".len()..].trim();
+        match parse_body(rest, known_lints) {
+            Ok((lints, reason)) => pragmas.push(Pragma {
+                lints,
+                reason,
+                line: tok.line,
+            }),
+            Err(message) => malformed.push(MalformedPragma {
+                line: tok.line,
+                message,
+            }),
+        }
+    }
+    (pragmas, malformed)
+}
+
+/// Parses `allow(<lint>[, <lint>]*, reason = "...")`.
+fn parse_body(rest: &str, known_lints: &[&str]) -> Result<(Vec<String>, String), String> {
+    let body = rest
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|s| s.strip_prefix('('))
+        .ok_or_else(|| "expected `allow(<lint>, reason = \"...\")`".to_string())?;
+    let body = body
+        .rfind(')')
+        .map(|i| &body[..i])
+        .ok_or_else(|| "unclosed `allow(`".to_string())?;
+    let mut lints = Vec::new();
+    let mut reason: Option<String> = None;
+    for part in split_args(body) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some(value) = part.strip_prefix("reason") {
+            let value = value
+                .trim_start()
+                .strip_prefix('=')
+                .map(str::trim)
+                .ok_or_else(|| "expected `reason = \"...\"`".to_string())?;
+            let inner = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| "reason must be a double-quoted string".to_string())?;
+            if inner.trim().is_empty() {
+                return Err("reason must not be empty".to_string());
+            }
+            reason = Some(inner.to_string());
+        } else {
+            if !known_lints.contains(&part) {
+                return Err(format!("unknown lint `{part}`"));
+            }
+            lints.push(part.to_string());
+        }
+    }
+    if lints.is_empty() {
+        return Err("pragma names no lint".to_string());
+    }
+    let reason = reason.ok_or_else(|| "missing mandatory `reason = \"...\"`".to_string())?;
+    Ok((lints, reason))
+}
+
+/// Splits pragma arguments on commas outside the reason's quotes.
+fn split_args(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => parts.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const KNOWN: &[&str] = &["unwrap-in-lib", "unordered-map-iter"];
+
+    #[test]
+    fn parses_a_full_pragma() {
+        let toks = lex("// c2m-lint: allow(unwrap-in-lib, reason = \"builder contract\")\n");
+        let (pragmas, bad) = extract(&toks, KNOWN);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(pragmas.len(), 1);
+        assert_eq!(pragmas[0].lints, ["unwrap-in-lib"]);
+        assert_eq!(pragmas[0].reason, "builder contract");
+        assert_eq!(pragmas[0].line, 1);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let toks = lex("// c2m-lint: allow(unwrap-in-lib)\n");
+        let (pragmas, bad) = extract(&toks, KNOWN);
+        assert!(pragmas.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("reason"), "{}", bad[0].message);
+    }
+
+    #[test]
+    fn empty_reason_and_unknown_lint_are_malformed() {
+        let toks = lex("// c2m-lint: allow(unwrap-in-lib, reason = \"  \")\n\
+             // c2m-lint: allow(no-such-lint, reason = \"x\")\n\
+             // c2m-lint: allow(reason = \"x\")\n");
+        let (pragmas, bad) = extract(&toks, KNOWN);
+        assert!(pragmas.is_empty());
+        assert_eq!(bad.len(), 3);
+    }
+
+    #[test]
+    fn multi_lint_pragmas_and_commas_in_reason() {
+        let toks = lex(
+            "// c2m-lint: allow(unwrap-in-lib, unordered-map-iter, reason = \"a, b, and c\")\n",
+        );
+        let (pragmas, bad) = extract(&toks, KNOWN);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(pragmas[0].lints, ["unwrap-in-lib", "unordered-map-iter"]);
+        assert_eq!(pragmas[0].reason, "a, b, and c");
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let toks = lex("// nothing to see\n/* c2m unrelated */\n");
+        let (pragmas, bad) = extract(&toks, KNOWN);
+        assert!(pragmas.is_empty() && bad.is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! Workspace discovery and per-file context.
+//!
+//! Walks the repository for Rust sources (skipping `vendor/`, `target/`
+//! and the lint engine's own seeded-violation fixtures), lexes each
+//! file once, extracts pragmas, and computes the `#[cfg(test)]` line
+//! regions every lint must ignore.
+
+use crate::lexer::{self, Token};
+use crate::pragma::{self, MalformedPragma, Pragma};
+use std::fs;
+use std::path::Path;
+
+/// What kind of target a file belongs to — lints scope on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code: `crates/*/src/**` or the root `src/lib.rs` tree,
+    /// excluding `src/bin/` and `src/main.rs`.
+    Lib,
+    /// Binary targets (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    Test,
+    /// Examples (`examples/**`).
+    Example,
+    /// Benches (`benches/**`).
+    Bench,
+}
+
+/// One lexed source file plus everything the lints need to know about
+/// it.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Target class (see [`FileClass`]).
+    pub class: FileClass,
+    /// Source lines, for snippets.
+    pub lines: Vec<String>,
+    /// Code tokens (comments stripped).
+    pub tokens: Vec<Token>,
+    /// Suppression pragmas found in comments.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragmas, reported as findings.
+    pub malformed: Vec<MalformedPragma>,
+    /// Inclusive 1-based line ranges under `#[cfg(test)]`.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Builds the per-file context from raw source. `known_lints`
+    /// validates pragma lint names.
+    #[must_use]
+    pub fn from_source(rel: &str, src: &str, known_lints: &[&str]) -> Self {
+        let all = lexer::lex(src);
+        let (pragmas, malformed) = pragma::extract(&all, known_lints);
+        let tokens = lexer::strip_comments(&all);
+        let test_regions = test_regions(&tokens);
+        Self {
+            rel: rel.to_string(),
+            class: classify(rel),
+            lines: src.lines().map(str::to_string).collect(),
+            tokens,
+            pragmas,
+            malformed,
+            test_regions,
+        }
+    }
+
+    /// The trimmed source text of a 1-based line.
+    #[must_use]
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// True if `line` falls inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+}
+
+/// Classifies a workspace-relative path into its target class.
+#[must_use]
+pub fn classify(rel: &str) -> FileClass {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.contains(&"tests") {
+        return FileClass::Test;
+    }
+    if parts.contains(&"benches") {
+        return FileClass::Bench;
+    }
+    if parts.contains(&"examples") {
+        return FileClass::Example;
+    }
+    if parts.contains(&"bin") || rel.ends_with("src/main.rs") {
+        return FileClass::Bin;
+    }
+    FileClass::Lib
+}
+
+/// Walks `root` for the workspace's own Rust sources. Vendored shims,
+/// build output and the lint fixtures are not ours to lint.
+///
+/// # Errors
+///
+/// Returns an I/O description if the tree cannot be read.
+pub fn discover(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut files = Vec::new();
+    for top in ["src", "tests", "examples", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(root, &dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "vendor" || name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("path outside root: {e}"))?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            let src = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            out.push((rel, src));
+        }
+    }
+    Ok(())
+}
+
+/// Finds the line extents of items annotated `#[cfg(test)]`: from the
+/// attribute to the closing brace of the item (or its terminating
+/// semicolon).
+fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip to the item body: the first `{` at attribute level ends
+        // the search (brace-match it); a `;` first means a braceless
+        // item (e.g. `#[cfg(test)] mod tests;`).
+        let mut j = i + 7;
+        let mut end_line = start_line;
+        while j < tokens.len() {
+            if tokens[j].is_punct('{') {
+                let mut depth = 0usize;
+                while j < tokens.len() {
+                    if tokens[j].is_punct('{') {
+                        depth += 1;
+                    } else if tokens[j].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                end_line = tokens.get(j).map_or(end_line, |t| t.line);
+                break;
+            }
+            if tokens[j].is_punct(';') {
+                end_line = tokens[j].line;
+                break;
+            }
+            end_line = tokens[j].line;
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_path() {
+        assert_eq!(classify("crates/core/src/engine.rs"), FileClass::Lib);
+        assert_eq!(classify("src/lib.rs"), FileClass::Lib);
+        assert_eq!(classify("src/bin/c2m.rs"), FileClass::Bin);
+        assert_eq!(classify("crates/bench/src/bin/fig8.rs"), FileClass::Bin);
+        assert_eq!(
+            classify("crates/core/tests/shard_properties.rs"),
+            FileClass::Test
+        );
+        assert_eq!(classify("tests/end_to_end.rs"), FileClass::Test);
+        assert_eq!(classify("examples/quickstart.rs"), FileClass::Example);
+        assert_eq!(
+            classify("crates/bench/benches/bench_core.rs"),
+            FileClass::Bench
+        );
+    }
+
+    #[test]
+    fn cfg_test_regions_are_brace_matched() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn helper() { let x = vec![1]; x.len(); }
+}
+fn also_live() {}
+";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src, &[]);
+        assert_eq!(f.test_regions, vec![(2, 5)]);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(4));
+        assert!(!f.in_test_region(6));
+    }
+
+    #[test]
+    fn cfg_test_on_single_fn_and_braceless_items() {
+        let src = "\
+#[cfg(test)]
+fn probe() {
+    body();
+}
+#[cfg(test)]
+mod shadow;
+fn live() {}
+";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src, &[]);
+        assert_eq!(f.test_regions, vec![(1, 4), (5, 6)]);
+        assert!(!f.in_test_region(7));
+    }
+}

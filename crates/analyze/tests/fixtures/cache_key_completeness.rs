@@ -1,0 +1,31 @@
+// Seeded violations for the `cache-key-completeness` semantic pass.
+// The test maps this file in as both the topology-file and the
+// engine-file of a miniature workspace.
+
+/// A topology whose fingerprint forgot one field — the exact bug class
+/// the lint exists for (PR 7's `subarrays` near-miss).
+pub struct Topology {
+    pub channels: usize,
+    pub ranks: usize,
+    pub banks: usize,
+    pub subarrays: usize, // finding: not read by fingerprint
+}
+
+impl Topology {
+    pub fn fingerprint(&self) -> u64 {
+        // `subarrays` is missing: two topologies differing only there
+        // would collide.
+        ((self.channels as u64) << 32) | ((self.ranks as u64) << 16) | (self.banks as u64)
+    }
+}
+
+pub struct EngineConfig {
+    pub radix: usize,       // covered:plan (verified below)
+    pub capacity: u32,      // finding: no lint.toml entry
+    pub stale_claim: usize, // finding: covered:plan, but plan never reads it
+    pub exempted: f64,      // exempt with a reason: clean
+}
+
+pub fn plan(cfg: &EngineConfig) -> u64 {
+    cfg.radix as u64
+}

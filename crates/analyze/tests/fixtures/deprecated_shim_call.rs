@@ -1,0 +1,47 @@
+// Seeded violations for the `deprecated-shim-call` lint: a deprecated
+// associated constructor and a deprecated method, each called once in
+// live code (findings), once under a pragma (suppressed), and once in
+// a #[cfg(test)] region (exempt).
+
+pub struct Widget {
+    size: usize,
+}
+
+impl Widget {
+    #[deprecated(note = "use WidgetBuilder")]
+    pub fn legacy_new(size: usize) -> Self {
+        Self { size }
+    }
+
+    #[deprecated(note = "use WidgetBuilder::resize")]
+    pub fn legacy_resize(&mut self, size: usize) {
+        self.size = size;
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+pub fn live_callers() -> usize {
+    let mut w = Widget::legacy_new(3); // line 27: finding (associated call)
+    w.legacy_resize(5); // line 28: finding (method call)
+    w.size()
+}
+
+pub fn suppressed_callers() -> usize {
+    // c2m-lint: allow(deprecated-shim-call, reason = "fixture: suppressed seeded violation")
+    let w = Widget::legacy_new(3); // line 34: suppressed
+    w.size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Widget;
+
+    #[test]
+    fn shims_stay_testable() {
+        let w = Widget::legacy_new(1);
+        assert_eq!(w.size(), 1);
+    }
+}

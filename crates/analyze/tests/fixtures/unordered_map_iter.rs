@@ -1,0 +1,25 @@
+// Seeded violations for the `unordered-map-iter` lint. This file is
+// linted as `crates/core/src/fixture.rs` (a determinism-critical path);
+// the walker never scans `fixtures/` directories, so these violations
+// cannot leak into a real run.
+
+use std::collections::HashMap; // line 6: finding
+
+pub struct Table {
+    map: HashMap<String, u64>, // line 9: finding
+}
+
+// c2m-lint: allow(unordered-map-iter, reason = "fixture: suppressed seeded violation")
+pub fn suppressed() -> HashMap<u32, u32> {
+    // line 13 above: suppressed by the pragma on line 12
+    std::collections::HashMap::new() // line 15: finding
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_region_is_exempt() {
+        let m: std::collections::HashMap<u8, u8> = std::collections::HashMap::new();
+        assert!(m.is_empty());
+    }
+}

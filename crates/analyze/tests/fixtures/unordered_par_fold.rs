@@ -1,0 +1,26 @@
+// Seeded violations for the `unordered-par-fold` lint.
+
+use rayon::prelude::*;
+
+pub fn unordered_sum(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum() // line 6: finding
+}
+
+pub fn unordered_reduce(xs: &[f64]) -> f64 {
+    // c2m-lint: allow(unordered-par-fold, reason = "fixture: suppressed seeded violation")
+    xs.par_iter().cloned().reduce(|| 0.0, |a, b| a + b) // line 11: suppressed
+}
+
+pub fn ordered_idiom(xs: &[f64]) -> f64 {
+    // Clean: collect in input order, then fold serially.
+    let doubled: Vec<f64> = xs.par_iter().map(|x| x * 2.0).collect();
+    doubled.iter().fold(0.0, |a, b| a + b)
+}
+
+pub fn closure_body_fold_is_not_the_chain(xs: &[Vec<f64>]) -> Vec<f64> {
+    // Clean: the fold happens *inside* the closure (deeper nesting),
+    // the chain itself terminates in an order-preserving collect().
+    xs.par_iter()
+        .map(|row| row.iter().fold(0.0, |a, b| a + b))
+        .collect()
+}

@@ -1,0 +1,25 @@
+// Seeded violations for the `unwrap-in-lib` lint.
+
+pub fn takes_the_shortcut(v: Option<u32>) -> u32 {
+    v.unwrap() // line 4: finding
+}
+
+pub fn computed_message(v: Option<u32>) -> u32 {
+    v.expect(&format!("missing {}", 7)) // line 8: finding (non-literal message)
+}
+
+pub fn sanctioned(v: Option<u32>) -> u32 {
+    v.expect("fixture invariant: caller checked is_some") // literal message: clean
+}
+
+pub fn contract_panic(x: u32) -> u32 {
+    if x == 0 {
+        // c2m-lint: allow(unwrap-in-lib, reason = "fixture: documented panic contract")
+        panic!("x must be nonzero"); // line 18: suppressed
+    }
+    x - 1
+}
+
+pub fn string_is_not_code() -> &'static str {
+    "call .unwrap() and panic!(now) inside a string" // clean: inside a literal
+}

@@ -1,0 +1,27 @@
+// Seeded violations for the `wallclock-in-sim` lint.
+
+use std::time::Instant; // line 3: finding (time:: path segment)
+
+pub fn naive_latency() -> u128 {
+    let t0 = Instant::now(); // line 6: finding (::now call)
+    t0.elapsed().as_nanos()
+}
+
+pub fn epoch() -> u64 {
+    // c2m-lint: allow(wallclock-in-sim, reason = "fixture: suppressed seeded violation")
+    let t = std::time::SystemTime::now(); // line 12: suppressed
+    drop(t);
+    0
+}
+
+/// A same-named enum variant must NOT be flagged — the workspace has
+/// its own `TraceEvent::Instant`.
+pub enum Event {
+    Instant { t_ns: f64 },
+}
+
+pub fn record(e: Event) -> f64 {
+    match e {
+        Event::Instant { t_ns } => t_ns,
+    }
+}

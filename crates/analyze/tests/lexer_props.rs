@@ -1,0 +1,103 @@
+//! Property test: lint-triggering patterns are inert inside string
+//! literals, raw strings, byte strings and comments. This is the one
+//! guarantee the hand-rolled lexer owes the lints — a regex-grade
+//! scanner fails exactly here.
+
+use c2m_analyze::config::Config;
+use c2m_analyze::run_files;
+use proptest::prelude::*;
+
+/// Patterns that each trip at least one lint when they appear as code.
+const BAIT: &[&str] = &[
+    ".unwrap()",
+    "HashMap::new()",
+    "std::time::Instant::now()",
+    "panic!(\"boom\")",
+    ".par_iter().map(|x| x).sum()",
+    ".expect(format!(\"x\"))",
+];
+
+/// Ways to quarantine a snippet so it is data, not code.
+#[derive(Debug, Clone, Copy)]
+enum Container {
+    LineComment,
+    BlockComment,
+    Str,
+    RawStr,
+    ByteStr,
+}
+
+fn embed(container: Container, snippet: &str, pad: usize) -> String {
+    let padding = "x".repeat(pad % 7 + 1);
+    match container {
+        Container::LineComment => {
+            format!("pub fn f() -> u32 {{\n    // {padding} {snippet}\n    0\n}}\n")
+        }
+        Container::BlockComment => {
+            format!("pub fn f() -> u32 {{\n    /* {padding}\n    {snippet}\n    */\n    0\n}}\n")
+        }
+        Container::Str => {
+            let escaped = snippet.replace('\\', "\\\\").replace('"', "\\\"");
+            format!("pub fn f() -> &'static str {{\n    \"{padding} {escaped}\"\n}}\n")
+        }
+        Container::RawStr => {
+            format!("pub fn f() -> &'static str {{\n    r#\"{padding} {snippet}\"#\n}}\n")
+        }
+        Container::ByteStr => {
+            let escaped = snippet.replace('\\', "\\\\").replace('"', "\\\"");
+            format!("pub fn f() -> &'static [u8] {{\n    b\"{padding} {escaped}\"\n}}\n")
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Quarantined bait produces zero findings; the same bait as live
+    /// code produces at least one. Both halves matter: the second
+    /// proves the bait actually baits, so the first is not vacuous.
+    #[test]
+    fn bait_is_inert_inside_literals_and_comments(
+        bait_idx in 0usize..6,
+        container in prop::sample::select(vec![
+            Container::LineComment,
+            Container::BlockComment,
+            Container::Str,
+            Container::RawStr,
+            Container::ByteStr,
+        ]),
+        pad in 0usize..100,
+    ) {
+        let snippet = BAIT[bait_idx];
+        let cfg = Config::default();
+        let quarantined = embed(container, snippet, pad);
+        let report = run_files(
+            &[("crates/core/src/fixture.rs".to_string(), quarantined.clone())],
+            &cfg,
+        )
+        .expect("lint run succeeds");
+        prop_assert!(
+            report.findings.is_empty(),
+            "findings from quarantined bait:\n{quarantined}\n{:?}",
+            report.findings
+        );
+
+        let live = format!(
+            "pub fn f(v: Option<u32>) {{\n    let _ = v{snippet};\n}}\n"
+        );
+        let live_src = if snippet.starts_with('.') {
+            live
+        } else {
+            format!("pub fn f() {{\n    let _ = {snippet};\n}}\n")
+        };
+        let report = run_files(
+            &[("crates/core/src/fixture.rs".to_string(), live_src.clone())],
+            &cfg,
+        )
+        .expect("lint run succeeds");
+        prop_assert!(
+            !report.findings.is_empty(),
+            "live bait went undetected:\n{live_src}"
+        );
+    }
+}

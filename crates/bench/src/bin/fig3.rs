@@ -31,7 +31,7 @@ fn main() {
     let mut measured: Vec<i64> = Vec::new();
     for _ in 0..200 {
         let read = filter.positive_read(&mut rng);
-        let mut reps = std::collections::HashMap::new();
+        let mut reps = std::collections::BTreeMap::new();
         for w in read.windows(filter.config().k) {
             *reps.entry(w.to_vec()).or_insert(0i64) += 1;
         }

@@ -354,6 +354,7 @@ impl AmbitSubarray {
             AmbitAddr::Dcc(i) => self.dcc[usize::from(i)] = v.clone(),
             AmbitAddr::DccNeg(i) => self.dcc[usize::from(i)] = v.not(),
             AmbitAddr::C0 | AmbitAddr::C1 => {
+                // c2m-lint: allow(unwrap-in-lib, reason = "documented hardware contract: writing a C-group control row is a program bug")
                 panic!("C-group control rows are read-only")
             }
             AmbitAddr::PairT0Dcc0 => {

@@ -12,7 +12,7 @@ use crate::machine::LogicOp;
 use serde::{Deserialize, Serialize};
 
 /// The CIM technologies modelled in this reproduction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Backend {
     /// Ambit-style DRAM: MAJ3 via triple-row activation, NOT via DCC.
     /// Costs below are for *generic* gate lowering; the optimised counting

@@ -29,7 +29,7 @@
 
 use crate::shard::{BackendPolicy, ShardAxis, ShardPlan, ShardSizing};
 use c2m_dram::CacheCounters;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -67,7 +67,7 @@ impl Default for CacheConfig {
 /// `sizing` holds the weight bit patterns of a
 /// [`ShardSizing::Weighted`] (empty for [`ShardSizing::Even`]) so the
 /// key stays hashable without losing any f64 exactness.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PlanKey {
     /// Partitioned kernel axis.
     pub axis: ShardAxis,
@@ -122,8 +122,8 @@ struct StreamEntry {
 #[derive(Debug)]
 pub struct PlanCache {
     cfg: CacheConfig,
-    plans: Mutex<HashMap<PlanKey, Arc<ShardPlan>>>,
-    streams: Mutex<HashMap<u64, StreamEntry>>,
+    plans: Mutex<BTreeMap<PlanKey, Arc<ShardPlan>>>,
+    streams: Mutex<BTreeMap<u64, StreamEntry>>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     stream_hits: AtomicU64,
@@ -142,8 +142,8 @@ impl PlanCache {
     pub fn new(cfg: CacheConfig) -> Self {
         Self {
             cfg,
-            plans: Mutex::new(HashMap::new()),
-            streams: Mutex::new(HashMap::new()),
+            plans: Mutex::new(BTreeMap::new()),
+            streams: Mutex::new(BTreeMap::new()),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
             stream_hits: AtomicU64::new(0),

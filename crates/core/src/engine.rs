@@ -403,6 +403,7 @@ impl EngineBuilder {
     pub fn build(self) -> C2mEngine {
         match self.try_build() {
             Ok(engine) => engine,
+            // c2m-lint: allow(unwrap-in-lib, reason = "documented panic contract of build(); try_build is the fallible API")
             Err(e) => panic!("invalid engine configuration: {e}"),
         }
     }

@@ -42,7 +42,7 @@ use c2m_dram::Topology;
 use serde::{Deserialize, Serialize};
 
 /// Which axis of the kernel a plan partitions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ShardAxis {
     /// GEMM output rows (M): independent, no reduction needed.
     OutputRows,
@@ -165,7 +165,7 @@ impl ShardPlan {
 }
 
 /// How shards map to compute backends.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BackendPolicy {
     /// Every shard runs on the same technology (the paper's setup, with
     /// [`Backend::Ambit`]).

@@ -423,7 +423,7 @@ fn sort_fcfs(reqs: &mut [(usize, MemoryRequest)]) {
     reqs.sort_by(|a, b| {
         a.1.arrival_ns
             .partial_cmp(&b.1.arrival_ns)
-            .unwrap()
+            .expect("arrival times are finite by construction")
             .then(a.0.cmp(&b.0))
     });
 }

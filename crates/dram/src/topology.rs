@@ -254,7 +254,7 @@ mod tests {
 
     #[test]
     fn fingerprint_is_injective_over_distinct_geometries() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for channels in 1..=8 {
             for ranks in 1..=4 {
                 for banks in [1, 8, 16, 32] {

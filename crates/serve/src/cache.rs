@@ -14,7 +14,7 @@
 //! it can never return another batch's pricing — and cached serving is
 //! bit-for-bit identical to uncached serving.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -53,7 +53,7 @@ struct Entry {
 /// path `&self`.
 #[derive(Debug)]
 pub struct BatchPriceCache {
-    entries: Mutex<HashMap<u64, Entry>>,
+    entries: Mutex<BTreeMap<u64, Entry>>,
     max_entries: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -75,7 +75,7 @@ impl BatchPriceCache {
     #[must_use]
     pub fn new(max_entries: usize) -> Self {
         Self {
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::new(BTreeMap::new()),
             max_entries: max_entries.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),

@@ -369,6 +369,7 @@ impl ServeConfigBuilder {
     pub fn build_runtime(self, engine: C2mEngine) -> ServeRuntime {
         match self.try_build_runtime(engine) {
             Ok(rt) => rt,
+            // c2m-lint: allow(unwrap-in-lib, reason = "documented panic contract of build_runtime(); try_build_runtime is the fallible API")
             Err(e) => panic!("invalid serve configuration: {e}"),
         }
     }
@@ -397,6 +398,7 @@ impl ServeConfigBuilder {
     pub fn build(self) -> ServeConfig {
         match self.try_build() {
             Ok(cfg) => cfg,
+            // c2m-lint: allow(unwrap-in-lib, reason = "documented panic contract of build(); try_build is the fallible API")
             Err(e) => panic!("invalid serve configuration: {e}"),
         }
     }
@@ -585,6 +587,7 @@ impl ServeRuntime {
     #[must_use]
     pub fn new(engine: C2mEngine, cfg: ServeConfig) -> Self {
         if let Err(m) = cfg.validate() {
+            // c2m-lint: allow(unwrap-in-lib, reason = "documented panic contract of ServeRuntime::new; the builder path validates first")
             panic!("{m}");
         }
         if let Some(cap) = cfg.power_budget_w {

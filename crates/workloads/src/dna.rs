@@ -282,7 +282,7 @@ impl DnaFilter {
     pub fn screen(&self, read: &[u8], acc: &mut dyn MaskedAccumulator) -> bool {
         acc.reset();
         // k-mer repetition counts: the Fig. 3a integer inputs.
-        let mut reps: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        let mut reps: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
         for w in read.windows(self.cfg.k) {
             *reps.entry(kmer_id(w)).or_insert(0) += 1;
         }

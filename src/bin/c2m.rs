@@ -7,6 +7,7 @@
 //! c2m radix-sweep [--max-radix R]
 //! c2m trace  --out FILE [--metrics FILE] [--requests N] [--tenants T]
 //! c2m trace  --check FILE [--expect dram,core,serve]
+//! c2m lint   [--json] [--deny] [--root DIR]
 //! c2m experiments
 //! ```
 //!
@@ -15,7 +16,8 @@
 //! latency, `radix-sweep` reproduces the Fig. 8 cost curves at small
 //! scale, `trace` records a small serving workload into a
 //! Chrome-trace/Perfetto JSON (or validates an existing one), and
-//! `experiments` lists the paper-artefact bench binaries.
+//! `experiments` lists the paper-artefact bench binaries. `lint` runs
+//! the `c2m_analyze` determinism lint engine over the workspace.
 
 use count2multiply::arch::engine::{C2mEngine, EngineConfig};
 use count2multiply::arch::kernels::{ternary_gemv, KernelConfig};
@@ -27,11 +29,11 @@ use count2multiply::serve::{open_loop, OpenLoopConfig, ServeConfig, TenantSpec};
 use count2multiply::trace::{validate_chrome_trace, RecordingSink, TraceSink};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut flags = HashMap::new();
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
@@ -47,7 +49,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn get<T: std::str::FromStr>(
-    flags: &HashMap<String, String>,
+    flags: &BTreeMap<String, String>,
     key: &str,
     default: T,
 ) -> Result<T, String> {
@@ -59,7 +61,7 @@ fn get<T: std::str::FromStr>(
     }
 }
 
-fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_plan(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let radix: usize = get(flags, "radix", 4)?;
     let capacity: u32 = get(flags, "capacity", 64)?;
     let k: usize = get(flags, "k", 512)?;
@@ -134,7 +136,7 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gemv(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_gemv(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let k: usize = get(flags, "k", 128)?;
     let n: usize = get(flags, "n", 64)?;
     let sparsity: f64 = get(flags, "sparsity", 0.0)?;
@@ -182,7 +184,7 @@ fn cmd_gemv(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_radix_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_radix_sweep(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let max_radix: usize = get(flags, "max-radix", 20)?;
     println!("average AAP commands to accumulate one uniform 8-bit input");
     println!("(64-bit capacity, k-ary increments + full rippling — Fig. 8a):\n");
@@ -201,7 +203,7 @@ fn cmd_radix_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
 
 /// `c2m trace --check FILE [--expect dram,core,serve]`: validate an
 /// existing Chrome-trace JSON (the CI smoke path).
-fn cmd_trace_check(flags: &HashMap<String, String>, path: &str) -> Result<(), String> {
+fn cmd_trace_check(flags: &BTreeMap<String, String>, path: &str) -> Result<(), String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("--check {path}: {e}"))?;
     let check = validate_chrome_trace(&json)?;
     if let Some(expect) = flags.get("expect") {
@@ -228,7 +230,7 @@ fn cmd_trace_check(flags: &HashMap<String, String>, path: &str) -> Result<(), St
 /// recording sink attached to every layer, export the Perfetto JSON
 /// (and optionally the flat metrics JSON), and print the per-class
 /// latency breakdown the trace explains.
-fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_trace(flags: &BTreeMap<String, String>) -> Result<(), String> {
     if let Some(path) = flags.get("check") {
         return cmd_trace_check(flags, path);
     }
@@ -328,8 +330,74 @@ fn cmd_experiments() {
     }
 }
 
+/// `c2m lint [--json] [--deny] [--root DIR]`: the determinism lint
+/// engine (`c2m_analyze`) over the workspace, configured by the
+/// committed `lint.toml`. Takes bare switches, so it parses its own
+/// arguments instead of going through `parse_flags`.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut deny = false;
+    let mut root = std::path::PathBuf::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--root" => {
+                let Some(dir) = args.get(i + 1) else {
+                    eprintln!("error: --root needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                root = std::path::PathBuf::from(dir);
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown lint flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let config_path = root.join("lint.toml");
+    let cfg = if config_path.is_file() {
+        let src = match std::fs::read_to_string(&config_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", config_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match c2m_analyze::config::Config::parse(&src) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {}: {e}", config_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        c2m_analyze::config::Config::default()
+    };
+    let report = match c2m_analyze::run_root(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.fails(deny) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn usage() -> &'static str {
-    "usage: c2m <plan|gemv|radix-sweep|trace|experiments> [--flag value]...\n\
+    "usage: c2m <plan|gemv|radix-sweep|trace|lint|experiments> [--flag value]...\n\
      try `c2m experiments` for the paper-artefact harness"
 }
 
@@ -339,6 +407,10 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+    // `lint` takes bare switches, which `parse_flags` rejects.
+    if cmd == "lint" {
+        return cmd_lint(&args[1..]);
+    }
     let flags = match parse_flags(&args[1..]) {
         Ok(f) => f,
         Err(e) => {
@@ -370,7 +442,7 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+    fn flags(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
         pairs
             .iter()
             .map(|&(k, v)| (k.to_string(), v.to_string()))
