@@ -10,14 +10,23 @@
 //! rows shard below the rank: concurrent per-subarray AAP streams
 //! multiply per-module throughput until the shared-bank command gate
 //! caps the stream count.
+//!
+//! Sweep points are priced **in parallel** on `rayon` workers against
+//! one shared plan/pricing/report cache; results are collected in input
+//! order and per-group speedup baselines applied afterwards, so the
+//! table and `--json` output are byte-identical at any
+//! `RAYON_NUM_THREADS`. With `--cache-dir <dir>` the shared cache
+//! persists to `<dir>/fig_scaling.c2mcache.json` across invocations.
 
-use c2m_bench::{eng, header, maybe_json, trace_flag};
+use c2m_bench::{cache_store_path, eng, header, maybe_json, trace_flag};
 use c2m_cim::Backend;
 use c2m_core::cache::PlanCache;
 use c2m_core::engine::{C2mEngine, EngineConfig};
 use c2m_core::shard::BackendPolicy;
+use c2m_core::store::CacheStore;
 use c2m_workloads::distributions::int8_embeddings;
 use c2m_workloads::llama::{GEMM_SHAPES, GEMV_SHAPES};
+use rayon::prelude::*;
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -35,44 +44,57 @@ struct ScalingRow {
     gemm_speedup: f64,
 }
 
-fn run(policy: &BackendPolicy, label: &str, cache: &Arc<PlanCache>, rows: &mut Vec<ScalingRow>) {
+/// One sweep point: a dispatch label, its backend policy and the
+/// topology to price. `group` ties the point to its speedup baseline
+/// (the first job of each group is the 1× reference).
+struct Job {
+    group: usize,
+    label: &'static str,
+    policy: BackendPolicy,
+    channels: usize,
+    subarrays: usize,
+}
+
+/// The V0 GEMV and M2 GEMM reports for one sweep point. Speedups are
+/// derived after collection so each group's baseline is its own first
+/// point regardless of execution order.
+struct Priced {
+    gemv_ns: f64,
+    gemv_ms: f64,
+    gemv_gops: f64,
+    gemm_ns: f64,
+    gemm_ms: f64,
+    gemm_gops: f64,
+}
+
+fn exec(job: &Job, x_gemv: &[i64], x_gemm: &[i64], cache: &Arc<PlanCache>) -> Priced {
     let gemv_shape = GEMV_SHAPES[0]; // V0: 1 x 22016 x 8192
     let gemm_shape = GEMM_SHAPES[2]; // M2: 8192 x 8192 x 8192
-    let x_gemv = int8_embeddings(gemv_shape.k, 0x5CA1);
-    let x_gemm = int8_embeddings(gemm_shape.k, 0x5CA2);
-
-    let mut base_gemv = 0.0;
-    let mut base_gemm = 0.0;
-    for channels in [1usize, 2, 4, 8] {
-        let mut cfg = EngineConfig::c2m(16);
-        cfg.dram.channels = channels;
-        // All sweep points share one cache: the input streams repeat
-        // across channel counts and policies, so only the first point
-        // pays the IARM planning pass.
-        let engine = C2mEngine::builder(cfg)
-            .backends(policy.clone())
-            .shared_cache(Arc::clone(cache))
-            .build();
-        let gemv = engine.ternary_gemv(&x_gemv, gemv_shape.n);
-        let gemm = engine.ternary_gemm(gemm_shape.m, gemm_shape.n, &x_gemm);
-        if channels == 1 {
-            base_gemv = gemv.elapsed_ns;
-            base_gemm = gemm.elapsed_ns;
-        }
-        let row = ScalingRow {
-            dispatch: label.to_string(),
-            channels,
-            ranks: 1,
-            subarrays: 1,
-            gemv_ms: gemv.elapsed_ms(),
-            gemv_gops: gemv.gops(),
-            gemv_speedup: base_gemv / gemv.elapsed_ns,
-            gemm_ms: gemm.elapsed_ms(),
-            gemm_gops: gemm.gops(),
-            gemm_speedup: base_gemm / gemm.elapsed_ns,
-        };
-        print_row(&row);
-        rows.push(row);
+    let mut cfg = EngineConfig::c2m(16);
+    cfg.dram.channels = job.channels;
+    // SALP points past the DDR5 geometry (128) are modelled by widening
+    // `subarrays_per_bank`; the engine still clamps the granted streams
+    // at the channel-gate cap, so the curve saturates instead of rising
+    // without bound.
+    cfg.dram.subarrays_per_bank = cfg.dram.subarrays_per_bank.max(job.subarrays);
+    cfg.subarrays = job.subarrays;
+    // All sweep points share one cache: the input streams repeat across
+    // channel counts and policies, so only the first point pays the
+    // IARM planning pass, and repeated invocations under `--cache-dir`
+    // hit the report tier outright.
+    let engine = C2mEngine::builder(cfg)
+        .backends(job.policy.clone())
+        .shared_cache(Arc::clone(cache))
+        .build();
+    let gemv = engine.ternary_gemv(x_gemv, gemv_shape.n);
+    let gemm = engine.ternary_gemm(gemm_shape.m, gemm_shape.n, x_gemm);
+    Priced {
+        gemv_ns: gemv.elapsed_ns,
+        gemv_ms: gemv.elapsed_ms(),
+        gemv_gops: gemv.gops(),
+        gemm_ns: gemm.elapsed_ns,
+        gemm_ms: gemm.elapsed_ms(),
+        gemm_gops: gemm.gops(),
     }
 }
 
@@ -89,54 +111,6 @@ fn print_row(row: &ScalingRow) {
         eng(row.gemm_gops),
         eng(row.gemm_speedup),
     );
-}
-
-/// The SALP sweep: shard below the rank. Subarray counts past the
-/// DDR5 geometry (128) are modelled by widening `subarrays_per_bank`;
-/// the engine still clamps the granted streams at the channel-gate
-/// cap, so the curve saturates instead of rising without bound.
-/// Speedups are relative to the 1-stream point at the same channel
-/// count, making the per-module multiplier directly readable.
-fn run_salp(cache: &Arc<PlanCache>, rows: &mut Vec<ScalingRow>) {
-    let gemv_shape = GEMV_SHAPES[0];
-    let gemm_shape = GEMM_SHAPES[2];
-    let x_gemv = int8_embeddings(gemv_shape.k, 0x5CA1);
-    let x_gemm = int8_embeddings(gemm_shape.k, 0x5CA2);
-
-    for channels in [1usize, 4] {
-        let mut base_gemv = 0.0;
-        let mut base_gemm = 0.0;
-        for subarrays in [1usize, 8, 32, 128] {
-            let mut cfg = EngineConfig::c2m(16);
-            cfg.dram.channels = channels;
-            cfg.dram.subarrays_per_bank = cfg.dram.subarrays_per_bank.max(subarrays);
-            cfg.subarrays = subarrays;
-            let engine = C2mEngine::builder(cfg)
-                .backends(BackendPolicy::Uniform(Backend::Ambit))
-                .shared_cache(Arc::clone(cache))
-                .build();
-            let gemv = engine.ternary_gemv(&x_gemv, gemv_shape.n);
-            let gemm = engine.ternary_gemm(gemm_shape.m, gemm_shape.n, &x_gemm);
-            if subarrays == 1 {
-                base_gemv = gemv.elapsed_ns;
-                base_gemm = gemm.elapsed_ns;
-            }
-            let row = ScalingRow {
-                dispatch: "Ambit/SALP".to_string(),
-                channels,
-                ranks: 1,
-                subarrays,
-                gemv_ms: gemv.elapsed_ms(),
-                gemv_gops: gemv.gops(),
-                gemv_speedup: base_gemv / gemv.elapsed_ns,
-                gemm_ms: gemm.elapsed_ms(),
-                gemm_gops: gemm.gops(),
-                gemm_speedup: base_gemm / gemm.elapsed_ns,
-            };
-            print_row(&row);
-            rows.push(row);
-        }
-    }
 }
 
 /// `--trace <out.json>`: replay the V0 GEMV on fresh private-cache
@@ -188,27 +162,83 @@ fn main() {
         "\n{:>14} | {:>3} {:>4} | {:>9} {:>8} {:>7} | {:>9} {:>8} {:>7}",
         "dispatch", "ch", "sub", "gemv ms", "gops", "speedup", "gemm ms", "gops", "speedup"
     );
-    let mut rows = Vec::new();
+    let gemv_shape = GEMV_SHAPES[0];
+    let gemm_shape = GEMM_SHAPES[2];
+    let x_gemv = int8_embeddings(gemv_shape.k, 0x5CA1);
+    let x_gemm = int8_embeddings(gemm_shape.k, 0x5CA2);
     let cache = Arc::new(PlanCache::default());
-    run(
-        &BackendPolicy::Uniform(Backend::Ambit),
-        "Ambit",
-        &cache,
-        &mut rows,
-    );
-    run(
-        &BackendPolicy::Uniform(Backend::Fcdram),
-        "FCDRAM",
-        &cache,
-        &mut rows,
-    );
-    run(
-        &BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]),
-        "Ambit+FCDRAM",
-        &cache,
-        &mut rows,
-    );
-    run_salp(&cache, &mut rows);
+    let store = cache_store_path("fig_scaling");
+    if let Some(path) = &store {
+        let _ = CacheStore::load_into(path, &cache);
+    }
+
+    // Channel-scaling groups (first point of each group = 1 channel),
+    // then the SALP groups (first point = 1 stream) at 1 and 4 channels.
+    let mut jobs: Vec<Job> = Vec::new();
+    let channel_groups: [(&'static str, BackendPolicy); 3] = [
+        ("Ambit", BackendPolicy::Uniform(Backend::Ambit)),
+        ("FCDRAM", BackendPolicy::Uniform(Backend::Fcdram)),
+        (
+            "Ambit+FCDRAM",
+            BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]),
+        ),
+    ];
+    for (g, (label, policy)) in channel_groups.iter().enumerate() {
+        for channels in [1usize, 2, 4, 8] {
+            jobs.push(Job {
+                group: g,
+                label,
+                policy: policy.clone(),
+                channels,
+                subarrays: 1,
+            });
+        }
+    }
+    for (i, channels) in [1usize, 4].into_iter().enumerate() {
+        for subarrays in [1usize, 8, 32, 128] {
+            jobs.push(Job {
+                group: channel_groups.len() + i,
+                label: "Ambit/SALP",
+                policy: BackendPolicy::Uniform(Backend::Ambit),
+                channels,
+                subarrays,
+            });
+        }
+    }
+
+    // Price every point on a worker; collect() preserves input order.
+    let priced: Vec<Priced> = jobs
+        .par_iter()
+        .map(|j| exec(j, &x_gemv, &x_gemm, &cache))
+        .collect();
+
+    // Speedup baselines: the first point of each group, applied in
+    // input order so the rows come out exactly as the serial sweep did.
+    let mut rows = Vec::with_capacity(jobs.len());
+    let mut base: Option<(usize, f64, f64)> = None;
+    for (job, p) in jobs.iter().zip(&priced) {
+        let (base_gemv, base_gemm) = match base {
+            Some((g, v, m)) if g == job.group => (v, m),
+            _ => {
+                base = Some((job.group, p.gemv_ns, p.gemm_ns));
+                (p.gemv_ns, p.gemm_ns)
+            }
+        };
+        let row = ScalingRow {
+            dispatch: job.label.to_string(),
+            channels: job.channels,
+            ranks: 1,
+            subarrays: job.subarrays,
+            gemv_ms: p.gemv_ms,
+            gemv_gops: p.gemv_gops,
+            gemv_speedup: base_gemv / p.gemv_ns,
+            gemm_ms: p.gemm_ms,
+            gemm_gops: p.gemm_gops,
+            gemm_speedup: base_gemm / p.gemm_ns,
+        };
+        print_row(&row);
+        rows.push(row);
+    }
 
     println!("\nGEMV shards K (pays cross-unit merges); GEMM shards rows (pays host gather);");
     println!("speedups are sublinear in channels, and FCDRAM pays the generic-lowering premium.");
@@ -216,6 +246,9 @@ fn main() {
     println!("so the 32- and 128-subarray points coincide once the cap binds.");
     if let Some(path) = trace_flag() {
         trace_export(&path);
+    }
+    if let Some(path) = &store {
+        CacheStore::save(path, &cache).expect("cache store path is writable");
     }
     maybe_json(&rows);
 }

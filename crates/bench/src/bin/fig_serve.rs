@@ -35,16 +35,27 @@
 //!   ([`ServeConfig::residency_slots`]): slotted accounting reloads
 //!   each missing slot's rounded-up mask share, so tenant switches are
 //!   never priced cheaper than the whole-mask model.
+//!
+//! The sweep points are priced **in parallel**: every configuration is
+//! enqueued as a job and run on a `rayon` worker against one shared
+//! plan/pricing/report cache; results are collected in input order, so
+//! the table and `--json` output are byte-identical at any
+//! `RAYON_NUM_THREADS` (including `1`). With `--cache-dir <dir>` the
+//! shared cache is loaded from `<dir>/fig_serve.c2mcache.json` before
+//! the sweep and saved back afterwards, so a repeated invocation starts
+//! warm across processes.
 
-use c2m_bench::{eng, header, maybe_json, trace_flag};
+use c2m_bench::{cache_store_path, eng, header, maybe_json, trace_flag};
 use c2m_cim::Backend;
 use c2m_core::cache::PlanCache;
 use c2m_core::engine::{C2mEngine, EngineConfig};
 use c2m_core::shard::BackendPolicy;
+use c2m_core::store::CacheStore;
 use c2m_serve::{
     open_loop, OpenLoopConfig, SchedPolicy, ServeConfig, ServeRequest, ServeRuntime, ServiceClass,
     TenantSpec,
 };
+use rayon::prelude::*;
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -123,10 +134,12 @@ fn slo_workload() -> Vec<ServeRequest> {
     })
 }
 
-/// Every swept engine shares one plan/pricing cache: the trace is the
-/// same across configuration points, so after the first run each
+/// Every swept engine shares one plan/pricing/report cache: the trace
+/// is the same across configuration points, so after the first run each
 /// request's IARM pricing is a cache hit (radix/digits are identical
-/// everywhere; plans key on topology/policy/sizing and stay distinct).
+/// everywhere; plans and reports key on topology/policy/sizing and stay
+/// distinct). Cached results are equality-gated, so sharing the cache
+/// across concurrently swept configurations cannot change any number.
 fn engine(
     channels: usize,
     subarrays: usize,
@@ -154,37 +167,51 @@ fn policy_name(policy: SchedPolicy) -> &'static str {
     }
 }
 
-fn run(
-    trace: &[ServeRequest],
-    sweep: &str,
-    channels: usize,
-    backend: (&BackendPolicy, &str, bool),
-    cfg: ServeConfig,
-    cache: &Arc<PlanCache>,
-    rows: &mut Vec<ServeRow>,
-) {
-    run_salp(trace, sweep, channels, 1, backend, cfg, cache, rows);
+/// Which of the two shared traces a sweep point serves.
+#[derive(Clone, Copy)]
+enum TraceId {
+    Workload,
+    Slo,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_salp(
-    trace: &[ServeRequest],
-    sweep: &str,
+/// One sweep configuration, enqueued in output order and priced on a
+/// worker thread.
+struct Job {
+    trace: TraceId,
+    sweep: &'static str,
     channels: usize,
     subarrays: usize,
-    backend: (&BackendPolicy, &str, bool),
+    backend: (BackendPolicy, &'static str, bool),
     cfg: ServeConfig,
+}
+
+/// Prices one sweep point and renders its table line. Pure in its
+/// inputs (the shared cache is observational), so jobs can run in any
+/// order on any number of threads.
+fn exec(
+    job: &Job,
+    traces: &(Vec<ServeRequest>, Vec<ServeRequest>),
     cache: &Arc<PlanCache>,
-    rows: &mut Vec<ServeRow>,
-) {
-    let (backend_policy, dispatch, weighted) = backend;
+) -> (ServeRow, String) {
+    let trace: &[ServeRequest] = match job.trace {
+        TraceId::Workload => &traces.0,
+        TraceId::Slo => &traces.1,
+    };
+    let (backend_policy, dispatch, weighted) = &job.backend;
+    let cfg = job.cfg.clone();
     let async_planner = cfg.async_planner;
     let max_batch = cfg.max_batch;
     let policy = cfg.policy;
     let cap_w = cfg.power_budget_w.unwrap_or(0.0);
     let residency_slots = cfg.residency_slots;
     let runtime = ServeRuntime::new(
-        engine(channels, subarrays, backend_policy, weighted, cache),
+        engine(
+            job.channels,
+            job.subarrays,
+            backend_policy,
+            *weighted,
+            cache,
+        ),
         cfg,
     );
     let rep = runtime.run(trace);
@@ -195,12 +222,12 @@ fn run_salp(
         _ => panic!("served trace has at least one class"),
     };
     let row = ServeRow {
-        sweep: sweep.to_string(),
-        channels,
-        subarrays,
+        sweep: job.sweep.to_string(),
+        channels: job.channels,
+        subarrays: job.subarrays,
         residency_slots,
-        dispatch: dispatch.to_string(),
-        sizing: if weighted { "weighted" } else { "even" }.to_string(),
+        dispatch: (*dispatch).to_string(),
+        sizing: if *weighted { "weighted" } else { "even" }.to_string(),
         mode: if async_planner { "async" } else { "sync" }.to_string(),
         policy: policy_name(policy).to_string(),
         max_batch,
@@ -226,7 +253,7 @@ fn run_salp(
         peak_power_w: rep.peak_window_power_w(),
         cap_w,
     };
-    println!(
+    let line = format!(
         "{:>9} | {:>2} | {:>12} | {:>8} | {:>5} | {:>4} | {:>5} | {:>9} {:>9} {:>9} | {:>9} | {:>5} | {:>9} {:>5.2} | {:>3} | {:>9} {:>7} {:>5}",
         row.sweep,
         row.channels,
@@ -247,7 +274,7 @@ fn run_salp(
         eng(row.peak_power_w),
         eng(row.cap_w),
     );
-    rows.push(row);
+    (row, line)
 }
 
 /// `--trace <out.json>`: replay the residency overload twice on fresh
@@ -325,9 +352,28 @@ fn main() {
     let mixed = BackendPolicy::PerChannel(vec![Backend::Ambit, Backend::Fcdram]);
     // One trace shared by every configuration, so the sweeps compare
     // policies, not inputs.
-    let trace = workload();
-    let mut rows = Vec::new();
+    let traces = (workload(), slo_workload());
     let cache = Arc::new(PlanCache::default());
+    let store = cache_store_path("fig_serve");
+    if let Some(path) = &store {
+        let _ = CacheStore::load_into(path, &cache);
+    }
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut push = |trace: TraceId,
+                    sweep: &'static str,
+                    channels: usize,
+                    subarrays: usize,
+                    backend: (&BackendPolicy, &'static str, bool),
+                    cfg: ServeConfig| {
+        jobs.push(Job {
+            trace,
+            sweep,
+            channels,
+            subarrays,
+            backend: (backend.0.clone(), backend.1, backend.2),
+            cfg,
+        });
+    };
 
     let batched = |max_batch: usize| ServeConfig {
         window_ns: if max_batch > 1 { 1e9 } else { 0.0 },
@@ -338,43 +384,40 @@ fn main() {
     // Sweep 1: the batching window (batch cap) on 1 and 4 channels.
     for &channels in &[1usize, 4] {
         for &b in &[1usize, 2, 4, 8, 16] {
-            run(
-                &trace,
+            push(
+                TraceId::Workload,
                 "batching",
                 channels,
+                1,
                 (&ambit, "Ambit", false),
                 batched(b),
-                &cache,
-                &mut rows,
             );
         }
     }
     // Sweep 2: synchronous vs double-buffered (async) planning.
     for &async_planner in &[false, true] {
-        run(
-            &trace,
+        push(
+            TraceId::Workload,
             "async",
             4,
+            1,
             (&ambit, "Ambit", false),
             ServeConfig {
                 async_planner,
                 ..batched(8)
             },
-            &cache,
-            &mut rows,
         );
     }
     // Sweep 3: even vs heterogeneity-weighted shard sizing on the mixed
     // module.
     for &weighted in &[false, true] {
-        run(
-            &trace,
+        push(
+            TraceId::Workload,
             "sizing",
             4,
+            1,
             (&mixed, "Ambit+FCDRAM", weighted),
             batched(16),
-            &cache,
-            &mut rows,
         );
     }
 
@@ -382,16 +425,16 @@ fn main() {
     // starvation cap is widened so PriorityWeighted's class preference
     // is visible (at the default 10 µs cap every backlogged request is
     // over-cap and the policy collapses to FCFS).
-    let slo_trace = slo_workload();
     let policies = [
         SchedPolicy::Fifo,
         SchedPolicy::EarliestDeadlineFirst,
         SchedPolicy::PriorityWeighted,
     ];
     for &policy in &policies {
-        run(
-            &slo_trace,
+        push(
+            TraceId::Slo,
             "slo",
+            1,
             1,
             (&ambit, "Ambit", false),
             ServeConfig {
@@ -399,8 +442,6 @@ fn main() {
                 max_wait_ns: 10e6,
                 ..batched(8)
             },
-            &cache,
-            &mut rows,
         );
     }
     // Sweep 5: the same overload with tenant weight residency at a
@@ -408,9 +449,10 @@ fn main() {
     let slo_engine = engine(1, 1, &ambit, false, &cache);
     let budget = 2 * slo_engine.tenant_mask_rows(1024, 512);
     for &policy in &policies {
-        run(
-            &slo_trace,
+        push(
+            TraceId::Slo,
             "residency",
+            1,
             1,
             (&ambit, "Ambit", false),
             ServeConfig {
@@ -419,8 +461,6 @@ fn main() {
                 residency_rows: Some(budget),
                 ..batched(8)
             },
-            &cache,
-            &mut rows,
         );
     }
 
@@ -428,7 +468,9 @@ fn main() {
     // the same overload trace. The caps sit at fixed fractions of the
     // uncapped batched FIFO run's rolling-window excursion above the
     // module's static idle floor, so "tight" demonstrably binds while
-    // staying feasible for a lone request.
+    // staying feasible for a lone request. The probe runs sequentially
+    // (before the parallel sweep) because the swept caps derive from
+    // its result.
     let energy_cfg = |policy: SchedPolicy, max_batch: usize, cap: Option<f64>| ServeConfig {
         policy,
         max_wait_ns: 10e6,
@@ -439,7 +481,7 @@ fn main() {
         engine(1, 1, &ambit, false, &cache),
         energy_cfg(SchedPolicy::Fifo, 8, None),
     )
-    .run(&slo_trace);
+    .run(&traces.1);
     let idle_w = probe.idle_floor_w;
     let excursion = probe.peak_window_power_w() - idle_w;
     let caps = [
@@ -450,14 +492,13 @@ fn main() {
     for &policy in &policies {
         for &b in &[1usize, 8] {
             for &cap in &caps {
-                run(
-                    &slo_trace,
+                push(
+                    TraceId::Slo,
                     "energy",
+                    1,
                     1,
                     (&ambit, "Ambit", false),
                     energy_cfg(policy, b, cap),
-                    &cache,
-                    &mut rows,
                 );
             }
         }
@@ -474,8 +515,8 @@ fn main() {
     let salp_slots = salp_engine.residency_slots();
     for &policy in &policies {
         for &slots in &[1usize, salp_slots] {
-            run_salp(
-                &slo_trace,
+            push(
+                TraceId::Slo,
                 "salp_residency",
                 1,
                 8,
@@ -487,10 +528,19 @@ fn main() {
                     residency_slots: slots,
                     ..batched(8)
                 },
-                &cache,
-                &mut rows,
             );
         }
+    }
+
+    // Price every sweep point on a worker; collect() preserves input
+    // order, so rows (and the table) print exactly as the serial sweep
+    // did at any RAYON_NUM_THREADS.
+    let results: Vec<(ServeRow, String)> =
+        jobs.par_iter().map(|j| exec(j, &traces, &cache)).collect();
+    let mut rows = Vec::with_capacity(results.len());
+    for (row, line) in results {
+        println!("{line}");
+        rows.push(row);
     }
 
     println!("\nBatching coalesces same-tenant GEMVs into row-sharded launches (cap 1 = the");
@@ -502,7 +552,10 @@ fn main() {
     println!("by shrinking/deferring batches, trading latency for cap compliance; the SALP");
     println!("residency sweep prices reloads per subarray slot, never under the flat model.");
     if let Some(path) = trace_flag() {
-        trace_export(&slo_trace, &ambit, &path);
+        trace_export(&traces.1, &ambit, &path);
+    }
+    if let Some(path) = &store {
+        CacheStore::save(path, &cache).expect("cache store path is writable");
     }
     maybe_json(&rows);
 }

@@ -28,12 +28,12 @@
 //! [`ExecutionReport`](c2m_dram::ExecutionReport).
 
 use crate::shard::{BackendPolicy, ShardAxis, ShardPlan, ShardSizing};
-use c2m_dram::CacheCounters;
+use c2m_dram::{CacheCounters, ExecutionReport};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Sizing limits for a [`PlanCache`]. Both maps use epoch eviction:
+/// Sizing limits for a [`PlanCache`]. Every map uses epoch eviction:
 /// when a map would exceed its cap the whole map is cleared — trivially
 /// correct (a cleared entry is just a future miss) and O(1) amortised,
 /// which suits the steady-state traces the cache exists for (a working
@@ -46,16 +46,22 @@ pub struct CacheConfig {
     /// of its stream, so memory is bounded by `max_streams × longest
     /// stream`.
     pub max_streams: usize,
+    /// Maximum whole-launch [`ExecutionReport`]s retained. `0` disables
+    /// the report tier entirely (no entries, no tallies) — useful when
+    /// a caller wants to keep measuring or exercising the re-fold path
+    /// while still sharing warm plan/stream tiers.
+    pub max_reports: usize,
 }
 
 impl Default for CacheConfig {
-    /// 1024 plans / 8192 streams: a steady-state serving working set
-    /// (tens of tenants × shapes) fits with two orders of magnitude to
-    /// spare, while the worst case stays a few hundred MB.
+    /// 1024 plans / 8192 streams / 1024 reports: a steady-state serving
+    /// working set (tens of tenants × shapes) fits with two orders of
+    /// magnitude to spare, while the worst case stays a few hundred MB.
     fn default() -> Self {
         Self {
             max_plans: 1024,
             max_streams: 8192,
+            max_reports: 1024,
         }
     }
 }
@@ -98,11 +104,11 @@ impl PlanKey {
 /// stored values (`x` then `−x`), so ternary callers can key on the
 /// undoubled input and skip materialising the doubled copy on a hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct StreamParams {
-    radix: usize,
-    digits: usize,
-    iarm: bool,
-    doubled: bool,
+pub(crate) struct StreamParams {
+    pub(crate) radix: usize,
+    pub(crate) digits: usize,
+    pub(crate) iarm: bool,
+    pub(crate) doubled: bool,
 }
 
 #[derive(Debug)]
@@ -110,6 +116,244 @@ struct StreamEntry {
     params: StreamParams,
     xs: Box<[i64]>,
     seqs: u64,
+}
+
+/// Owned identity of a memoised whole launch: which kernel entry point
+/// ran and the full input content it ran over. Content is stored, not
+/// hashed, so the [`ReportCache`] equality gate can compare exactly —
+/// the same rule the stream tier follows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportKernel {
+    /// [`ternary_gemv`](crate::engine::C2mEngine::ternary_gemv) over
+    /// `x` with `n` output rows.
+    TernaryGemv {
+        /// Output rows.
+        n: usize,
+        /// Input stream.
+        x: Box<[i64]>,
+    },
+    /// [`ternary_gemv_batch`](crate::engine::C2mEngine::ternary_gemv_batch)
+    /// over the batch `xs` with `n` output rows each.
+    TernaryGemvBatch {
+        /// Output rows per request.
+        n: usize,
+        /// One input stream per batched request.
+        xs: Box<[Box<[i64]>]>,
+    },
+    /// Row-sharded GEMM pricing
+    /// ([`ternary_gemm`](crate::engine::C2mEngine::ternary_gemm) when
+    /// `doubled`, [`binary_gemm`](crate::engine::C2mEngine::binary_gemm)
+    /// otherwise) over an `m × n` output and a sampled column stream.
+    Rows {
+        /// Output rows.
+        m: usize,
+        /// Output columns.
+        n: usize,
+        /// Whether the sample stream is priced in doubled ternary form.
+        doubled: bool,
+        /// Sampled per-column input stream (length = inner dimension).
+        sample: Box<[i64]>,
+    },
+    /// [`int_gemv`](crate::engine::C2mEngine::int_gemv) over `x` with
+    /// `n` output rows and the given CSD plane decomposition.
+    IntGemv {
+        /// Output rows.
+        n: usize,
+        /// CSD planes as `(shift, negated)` pairs.
+        planes: Box<[(u32, bool)]>,
+        /// Input stream.
+        x: Box<[i64]>,
+    },
+}
+
+/// Borrowed view of a [`ReportKernel`], used for lookups so the hit
+/// path compares and hashes in place without copying kernel inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportKernelRef<'a> {
+    /// See [`ReportKernel::TernaryGemv`].
+    TernaryGemv {
+        /// Output rows.
+        n: usize,
+        /// Input stream.
+        x: &'a [i64],
+    },
+    /// See [`ReportKernel::TernaryGemvBatch`].
+    TernaryGemvBatch {
+        /// Output rows per request.
+        n: usize,
+        /// One input stream per batched request.
+        xs: &'a [&'a [i64]],
+    },
+    /// See [`ReportKernel::Rows`].
+    Rows {
+        /// Output rows.
+        m: usize,
+        /// Output columns.
+        n: usize,
+        /// Whether the sample stream is priced in doubled ternary form.
+        doubled: bool,
+        /// Sampled per-column input stream.
+        sample: &'a [i64],
+    },
+    /// See [`ReportKernel::IntGemv`].
+    IntGemv {
+        /// Output rows.
+        n: usize,
+        /// CSD planes as `(shift, negated)` pairs.
+        planes: &'a [(u32, bool)],
+        /// Input stream.
+        x: &'a [i64],
+    },
+}
+
+impl ReportKernelRef<'_> {
+    fn to_owned_kernel(self) -> ReportKernel {
+        match self {
+            Self::TernaryGemv { n, x } => ReportKernel::TernaryGemv { n, x: x.into() },
+            Self::TernaryGemvBatch { n, xs } => ReportKernel::TernaryGemvBatch {
+                n,
+                xs: xs.iter().map(|&row| Box::from(row)).collect(),
+            },
+            Self::Rows {
+                m,
+                n,
+                doubled,
+                sample,
+            } => ReportKernel::Rows {
+                m,
+                n,
+                doubled,
+                sample: sample.into(),
+            },
+            Self::IntGemv { n, planes, x } => ReportKernel::IntGemv {
+                n,
+                planes: planes.into(),
+                x: x.into(),
+            },
+        }
+    }
+}
+
+impl ReportKernel {
+    /// Runs `f` on a borrowed view of this kernel (the batch variant
+    /// materialises its row-slice table on the stack of the call).
+    fn with_ref<R>(&self, f: impl FnOnce(ReportKernelRef<'_>) -> R) -> R {
+        match self {
+            Self::TernaryGemv { n, x } => f(ReportKernelRef::TernaryGemv { n: *n, x }),
+            Self::TernaryGemvBatch { n, xs } => {
+                let rows: Vec<&[i64]> = xs.iter().map(AsRef::as_ref).collect();
+                f(ReportKernelRef::TernaryGemvBatch { n: *n, xs: &rows })
+            }
+            Self::Rows {
+                m,
+                n,
+                doubled,
+                sample,
+            } => f(ReportKernelRef::Rows {
+                m: *m,
+                n: *n,
+                doubled: *doubled,
+                sample,
+            }),
+            Self::IntGemv { n, planes, x } => f(ReportKernelRef::IntGemv { n: *n, planes, x }),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ReportEntry {
+    cfg_words: Box<[u64]>,
+    kernel: ReportKernel,
+    report: ExecutionReport,
+}
+
+/// Whole-launch memo table: `(engine-config words, kernel identity) →`
+/// [`ExecutionReport`]. A hit clones the stored report and skips the
+/// entire plan/price/fold pipeline.
+///
+/// `cfg_words` must be an *injective* encoding of everything the engine
+/// reads when folding a launch — see
+/// [`C2mEngine::report_key_words`](crate::engine::C2mEngine::report_key_words),
+/// whose field coverage the `cache-key-completeness` lint enforces. As
+/// with the stream tier, entries are served only after full equality of
+/// both the config words and the kernel content, so a cached launch is
+/// bit-for-bit the launch the uncached engine would have folded.
+#[derive(Debug)]
+pub struct ReportCache {
+    max: usize,
+    entries: Mutex<BTreeMap<u64, ReportEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ReportCache {
+    fn new(max: usize) -> Self {
+        Self {
+            max,
+            entries: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the tier is enabled (`max_reports > 0`). Disabled tiers
+    /// never store, serve, or tally anything.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.max > 0
+    }
+
+    /// The stored report for `(cfg_words, kernel)`, if one exists.
+    /// Counts a hit or a miss unless the tier is disabled. The caller
+    /// re-stamps the clone's `cache` field — the stored snapshot
+    /// belongs to the run that produced it.
+    #[must_use]
+    pub fn lookup(
+        &self,
+        cfg_words: &[u64],
+        kernel: ReportKernelRef<'_>,
+    ) -> Option<ExecutionReport> {
+        if !self.enabled() {
+            return None;
+        }
+        let index = report_index(cfg_words, kernel);
+        {
+            let map = self.entries.lock().expect("report cache poisoned");
+            if let Some(entry) = map.get(&index) {
+                // Exactness gate: serve only on full equality of the
+                // config encoding and the kernel content.
+                if entry.cfg_words.as_ref() == cfg_words
+                    && entry.kernel.with_ref(|stored| stored == kernel)
+                {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(entry.report.clone());
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `report` under `(cfg_words, kernel)`. No-op when the tier
+    /// is disabled.
+    pub fn insert(&self, cfg_words: &[u64], kernel: ReportKernelRef<'_>, report: &ExecutionReport) {
+        if !self.enabled() {
+            return;
+        }
+        let index = report_index(cfg_words, kernel);
+        let mut map = self.entries.lock().expect("report cache poisoned");
+        if map.len() >= self.max {
+            map.clear();
+        }
+        map.insert(
+            index,
+            ReportEntry {
+                cfg_words: cfg_words.into(),
+                kernel: kernel.to_owned_kernel(),
+                report: report.clone(),
+            },
+        );
+    }
 }
 
 /// Thread-safe memo table for shard plans and stream sequence counts.
@@ -124,6 +368,7 @@ pub struct PlanCache {
     cfg: CacheConfig,
     plans: Mutex<BTreeMap<PlanKey, Arc<ShardPlan>>>,
     streams: Mutex<BTreeMap<u64, StreamEntry>>,
+    reports: ReportCache,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     stream_hits: AtomicU64,
@@ -144,6 +389,7 @@ impl PlanCache {
             cfg,
             plans: Mutex::new(BTreeMap::new()),
             streams: Mutex::new(BTreeMap::new()),
+            reports: ReportCache::new(cfg.max_reports),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
             stream_hits: AtomicU64::new(0),
@@ -157,6 +403,12 @@ impl PlanCache {
         self.cfg
     }
 
+    /// The whole-launch report tier.
+    #[must_use]
+    pub fn reports(&self) -> &ReportCache {
+        &self.reports
+    }
+
     /// Cumulative hit/miss tallies.
     #[must_use]
     pub fn counters(&self) -> CacheCounters {
@@ -165,6 +417,8 @@ impl PlanCache {
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
             stream_hits: self.stream_hits.load(Ordering::Relaxed),
             stream_misses: self.stream_misses.load(Ordering::Relaxed),
+            report_hits: self.reports.hits.load(Ordering::Relaxed),
+            report_misses: self.reports.misses.load(Ordering::Relaxed),
         }
     }
 
@@ -173,6 +427,11 @@ impl PlanCache {
     pub fn clear(&self) {
         self.plans.lock().expect("plan cache poisoned").clear();
         self.streams.lock().expect("stream cache poisoned").clear();
+        self.reports
+            .entries
+            .lock()
+            .expect("report cache poisoned")
+            .clear();
     }
 
     /// The plan under `key`, building it with `build` on a miss.
@@ -239,28 +498,192 @@ impl PlanCache {
     }
 }
 
-/// FNV-1a over the stream parameters and values: the *index* of the
-/// stream map. Collisions degrade to recomputation (the entry fails the
-/// equality gate and is replaced), so this needs to be fast and
-/// well-distributed, not cryptographic.
-fn stream_index(params: StreamParams, xs: &[i64]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    eat(params.radix as u64);
-    eat(params.digits as u64);
-    eat(u64::from(params.iarm) << 1 | u64::from(params.doubled));
-    eat(xs.len() as u64);
-    for &x in xs {
-        eat(x as u64);
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a word stream, one little-endian u64 at a time. All map
+/// *indices* in this module use this: collisions degrade to
+/// recomputation (the entry fails the equality gate and is replaced),
+/// so the hash needs to be fast and well-distributed, not
+/// cryptographic.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(FNV_OFFSET)
     }
-    h
+
+    fn eat(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// One xor-multiply step per whole word — 8× fewer multiplies than
+    /// [`Self::eat`], slightly worse diffusion. The report index hashes
+    /// entire kernel inputs on every launch, so it takes the fast step
+    /// (a weaker index only ever costs a recomputation).
+    fn eat_word(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Index of a stream entry (see [`Fnv`]).
+fn stream_index(params: StreamParams, xs: &[i64]) -> u64 {
+    let mut h = Fnv::new();
+    h.eat(params.radix as u64);
+    h.eat(params.digits as u64);
+    h.eat(u64::from(params.iarm) << 1 | u64::from(params.doubled));
+    h.eat(xs.len() as u64);
+    for &x in xs {
+        h.eat(x as u64);
+    }
+    h.0
+}
+
+/// Index of a report entry (see [`Fnv`]): the config words, then a
+/// kernel variant tag, then the length-prefixed kernel payload.
+fn report_index(cfg_words: &[u64], kernel: ReportKernelRef<'_>) -> u64 {
+    let mut h = Fnv::new();
+    h.eat_word(cfg_words.len() as u64);
+    for &w in cfg_words {
+        h.eat_word(w);
+    }
+    match kernel {
+        ReportKernelRef::TernaryGemv { n, x } => {
+            h.eat_word(0);
+            h.eat_word(n as u64);
+            h.eat_word(x.len() as u64);
+            for &v in x {
+                h.eat_word(v as u64);
+            }
+        }
+        ReportKernelRef::TernaryGemvBatch { n, xs } => {
+            h.eat_word(1);
+            h.eat_word(n as u64);
+            h.eat_word(xs.len() as u64);
+            for row in xs {
+                h.eat_word(row.len() as u64);
+                for &v in *row {
+                    h.eat_word(v as u64);
+                }
+            }
+        }
+        ReportKernelRef::Rows {
+            m,
+            n,
+            doubled,
+            sample,
+        } => {
+            h.eat_word(2);
+            h.eat_word(m as u64);
+            h.eat_word(n as u64);
+            h.eat_word(u64::from(doubled));
+            h.eat_word(sample.len() as u64);
+            for &v in sample {
+                h.eat_word(v as u64);
+            }
+        }
+        ReportKernelRef::IntGemv { n, planes, x } => {
+            h.eat_word(3);
+            h.eat_word(n as u64);
+            h.eat_word(planes.len() as u64);
+            for &(shift, neg) in planes {
+                h.eat_word(u64::from(shift) << 1 | u64::from(neg));
+            }
+            h.eat_word(x.len() as u64);
+            for &v in x {
+                h.eat_word(v as u64);
+            }
+        }
+    }
+    h.0
+}
+
+/// Full contents of a [`PlanCache`] (entries only — tallies count
+/// lookups, not contents, and are never persisted). The bridge between
+/// the live maps and [`CacheStore`](crate::store::CacheStore)'s on-disk
+/// word encoding.
+#[derive(Debug, Default)]
+pub(crate) struct CacheContents {
+    pub(crate) plans: Vec<(PlanKey, ShardPlan)>,
+    pub(crate) streams: Vec<(StreamParams, Box<[i64]>, u64)>,
+    pub(crate) reports: Vec<(Box<[u64]>, ReportKernel, ExecutionReport)>,
+}
+
+impl PlanCache {
+    /// Snapshots every entry of every tier.
+    pub(crate) fn export_contents(&self) -> CacheContents {
+        CacheContents {
+            plans: self
+                .plans
+                .lock()
+                .expect("plan cache poisoned")
+                .iter()
+                .map(|(k, p)| (k.clone(), (**p).clone()))
+                .collect(),
+            streams: self
+                .streams
+                .lock()
+                .expect("stream cache poisoned")
+                .values()
+                .map(|e| (e.params, e.xs.clone(), e.seqs))
+                .collect(),
+            reports: self
+                .reports
+                .entries
+                .lock()
+                .expect("report cache poisoned")
+                .values()
+                .map(|e| (e.cfg_words.clone(), e.kernel.clone(), e.report.clone()))
+                .collect(),
+        }
+    }
+
+    /// Installs snapshotted entries, respecting this cache's caps and
+    /// leaving the tallies untouched (a restored entry is neither a hit
+    /// nor a miss until something looks it up). Indices are recomputed
+    /// from content, so a snapshot survives hash-function changes.
+    pub(crate) fn import_contents(&self, contents: CacheContents) {
+        {
+            let mut map = self.plans.lock().expect("plan cache poisoned");
+            for (key, plan) in contents.plans {
+                if map.len() >= self.cfg.max_plans {
+                    break;
+                }
+                map.insert(key, Arc::new(plan));
+            }
+        }
+        {
+            let mut map = self.streams.lock().expect("stream cache poisoned");
+            for (params, xs, seqs) in contents.streams {
+                if map.len() >= self.cfg.max_streams {
+                    break;
+                }
+                let index = stream_index(params, &xs);
+                map.insert(index, StreamEntry { params, xs, seqs });
+            }
+        }
+        if self.reports.enabled() {
+            let mut map = self.reports.entries.lock().expect("report cache poisoned");
+            for (cfg_words, kernel, report) in contents.reports {
+                if map.len() >= self.cfg.max_reports {
+                    break;
+                }
+                let index = kernel.with_ref(|k| report_index(&cfg_words, k));
+                map.insert(
+                    index,
+                    ReportEntry {
+                        cfg_words,
+                        kernel,
+                        report,
+                    },
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -318,6 +741,7 @@ mod tests {
         let c = PlanCache::new(CacheConfig {
             max_plans: 2,
             max_streams: 2,
+            max_reports: 2,
         });
         for total in 1..=10usize {
             let p = c.plan(&key(total), || plan(total));
@@ -337,6 +761,89 @@ mod tests {
         let _ = c.plan(&key(1), || plan(1));
         let t = c.counters();
         assert_eq!(t.plan_misses, 2, "cleared entry is a future miss");
+    }
+
+    fn fake_report(elapsed_ns: f64) -> ExecutionReport {
+        ExecutionReport {
+            elapsed_ns,
+            stats: c2m_dram::CommandStats::default(),
+            energy_nj: 2.0 * elapsed_ns,
+            useful_ops: 7,
+            area_mm2: 1.0,
+            energy: c2m_dram::EnergyBreakdown::default(),
+            cache: CacheCounters::default(),
+        }
+    }
+
+    #[test]
+    fn report_lookups_serve_only_exact_config_and_kernel() {
+        let c = PlanCache::default();
+        let words = [1u64, 2, 3];
+        let xs = [1i64, -2, 3];
+        let k = ReportKernelRef::TernaryGemv { n: 16, x: &xs };
+        assert!(c.reports().lookup(&words, k).is_none());
+        c.reports().insert(&words, k, &fake_report(10.0));
+        let hit = c.reports().lookup(&words, k).expect("exact repeat hits");
+        assert_eq!(hit.elapsed_ns.to_bits(), 10.0f64.to_bits());
+        // Different config words, kernel shape, or content must miss.
+        assert!(c.reports().lookup(&[1, 2, 4], k).is_none());
+        assert!(c
+            .reports()
+            .lookup(&words, ReportKernelRef::TernaryGemv { n: 17, x: &xs })
+            .is_none());
+        assert!(c
+            .reports()
+            .lookup(
+                &words,
+                ReportKernelRef::Rows {
+                    m: 16,
+                    n: 16,
+                    doubled: true,
+                    sample: &xs
+                }
+            )
+            .is_none());
+        let t = c.counters();
+        assert_eq!((t.report_hits, t.report_misses), (1, 4));
+    }
+
+    #[test]
+    fn disabled_report_tier_never_stores_or_tallies() {
+        let c = PlanCache::new(CacheConfig {
+            max_reports: 0,
+            ..CacheConfig::default()
+        });
+        let xs = [4i64, 5];
+        let k = ReportKernelRef::TernaryGemv { n: 8, x: &xs };
+        assert!(!c.reports().enabled());
+        c.reports().insert(&[9], k, &fake_report(1.0));
+        assert!(c.reports().lookup(&[9], k).is_none());
+        let t = c.counters();
+        assert_eq!((t.report_hits, t.report_misses), (0, 0));
+    }
+
+    #[test]
+    fn contents_round_trip_through_export_import() {
+        let c = PlanCache::default();
+        let _ = c.plan(&key(64), || plan(64));
+        let xs = vec![1i64, -2, 3];
+        let _ = c.sequences(4, 32, true, false, &xs, || 42);
+        let k = ReportKernelRef::TernaryGemv { n: 16, x: &xs };
+        c.reports().insert(&[5, 6], k, &fake_report(3.5));
+
+        let fresh = PlanCache::default();
+        fresh.import_contents(c.export_contents());
+        // Imports never count as lookups…
+        assert_eq!(fresh.counters(), CacheCounters::default());
+        // …but every tier serves the restored entries.
+        let p = fresh.plan(&key(64), || unreachable!("restored plan must hit"));
+        assert_eq!(p.total, 64);
+        assert_eq!(
+            fresh.sequences(4, 32, true, false, &xs, || unreachable!()),
+            42
+        );
+        let hit = fresh.reports().lookup(&[5, 6], k).expect("restored report");
+        assert_eq!(hit.elapsed_ns.to_bits(), 3.5f64.to_bits());
     }
 
     #[test]

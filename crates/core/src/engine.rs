@@ -27,8 +27,9 @@
 //! Ambit policy every path reduces bit-for-bit to the paper's
 //! single-channel model.
 
-use crate::cache::{CacheConfig, PlanCache, PlanKey};
+use crate::cache::{CacheConfig, PlanCache, PlanKey, ReportKernelRef};
 use crate::shard::{BackendPolicy, ShardAxis, ShardPlan, ShardPlanner, ShardSizing};
+use crate::store::CacheStore;
 use c2m_cim::Backend;
 use c2m_dram::scheduler::{
     salp_stream_cap, steady_state_aap_interval_ranked, steady_state_aap_interval_salp,
@@ -45,6 +46,7 @@ use c2m_trace::{TraceEvent, TraceSink, Track};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -236,6 +238,7 @@ pub struct EngineBuilder {
     sizing: ShardSizing,
     balanced: bool,
     cache: CacheChoice,
+    cache_path: Option<PathBuf>,
     trace: Option<Arc<dyn TraceSink>>,
 }
 
@@ -291,6 +294,19 @@ impl EngineBuilder {
     #[must_use]
     pub fn no_cache(mut self) -> Self {
         self.cache = CacheChoice::Disabled;
+        self
+    }
+
+    /// Backs the engine's cache with a persistent store file: at build
+    /// time the file is loaded through
+    /// [`CacheStore::load_into`](crate::store::CacheStore::load_into)
+    /// (a missing, stale, or corrupt file is silently treated as cold),
+    /// and [`C2mEngine::save_cache`] writes the warmed contents back.
+    /// Applies to whichever cache the engine ends up with (private or
+    /// shared); a no-op under [`Self::no_cache`].
+    #[must_use]
+    pub fn cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
         self
     }
 
@@ -376,6 +392,12 @@ impl EngineBuilder {
             CacheChoice::Shared(h) => Some(h),
             CacheChoice::Disabled => None,
         };
+        if let (Some(path), Some(c)) = (&self.cache_path, &cache) {
+            // Warm start from the persistent store; any guard failure
+            // (missing file, version or fingerprint-scheme mismatch,
+            // corruption) just leaves the cache cold.
+            let _ = CacheStore::load_into(path, c);
+        }
         let mut engine = C2mEngine {
             cfg,
             code,
@@ -383,6 +405,7 @@ impl EngineBuilder {
             backends: self.backends,
             sizing: self.sizing,
             cache,
+            cache_path: self.cache_path,
             trace: self.trace.map(TraceHandle::new),
         };
         if self.balanced {
@@ -422,6 +445,8 @@ pub struct C2mEngine {
     backends: BackendPolicy,
     sizing: ShardSizing,
     cache: Option<Arc<PlanCache>>,
+    /// Persistent-store path from [`EngineBuilder::cache_path`], if any.
+    cache_path: Option<PathBuf>,
     /// Optional trace hook (shared clock across clones). Observational
     /// only — never read by any pricing path.
     trace: Option<TraceHandle>,
@@ -439,6 +464,7 @@ impl C2mEngine {
             sizing: ShardSizing::default(),
             balanced: false,
             cache: CacheChoice::Private(CacheConfig::default()),
+            cache_path: None,
             trace: None,
         }
     }
@@ -668,6 +694,154 @@ impl C2mEngine {
             .map_or_else(CacheCounters::default, |c| c.counters())
     }
 
+    /// Writes the cache contents to the [`EngineBuilder::cache_path`]
+    /// store file, returning `true` if a file was written (`false` when
+    /// the engine has no path or no cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the store file cannot be written.
+    pub fn save_cache(&self) -> std::io::Result<bool> {
+        match (&self.cache_path, &self.cache) {
+            (Some(path), Some(c)) => CacheStore::save(path, c).map(|()| true),
+            _ => Ok(false),
+        }
+    }
+
+    /// The report-cache key words of this engine: an **injective**
+    /// bit-exact word encoding of everything a launch's report depends
+    /// on besides the kernel inputs — every [`EngineConfig`] field
+    /// (enums as tag + payload, floats as IEEE bit patterns,
+    /// length-prefixed variable sections) plus the backend policy and
+    /// the resolved shard sizing. Two engines share a word vector only
+    /// if every field is equal, so a [`ReportCache`](crate::cache::ReportCache)
+    /// entry keyed on these words can never be served across differing
+    /// configurations. Field coverage is enforced by the
+    /// `cache-key-completeness` lint.
+    #[must_use]
+    pub fn report_key_words(&self) -> Vec<u64> {
+        fn backend_code(b: Backend) -> u64 {
+            match b {
+                Backend::Ambit => 0,
+                Backend::Fcdram => 1,
+                Backend::Pinatubo => 2,
+                Backend::Magic => 3,
+            }
+        }
+        let cfg = &self.cfg;
+        let mut w = Vec::with_capacity(48);
+        w.push(cfg.radix as u64);
+        w.push(u64::from(cfg.capacity_bits));
+        w.push(cfg.banks as u64);
+        w.push(cfg.subarrays as u64);
+        match cfg.protection {
+            ProtectionKind::None => w.extend([0, 0, 0]),
+            ProtectionKind::Tmr => w.extend([1, 0, 0]),
+            ProtectionKind::Ecc {
+                fr_checks,
+                fuse_inverted_feedback,
+            } => w.extend([2, u64::from(fr_checks), u64::from(fuse_inverted_feedback)]),
+        }
+        w.push(cfg.fault_rate.to_bits());
+        w.push(cfg.ecc_row_bits as u64);
+        w.push(u64::from(cfg.iarm));
+        let d = &cfg.dram;
+        w.extend([
+            d.channels as u64,
+            d.ranks as u64,
+            d.chips as u64,
+            d.ecc_chips as u64,
+            d.banks as u64,
+            d.subarrays_per_bank as u64,
+            d.rows_per_subarray as u64,
+            d.row_bytes_per_chip as u64,
+            d.chip_gbit as u64,
+        ]);
+        let t = &cfg.timing;
+        w.extend([
+            t.t_ck.to_bits(),
+            t.t_rcd.to_bits(),
+            t.t_ras.to_bits(),
+            t.t_rp.to_bits(),
+            t.t_rrd.to_bits(),
+            t.t_faw.to_bits(),
+            t.t_ccd.to_bits(),
+            t.t_burst.to_bits(),
+            t.t_rank_switch.to_bits(),
+            t.t_subarray_gate.to_bits(),
+        ]);
+        let e = &cfg.energy;
+        w.extend([
+            e.e_act_pre_nj.to_bits(),
+            e.e_aap_nj.to_bits(),
+            e.e_ap_nj.to_bits(),
+            e.e_rd_nj.to_bits(),
+            e.e_wr_nj.to_bits(),
+            e.p_static_w.to_bits(),
+        ]);
+        let a = &cfg.area;
+        w.extend([a.chip_area_mm2.to_bits(), a.cim_overhead_frac.to_bits()]);
+        match &self.backends {
+            BackendPolicy::Uniform(b) => w.extend([0, backend_code(*b)]),
+            BackendPolicy::PerChannel(list) => {
+                w.push(1);
+                w.push(list.len() as u64);
+                w.extend(list.iter().map(|&b| backend_code(b)));
+            }
+        }
+        match &self.sizing {
+            ShardSizing::Even => w.push(0),
+            // Weights are validated non-empty at build, so the length
+            // prefix (≥ 1) never collides with the `Even` tag.
+            ShardSizing::Weighted(ws) => {
+                w.push(ws.len() as u64);
+                w.extend(ws.iter().map(|v| v.to_bits()));
+            }
+        }
+        w
+    }
+
+    /// Report-cache lookup for one launch. Counts a hit or a miss,
+    /// emits the `report_{hit,miss}` trace instant, and re-stamps a
+    /// hit's `cache` snapshot with this engine's cumulative tallies
+    /// (the stored snapshot belongs to the run that folded it).
+    fn cached_report(&self, kernel: ReportKernelRef<'_>) -> Option<ExecutionReport> {
+        let cache = self.cache.as_ref()?;
+        if !cache.reports().enabled() {
+            return None;
+        }
+        let words = self.report_key_words();
+        let hit = cache.reports().lookup(&words, kernel);
+        if let Some(tr) = &self.trace {
+            tr.sink.record(TraceEvent::Instant {
+                t_ns: tr.now(),
+                name: if hit.is_some() {
+                    "report_hit"
+                } else {
+                    "report_miss"
+                },
+                cat: "core",
+                track: Track::core(0),
+            });
+        }
+        hit.map(|mut report| {
+            report.cache = self.cache_stats();
+            report
+        })
+    }
+
+    /// Stores a freshly folded launch report under this engine's key
+    /// words (no-op when the report tier is disabled or absent).
+    fn store_report(&self, kernel: ReportKernelRef<'_>, report: &ExecutionReport) {
+        if let Some(cache) = &self.cache {
+            if cache.reports().enabled() {
+                cache
+                    .reports()
+                    .insert(&self.report_key_words(), kernel, report);
+            }
+        }
+    }
+
     /// [`Self::sequences_for_stream`] through the pricing cache:
     /// bit-for-bit the same count, memoised on the stream content.
     #[must_use]
@@ -751,6 +925,10 @@ impl C2mEngine {
     /// `⌈log₂(units)⌉` cross-unit counter-addition rounds.
     #[must_use]
     pub fn ternary_gemv(&self, x: &[i64], n: usize) -> ExecutionReport {
+        let kernel = ReportKernelRef::TernaryGemv { n, x };
+        if let Some(report) = self.cached_report(kernel) {
+            return report;
+        }
         let plan = self.plan_for(ShardAxis::InnerDim, x.len());
         // The unit's intra-unit merge (banks × SALP streams) rides on
         // its first shard; accumulation and merge both execute on the
@@ -768,7 +946,9 @@ impl C2mEngine {
                 (seqs as f64 * self.ops_per_sequence() + red) * self.backend_factor(shard.backend)
             })
             .collect();
-        self.sharded_report(&plan, &shard_ops, 0, useful_ops(1, n, x.len()), n)
+        let report = self.sharded_report(&plan, &shard_ops, 0, useful_ops(1, n, x.len()), n);
+        self.store_report(kernel, &report);
+        report
     }
 
     /// Prices a *batch* of `B` ternary GEMVs sharing one weight matrix
@@ -786,6 +966,11 @@ impl C2mEngine {
         xs: &[S],
         n: usize,
     ) -> ExecutionReport {
+        let rows: Vec<&[i64]> = xs.iter().map(AsRef::as_ref).collect();
+        let kernel = ReportKernelRef::TernaryGemvBatch { n, xs: &rows };
+        if let Some(report) = self.cached_report(kernel) {
+            return report;
+        }
         let plan = self.plan_for(ShardAxis::OutputRows, xs.len());
         let copy_out = self.copy_out_ops(n);
         let priced: Vec<(f64, u64)> = plan
@@ -812,7 +997,9 @@ impl C2mEngine {
         } else {
             0
         };
-        self.sharded_report(&plan, &shard_ops, gather_bursts, useful, n)
+        let report = self.sharded_report(&plan, &shard_ops, gather_bursts, useful, n);
+        self.store_report(kernel, &report);
+        report
     }
 
     /// Ternary GEMM report for `M` output rows, each accumulating the
@@ -846,6 +1033,18 @@ impl C2mEngine {
         doubled: bool,
         k: usize,
     ) -> ExecutionReport {
+        // The kernel key omits `k` because it is always the sample
+        // length; the assert keeps that true for future callers.
+        debug_assert_eq!(k, sample.len());
+        let kernel = ReportKernelRef::Rows {
+            m,
+            n,
+            doubled,
+            sample,
+        };
+        if let Some(report) = self.cached_report(kernel) {
+            return report;
+        }
         let plan = self.plan_for(ShardAxis::OutputRows, m);
         let seqs = if doubled {
             self.cached_sequences_for_doubled(sample)
@@ -867,7 +1066,9 @@ impl C2mEngine {
         } else {
             0
         };
-        self.sharded_report(&plan, &shard_ops, gather_bursts, useful_ops(m, n, k), n)
+        let report = self.sharded_report(&plan, &shard_ops, gather_bursts, useful_ops(m, n, k), n);
+        self.store_report(kernel, &report);
+        report
     }
 
     /// Integer×integer GEMV via CSD bit-slicing (§5.2.3): the weight
@@ -887,6 +1088,14 @@ impl C2mEngine {
         n: usize,
         plane_exponents: &[(u32, bool)],
     ) -> ExecutionReport {
+        let kernel = ReportKernelRef::IntGemv {
+            n,
+            planes: plane_exponents,
+            x,
+        };
+        if let Some(report) = self.cached_report(kernel) {
+            return report;
+        }
         let plan = self.plan_for(ShardAxis::CsdPlanes, plane_exponents.len());
         let work: Vec<(usize, f64)> = self
             .unit_reduction_extras(&plan)
@@ -916,7 +1125,9 @@ impl C2mEngine {
                 (ops + red) * self.backend_factor(shard.backend)
             })
             .collect();
-        self.sharded_report(&plan, &shard_ops, 0, useful_ops(1, n, x.len()), n)
+        let report = self.sharded_report(&plan, &shard_ops, 0, useful_ops(1, n, x.len()), n);
+        self.store_report(kernel, &report);
+        report
     }
 
     /// Commands for the log₂(banks) partial-sum merge rounds within one
@@ -1283,6 +1494,8 @@ impl C2mEngine {
             ("plan_cache_misses", cache.plan_misses),
             ("stream_cache_hits", cache.stream_hits),
             ("stream_cache_misses", cache.stream_misses),
+            ("report_cache_hits", cache.report_hits),
+            ("report_cache_misses", cache.report_misses),
         ] {
             sink.record(TraceEvent::Counter {
                 t_ns: t0,
@@ -1944,7 +2157,8 @@ mod tests {
                 );
             }
             let tallies = cached.cache_stats();
-            assert!(tallies.plan_hits + tallies.stream_hits > 0);
+            // The repeat launch short-circuits at the report tier.
+            assert!(tallies.report_hits > 0);
             assert_eq!(uncached.cache_stats(), CacheCounters::default());
         }
     }
@@ -1956,9 +2170,13 @@ mod tests {
         let first = e.ternary_gemv(&xs, 1024);
         assert_eq!(first.cache.plan_misses, 1);
         assert_eq!(first.cache.stream_misses, 1);
+        assert_eq!(first.cache.report_misses, 1);
+        // The repeat launch is a whole-report hit; the plan/stream tiers
+        // are never consulted, and the hit re-stamps the counters.
         let second = e.ternary_gemv(&xs, 1024);
-        assert_eq!(second.cache.plan_hits, 1);
-        assert_eq!(second.cache.stream_hits, 1);
+        assert_eq!(second.cache.report_hits, 1);
+        assert_eq!(second.cache.plan_hits, 0);
+        assert_eq!(second.cache.stream_hits, 0);
         assert!(second.cache.hit_rate() > 0.0);
     }
 
@@ -1971,14 +2189,14 @@ mod tests {
         let clone = e.clone();
         let _ = clone.ternary_gemv(&xs, 2048);
         assert_eq!(clone.cache_stats().stream_misses, misses_after_first);
-        assert!(clone.cache_stats().stream_hits > 0);
+        assert!(clone.cache_stats().report_hits > 0);
         // A separately built engine sharing the handle also hits.
         let shared = C2mEngine::builder(EngineConfig::c2m(16))
             .shared_cache(Arc::clone(e.cache().unwrap()))
             .build();
-        let before = shared.cache_stats().stream_hits;
+        let before = shared.cache_stats().report_hits;
         let _ = shared.ternary_gemv(&xs, 2048);
-        assert!(shared.cache_stats().stream_hits > before);
+        assert!(shared.cache_stats().report_hits > before);
     }
 
     #[test]

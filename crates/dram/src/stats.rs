@@ -105,8 +105,8 @@ impl CommandStats {
     }
 }
 
-/// Hit/miss tallies of the engine-side memoisation layers (plan cache
-/// and stream-pricing cache), snapshotted onto every
+/// Hit/miss tallies of the engine-side memoisation layers (plan cache,
+/// stream-pricing cache and whole-report cache), snapshotted onto every
 /// [`ExecutionReport`] so callers can audit cache effectiveness without
 /// reaching into the engine. All-zero when the producing engine runs
 /// uncached (or predates the caches).
@@ -120,15 +120,23 @@ pub struct CacheCounters {
     pub stream_hits: u64,
     /// Command-stream pricings that had to run the IARM planner.
     pub stream_misses: u64,
+    /// Whole-launch lookups served from the report cache (a hit skips
+    /// the entire plan/price/fold pipeline and clones a stored report).
+    pub report_hits: u64,
+    /// Whole-launch lookups that had to re-fold the kernel.
+    pub report_misses: u64,
 }
 
 impl CacheCounters {
-    /// Fraction of all lookups (both layers) that hit, `0.0` when no
+    /// Fraction of all lookups (all layers) that hit, `0.0` when no
     /// lookup happened.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.plan_hits + self.stream_hits;
-        hit_fraction(hits, hits + self.plan_misses + self.stream_misses)
+        let hits = self.plan_hits + self.stream_hits + self.report_hits;
+        hit_fraction(
+            hits,
+            hits + self.plan_misses + self.stream_misses + self.report_misses,
+        )
     }
 
     /// Adds another snapshot's tallies into this one.
@@ -137,6 +145,23 @@ impl CacheCounters {
         self.plan_misses += other.plan_misses;
         self.stream_hits += other.stream_hits;
         self.stream_misses += other.stream_misses;
+        self.report_hits += other.report_hits;
+        self.report_misses += other.report_misses;
+    }
+
+    /// Tallies accumulated since `base` (a snapshot taken earlier on
+    /// the same cache). Saturates to zero per field, so a cleared cache
+    /// never yields an underflowed delta.
+    #[must_use]
+    pub fn delta_since(&self, base: &CacheCounters) -> CacheCounters {
+        CacheCounters {
+            plan_hits: self.plan_hits.saturating_sub(base.plan_hits),
+            plan_misses: self.plan_misses.saturating_sub(base.plan_misses),
+            stream_hits: self.stream_hits.saturating_sub(base.stream_hits),
+            stream_misses: self.stream_misses.saturating_sub(base.stream_misses),
+            report_hits: self.report_hits.saturating_sub(base.report_hits),
+            report_misses: self.report_misses.saturating_sub(base.report_misses),
+        }
     }
 }
 

@@ -74,7 +74,7 @@ use crate::request::ServeRequest;
 use crate::traffic::{request_input, ClosedLoopConfig};
 use c2m_core::engine::C2mEngine;
 use c2m_core::residency::{ResidencyModel, ResidencyOutcome};
-use c2m_dram::{hit_fraction, BatchWindow, MemoryRequest, RequestQueue};
+use c2m_dram::{hit_fraction, BatchWindow, CacheCounters, MemoryRequest, RequestQueue};
 use c2m_trace::{TraceEvent, TraceSink, Track};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -446,6 +446,16 @@ pub struct ServeRuntime {
     trace: Option<Arc<dyn TraceSink>>,
 }
 
+/// Cumulative cache tallies at the start of a run. Subtracted from the
+/// end-of-run totals so each [`ServeReport`] carries only the hits and
+/// misses that run generated.
+#[derive(Debug, Clone, Copy)]
+struct CacheBaseline {
+    batch_hits: u64,
+    batch_misses: u64,
+    engine: CacheCounters,
+}
+
 /// Pipeline clock state threaded through batch dispatches.
 #[derive(Debug)]
 struct Pipeline {
@@ -656,6 +666,7 @@ impl ServeRuntime {
     /// Serves an open-loop trace (arrivals fixed in advance) and
     /// reports per-request latencies, batch records and queue depth.
     pub fn run(&self, requests: &[ServeRequest]) -> ServeReport {
+        let cache_base = self.cache_baseline();
         let mut q = PendingQueue::default();
         for r in requests {
             q.push(r.clone());
@@ -679,7 +690,7 @@ impl ServeRuntime {
             self.backfill_formation_sample(&mut report, formed, depth);
         }
         report.host_hit_rate = hit_fraction(pipe.hits, pipe.accesses);
-        self.stamp_cache_counters(&mut report);
+        self.stamp_cache_counters(&mut report, &cache_base);
         report
     }
 
@@ -693,6 +704,7 @@ impl ServeRuntime {
     /// Panics if the tenant list is empty.
     pub fn run_closed_loop(&self, cfg: &ClosedLoopConfig) -> ServeReport {
         assert!(!cfg.tenants.is_empty(), "at least one tenant required");
+        let cache_base = self.cache_baseline();
         let mut remaining = vec![cfg.requests_per_client; cfg.clients];
         // Ids are issued sequentially, so `client_of[id]` recovers the
         // owning client without threading tuples through the batcher.
@@ -749,7 +761,7 @@ impl ServeRuntime {
             self.backfill_formation_sample(&mut report, formed, depth);
         }
         report.host_hit_rate = hit_fraction(pipe.hits, pipe.accesses);
-        self.stamp_cache_counters(&mut report);
+        self.stamp_cache_counters(&mut report, &cache_base);
         report
     }
 
@@ -795,14 +807,28 @@ impl ServeRuntime {
         }
     }
 
-    /// Snapshots the cumulative cache tallies (priced-batch and engine
-    /// plan/stream) into a finished report. Observational only.
-    fn stamp_cache_counters(&self, report: &mut ServeReport) {
-        if let Some(c) = &self.batch_cache {
-            report.batch_cache_hits = c.hits();
-            report.batch_cache_misses = c.misses();
+    /// The cumulative cache tallies (priced-batch and engine
+    /// plan/stream/report) right now — snapshotted at run start so a
+    /// finished report can carry per-run deltas.
+    fn cache_baseline(&self) -> CacheBaseline {
+        CacheBaseline {
+            batch_hits: self.batch_cache.as_ref().map_or(0, |c| c.hits()),
+            batch_misses: self.batch_cache.as_ref().map_or(0, |c| c.misses()),
+            engine: self.engine.cache_stats(),
         }
-        report.engine_cache = self.engine.cache_stats();
+    }
+
+    /// Stamps the cache tallies accumulated *during this run* (current
+    /// cumulative totals minus the run-start `base` snapshot) into a
+    /// finished report. Observational only: back-to-back runs on one
+    /// runtime each report only their own hits and misses, not the
+    /// runtime's lifetime totals.
+    fn stamp_cache_counters(&self, report: &mut ServeReport, base: &CacheBaseline) {
+        if let Some(c) = &self.batch_cache {
+            report.batch_cache_hits = c.hits().saturating_sub(base.batch_hits);
+            report.batch_cache_misses = c.misses().saturating_sub(base.batch_misses);
+        }
+        report.engine_cache = self.engine.cache_stats().delta_since(&base.engine);
     }
 
     /// A fresh FR-FCFS queue over the engine's host-visible banks,
@@ -1975,8 +2001,36 @@ mod tests {
             rep.batch_cache_misses
         );
         assert!(rep.batch_cache_hit_rate() > 0.5);
-        // The engine-level stream cache warms too: the plan pass and
-        // the exec pass share per-request stream entries.
-        assert!(rep.engine_cache.stream_hits > 0);
+        // The engine-level caches warm too: the plan pass and the exec
+        // pass share per-request stream entries, and a repeated launch
+        // short-circuits at the whole-report tier.
+        assert!(rep.engine_cache.stream_hits + rep.engine_cache.report_hits > 0);
+    }
+
+    #[test]
+    fn reports_carry_per_run_cache_deltas() {
+        // Back-to-back runs on one runtime: the second report must carry
+        // only its own tallies, not the runtime's cumulative totals.
+        let reqs = trace(24, 2);
+        let rt = ServeRuntime::new(engine(1), cfg(4, 1e6));
+        let first = rt.run(&reqs);
+        let second = rt.run(&reqs);
+        assert!(first.batch_cache_misses > 0, "cold run must miss");
+        // Run 2 re-prices the same compositions against the warm cache:
+        // all hits, and crucially *no* carried-over misses from run 1.
+        assert_eq!(second.batch_cache_misses, 0);
+        assert!(second.batch_cache_hits > 0);
+        assert_eq!(
+            second.engine_cache.plan_misses
+                + second.engine_cache.stream_misses
+                + second.engine_cache.report_misses,
+            0,
+            "run-2 engine tallies must not include run-1 misses"
+        );
+        // The deltas partition the cumulative totals.
+        let total = rt.engine().cache_stats();
+        let mut sum = first.engine_cache;
+        sum.merge(&second.engine_cache);
+        assert_eq!(sum, total);
     }
 }
